@@ -1,0 +1,53 @@
+// Ablation: PODEM vs SAT as the permissibility-proof engine.
+//
+// The paper proves candidates with ATPG (PODEM-style search plus a
+// backtrack limit; aborts count as "not permissible"). A SAT miter answers
+// the same question. This harness runs POWDER twice per circuit with the
+// two engines and compares outcome quality and proof effort. Expected
+// shape: near-identical power reductions (both engines are exact up to
+// their effort limits), differing CPU profiles.
+//
+// POWDER_SUITE=quick|fig6|full (default quick).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace powder;
+using namespace powder::bench;
+
+int main() {
+  const CellLibrary lib = CellLibrary::standard();
+  const auto suite = env_suite("quick");
+
+  std::printf("=== Ablation: proof engine (PODEM vs SAT miter) ===\n\n");
+  std::printf("%-10s | %9s %7s %7s | %9s %7s %7s\n", "circuit", "red.%",
+              "subs", "CPU s", "red.%", "subs", "CPU s");
+  std::printf("%-10s | %27s | %26s\n", "", "PODEM (paper)", "SAT");
+
+  double sp = 0, ss = 0, n = 0;
+  for (const std::string& name : suite) {
+    Netlist nlp = initial_circuit(name, lib);
+    PowderOptions po = bench_options(nlp.num_inputs());
+    po.proof_engine = ProofEngine::kPodem;
+    const PowderReport rp = PowderOptimizer(&nlp, po).run();
+
+    Netlist nls = initial_circuit(name, lib);
+    PowderOptions so = bench_options(nls.num_inputs());
+    so.proof_engine = ProofEngine::kSat;
+    const PowderReport rs = PowderOptimizer(&nls, so).run();
+
+    std::printf("%-10s | %9.1f %7d %7.1f | %9.1f %7d %7.1f\n", name.c_str(),
+                rp.power_reduction_percent(), rp.substitutions_applied,
+                rp.cpu_seconds, rs.power_reduction_percent(),
+                rs.substitutions_applied, rs.cpu_seconds);
+    std::fflush(stdout);
+    sp += rp.power_reduction_percent();
+    ss += rs.power_reduction_percent();
+    n += 1;
+  }
+  std::printf("%-10s | %9.1f %15s | %9.1f\n", "average:", sp / n, "", ss / n);
+  std::printf("\nexpected: both engines reach essentially the same "
+              "reduction (they decide the same permissibility question).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 2 reproduction: the worked power-reduction example.
+//
+// Paper: reconnecting the XOR input from `a` to `e = a&b` lowers
+// sum C(i)*E(i) from 1.555 to 1.132 (their input probabilities are not
+// published; with uniform 0.5 inputs our model gives 4.0 -> 3.75 counting
+// all signals). The point reproduced here is the *mechanism*: the IS2
+// substitution is found, proved permissible, applied, and both effects of
+// §3.1 (load moved to a lower-activity signal; the new XOR function's
+// activity not higher) are visible in the numbers.
+
+#include <cstdio>
+
+#include "bdd/netlist_bdd.hpp"
+#include "opt/powder.hpp"
+#include "power/power.hpp"
+
+using namespace powder;
+
+int main() {
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib, "fig2");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  const GateId d = nl.add_gate(lib.find("xor2"), {a, c}, "d");
+  const GateId f = nl.add_gate(lib.find("and2"), {d, b}, "f");
+  const GateId e = nl.add_gate(lib.find("and2"), {a, b}, "e");
+  nl.add_output("f_out", f, 0.0);
+  nl.add_output("e_out", e, 0.0);
+  const Netlist original = nl;
+
+  std::printf("=== Figure 2: power reduction by reconnecting a gate input "
+              "===\n\n");
+  {
+    Simulator sim(nl, 64);
+    sim.use_exhaustive_patterns();
+    PowerEstimator est(&sim);
+    std::printf("circuit A:  sum C*E = %.3f   (paper's circuit A: 1.555 "
+                "under its unpublished input probabilities)\n",
+                est.total_power());
+    std::printf("  per signal:  a: C=%.0f E=%.3f | b: C=%.0f E=%.3f | "
+                "c: C=%.0f E=%.3f | d: C=%.0f E=%.3f | e: C=%.0f E=%.3f\n",
+                nl.signal_cap(a), est.activity(a), nl.signal_cap(b),
+                est.activity(b), nl.signal_cap(c), est.activity(c),
+                nl.signal_cap(d), est.activity(d), nl.signal_cap(e),
+                est.activity(e));
+  }
+
+  PowderOptions opt;
+  opt.num_patterns = 4096;
+  PowderOptimizer optimizer(&nl, opt);
+  const PowderReport r = optimizer.run();
+
+  {
+    Simulator sim(nl, 64);
+    sim.use_exhaustive_patterns();
+    PowerEstimator est(&sim);
+    std::printf("\ncircuit B:  sum C*E = %.3f   (paper's circuit B: 1.132)\n",
+                est.total_power());
+  }
+  std::printf("reduction:  %.1f%%   substitutions applied: %d\n",
+              r.power_reduction_percent(), r.substitutions_applied);
+  std::printf("xor2 'd' inputs after POWDER: %s, %s   (paper: a -> e)\n",
+              nl.gate_name(nl.gate(d).fanins[0]).c_str(),
+              nl.gate_name(nl.gate(d).fanins[1]).c_str());
+  std::printf("equivalence: %s\n",
+              functionally_equivalent(original, nl) ? "OK" : "FAIL");
+  return 0;
+}

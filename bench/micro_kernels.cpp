@@ -1,0 +1,113 @@
+// Google-benchmark micro-kernels for the library's hot paths: bit-parallel
+// simulation, observability extraction, power estimation, candidate
+// harvesting, ATPG proofs, and technology mapping. Not a paper experiment;
+// engineering hygiene for the optimizer's inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include "atpg/atpg.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "mapper/mapper.hpp"
+#include "opt/candidates.hpp"
+#include "power/power.hpp"
+
+namespace powder {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary* kLib = new CellLibrary(CellLibrary::standard());
+  return *kLib;
+}
+
+const Netlist& mapped(const char* name) {
+  static auto* cache = new std::map<std::string, Netlist>();
+  auto it = cache->find(name);
+  if (it == cache->end())
+    it = cache->emplace(name, map_aig(make_benchmark(name), lib())).first;
+  return it->second;
+}
+
+void BM_Simulation(benchmark::State& state) {
+  const Netlist& nl = mapped("C880");
+  Simulator sim(nl, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sim.resimulate_all();
+    benchmark::DoNotOptimize(sim.signal_prob(nl.outputs()[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_cells() *
+                          state.range(0));
+}
+BENCHMARK(BM_Simulation)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_StemObservability(benchmark::State& state) {
+  const Netlist& nl = mapped("C880");
+  Simulator sim(nl, 1024);
+  std::vector<GateId> cells;
+  for (GateId g = 0; g < nl.num_slots(); ++g)
+    if (nl.alive(g) && nl.kind(g) == GateKind::kCell) cells.push_back(g);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.stem_observability(cells[i % cells.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_StemObservability);
+
+void BM_PowerEstimate(benchmark::State& state) {
+  const Netlist& nl = mapped("pair");
+  Simulator sim(nl, 1024);
+  for (auto _ : state) {
+    PowerEstimator est(&sim);
+    benchmark::DoNotOptimize(est.total_power());
+  }
+}
+BENCHMARK(BM_PowerEstimate);
+
+void BM_CandidateHarvest(benchmark::State& state) {
+  const Netlist& nl = mapped("duke2");
+  Simulator sim(nl, 1024);
+  PowerEstimator est(&sim);
+  for (auto _ : state) {
+    CandidateFinder finder(nl, est);
+    benchmark::DoNotOptimize(finder.find().size());
+  }
+}
+BENCHMARK(BM_CandidateHarvest);
+
+void BM_AtpgProof(benchmark::State& state) {
+  const Netlist& nl = mapped("misex3");
+  AtpgChecker atpg(nl);
+  // Exercise stuck-at checks across the circuit (mix of testable and
+  // redundant).
+  std::vector<GateId> cells;
+  for (GateId g = 0; g < nl.num_slots(); ++g)
+    if (nl.alive(g) && nl.kind(g) == GateKind::kCell) cells.push_back(g);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const GateId g = cells[i % cells.size()];
+    benchmark::DoNotOptimize(
+        atpg.check_stuck_at(ReplacementSite{g, std::nullopt}, i & 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_AtpgProof);
+
+void BM_TechnologyMapping(benchmark::State& state) {
+  const Aig aig = make_benchmark("C432");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_aig(aig, lib()).num_cells());
+  }
+}
+BENCHMARK(BM_TechnologyMapping);
+
+void BM_BenchmarkGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_benchmark("duke2").num_ands());
+  }
+}
+BENCHMARK(BM_BenchmarkGeneration);
+
+}  // namespace
+}  // namespace powder
+
+BENCHMARK_MAIN();

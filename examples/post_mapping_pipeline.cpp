@@ -1,0 +1,83 @@
+// The complete post-mapping optimization pipeline, stage by stage:
+//
+//   mapped netlist
+//     -> redundancy removal   (ATPG: untestable pins tied to constants)
+//     -> POWDER               (permissible substitutions for power)
+//     -> gate re-sizing       (drive-strength selection under timing)
+//
+// Each stage preserves functionality (verified at the end against the
+// original with the BDD oracle) and the printout shows where the power
+// goes at every step — including the glitch-aware estimate the zero-delay
+// model cannot see.
+//
+//   $ ./post_mapping_pipeline [circuit]    (default: spla)
+
+#include <cstdio>
+#include <string>
+
+#include "bdd/netlist_bdd.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "opt/powder.hpp"
+#include "opt/redundancy.hpp"
+#include "opt/resize.hpp"
+#include "power/glitch.hpp"
+#include "power/power.hpp"
+#include "timing/timing.hpp"
+
+using namespace powder;
+
+namespace {
+
+void report_stage(const char* stage, const Netlist& nl) {
+  Simulator sim(nl, 4096);
+  PowerEstimator est(&sim);
+  GlitchOptions gopt;
+  gopt.num_vector_pairs = 128;
+  const GlitchEstimate ge = estimate_glitch_power(nl, gopt);
+  std::printf("%-12s %5d gates  area %9.0f  delay %7.2f  power %9.3f  "
+              "(timed %9.3f)\n",
+              stage, nl.num_cells(), nl.total_area(),
+              analyze_timing(nl).circuit_delay, est.total_power(),
+              ge.timed_power);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "spla";
+  if (!is_known_benchmark(name)) {
+    std::printf("unknown circuit '%s'\n", name.c_str());
+    return 1;
+  }
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl = map_aig(make_benchmark(name), lib);
+  const Netlist original = nl;
+  std::printf("pipeline on %s:\n", name.c_str());
+  report_stage("mapped:", nl);
+
+  const RedundancyRemovalReport rr = remove_redundancies(&nl);
+  std::printf("  (redundancy removal tied %d pins, removed %d gates)\n",
+              rr.pins_tied, rr.gates_removed);
+  report_stage("cleaned:", nl);
+
+  PowderOptions popt;
+  popt.delay_limit_factor = 1.0;  // never slower than the mapped circuit
+  const PowderReport pr = PowderOptimizer(&nl, popt).run();
+  std::printf("  (powder applied %d substitutions: OS2 %d, IS2 %d, "
+              "OS3 %d, IS3 %d)\n",
+              pr.substitutions_applied, pr.by_class[0].applied,
+              pr.by_class[1].applied, pr.by_class[2].applied,
+              pr.by_class[3].applied);
+  report_stage("powder:", nl);
+
+  ResizeOptions ropt;
+  ropt.delay_limit_factor = 1.0;
+  const ResizeReport rz = resize_gates(&nl, ropt);
+  std::printf("  (resize: %d downsized, %d upsized)\n", rz.downsized,
+              rz.upsized);
+  report_stage("resized:", nl);
+
+  const bool ok = functionally_equivalent(original, nl);
+  std::printf("equivalence vs original: %s\n", ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,184 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+Aig::Aig(std::string name) : name_(std::move(name)) {
+  nodes_.push_back(Node{});  // constant-0 node
+}
+
+AigLit Aig::add_input(std::string name) {
+  POWDER_CHECK_MSG(nodes_.size() == inputs_.size() + 1,
+                   "inputs must be added before AND nodes");
+  const std::uint32_t node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  const AigLit lit = aig_lit(node, false);
+  inputs_.push_back(lit);
+  input_names_.push_back(name.empty() ? "pi" + std::to_string(inputs_.size())
+                                      : std::move(name));
+  return lit;
+}
+
+void Aig::add_output(AigLit lit, std::string name) {
+  POWDER_CHECK(aig_node(lit) < nodes_.size());
+  outputs_.push_back(lit);
+  output_names_.push_back(name.empty() ? "po" + std::to_string(outputs_.size())
+                                       : std::move(name));
+}
+
+int Aig::num_ands() const {
+  return static_cast<int>(nodes_.size() - 1 - inputs_.size());
+}
+
+AigLit Aig::land(AigLit a, AigLit b) {
+  // Trivial simplifications.
+  if (a == kAigFalse || b == kAigFalse) return kAigFalse;
+  if (a == kAigTrue) return b;
+  if (b == kAigTrue) return a;
+  if (a == b) return a;
+  if (a == aig_not(b)) return kAigFalse;
+  if (a > b) std::swap(a, b);  // canonical operand order
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  const std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  auto& chain = strash_[h];
+  for (std::uint32_t n : chain)
+    if (nodes_[n].fan0 == a && nodes_[n].fan1 == b) return aig_lit(n, false);
+
+  const std::uint32_t node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  chain.push_back(node);
+  return aig_lit(node, false);
+}
+
+AigLit Aig::lxor(AigLit a, AigLit b) {
+  // a ^ b = !(!(a !b) !( !a b))
+  return aig_not(land(aig_not(land(a, aig_not(b))),
+                      aig_not(land(aig_not(a), b))));
+}
+
+AigLit Aig::lmux(AigLit sel, AigLit t, AigLit e) {
+  return aig_not(land(aig_not(land(sel, t)), aig_not(land(aig_not(sel), e))));
+}
+
+AigLit Aig::land_many(const std::vector<AigLit>& lits) {
+  if (lits.empty()) return kAigTrue;
+  // Balanced reduction keeps depth logarithmic.
+  std::vector<AigLit> level = lits;
+  while (level.size() > 1) {
+    std::vector<AigLit> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(land(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+AigLit Aig::lor_many(std::vector<AigLit> lits) {
+  for (AigLit& l : lits) l = aig_not(l);
+  return aig_not(land_many(lits));
+}
+
+AigLit Aig::from_factor(const FactorNode& node,
+                        const std::vector<AigLit>& var_lits) {
+  switch (node.kind) {
+    case FactorNode::Kind::kConst0: return kAigFalse;
+    case FactorNode::Kind::kConst1: return kAigTrue;
+    case FactorNode::Kind::kLiteral: {
+      const AigLit v = var_lits[static_cast<std::size_t>(node.var)];
+      return node.complemented ? aig_not(v) : v;
+    }
+    case FactorNode::Kind::kAnd: {
+      std::vector<AigLit> parts;
+      parts.reserve(node.children.size());
+      for (const auto& c : node.children)
+        parts.push_back(from_factor(*c, var_lits));
+      return land_many(parts);
+    }
+    case FactorNode::Kind::kOr: {
+      std::vector<AigLit> parts;
+      parts.reserve(node.children.size());
+      for (const auto& c : node.children)
+        parts.push_back(from_factor(*c, var_lits));
+      return lor_many(std::move(parts));
+    }
+  }
+  POWDER_CHECK(false);
+}
+
+AigLit Aig::from_cover(const Cover& cover, const std::vector<AigLit>& var_lits) {
+  const auto factored = quick_factor(cover);
+  return from_factor(*factored, var_lits);
+}
+
+std::vector<TruthTable> Aig::output_truth_tables() const {
+  POWDER_CHECK_MSG(num_inputs() <= 20, "exhaustive evaluation too wide");
+  const int n = num_inputs();
+  // Bit-parallel over 64-pattern words.
+  const std::uint64_t total = 1ull << n;
+  const std::size_t words = static_cast<std::size_t>((total + 63) / 64);
+  std::vector<std::vector<std::uint64_t>> val(
+      nodes_.size(), std::vector<std::uint64_t>(words, 0));
+  for (int i = 0; i < n; ++i) {
+    auto& v = val[aig_node(inputs_[static_cast<std::size_t>(i)])];
+    for (std::uint64_t m = 0; m < words * 64; ++m)
+      if (((m & (total - 1)) >> i) & 1) v[m >> 6] |= 1ull << (m & 63);
+  }
+  for (std::uint32_t node = static_cast<std::uint32_t>(inputs_.size()) + 1;
+       node < nodes_.size(); ++node) {
+    const Node& nd = nodes_[node];
+    const auto& v0 = val[aig_node(nd.fan0)];
+    const auto& v1 = val[aig_node(nd.fan1)];
+    auto& out = val[node];
+    const bool c0 = aig_is_complemented(nd.fan0);
+    const bool c1 = aig_is_complemented(nd.fan1);
+    for (std::size_t w = 0; w < words; ++w)
+      out[w] = (c0 ? ~v0[w] : v0[w]) & (c1 ? ~v1[w] : v1[w]);
+  }
+  std::vector<TruthTable> result;
+  result.reserve(outputs_.size());
+  for (AigLit o : outputs_) {
+    TruthTable t(n);
+    const auto& v = val[aig_node(o)];
+    for (std::uint64_t m = 0; m < total; ++m) {
+      bool bit = (v[m >> 6] >> (m & 63)) & 1;
+      if (aig_is_complemented(o)) bit = !bit;
+      t.set_bit(m, bit);
+    }
+    result.push_back(std::move(t));
+  }
+  return result;
+}
+
+int Aig::live_and_count() const {
+  std::vector<std::uint8_t> seen(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack;
+  for (AigLit o : outputs_) {
+    const std::uint32_t n = aig_node(o);
+    if (!seen[n]) {
+      seen[n] = 1;
+      stack.push_back(n);
+    }
+  }
+  int count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!is_and(n)) continue;
+    ++count;
+    for (AigLit f : {nodes_[n].fan0, nodes_[n].fan1}) {
+      const std::uint32_t fn = aig_node(f);
+      if (!seen[fn]) {
+        seen[fn] = 1;
+        stack.push_back(fn);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace powder

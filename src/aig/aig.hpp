@@ -1,0 +1,105 @@
+#pragma once
+// Structurally hashed AND-inverter graph — the technology-independent
+// subject graph between logic optimization and technology mapping.
+//
+// Literals encode (node << 1) | complemented. Node 0 is the constant-0
+// node, so literal 0 is FALSE and literal 1 is TRUE. Nodes are created in
+// topological order (fanins always have smaller indices).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "logic/factor.hpp"
+#include "logic/truth_table.hpp"
+
+namespace powder {
+
+using AigLit = std::uint32_t;
+
+inline constexpr AigLit kAigFalse = 0;
+inline constexpr AigLit kAigTrue = 1;
+
+inline AigLit aig_not(AigLit a) { return a ^ 1u; }
+inline std::uint32_t aig_node(AigLit a) { return a >> 1; }
+inline bool aig_is_complemented(AigLit a) { return a & 1u; }
+inline AigLit aig_lit(std::uint32_t node, bool complemented) {
+  return (node << 1) | static_cast<AigLit>(complemented);
+}
+
+class Aig {
+ public:
+  explicit Aig(std::string name = "aig");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Adds a primary input; returns its (positive) literal.
+  AigLit add_input(std::string name = "");
+  /// Registers a primary output.
+  void add_output(AigLit lit, std::string name = "");
+
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+  /// Number of AND nodes (excludes constant and PIs).
+  int num_ands() const;
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  AigLit input(int i) const { return inputs_[static_cast<std::size_t>(i)]; }
+  const std::string& input_name(int i) const {
+    return input_names_[static_cast<std::size_t>(i)];
+  }
+  AigLit output(int i) const { return outputs_[static_cast<std::size_t>(i)]; }
+  const std::string& output_name(int i) const {
+    return output_names_[static_cast<std::size_t>(i)];
+  }
+
+  bool is_input(std::uint32_t node) const {
+    return node >= 1 && node <= inputs_.size();
+  }
+  bool is_and(std::uint32_t node) const { return node > inputs_.size(); }
+  AigLit fanin0(std::uint32_t node) const { return nodes_[node].fan0; }
+  AigLit fanin1(std::uint32_t node) const { return nodes_[node].fan1; }
+
+  // ---- construction (with structural hashing & simplification) ----------
+  AigLit land(AigLit a, AigLit b);
+  AigLit lor(AigLit a, AigLit b) {
+    return aig_not(land(aig_not(a), aig_not(b)));
+  }
+  AigLit lxor(AigLit a, AigLit b);
+  AigLit lmux(AigLit sel, AigLit t, AigLit e);
+  AigLit land_many(const std::vector<AigLit>& lits);
+  AigLit lor_many(std::vector<AigLit> lits);
+
+  /// Builds a factored form over `var_lits`.
+  AigLit from_factor(const FactorNode& node,
+                     const std::vector<AigLit>& var_lits);
+  /// Builds a cover (SOP) over `var_lits`.
+  AigLit from_cover(const Cover& cover, const std::vector<AigLit>& var_lits);
+
+  /// Exhaustive functional evaluation for verification (<= 20 inputs).
+  /// Returns one truth-table bit vector per output.
+  std::vector<TruthTable> output_truth_tables() const;
+
+  /// Number of AND nodes reachable from the outputs (dead nodes excluded).
+  int live_and_count() const;
+
+ private:
+  struct Node {
+    AigLit fan0 = 0, fan1 = 0;
+  };
+
+  std::string name_;
+  std::vector<Node> nodes_;  // [0]=const0, [1..n]=PIs, rest = ANDs
+  std::vector<AigLit> inputs_;
+  std::vector<std::string> input_names_;
+  std::vector<AigLit> outputs_;
+  std::vector<std::string> output_names_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> strash_;
+};
+
+}  // namespace powder

@@ -1,0 +1,438 @@
+#include "aig/bool_network.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "logic/factor.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+
+// ---------------------------------------------------------------------------
+// BoolNetwork basics
+// ---------------------------------------------------------------------------
+
+BnId BoolNetwork::add_input(std::string name) {
+  Node n;
+  n.is_input = true;
+  n.name = name.empty() ? "i" + std::to_string(name_counter_++)
+                        : std::move(name);
+  nodes_.push_back(std::move(n));
+  const BnId id = static_cast<BnId>(nodes_.size() - 1);
+  inputs_.push_back(id);
+  return id;
+}
+
+BnId BoolNetwork::add_node(std::vector<BnId> fanins, Cover cover,
+                           std::string name) {
+  POWDER_CHECK(cover.num_vars() == static_cast<int>(fanins.size()));
+  for (BnId f : fanins) POWDER_CHECK(f < nodes_.size());
+  Node n;
+  n.name = name.empty() ? "n" + std::to_string(name_counter_++)
+                        : std::move(name);
+  n.fanins = std::move(fanins);
+  n.cover = std::move(cover);
+  nodes_.push_back(std::move(n));
+  return static_cast<BnId>(nodes_.size() - 1);
+}
+
+void BoolNetwork::add_output(BnId node, std::string name) {
+  POWDER_CHECK(node < nodes_.size());
+  outputs_.push_back(node);
+  output_names_.push_back(std::move(name));
+}
+
+int BoolNetwork::total_literals() const {
+  int lits = 0;
+  for (const Node& n : nodes_)
+    if (!n.is_input) lits += n.cover.num_literals();
+  return lits;
+}
+
+std::vector<BnId> BoolNetwork::topo_order() const {
+  std::vector<BnId> order;
+  std::vector<std::uint8_t> state(nodes_.size(), 0);
+  std::vector<BnId> stack;
+  for (BnId root = 0; root < nodes_.size(); ++root) {
+    if (state[root] == 2) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const BnId n = stack.back();
+      if (state[n] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (state[n] == 0) {
+        state[n] = 1;
+        for (BnId f : nodes_[n].fanins) {
+          POWDER_CHECK_MSG(state[f] != 1, "cycle in Boolean network");
+          if (state[f] == 0) stack.push_back(f);
+        }
+      } else {
+        state[n] = 2;
+        order.push_back(n);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+Aig BoolNetwork::to_aig(const std::string& name) const {
+  Aig aig(name);
+  std::vector<AigLit> lit_of(nodes_.size(), kAigFalse);
+  for (BnId i : inputs_) lit_of[i] = aig.add_input(nodes_[i].name);
+  for (BnId n : topo_order()) {
+    if (nodes_[n].is_input) continue;
+    std::vector<AigLit> vars;
+    vars.reserve(nodes_[n].fanins.size());
+    for (BnId f : nodes_[n].fanins) vars.push_back(lit_of[f]);
+    lit_of[n] = aig.from_cover(nodes_[n].cover, vars);
+  }
+  for (int o = 0; o < num_outputs(); ++o)
+    aig.add_output(lit_of[outputs_[static_cast<std::size_t>(o)]],
+                   output_names_[static_cast<std::size_t>(o)]);
+  return aig;
+}
+
+BoolNetwork BoolNetwork::from_sop(const SopNetwork& sop) {
+  BoolNetwork bn;
+  std::vector<BnId> input_ids;
+  for (const std::string& n : sop.input_names)
+    input_ids.push_back(bn.add_input(n));
+  for (int o = 0; o < sop.num_outputs(); ++o) {
+    const Cover& full = sop.outputs[static_cast<std::size_t>(o)];
+    // Compress to the cover's support.
+    std::vector<int> support;
+    for (int v = 0; v < full.num_vars(); ++v) {
+      bool used = false;
+      for (const Cube& c : full.cubes())
+        if (c.lit(v) != Lit::kDash) used = true;
+      if (used) support.push_back(v);
+    }
+    Cover compact(static_cast<int>(support.size()));
+    for (const Cube& c : full.cubes()) {
+      Cube cc(static_cast<int>(support.size()));
+      for (std::size_t i = 0; i < support.size(); ++i)
+        cc.set_lit(static_cast<int>(i),
+                   c.lit(support[i]));
+      compact.add(std::move(cc));
+    }
+    std::vector<BnId> fanins;
+    for (int v : support)
+      fanins.push_back(input_ids[static_cast<std::size_t>(v)]);
+    const BnId node = bn.add_node(std::move(fanins), std::move(compact));
+    bn.add_output(node, sop.output_names[static_cast<std::size_t>(o)]);
+  }
+  return bn;
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic machinery on "global cubes" — sorted literal-id vectors, where
+// a literal id is 2*var + (complemented ? 1 : 0).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using GCube = std::vector<int>;     // sorted, duplicate-free
+using GCover = std::vector<GCube>;  // sorted cube list (set semantics)
+
+bool gcube_contains(const GCube& big, const GCube& small) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+GCube gcube_minus(const GCube& a, const GCube& b) {
+  GCube out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+GCube gcube_union(const GCube& a, const GCube& b) {
+  GCube out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+void gcover_normalize(GCover* f) {
+  std::sort(f->begin(), f->end());
+  f->erase(std::unique(f->begin(), f->end()), f->end());
+}
+
+int gcover_literals(const GCover& f) {
+  int lits = 0;
+  for (const GCube& c : f) lits += static_cast<int>(c.size());
+  return lits;
+}
+
+/// Quotient of f by a single cube d.
+GCover gcover_divide_cube(const GCover& f, const GCube& d) {
+  GCover q;
+  for (const GCube& c : f)
+    if (gcube_contains(c, d)) q.push_back(gcube_minus(c, d));
+  gcover_normalize(&q);
+  return q;
+}
+
+/// Largest cube dividing every cube of f.
+GCube gcover_common_cube(const GCover& f) {
+  if (f.empty()) return {};
+  GCube common = f.front();
+  for (const GCube& c : f) {
+    GCube next;
+    std::set_intersection(common.begin(), common.end(), c.begin(), c.end(),
+                          std::back_inserter(next));
+    common = std::move(next);
+    if (common.empty()) break;
+  }
+  return common;
+}
+
+/// Algebraic division by a multi-cube divisor: Q = intersection of the
+/// single-cube quotients; R = f - D*Q.
+bool gcover_divide(const GCover& f, const GCover& d, GCover* quotient,
+                   GCover* remainder) {
+  POWDER_CHECK(!d.empty());
+  GCover q = gcover_divide_cube(f, d.front());
+  for (std::size_t i = 1; i < d.size() && !q.empty(); ++i) {
+    const GCover qi = gcover_divide_cube(f, d[i]);
+    GCover inter;
+    std::set_intersection(q.begin(), q.end(), qi.begin(), qi.end(),
+                          std::back_inserter(inter));
+    q = std::move(inter);
+  }
+  if (q.empty()) return false;
+  // Product D*Q, removed from f.
+  std::set<GCube> product;
+  for (const GCube& qc : q)
+    for (const GCube& dc : d) product.insert(gcube_union(qc, dc));
+  GCover r;
+  for (const GCube& c : f)
+    if (product.find(c) == product.end()) r.push_back(c);
+  gcover_normalize(&r);
+  *quotient = std::move(q);
+  *remainder = std::move(r);
+  return true;
+}
+
+/// All kernels (cube-free quotients) of f, with a cap. Standard recursive
+/// kernel enumeration over the literals.
+void kernels_rec(const GCover& f, int min_lit, int max_kernels,
+                 std::set<GCover>* out) {
+  if (static_cast<int>(out->size()) >= max_kernels) return;
+  // Literal occurrence counts.
+  std::map<int, int> counts;
+  for (const GCube& c : f)
+    for (int l : c) ++counts[l];
+  for (const auto& [lit, count] : counts) {
+    if (lit < min_lit || count < 2) continue;
+    GCover q = gcover_divide_cube(f, GCube{lit});
+    const GCube common = gcover_common_cube(q);
+    if (!common.empty()) {
+      // Make cube-free.
+      GCover cf;
+      for (const GCube& c : q) cf.push_back(gcube_minus(c, common));
+      gcover_normalize(&cf);
+      q = std::move(cf);
+    }
+    if (q.size() < 2) continue;  // single-cube quotient: not a kernel
+    if (out->insert(q).second) {
+      kernels_rec(q, lit + 1, max_kernels, out);
+      if (static_cast<int>(out->size()) >= max_kernels) return;
+    }
+  }
+}
+
+GCover to_gcover(const BoolNetwork::Node& node) {
+  GCover f;
+  for (const Cube& c : node.cover.cubes()) {
+    GCube gc;
+    for (int v = 0; v < c.num_vars(); ++v) {
+      if (c.lit(v) == Lit::kDash) continue;
+      const int var = static_cast<int>(node.fanins[static_cast<std::size_t>(v)]);
+      gc.push_back(2 * var + (c.lit(v) == Lit::kZero ? 1 : 0));
+    }
+    std::sort(gc.begin(), gc.end());
+    f.push_back(std::move(gc));
+  }
+  gcover_normalize(&f);
+  return f;
+}
+
+void from_gcover(const GCover& f, BoolNetwork::Node* node) {
+  std::set<int> vars;
+  for (const GCube& c : f)
+    for (int l : c) vars.insert(l / 2);
+  std::vector<BnId> fanins(vars.begin(), vars.end());
+  std::map<int, int> var_pos;
+  for (std::size_t i = 0; i < fanins.size(); ++i)
+    var_pos[static_cast<int>(fanins[i])] = static_cast<int>(i);
+  Cover cover(static_cast<int>(fanins.size()));
+  for (const GCube& c : f) {
+    Cube cube(static_cast<int>(fanins.size()));
+    for (int l : c)
+      cube.set_lit(var_pos[l / 2], (l & 1) ? Lit::kZero : Lit::kOne);
+    cover.add(std::move(cube));
+  }
+  node->fanins = std::move(fanins);
+  node->cover = std::move(cover);
+}
+
+}  // namespace
+
+// Public Cover-level wrappers (for tests and reuse).
+
+std::vector<Cover> compute_kernels(const Cover& cover, int max_kernels) {
+  // Build a fake single-node view where fanin i == variable i.
+  BoolNetwork::Node node;
+  node.cover = cover;
+  for (int v = 0; v < cover.num_vars(); ++v)
+    node.fanins.push_back(static_cast<BnId>(v));
+  const GCover f = to_gcover(node);
+  std::set<GCover> kernels;
+  kernels_rec(f, 0, max_kernels, &kernels);
+  // The cover itself, made cube-free, is a kernel by convention.
+  {
+    const GCube common = gcover_common_cube(f);
+    GCover cf;
+    for (const GCube& c : f) cf.push_back(gcube_minus(c, common));
+    gcover_normalize(&cf);
+    if (cf.size() >= 2) kernels.insert(cf);
+  }
+  std::vector<Cover> out;
+  for (const GCover& k : kernels) {
+    BoolNetwork::Node tmp;
+    from_gcover(k, &tmp);
+    // Re-expand to the original variable count for caller convenience.
+    Cover wide(cover.num_vars());
+    for (const Cube& c : tmp.cover.cubes()) {
+      Cube wc(cover.num_vars());
+      for (int v = 0; v < c.num_vars(); ++v)
+        wc.set_lit(static_cast<int>(tmp.fanins[static_cast<std::size_t>(v)]),
+                   c.lit(v));
+      wide.add(std::move(wc));
+    }
+    out.push_back(std::move(wide));
+  }
+  return out;
+}
+
+bool algebraic_divide(const Cover& f, const Cover& d, Cover* quotient,
+                      Cover* remainder) {
+  POWDER_CHECK(f.num_vars() == d.num_vars());
+  BoolNetwork::Node nf, nd;
+  nf.cover = f;
+  nd.cover = d;
+  for (int v = 0; v < f.num_vars(); ++v) {
+    nf.fanins.push_back(static_cast<BnId>(v));
+    nd.fanins.push_back(static_cast<BnId>(v));
+  }
+  GCover q, r;
+  if (!gcover_divide(to_gcover(nf), to_gcover(nd), &q, &r)) return false;
+  auto widen = [&](const GCover& g) {
+    Cover wide(f.num_vars());
+    for (const GCube& c : g) {
+      Cube wc(f.num_vars());
+      for (int l : c)
+        wc.set_lit(l / 2, (l & 1) ? Lit::kZero : Lit::kOne);
+      wide.add(std::move(wc));
+    }
+    return wide;
+  };
+  *quotient = widen(q);
+  *remainder = widen(r);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy extraction
+// ---------------------------------------------------------------------------
+
+ExtractReport extract_divisors(BoolNetwork* network,
+                               const ExtractOptions& options) {
+  POWDER_CHECK(network != nullptr);
+  ExtractReport report;
+  report.literals_before = network->total_literals();
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // Gather node functions in global-cube form.
+    std::vector<BnId> internal;
+    std::vector<GCover> funcs;
+    for (BnId n = 0; n < network->num_nodes(); ++n) {
+      if (network->node(n).is_input) continue;
+      internal.push_back(n);
+      funcs.push_back(to_gcover(network->node(n)));
+    }
+
+    // Candidate divisors: kernels of every node, plus multi-literal cubes.
+    std::set<GCover> candidates;
+    for (const GCover& f : funcs) {
+      std::set<GCover> ks;
+      kernels_rec(f, 0, options.max_kernels_per_node, &ks);
+      candidates.insert(ks.begin(), ks.end());
+      for (const GCube& c : f)
+        if (c.size() >= 2) candidates.insert(GCover{c});
+    }
+
+    // Evaluate each candidate by exact literal delta.
+    const GCover* best = nullptr;
+    int best_saving = options.min_literal_saving - 1;
+    std::vector<std::uint8_t> best_uses;
+    for (const GCover& d : candidates) {
+      int saving = -gcover_literals(d);  // cost of the new node
+      std::vector<std::uint8_t> uses(funcs.size(), 0);
+      int nuses = 0;
+      for (std::size_t i = 0; i < funcs.size(); ++i) {
+        GCover q, r;
+        if (!gcover_divide(funcs[i], d, &q, &r)) continue;
+        if (d.size() == 1 && funcs[i].size() == 1) continue;  // no-op split
+        // After substitution: cubes {q+t} plus r.
+        const int new_lits = gcover_literals(q) + static_cast<int>(q.size()) +
+                             gcover_literals(r);
+        const int delta = gcover_literals(funcs[i]) - new_lits;
+        if (delta > 0) {
+          saving += delta;
+          uses[i] = 1;
+          ++nuses;
+        }
+      }
+      // A divisor used once only re-shuffles literals; require sharing or
+      // a genuinely large single-use saving.
+      if (nuses < 2) continue;
+      if (saving > best_saving) {
+        best_saving = saving;
+        best = &d;
+        best_uses = std::move(uses);
+      }
+    }
+    if (best == nullptr) break;
+
+    // Materialize the divisor as a new node and substitute.
+    BoolNetwork::Node divisor_node;
+    from_gcover(*best, &divisor_node);
+    const BnId t = network->add_node(std::move(divisor_node.fanins),
+                                     std::move(divisor_node.cover));
+    const int t_lit = 2 * static_cast<int>(t);
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      if (!best_uses[i]) continue;
+      GCover q, r;
+      POWDER_CHECK(gcover_divide(funcs[i], *best, &q, &r));
+      GCover rewritten = std::move(r);
+      for (const GCube& qc : q) {
+        GCube c = qc;
+        c.insert(std::lower_bound(c.begin(), c.end(), t_lit), t_lit);
+        rewritten.push_back(std::move(c));
+      }
+      gcover_normalize(&rewritten);
+      from_gcover(rewritten, &network->node(internal[i]));
+    }
+    ++report.divisors_extracted;
+  }
+
+  report.literals_after = network->total_literals();
+  return report;
+}
+
+}  // namespace powder

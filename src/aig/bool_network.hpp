@@ -1,0 +1,97 @@
+#pragma once
+// A multi-level Boolean network: nodes carry a sum-of-products over their
+// fanins (the classic SIS network model). Used by the technology-
+// independent front end for algebraic extraction of shared divisors —
+// the "logic optimization" box of the paper's Figure 1 that POSE covers
+// with [6, 7].
+//
+// The network is deliberately simple: enough to express extraction and to
+// lower into the AIG for mapping, not a full SIS replacement.
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "logic/cube.hpp"
+#include "logic/sop_network.hpp"
+
+namespace powder {
+
+using BnId = std::uint32_t;
+inline constexpr BnId kBnNull = static_cast<BnId>(-1);
+
+class BoolNetwork {
+ public:
+  struct Node {
+    std::string name;
+    bool is_input = false;
+    std::vector<BnId> fanins;  ///< variables of `cover`, in order
+    Cover cover;               ///< over fanins.size() variables
+  };
+
+  BoolNetwork() = default;
+
+  BnId add_input(std::string name);
+  BnId add_node(std::vector<BnId> fanins, Cover cover, std::string name = "");
+  void add_output(BnId node, std::string name);
+
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(BnId id) const { return nodes_[id]; }
+  Node& node(BnId id) { return nodes_[id]; }
+  const std::vector<BnId>& inputs() const { return inputs_; }
+  const std::vector<BnId>& outputs() const { return outputs_; }
+  const std::string& output_name(int i) const {
+    return output_names_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total literal count over all internal nodes (the extraction metric).
+  int total_literals() const;
+
+  /// Nodes in topological order (inputs first).
+  std::vector<BnId> topo_order() const;
+
+  /// Lowers the network into an AIG (factoring every node cover).
+  Aig to_aig(const std::string& name = "bn") const;
+
+  /// Builds a flat (two-level) network from a SopNetwork.
+  static BoolNetwork from_sop(const SopNetwork& sop);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<BnId> inputs_;
+  std::vector<BnId> outputs_;
+  std::vector<std::string> output_names_;
+  std::uint64_t name_counter_ = 0;
+};
+
+// ---- algebraic extraction --------------------------------------------------
+
+struct ExtractOptions {
+  int max_rounds = 64;        ///< divisor extractions performed at most
+  int max_kernels_per_node = 24;
+  int min_literal_saving = 1;
+};
+
+struct ExtractReport {
+  int divisors_extracted = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+};
+
+/// Greedy shared-divisor extraction (kernels and cubes) across all nodes.
+/// Strictly reduces the literal count; preserves all output functions.
+ExtractReport extract_divisors(BoolNetwork* network,
+                               const ExtractOptions& options = {});
+
+/// All kernels of `cover` (cube-free quotients by cube divisors), capped.
+/// The trivial kernel (the cover itself, when cube-free) is included.
+std::vector<Cover> compute_kernels(const Cover& cover, int max_kernels);
+
+/// Algebraic division F / D. Returns true and fills quotient/remainder
+/// when the quotient is non-empty.
+bool algebraic_divide(const Cover& f, const Cover& d, Cover* quotient,
+                      Cover* remainder);
+
+}  // namespace powder

@@ -1,0 +1,126 @@
+#pragma once
+// ATPG-based permissibility checking (paper §3.2, [2,5]).
+//
+// A structural substitution replaces the signal at a *site* — a stem (every
+// fanout of gate `stem`) or a single branch (one input pin of one sink) —
+// by a *replacement function* over existing signals (a signal, its
+// complement, a constant, or a new 2-input gate over two signals).
+//
+// The substitution is permissible iff the corresponding *replacement fault*
+// is untestable: no primary-input vector exists for which the difference
+// between the old signal and the replacement propagates to a primary
+// output. This generalizes stuck-at redundancy (replacement by a constant).
+//
+// The checker is a PODEM-style branch-and-bound over the primary inputs of
+// the relevant cone, with 3-valued (0/1/X) good- and faulty-circuit
+// simulation as the implication engine. A backtrack limit bounds the
+// effort; aborted checks are reported as such and treated as
+// non-permissible by the optimizer, exactly as in the paper.
+
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+enum class AtpgResult {
+  kTestFound,   ///< a distinguishing vector exists — NOT permissible
+  kUntestable,  ///< proved permissible
+  kAborted,     ///< backtrack limit hit — treated as not permissible
+};
+
+struct AtpgOptions {
+  // Modest by default: the optimizer's hybrid engine escalates aborted
+  // checks to the SAT miter, so a deep PODEM search is wasted effort.
+  int backtrack_limit = 300;
+};
+
+/// Where the replacement happens.
+struct ReplacementSite {
+  GateId stem = kNullGate;
+  /// If set, only this branch of `stem` is replaced (input substitution);
+  /// otherwise the whole stem (output substitution).
+  std::optional<FanoutRef> branch;
+};
+
+/// What the signal is replaced by.
+struct ReplacementFunction {
+  enum class Kind { kConstant, kSignal, kTwoInput };
+  Kind kind = Kind::kSignal;
+  bool constant_value = false;     // kConstant
+  GateId b = kNullGate;            // kSignal / kTwoInput
+  bool invert_b = false;
+  GateId c = kNullGate;            // kTwoInput
+  bool invert_c = false;
+  TruthTable two_input_fn;         // kTwoInput: function over (b, c)
+
+  static ReplacementFunction constant(bool v);
+  static ReplacementFunction signal(GateId b, bool invert = false);
+  static ReplacementFunction two_input(GateId b, GateId c, TruthTable fn,
+                                       bool invert_b = false,
+                                       bool invert_c = false);
+};
+
+/// A found distinguishing vector: value per primary input (by PI position).
+using TestVector = std::vector<bool>;
+
+class AtpgChecker {
+ public:
+  explicit AtpgChecker(const Netlist& netlist, AtpgOptions options = {});
+
+  /// Decides testability of the replacement fault. On kTestFound and
+  /// `test != nullptr`, fills `*test` with a distinguishing input vector
+  /// (unassigned inputs default to 0).
+  AtpgResult check_replacement(const ReplacementSite& site,
+                               const ReplacementFunction& rep,
+                               TestVector* test = nullptr);
+
+  /// Classic stuck-at test generation (replacement by a constant).
+  AtpgResult check_stuck_at(const ReplacementSite& site, bool stuck_value,
+                            TestVector* test = nullptr);
+
+  /// Statistics over the checker's lifetime.
+  struct Stats {
+    long checks = 0;
+    long tests_found = 0;
+    long proved_untestable = 0;
+    long aborted = 0;
+    long total_backtracks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Val : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+  const Netlist* netlist_;
+  AtpgOptions options_;
+  Stats stats_;
+
+  // Per-check working state.
+  std::vector<std::uint8_t> in_faulty_region_;
+  std::vector<std::uint8_t> in_relevant_;
+  std::vector<GateId> region_topo_;     // relevant gates in topo order
+  std::vector<GateId> region_pis_;      // assignable primary inputs
+  std::vector<GateId> observable_pos_;  // POs inside the faulty region
+  std::vector<Val> pi_assign_;          // by GateId, only PIs meaningful
+  std::vector<Val> gval_, fval_;
+
+  void setup_regions(const ReplacementSite& site,
+                     const ReplacementFunction& rep);
+  Val rep_value(const ReplacementFunction& rep) const;
+  void imply(const ReplacementSite& site, const ReplacementFunction& rep);
+  Val eval_cell_3v(GateId g, const std::vector<Val>& fanin_vals) const;
+
+  bool difference_possible_at_site(const ReplacementSite& site,
+                                   const ReplacementFunction& rep) const;
+  bool detected() const;
+  bool all_outputs_clean() const;
+
+  /// Picks the next (PI, value) decision; kNullGate when none left.
+  std::pair<GateId, Val> choose_objective(const ReplacementSite& site,
+                                          const ReplacementFunction& rep);
+  GateId backtrace_to_pi(GateId from, Val desired, Val* pi_value) const;
+};
+
+}  // namespace powder

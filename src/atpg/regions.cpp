@@ -1,0 +1,57 @@
+#include "atpg/regions.hpp"
+
+#include "util/check.hpp"
+
+namespace powder {
+
+FaultRegions compute_fault_regions(const Netlist& netlist,
+                                   const ReplacementSite& site,
+                                   const ReplacementFunction& rep) {
+  FaultRegions r;
+  const std::size_t n = netlist.num_slots();
+  r.in_faulty.assign(n, 0);
+  r.in_relevant.assign(n, 0);
+
+  const GateId fault_entry =
+      site.branch.has_value() ? site.branch->gate : site.stem;
+  r.in_faulty[fault_entry] = 1;
+  for (GateId g : netlist.tfo(fault_entry)) r.in_faulty[g] = 1;
+
+  if (rep.kind != ReplacementFunction::Kind::kConstant) {
+    POWDER_CHECK_MSG(!r.in_faulty[rep.b],
+                     "replacement source inside the faulty region");
+    if (rep.kind == ReplacementFunction::Kind::kTwoInput)
+      POWDER_CHECK_MSG(!r.in_faulty[rep.c],
+                       "replacement source inside the faulty region");
+  }
+
+  std::vector<GateId> stack;
+  auto mark = [&](GateId g) {
+    if (!r.in_relevant[g]) {
+      r.in_relevant[g] = 1;
+      stack.push_back(g);
+    }
+  };
+  for (GateId g = 0; g < n; ++g)
+    if (r.in_faulty[g]) mark(g);
+  mark(site.stem);
+  if (rep.kind != ReplacementFunction::Kind::kConstant) {
+    mark(rep.b);
+    if (rep.kind == ReplacementFunction::Kind::kTwoInput) mark(rep.c);
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (GateId fi : netlist.gate(g).fanins) mark(fi);
+  }
+
+  for (GateId g : netlist.topo_order())
+    if (r.in_relevant[g]) r.relevant_topo.push_back(g);
+  for (GateId g : netlist.inputs())
+    if (r.in_relevant[g]) r.relevant_pis.push_back(g);
+  for (GateId g : netlist.outputs())
+    if (r.in_faulty[g]) r.observable_pos.push_back(g);
+  return r;
+}
+
+}  // namespace powder

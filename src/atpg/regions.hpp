@@ -1,0 +1,32 @@
+#pragma once
+// Fault-region computation shared by the PODEM and SAT permissibility
+// checkers.
+//
+// For a replacement at `site`, the *faulty region* is the set of gates
+// whose value can differ between the original and the modified circuit
+// (the branch's sink / the stem and everything downstream); the *relevant
+// region* adds the transitive fanin of the faulty region and of the
+// replacement sources — nothing outside it can influence testability.
+
+#include <vector>
+
+#include "atpg/atpg.hpp"
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+struct FaultRegions {
+  std::vector<std::uint8_t> in_faulty;    ///< by GateId
+  std::vector<std::uint8_t> in_relevant;  ///< by GateId
+  std::vector<GateId> relevant_topo;      ///< relevant gates, topo order
+  std::vector<GateId> relevant_pis;
+  std::vector<GateId> observable_pos;     ///< POs inside the faulty region
+};
+
+/// Computes the regions; throws CheckError when a replacement source lies
+/// inside the faulty region (ill-posed query — would be a cycle).
+FaultRegions compute_fault_regions(const Netlist& netlist,
+                                   const ReplacementSite& site,
+                                   const ReplacementFunction& rep);
+
+}  // namespace powder

@@ -1,0 +1,100 @@
+#include "bdd/bdd.hpp"
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
+  POWDER_CHECK(num_vars >= 0);
+  nodes_.push_back(Node{num_vars_, kBddFalse, kBddFalse});  // terminal 0
+  nodes_.push_back(Node{num_vars_, kBddTrue, kBddTrue});    // terminal 1
+}
+
+BddRef BddManager::make_node(int var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(var) * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<std::uint64_t>(lo) * 0xC2B2AE3D27D4EB4Full) ^
+      (static_cast<std::uint64_t>(hi) * 0x165667B19E3779F9ull);
+  std::vector<BddRef>& chain = unique_[key];
+  for (BddRef r : chain) {
+    const Node& n = nodes_[r];
+    if (n.var == var && n.lo == lo && n.hi == hi) return r;
+  }
+  const BddRef r = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  chain.push_back(r);
+  return r;
+}
+
+BddRef BddManager::var(int v) {
+  POWDER_CHECK(v >= 0 && v < num_vars_);
+  return make_node(v, kBddFalse, kBddTrue);
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(f) * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<std::uint64_t>(g) * 0xC2B2AE3D27D4EB4Full) ^
+      (static_cast<std::uint64_t>(h) * 0x165667B19E3779F9ull);
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end())
+    for (const IteEntry& e : it->second)
+      if (e.f == f && e.g == g && e.h == h) return e.result;
+
+  const int top = std::min({var_of(f), var_of(g), var_of(h)});
+  auto cof = [&](BddRef x, bool hi) -> BddRef {
+    if (var_of(x) != top) return x;
+    return hi ? nodes_[x].hi : nodes_[x].lo;
+  };
+  const BddRef lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const BddRef hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const BddRef r = make_node(top, lo, hi);
+  ite_cache_[key].push_back(IteEntry{f, g, h, r});
+  return r;
+}
+
+double BddManager::probability(BddRef f,
+                               const std::vector<double>& var_prob) const {
+  POWDER_CHECK(static_cast<int>(var_prob.size()) == num_vars_);
+  std::unordered_map<BddRef, double> memo;
+  // Iterative post-order would be fine; recursion depth is bounded by the
+  // variable count which is small here.
+  auto rec = [&](auto&& self, BddRef x) -> double {
+    if (x == kBddFalse) return 0.0;
+    if (x == kBddTrue) return 1.0;
+    if (const auto it = memo.find(x); it != memo.end()) return it->second;
+    const Node& n = nodes_[x];
+    const double p = var_prob[static_cast<std::size_t>(n.var)];
+    const double val =
+        (1.0 - p) * self(self, n.lo) + p * self(self, n.hi);
+    memo.emplace(x, val);
+    return val;
+  };
+  return rec(rec, f);
+}
+
+std::uint64_t BddManager::sat_count(BddRef f) const {
+  POWDER_CHECK(num_vars_ <= 63);
+  std::unordered_map<BddRef, double> memo;
+  std::vector<double> half(static_cast<std::size_t>(num_vars_), 0.5);
+  const double frac = probability(f, half);
+  return static_cast<std::uint64_t>(frac * static_cast<double>(1ull << num_vars_) +
+                                    0.5);
+}
+
+bool BddManager::evaluate(BddRef f, std::uint64_t input) const {
+  while (f != kBddFalse && f != kBddTrue) {
+    const Node& n = nodes_[f];
+    f = ((input >> n.var) & 1) ? n.hi : n.lo;
+  }
+  return f == kBddTrue;
+}
+
+}  // namespace powder

@@ -1,0 +1,69 @@
+#pragma once
+// A small hash-consed ROBDD package.
+//
+// Used for exact signal-probability computation and as an independent
+// functional-equivalence oracle in the test suite. POWDER itself never
+// needs global BDDs (that is one of the paper's selling points); keeping
+// this package separate makes that dependency boundary explicit.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace powder {
+
+/// Index into the manager's node array. 0 and 1 are the terminals.
+using BddRef = std::uint32_t;
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+class BddManager {
+ public:
+  /// `num_vars` is fixed up front; variable order is the index order.
+  explicit BddManager(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  BddRef var(int v);
+  BddRef nvar(int v) { return bdd_not(var(v)); }
+
+  BddRef bdd_and(BddRef a, BddRef b) { return ite(a, b, kBddFalse); }
+  BddRef bdd_or(BddRef a, BddRef b) { return ite(a, kBddTrue, b); }
+  BddRef bdd_xor(BddRef a, BddRef b) { return ite(a, bdd_not(b), b); }
+  BddRef bdd_not(BddRef a) { return ite(a, kBddFalse, kBddTrue); }
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  /// P(f = 1) when variable v is 1 with probability `var_prob[v]`,
+  /// independently.
+  double probability(BddRef f, const std::vector<double>& var_prob) const;
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  /// Valid for num_vars() <= 63.
+  std::uint64_t sat_count(BddRef f) const;
+
+  /// Evaluate under a full assignment (bit v of `input` is variable v).
+  bool evaluate(BddRef f, std::uint64_t input) const;
+
+ private:
+  struct Node {
+    int var;      // terminals use var = num_vars_
+    BddRef lo, hi;
+  };
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  // Unique table: hash -> chain of node indices (exact match verified).
+  std::unordered_map<std::uint64_t, std::vector<BddRef>> unique_;
+  // ITE memo: hash -> (operands, result) chain; exact match verified so a
+  // hash collision can never return a wrong node.
+  struct IteEntry {
+    BddRef f, g, h, result;
+  };
+  std::unordered_map<std::uint64_t, std::vector<IteEntry>> ite_cache_;
+
+  BddRef make_node(int var, BddRef lo, BddRef hi);
+  int var_of(BddRef f) const { return nodes_[f].var; }
+};
+
+}  // namespace powder

@@ -1,0 +1,81 @@
+#include "bdd/netlist_bdd.hpp"
+
+#include "util/check.hpp"
+
+namespace powder {
+
+BddRef bdd_from_truth_table(BddManager& mgr, const TruthTable& tt,
+                            const std::vector<BddRef>& args) {
+  POWDER_CHECK(static_cast<int>(args.size()) == tt.num_vars());
+  // Shannon expansion over the truth table's variables, highest first so
+  // the recursion can work on plain cofactors.
+  auto rec = [&](auto&& self, const TruthTable& f, int var) -> BddRef {
+    if (f.is_constant(false)) return kBddFalse;
+    if (f.is_constant(true)) return kBddTrue;
+    POWDER_DCHECK(var >= 0);
+    if (!f.depends_on(var)) return self(self, f.cofactor(var, false), var - 1);
+    const BddRef lo = self(self, f.cofactor(var, false), var - 1);
+    const BddRef hi = self(self, f.cofactor(var, true), var - 1);
+    return mgr.ite(args[static_cast<std::size_t>(var)], hi, lo);
+  };
+  return rec(rec, tt, tt.num_vars() - 1);
+}
+
+NetlistBdds::NetlistBdds(const Netlist& netlist)
+    : manager(netlist.num_inputs()),
+      gate_function(netlist.num_slots(), kBddFalse) {
+  for (int i = 0; i < netlist.num_inputs(); ++i)
+    gate_function[netlist.inputs()[static_cast<std::size_t>(i)]] =
+        manager.var(i);
+
+  for (GateId g : netlist.topo_order()) {
+    const Gate& gate = netlist.gate(g);
+    switch (gate.kind) {
+      case GateKind::kInput:
+        break;  // already set
+      case GateKind::kOutput:
+        gate_function[g] = gate_function[gate.fanins[0]];
+        break;
+      case GateKind::kCell: {
+        std::vector<BddRef> args;
+        args.reserve(gate.fanins.size());
+        for (GateId fi : gate.fanins) args.push_back(gate_function[fi]);
+        gate_function[g] =
+            bdd_from_truth_table(manager, netlist.cell_of(g).function, args);
+        break;
+      }
+    }
+  }
+}
+
+bool functionally_equivalent(const Netlist& a, const Netlist& b) {
+  POWDER_CHECK(a.num_inputs() == b.num_inputs());
+  POWDER_CHECK(a.num_outputs() == b.num_outputs());
+  // Build both circuits in one manager so equality is pointer equality.
+  BddManager mgr(a.num_inputs());
+
+  auto build = [&](const Netlist& n) {
+    std::vector<BddRef> fn(n.num_slots(), kBddFalse);
+    for (int i = 0; i < n.num_inputs(); ++i)
+      fn[n.inputs()[static_cast<std::size_t>(i)]] = mgr.var(i);
+    for (GateId g : n.topo_order()) {
+      const Gate& gate = n.gate(g);
+      if (gate.kind == GateKind::kOutput) {
+        fn[g] = fn[gate.fanins[0]];
+      } else if (gate.kind == GateKind::kCell) {
+        std::vector<BddRef> args;
+        for (GateId fi : gate.fanins) args.push_back(fn[fi]);
+        fn[g] = bdd_from_truth_table(mgr, n.cell_of(g).function, args);
+      }
+    }
+    std::vector<BddRef> outs;
+    for (GateId o : n.outputs()) outs.push_back(fn[o]);
+    return outs;
+  };
+
+  const std::vector<BddRef> oa = build(a);
+  const std::vector<BddRef> ob = build(b);
+  return oa == ob;
+}
+
+}  // namespace powder

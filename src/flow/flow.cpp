@@ -1,0 +1,51 @@
+#include "flow/flow.hpp"
+
+#include "aig/bool_network.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+
+Aig synthesize(const SopNetwork& sop, const FlowOptions& options) {
+  POWDER_CHECK(sop.outputs.size() == sop.output_names.size());
+
+  SopNetwork work = sop;
+  for (int o = 0; o < work.num_outputs(); ++o) {
+    Cover& cover = work.outputs[static_cast<std::size_t>(o)];
+    POWDER_CHECK_MSG(cover.num_vars() == work.num_inputs(),
+                     "cover arity mismatch in " << work.name);
+    if (options.minimize_two_level &&
+        cover.num_cubes() <= options.minimize_cube_limit) {
+      if (work.has_dc())
+        cover.minimize_with_dc(work.dc_sets[static_cast<std::size_t>(o)]);
+      else
+        cover.minimize();
+    }
+  }
+
+  if (options.extract_shared_divisors) {
+    BoolNetwork bn = BoolNetwork::from_sop(work);
+    (void)extract_divisors(&bn);
+    Aig aig = bn.to_aig(work.name);
+    return aig;
+  }
+
+  Aig aig(work.name);
+  std::vector<AigLit> vars;
+  vars.reserve(work.input_names.size());
+  for (const std::string& n : work.input_names)
+    vars.push_back(aig.add_input(n));
+  for (int o = 0; o < work.num_outputs(); ++o) {
+    const AigLit f =
+        aig.from_cover(work.outputs[static_cast<std::size_t>(o)], vars);
+    aig.add_output(f, work.output_names[static_cast<std::size_t>(o)]);
+  }
+  return aig;
+}
+
+Netlist build_mapped_circuit(const SopNetwork& sop, const CellLibrary& library,
+                             const FlowOptions& options) {
+  const Aig aig = synthesize(sop, options);
+  return map_aig(aig, library, options.mapper);
+}
+
+}  // namespace powder

@@ -1,0 +1,43 @@
+#pragma once
+// End-to-end synthesis flow (paper Figure 1):
+//   two-level description -> technology-independent optimization
+//   (espresso-lite + algebraic factoring) -> AIG subject graph ->
+//   technology mapping (power-driven) -> mapped netlist -> POWDER.
+//
+// This is the substitute for the paper's POSE front end: it produces
+// initial circuits that are already optimized and mapped for low power, so
+// that POWDER's reductions are measured as value-added on top.
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "logic/sop_network.hpp"
+#include "logic/cube.hpp"
+#include "mapper/mapper.hpp"
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+struct FlowOptions {
+  /// Two-level minimization before factoring. Disable for very large
+  /// covers (the espresso-lite expansion step is quadratic in cubes).
+  bool minimize_two_level = true;
+  /// Covers with more cubes than this skip full minimization and get the
+  /// cheap containment/merge pass only.
+  int minimize_cube_limit = 160;
+  /// Multi-level shared-divisor extraction (SIS-style kernels) between
+  /// minimization and factoring. Produces tighter initial circuits at
+  /// some front-end cost; off by default so experiments stay comparable.
+  bool extract_shared_divisors = false;
+  MapperOptions mapper;
+};
+
+/// Technology-independent synthesis: minimize + factor + build the AIG.
+Aig synthesize(const SopNetwork& sop, const FlowOptions& options = {});
+
+/// Full flow to a mapped netlist.
+Netlist build_mapped_circuit(const SopNetwork& sop, const CellLibrary& library,
+                             const FlowOptions& options = {});
+
+}  // namespace powder

@@ -1,0 +1,276 @@
+#include "io/blif.hpp"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace powder {
+
+std::string write_blif(const Netlist& netlist) {
+  std::ostringstream os;
+  os << ".model " << netlist.name() << "\n.inputs";
+  for (GateId g : netlist.inputs()) os << ' ' << netlist.gate_name(g);
+  os << "\n.outputs";
+  for (GateId g : netlist.outputs()) os << ' ' << netlist.gate_name(g);
+  os << '\n';
+  for (GateId g : netlist.topo_order()) {
+    const Gate& gate = netlist.gate(g);
+    if (gate.kind != GateKind::kCell) continue;
+    const Cell& cell = netlist.cell_of(g);
+    os << ".gate " << cell.name;
+    for (int pin = 0; pin < gate.num_fanins(); ++pin)
+      os << ' ' << cell.pins[static_cast<std::size_t>(pin)].name << '='
+         << netlist.gate_name(gate.fanins[static_cast<std::size_t>(pin)]);
+    os << " O=" << gate.name << '\n';
+  }
+  // Output connections: each PO is an alias of its driver. BLIF expresses
+  // this with a buffer .names when the net names differ.
+  for (GateId o : netlist.outputs()) {
+    const GateId driver = netlist.gate(o).fanins[0];
+    if (netlist.gate_name(o) != netlist.gate_name(driver))
+      os << ".names " << netlist.gate_name(driver) << ' '
+         << netlist.gate_name(o) << "\n1 1\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+Netlist read_blif(std::string_view text, const CellLibrary& library) {
+  // Join continuation lines (trailing backslash) and strip comments.
+  std::vector<std::string> lines;
+  {
+    std::string cur;
+    std::istringstream is{std::string(text)};
+    std::string raw;
+    while (std::getline(is, raw)) {
+      const std::size_t hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      std::string_view t = trim(raw);
+      if (!t.empty() && t.back() == '\\') {
+        cur += std::string(t.substr(0, t.size() - 1));
+        cur += ' ';
+        continue;
+      }
+      cur += std::string(t);
+      if (!cur.empty()) lines.push_back(cur);
+      cur.clear();
+    }
+    if (!cur.empty()) lines.push_back(cur);
+  }
+
+  std::string model = "blif";
+  std::vector<std::string> input_names, output_names;
+  struct GateRec {
+    CellId cell;
+    std::vector<std::string> fanin_nets;  // in pin order
+    std::string out_net;
+  };
+  std::vector<GateRec> gates;
+  // Buffer aliases out_net -> in_net introduced by ".names a b / 1 1".
+  std::vector<std::pair<std::string, std::string>> aliases;
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const auto tok = split(lines[li]);
+    if (tok.empty()) continue;
+    if (tok[0] == ".model") {
+      if (tok.size() > 1) model = std::string(tok[1]);
+    } else if (tok[0] == ".inputs") {
+      for (std::size_t i = 1; i < tok.size(); ++i)
+        input_names.emplace_back(tok[i]);
+    } else if (tok[0] == ".outputs") {
+      for (std::size_t i = 1; i < tok.size(); ++i)
+        output_names.emplace_back(tok[i]);
+    } else if (tok[0] == ".gate") {
+      POWDER_CHECK_MSG(tok.size() >= 3, "malformed .gate: " << lines[li]);
+      const CellId cid = library.find(tok[1]);
+      POWDER_CHECK_MSG(cid != kInvalidCell, "unknown cell " << tok[1]);
+      const Cell& cell = library.cell(cid);
+      GateRec rec;
+      rec.cell = cid;
+      rec.fanin_nets.resize(cell.pins.size());
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const std::size_t eq = tok[i].find('=');
+        POWDER_CHECK_MSG(eq != std::string_view::npos,
+                         "malformed pin binding: " << tok[i]);
+        const std::string pin(tok[i].substr(0, eq));
+        const std::string net(tok[i].substr(eq + 1));
+        if (pin == "O" || pin == "o" || pin == "out" || pin == "Y") {
+          rec.out_net = net;
+          continue;
+        }
+        bool found = false;
+        for (std::size_t p = 0; p < cell.pins.size(); ++p)
+          if (cell.pins[p].name == pin) {
+            rec.fanin_nets[p] = net;
+            found = true;
+          }
+        POWDER_CHECK_MSG(found, "cell " << cell.name << " has no pin " << pin);
+      }
+      POWDER_CHECK_MSG(!rec.out_net.empty(),
+                       "gate without output net: " << lines[li]);
+      gates.push_back(std::move(rec));
+    } else if (tok[0] == ".names") {
+      // Accept: constants and single-input buffers only.
+      std::vector<std::string> nets;
+      for (std::size_t i = 1; i < tok.size(); ++i) nets.emplace_back(tok[i]);
+      POWDER_CHECK_MSG(!nets.empty(), "empty .names");
+      // Gather the cover body (subsequent lines not starting with '.').
+      std::vector<std::string> body;
+      while (li + 1 < lines.size() && lines[li + 1][0] != '.')
+        body.push_back(lines[++li]);
+      if (nets.size() == 1) {
+        const CellId cid =
+            body.empty() ? library.const0() : library.const1();
+        POWDER_CHECK_MSG(cid != kInvalidCell, "library lacks constants");
+        gates.push_back(GateRec{cid, {}, nets[0]});
+      } else if (nets.size() == 2 && body.size() == 1 &&
+                 trim(body[0]) == "1 1") {
+        aliases.emplace_back(nets[1], nets[0]);
+      } else {
+        POWDER_CHECK_MSG(false,
+                         ".names logic not supported in mapped BLIF: " <<
+                             lines[li]);
+      }
+    } else if (tok[0] == ".end" || tok[0] == ".exdc") {
+      break;
+    } else {
+      POWDER_CHECK_MSG(false, "unsupported BLIF construct: " << lines[li]);
+    }
+  }
+
+  Netlist netlist(&library, model);
+  std::unordered_map<std::string, GateId> net_driver;
+  for (const std::string& n : input_names)
+    net_driver.emplace(n, netlist.add_input(n));
+
+  std::unordered_map<std::string, std::size_t> gate_of_net;
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    gate_of_net.emplace(gates[i].out_net, i);
+  std::unordered_map<std::string, std::string> alias_of;
+  for (const auto& [out, in] : aliases) alias_of.emplace(out, in);
+
+  // Recursive instantiation in dependency order.
+  std::vector<std::uint8_t> state(gates.size(), 0);
+  auto instantiate = [&](auto&& self, const std::string& net) -> GateId {
+    if (const auto it = net_driver.find(net); it != net_driver.end())
+      return it->second;
+    if (const auto al = alias_of.find(net); al != alias_of.end()) {
+      const GateId g = self(self, al->second);
+      net_driver.emplace(net, g);
+      return g;
+    }
+    const auto it = gate_of_net.find(net);
+    POWDER_CHECK_MSG(it != gate_of_net.end(), "undriven net " << net);
+    const std::size_t gi = it->second;
+    POWDER_CHECK_MSG(state[gi] != 1, "combinational cycle at net " << net);
+    state[gi] = 1;
+    std::vector<GateId> fanins;
+    for (const std::string& fn : gates[gi].fanin_nets) {
+      POWDER_CHECK_MSG(!fn.empty(),
+                       "unbound pin on gate driving " << net);
+      fanins.push_back(self(self, fn));
+    }
+    state[gi] = 2;
+    const GateId g = netlist.add_gate(gates[gi].cell, fanins, net);
+    net_driver.emplace(net, g);
+    return g;
+  };
+
+  for (const std::string& out : output_names) {
+    const GateId driver = instantiate(instantiate, out);
+    // Gate labels are unique; when the output net *is* the driver's label
+    // (direct `.gate ... O=out`), the PO gate needs its own name. Via a
+    // buffer alias the names already differ, keeping write/read
+    // round-trips stable.
+    const std::string po_name =
+        netlist.gate_name(driver) == out ? out + "_po" : out;
+    netlist.add_output(po_name, driver);
+  }
+  return netlist;
+}
+
+SopNetwork read_pla(std::string_view text, std::string name) {
+  SopNetwork sop;
+  sop.name = std::move(name);
+  int ni = -1, no = -1;
+  std::istringstream is{std::string(text)};
+  std::string raw;
+  while (std::getline(is, raw)) {
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const auto tok = split(raw);
+    if (tok.empty()) continue;
+    if (tok[0] == ".i") {
+      ni = std::stoi(std::string(tok[1]));
+    } else if (tok[0] == ".o") {
+      no = std::stoi(std::string(tok[1]));
+      sop.outputs.assign(static_cast<std::size_t>(no), Cover(ni));
+    } else if (tok[0] == ".ilb") {
+      for (std::size_t i = 1; i < tok.size(); ++i)
+        sop.input_names.emplace_back(tok[i]);
+    } else if (tok[0] == ".ob") {
+      for (std::size_t i = 1; i < tok.size(); ++i)
+        sop.output_names.emplace_back(tok[i]);
+    } else if (tok[0] == ".p" || tok[0] == ".type") {
+      // cube count / type hints — ignored ('fd' semantics are the default)
+    } else if (tok[0] == ".e" || tok[0] == ".end") {
+      break;
+    } else if (tok[0][0] == '.') {
+      POWDER_CHECK_MSG(false, "unsupported PLA construct: " << raw);
+    } else {
+      POWDER_CHECK_MSG(ni > 0 && no > 0, "cube before .i/.o");
+      POWDER_CHECK_MSG(tok.size() == 2, "malformed PLA cube line: " << raw);
+      const Cube cube = Cube::parse(tok[0]);
+      POWDER_CHECK(cube.num_vars() == ni);
+      const std::string_view outs = tok[1];
+      POWDER_CHECK(static_cast<int>(outs.size()) == no);
+      for (int o = 0; o < no; ++o) {
+        const char v = outs[static_cast<std::size_t>(o)];
+        if (v == '1' || v == '4') {
+          sop.outputs[static_cast<std::size_t>(o)].add(cube);
+        } else if (v == '-' || v == '~' || v == '2') {
+          // External don't-care ('fd' type): lazily allocate the DC sets.
+          if (sop.dc_sets.empty())
+            sop.dc_sets.assign(static_cast<std::size_t>(no), Cover(ni));
+          sop.dc_sets[static_cast<std::size_t>(o)].add(cube);
+        }
+      }
+    }
+  }
+  POWDER_CHECK_MSG(ni > 0 && no > 0, "PLA missing .i/.o");
+  while (static_cast<int>(sop.input_names.size()) < ni)
+    sop.input_names.push_back("x" + std::to_string(sop.input_names.size()));
+  while (static_cast<int>(sop.output_names.size()) < no)
+    sop.output_names.push_back("y" + std::to_string(sop.output_names.size()));
+  return sop;
+}
+
+std::string write_pla(const SopNetwork& sop) {
+  std::ostringstream os;
+  os << ".i " << sop.num_inputs() << "\n.o " << sop.num_outputs() << '\n';
+  os << ".ilb";
+  for (const auto& n : sop.input_names) os << ' ' << n;
+  os << "\n.ob";
+  for (const auto& n : sop.output_names) os << ' ' << n;
+  os << '\n';
+  // Collect distinct cubes and their output masks.
+  std::map<std::string, std::string> rows;  // cube text -> output mask
+  for (int o = 0; o < sop.num_outputs(); ++o) {
+    for (const Cube& c : sop.outputs[static_cast<std::size_t>(o)].cubes()) {
+      auto [it, fresh] = rows.try_emplace(
+          c.to_pla(), std::string(static_cast<std::size_t>(sop.num_outputs()),
+                                  '0'));
+      (void)fresh;
+      it->second[static_cast<std::size_t>(o)] = '1';
+    }
+  }
+  os << ".p " << rows.size() << '\n';
+  for (const auto& [cube, mask] : rows) os << cube << ' ' << mask << '\n';
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace powder

@@ -1,0 +1,26 @@
+#pragma once
+// Structural Verilog export of mapped netlists.
+//
+// Emits one module with a cell instantiation per gate, in the standard
+// gate-level style that downstream P&R / simulation flows consume:
+//
+//   module top(a, b, f);
+//     input a, b; output f;
+//     wire n1;
+//     nand2 g0 (.a(a), .b(b), .O(n1));
+//     inv1  g1 (.a(n1), .O(f));
+//   endmodule
+//
+// Identifiers that are not valid Verilog names are escaped with the
+// `\name ` syntax. Constant cells become assigns to 1'b0 / 1'b1.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+/// Serializes `netlist` as a structural Verilog module.
+std::string write_verilog(const Netlist& netlist);
+
+}  // namespace powder

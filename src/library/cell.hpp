@@ -1,0 +1,41 @@
+#pragma once
+// Library cells: logic function plus the power/delay data POWDER needs.
+//
+// Power model inputs: per-pin input capacitance (the load a signal sees per
+// fanout pin).  Delay model inputs (paper §2): intrinsic delay `tau` and
+// drive resistance `R`, so a gate's delay is D = tau + C_load * R.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+
+namespace powder {
+
+/// Index of a cell within its CellLibrary.
+using CellId = std::int32_t;
+inline constexpr CellId kInvalidCell = -1;
+
+struct CellPin {
+  std::string name;
+  double input_cap = 1.0;  ///< capacitive load this pin presents
+};
+
+/// An immutable library cell.
+struct Cell {
+  std::string name;
+  double area = 0.0;
+  double intrinsic_delay = 0.0;    ///< tau
+  double drive_resistance = 0.0;   ///< R
+  std::vector<CellPin> pins;       ///< inputs, in function variable order
+  TruthTable function;             ///< over pins.size() variables
+
+  int num_inputs() const { return static_cast<int>(pins.size()); }
+
+  bool is_constant() const { return pins.empty(); }
+  bool is_inverter() const;
+  bool is_buffer() const;
+};
+
+}  // namespace powder

@@ -1,0 +1,333 @@
+#include "logic/cube.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+Cube Cube::parse(std::string_view pla) {
+  Cube c(static_cast<int>(pla.size()));
+  for (std::size_t i = 0; i < pla.size(); ++i) {
+    switch (pla[i]) {
+      case '0': c.lits_[i] = Lit::kZero; break;
+      case '1': c.lits_[i] = Lit::kOne; break;
+      case '-':
+      case '2': c.lits_[i] = Lit::kDash; break;
+      default: POWDER_CHECK_MSG(false, "bad PLA literal '" << pla[i] << "'");
+    }
+  }
+  return c;
+}
+
+int Cube::num_literals() const {
+  int n = 0;
+  for (Lit l : lits_)
+    if (l != Lit::kDash) ++n;
+  return n;
+}
+
+bool Cube::contains(const Cube& o) const {
+  POWDER_DCHECK(num_vars() == o.num_vars());
+  for (int v = 0; v < num_vars(); ++v)
+    if (lits_[v] != Lit::kDash && lits_[v] != o.lits_[v]) return false;
+  return true;
+}
+
+int Cube::distance(const Cube& o) const {
+  POWDER_DCHECK(num_vars() == o.num_vars());
+  int d = 0;
+  for (int v = 0; v < num_vars(); ++v) {
+    const Lit a = lits_[v], b = o.lits_[v];
+    if (a != Lit::kDash && b != Lit::kDash && a != b) ++d;
+  }
+  return d;
+}
+
+Cube Cube::consensus(const Cube& o) const {
+  POWDER_DCHECK(distance(o) == 1);
+  Cube c(num_vars());
+  for (int v = 0; v < num_vars(); ++v) {
+    const Lit a = lits_[v], b = o.lits_[v];
+    if (a == b)
+      c.lits_[v] = a;
+    else if (a == Lit::kDash)
+      c.lits_[v] = b;
+    else if (b == Lit::kDash)
+      c.lits_[v] = a;
+    else
+      c.lits_[v] = Lit::kDash;  // the conflicting variable drops out
+  }
+  return c;
+}
+
+bool Cube::covers_minterm(std::uint64_t minterm) const {
+  for (int v = 0; v < num_vars(); ++v) {
+    const bool bit = (minterm >> v) & 1;
+    if (lits_[v] == Lit::kZero && bit) return false;
+    if (lits_[v] == Lit::kOne && !bit) return false;
+  }
+  return true;
+}
+
+TruthTable Cube::to_truth_table(int num_vars) const {
+  POWDER_CHECK(num_vars >= this->num_vars());
+  TruthTable t = TruthTable::constant(num_vars, true);
+  for (int v = 0; v < this->num_vars(); ++v) {
+    if (lits_[v] == Lit::kOne)
+      t = t & TruthTable::variable(num_vars, v);
+    else if (lits_[v] == Lit::kZero)
+      t = t & ~TruthTable::variable(num_vars, v);
+  }
+  return t;
+}
+
+std::string Cube::to_pla() const {
+  std::string s;
+  s.reserve(lits_.size());
+  for (Lit l : lits_)
+    s.push_back(l == Lit::kZero ? '0' : (l == Lit::kOne ? '1' : '-'));
+  return s;
+}
+
+int Cover::num_literals() const {
+  int n = 0;
+  for (const Cube& c : cubes_) n += c.num_literals();
+  return n;
+}
+
+void Cover::add(Cube c) {
+  POWDER_CHECK(c.num_vars() == num_vars_);
+  cubes_.push_back(std::move(c));
+}
+
+TruthTable Cover::to_truth_table() const {
+  POWDER_CHECK(num_vars_ <= TruthTable::kMaxVars);
+  TruthTable t(num_vars_);
+  for (const Cube& c : cubes_) t = t | c.to_truth_table(num_vars_);
+  return t;
+}
+
+Cover Cover::from_truth_table(const TruthTable& t) {
+  Cover c(t.num_vars());
+  for (std::uint64_t m = 0; m < t.num_minterms_capacity(); ++m) {
+    if (!t.bit(m)) continue;
+    Cube cube(t.num_vars());
+    for (int v = 0; v < t.num_vars(); ++v)
+      cube.set_lit(v, ((m >> v) & 1) ? Lit::kOne : Lit::kZero);
+    c.add(std::move(cube));
+  }
+  c.minimize();
+  return c;
+}
+
+namespace {
+/// Recursion for tautology checking: all cubes restricted to a subcube.
+bool tautology_rec(const std::vector<Cube>& cubes, Cube context, int depth) {
+  // A cube of all dashes within the context makes it a tautology.
+  for (const Cube& c : cubes) {
+    bool all_dash = true;
+    for (int v = 0; v < c.num_vars(); ++v) {
+      if (c.lit(v) != Lit::kDash && context.lit(v) == Lit::kDash) {
+        all_dash = false;
+        break;
+      }
+    }
+    if (all_dash) return true;
+  }
+  // Pick the most constrained variable to split on.
+  const int n = context.num_vars();
+  int best_var = -1, best_count = -1;
+  for (int v = 0; v < n; ++v) {
+    if (context.lit(v) != Lit::kDash) continue;
+    int count = 0;
+    for (const Cube& c : cubes)
+      if (c.lit(v) != Lit::kDash) ++count;
+    if (count > best_count) {
+      best_count = count;
+      best_var = v;
+    }
+  }
+  if (best_var < 0) return !cubes.empty();  // no free variable left
+  if (best_count == 0) {
+    // No cube constrains any free variable: cover is a tautology iff any
+    // cube survives (it would be all-dash on free vars — handled above),
+    // so reaching here means no.
+    return false;
+  }
+  (void)depth;
+  for (int phase = 0; phase < 2; ++phase) {
+    std::vector<Cube> sub;
+    sub.reserve(cubes.size());
+    const Lit want = phase ? Lit::kOne : Lit::kZero;
+    for (const Cube& c : cubes) {
+      if (c.lit(best_var) == Lit::kDash || c.lit(best_var) == want)
+        sub.push_back(c);
+    }
+    Cube ctx = context;
+    ctx.set_lit(best_var, want);
+    if (!tautology_rec(sub, ctx, depth + 1)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool Cover::is_tautology() const {
+  if (cubes_.empty()) return num_vars_ == 0 ? false : false;
+  return tautology_rec(cubes_, Cube(num_vars_), 0);
+}
+
+bool Cover::covers_cube(const Cube& c) const {
+  // c => cover  iff  cover cofactored by c is a tautology.
+  std::vector<Cube> cof;
+  for (const Cube& q : cubes_) {
+    if (q.distance(c) > 0) continue;  // disjoint from c
+    Cube r(num_vars_);
+    bool ok = true;
+    for (int v = 0; v < num_vars_; ++v) {
+      if (c.lit(v) != Lit::kDash) {
+        // Inside c this variable is fixed; q must be compatible (checked by
+        // distance) and the literal drops out.
+        r.set_lit(v, Lit::kDash);
+      } else {
+        r.set_lit(v, q.lit(v));
+      }
+    }
+    (void)ok;
+    cof.push_back(std::move(r));
+  }
+  if (cof.empty()) return false;
+  // Tautology over the free variables of c only; fixed vars are all dash in
+  // cof, so the generic check works directly.
+  Cover tmp(num_vars_);
+  tmp.cubes_ = std::move(cof);
+  return tmp.is_tautology();
+}
+
+void Cover::remove_contained() {
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cubes_.size() && !contained; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].contains(cubes_[i])) {
+        // Break ties (equal cubes) by index so exactly one survives.
+        contained = !cubes_[i].contains(cubes_[j]) || j < i;
+      }
+    }
+    if (!contained) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+bool Cover::merge_distance_one() {
+  bool changed = false;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < cubes_.size(); ++j) {
+      if (cubes_[i].distance(cubes_[j]) != 1) continue;
+      const Cube cons = cubes_[i].consensus(cubes_[j]);
+      // Safe merge: only if the consensus covers both parents
+      // (i.e. they differ in exactly the one conflicting literal).
+      if (cons.contains(cubes_[i]) && cons.contains(cubes_[j])) {
+        cubes_[i] = cons;
+        cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(j));
+        changed = true;
+        --j;
+      }
+    }
+  }
+  return changed;
+}
+
+bool Cover::expand_literals() {
+  // Try to drop literals from each cube; a literal may be dropped when the
+  // expanded cube is still covered by the full cover (so the ON-set is
+  // unchanged — the expansion only absorbs already-covered minterms).
+  bool changed = false;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    for (int v = 0; v < num_vars_; ++v) {
+      if (cubes_[i].lit(v) == Lit::kDash) continue;
+      Cube expanded = cubes_[i];
+      expanded.set_lit(v, Lit::kDash);
+      if (covers_cube(expanded)) {
+        cubes_[i] = expanded;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+void Cover::make_irredundant() {
+  // Remove cubes covered by the union of the others, one at a time.
+  for (std::size_t i = 0; i < cubes_.size();) {
+    Cover rest(num_vars_);
+    for (std::size_t j = 0; j < cubes_.size(); ++j)
+      if (j != i) rest.cubes_.push_back(cubes_[j]);
+    if (rest.covers_cube(cubes_[i]))
+      cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i));
+    else
+      ++i;
+  }
+}
+
+void Cover::minimize() {
+  remove_contained();
+  for (int round = 0; round < 8; ++round) {
+    bool changed = merge_distance_one();
+    changed |= expand_literals();
+    remove_contained();
+    if (!changed) break;
+  }
+  make_irredundant();
+}
+
+void Cover::minimize_with_dc(const Cover& dc) {
+  POWDER_CHECK(dc.num_vars() == num_vars_);
+  const std::vector<Cube> on_set = cubes_;  // must stay covered
+
+  remove_contained();
+  for (int round = 0; round < 8; ++round) {
+    bool changed = merge_distance_one();
+    // Expansion against ON ∪ DC.
+    {
+      Cover combined = *this;
+      for (const Cube& c : dc.cubes()) combined.cubes_.push_back(c);
+      for (std::size_t i = 0; i < cubes_.size(); ++i) {
+        for (int v = 0; v < num_vars_; ++v) {
+          if (cubes_[i].lit(v) == Lit::kDash) continue;
+          Cube expanded = cubes_[i];
+          expanded.set_lit(v, Lit::kDash);
+          if (combined.covers_cube(expanded)) {
+            combined.cubes_[i] = expanded;
+            cubes_[i] = expanded;
+            changed = true;
+          }
+        }
+      }
+    }
+    remove_contained();
+    if (!changed) break;
+  }
+
+  // Irredundant with respect to the original ON-set only: a cube may go
+  // when every original on-cube stays covered by the remaining cover.
+  for (std::size_t i = 0; i < cubes_.size();) {
+    Cover rest(num_vars_);
+    for (std::size_t j = 0; j < cubes_.size(); ++j)
+      if (j != i) rest.cubes_.push_back(cubes_[j]);
+    bool removable = true;
+    for (const Cube& f : on_set)
+      if (!rest.covers_cube(f)) {
+        removable = false;
+        break;
+      }
+    if (removable)
+      cubes_.erase(cubes_.begin() + static_cast<std::ptrdiff_t>(i));
+    else
+      ++i;
+  }
+}
+
+}  // namespace powder

@@ -1,0 +1,105 @@
+#pragma once
+// Cubes and single-output covers (SOPs) for two-level minimization.
+//
+// A cube assigns each input variable one of {0, 1, -}. Covers are kept
+// small by an espresso-style loop of containment removal, distance-1
+// merging, and literal expansion against the cover itself.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+
+namespace powder {
+
+/// Per-variable literal value inside a cube.
+enum class Lit : std::uint8_t { kZero = 0, kOne = 1, kDash = 2 };
+
+/// A product term over n variables.
+class Cube {
+ public:
+  Cube() = default;
+  explicit Cube(int num_vars) : lits_(num_vars, Lit::kDash) {}
+  /// Parses PLA notation, e.g. "1-0" => x0 & !x2.
+  static Cube parse(std::string_view pla);
+
+  int num_vars() const { return static_cast<int>(lits_.size()); }
+  Lit lit(int v) const { return lits_[v]; }
+  void set_lit(int v, Lit l) { lits_[v] = l; }
+
+  int num_literals() const;
+
+  /// True if this cube's minterm set contains `o`'s.
+  bool contains(const Cube& o) const;
+
+  /// Number of variables where the cubes have opposing literals (0 vs 1).
+  int distance(const Cube& o) const;
+
+  /// True if the cubes share at least one minterm.
+  bool intersects(const Cube& o) const { return distance(o) == 0; }
+
+  /// Consensus on the unique conflicting variable of two distance-1 cubes.
+  Cube consensus(const Cube& o) const;
+
+  /// True if the cube evaluates to 1 under the given minterm.
+  bool covers_minterm(std::uint64_t minterm) const;
+
+  TruthTable to_truth_table(int num_vars) const;
+
+  std::string to_pla() const;
+
+  bool operator==(const Cube& o) const = default;
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+/// A sum of products over a fixed variable count.
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  std::vector<Cube>& cubes() { return cubes_; }
+  bool empty() const { return cubes_.empty(); }
+  int num_cubes() const { return static_cast<int>(cubes_.size()); }
+  int num_literals() const;
+
+  void add(Cube c);
+
+  TruthTable to_truth_table() const;
+  static Cover from_truth_table(const TruthTable& t);
+
+  /// True if the cover is a tautology (covers every minterm). Uses
+  /// Shannon-expansion recursion, so it works for wide covers.
+  bool is_tautology() const;
+
+  /// True if cube `c` is covered by this cover (c => cover).
+  bool covers_cube(const Cube& c) const;
+
+  /// Espresso-lite: containment removal + distance-1 merge + per-cube
+  /// literal expansion + irredundant pass, iterated to a fixed point.
+  /// Preserves the ON-set exactly (no don't-care input in this variant).
+  void minimize();
+
+  /// Espresso-lite with an external don't-care set: the result R satisfies
+  /// ON ⊆ R ⊆ ON ∪ DC. Expansion may absorb DC minterms; the irredundant
+  /// pass only guarantees coverage of the original ON-set.
+  void minimize_with_dc(const Cover& dc);
+
+  bool operator==(const Cover& o) const = default;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Cube> cubes_;
+
+  void remove_contained();
+  bool merge_distance_one();
+  bool expand_literals();
+  void make_irredundant();
+};
+
+}  // namespace powder

@@ -1,0 +1,176 @@
+#include "logic/expr.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+namespace {
+
+// Two-pass approach: first collect input names in order of appearance, then
+// evaluate the expression over truth tables of the right width.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParsedExpr run() {
+    collect_names();
+    pos_ = 0;
+    ParsedExpr out;
+    out.input_names = names_;
+    out.function = parse_or();
+    skip_ws();
+    POWDER_CHECK_MSG(pos_ == text_.size(),
+                     "trailing characters in expression: " << text_);
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> names_;
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])))
+      ++pos_;
+  }
+
+  bool is_ident_char(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '[' || c == ']' || c == '.';
+  }
+
+  void collect_names() {
+    pos_ = 0;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = pos_;
+        while (j < text_.size() && is_ident_char(text_[j])) ++j;
+        std::string name(text_.substr(pos_, j - pos_));
+        if (name != "CONST0" && name != "CONST1" &&
+            std::find(names_.begin(), names_.end(), name) == names_.end())
+          names_.push_back(name);
+        pos_ = j;
+      } else {
+        ++pos_;
+      }
+    }
+    POWDER_CHECK_MSG(names_.size() <= TruthTable::kMaxVars,
+                     "too many inputs in expression: " << text_);
+  }
+
+  int var_index(std::string_view name) const {
+    const auto it = std::find(names_.begin(), names_.end(), name);
+    POWDER_CHECK(it != names_.end());
+    return static_cast<int>(it - names_.begin());
+  }
+
+  int n() const { return static_cast<int>(names_.size()); }
+
+  TruthTable parse_or() {
+    TruthTable t = parse_xor();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '+') {
+        ++pos_;
+        t = t | parse_xor();
+      } else {
+        return t;
+      }
+    }
+  }
+
+  TruthTable parse_xor() {
+    TruthTable t = parse_and();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '^') {
+        ++pos_;
+        t = t ^ parse_and();
+      } else {
+        return t;
+      }
+    }
+  }
+
+  bool at_factor_start() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    return c == '(' || c == '!' || c == '0' || c == '1' ||
+           std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  TruthTable parse_and() {
+    TruthTable t = parse_factor();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        t = t & parse_factor();
+      } else if (at_factor_start()) {
+        t = t & parse_factor();  // juxtaposition
+      } else {
+        return t;
+      }
+    }
+  }
+
+  TruthTable parse_factor() {
+    skip_ws();
+    POWDER_CHECK_MSG(pos_ < text_.size(), "unexpected end of expression");
+    TruthTable t;
+    const char c = text_[pos_];
+    if (c == '!') {
+      ++pos_;
+      t = ~parse_factor();
+    } else if (c == '(') {
+      ++pos_;
+      t = parse_or();
+      skip_ws();
+      POWDER_CHECK_MSG(pos_ < text_.size() && text_[pos_] == ')',
+                       "missing ')' in expression: " << text_);
+      ++pos_;
+    } else if (c == '0') {
+      ++pos_;
+      t = TruthTable::constant(n(), false);
+    } else if (c == '1') {
+      ++pos_;
+      t = TruthTable::constant(n(), true);
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = pos_;
+      while (j < text_.size() && is_ident_char(text_[j])) ++j;
+      const std::string name(text_.substr(pos_, j - pos_));
+      pos_ = j;
+      if (name == "CONST0")
+        t = TruthTable::constant(n(), false);
+      else if (name == "CONST1")
+        t = TruthTable::constant(n(), true);
+      else
+        t = TruthTable::variable(n(), var_index(name));
+    } else {
+      POWDER_CHECK_MSG(false, "unexpected character '" << c
+                                                       << "' in expression");
+    }
+    // Postfix '
+    skip_ws();
+    while (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      t = ~t;
+      skip_ws();
+    }
+    return t;
+  }
+};
+
+}  // namespace
+
+ParsedExpr parse_boolean_expr(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace powder

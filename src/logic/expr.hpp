@@ -1,0 +1,27 @@
+#pragma once
+// Parser for genlib-style Boolean expressions, e.g. "!((a*b)+c)".
+//
+// Supported syntax: identifiers, constants CONST0/CONST1 (also "0"/"1"),
+// '!' prefix negation, '\'' postfix negation, '*' or juxtaposition for AND,
+// '+' for OR, '^' for XOR, parentheses.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/truth_table.hpp"
+
+namespace powder {
+
+/// Result of parsing: the function plus the input names in order of first
+/// appearance (this order defines the cell's pin order when a genlib GATE
+/// line does not list PIN entries for every input).
+struct ParsedExpr {
+  TruthTable function;
+  std::vector<std::string> input_names;
+};
+
+/// Parses `text`. Throws CheckError on malformed input.
+ParsedExpr parse_boolean_expr(std::string_view text);
+
+}  // namespace powder

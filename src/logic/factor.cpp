@@ -1,0 +1,202 @@
+#include "logic/factor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+std::unique_ptr<FactorNode> FactorNode::constant(bool value) {
+  auto n = std::make_unique<FactorNode>();
+  n->kind = value ? Kind::kConst1 : Kind::kConst0;
+  return n;
+}
+
+std::unique_ptr<FactorNode> FactorNode::literal(int var, bool complemented) {
+  auto n = std::make_unique<FactorNode>();
+  n->kind = Kind::kLiteral;
+  n->var = var;
+  n->complemented = complemented;
+  return n;
+}
+
+int FactorNode::num_literals() const {
+  if (kind == Kind::kLiteral) return 1;
+  int n = 0;
+  for (const auto& c : children) n += c->num_literals();
+  return n;
+}
+
+TruthTable FactorNode::to_truth_table(int num_vars) const {
+  switch (kind) {
+    case Kind::kConst0: return TruthTable::constant(num_vars, false);
+    case Kind::kConst1: return TruthTable::constant(num_vars, true);
+    case Kind::kLiteral: {
+      TruthTable v = TruthTable::variable(num_vars, var);
+      return complemented ? ~v : v;
+    }
+    case Kind::kAnd: {
+      TruthTable t = TruthTable::constant(num_vars, true);
+      for (const auto& c : children) t = t & c->to_truth_table(num_vars);
+      return t;
+    }
+    case Kind::kOr: {
+      TruthTable t = TruthTable::constant(num_vars, false);
+      for (const auto& c : children) t = t | c->to_truth_table(num_vars);
+      return t;
+    }
+  }
+  POWDER_CHECK(false);
+}
+
+std::string FactorNode::to_string(
+    const std::vector<std::string>& var_names) const {
+  switch (kind) {
+    case Kind::kConst0: return "0";
+    case Kind::kConst1: return "1";
+    case Kind::kLiteral: {
+      std::string s = var < static_cast<int>(var_names.size())
+                          ? var_names[var]
+                          : "x" + std::to_string(var);
+      if (complemented) s += '\'';
+      return s;
+    }
+    case Kind::kAnd: {
+      std::string s;
+      for (const auto& c : children) {
+        if (!s.empty()) s += ' ';
+        const bool paren = c->kind == Kind::kOr;
+        if (paren) s += '(';
+        s += c->to_string(var_names);
+        if (paren) s += ')';
+      }
+      return s;
+    }
+    case Kind::kOr: {
+      std::string s;
+      for (const auto& c : children) {
+        if (!s.empty()) s += " + ";
+        s += c->to_string(var_names);
+      }
+      return s;
+    }
+  }
+  POWDER_CHECK(false);
+}
+
+namespace {
+
+/// Counts occurrences of each literal across the cover's cubes.
+/// Index: 2*var + (complemented ? 1 : 0).
+std::vector<int> literal_counts(const Cover& cover) {
+  std::vector<int> counts(static_cast<std::size_t>(2 * cover.num_vars()), 0);
+  for (const Cube& c : cover.cubes()) {
+    for (int v = 0; v < cover.num_vars(); ++v) {
+      if (c.lit(v) == Lit::kOne) ++counts[2 * v];
+      if (c.lit(v) == Lit::kZero) ++counts[2 * v + 1];
+    }
+  }
+  return counts;
+}
+
+std::unique_ptr<FactorNode> factor_rec(const Cover& cover);
+
+/// Builds the AND of a single cube's literals.
+std::unique_ptr<FactorNode> cube_node(const Cube& c) {
+  std::vector<std::unique_ptr<FactorNode>> lits;
+  for (int v = 0; v < c.num_vars(); ++v) {
+    if (c.lit(v) == Lit::kOne) lits.push_back(FactorNode::literal(v, false));
+    if (c.lit(v) == Lit::kZero) lits.push_back(FactorNode::literal(v, true));
+  }
+  if (lits.empty()) return FactorNode::constant(true);
+  if (lits.size() == 1) return std::move(lits[0]);
+  auto n = std::make_unique<FactorNode>();
+  n->kind = FactorNode::Kind::kAnd;
+  n->children = std::move(lits);
+  return n;
+}
+
+/// Extracts the largest cube common to all cubes of the cover; returns an
+/// all-dash cube if none.
+Cube common_cube(const Cover& cover) {
+  Cube common = cover.cubes().front();
+  for (const Cube& c : cover.cubes()) {
+    for (int v = 0; v < cover.num_vars(); ++v)
+      if (common.lit(v) != Lit::kDash && common.lit(v) != c.lit(v))
+        common.set_lit(v, Lit::kDash);
+  }
+  return common;
+}
+
+std::unique_ptr<FactorNode> factor_rec(const Cover& cover) {
+  if (cover.empty()) return FactorNode::constant(false);
+  if (cover.num_cubes() == 1) return cube_node(cover.cubes().front());
+
+  // 1) Pull out a common cube divisor if one exists.
+  const Cube common = common_cube(cover);
+  if (common.num_literals() > 0) {
+    Cover quotient(cover.num_vars());
+    for (const Cube& c : cover.cubes()) {
+      Cube q = c;
+      for (int v = 0; v < cover.num_vars(); ++v)
+        if (common.lit(v) != Lit::kDash) q.set_lit(v, Lit::kDash);
+      quotient.add(std::move(q));
+    }
+    auto n = std::make_unique<FactorNode>();
+    n->kind = FactorNode::Kind::kAnd;
+    n->children.push_back(cube_node(common));
+    n->children.push_back(factor_rec(quotient));
+    return n;
+  }
+
+  // 2) Divide by the most frequent literal: f = l*Q + R.
+  const std::vector<int> counts = literal_counts(cover);
+  const int best =
+      static_cast<int>(std::max_element(counts.begin(), counts.end()) -
+                       counts.begin());
+  const int var = best / 2;
+  const Lit want = (best % 2) ? Lit::kZero : Lit::kOne;
+  if (counts[static_cast<std::size_t>(best)] <= 1) {
+    // No sharing to exploit: plain OR of cube ANDs.
+    auto n = std::make_unique<FactorNode>();
+    n->kind = FactorNode::Kind::kOr;
+    for (const Cube& c : cover.cubes()) n->children.push_back(cube_node(c));
+    return n;
+  }
+
+  Cover quotient(cover.num_vars());
+  Cover remainder(cover.num_vars());
+  for (const Cube& c : cover.cubes()) {
+    if (c.lit(var) == want) {
+      Cube q = c;
+      q.set_lit(var, Lit::kDash);
+      quotient.add(std::move(q));
+    } else {
+      remainder.add(c);
+    }
+  }
+
+  auto prod = std::make_unique<FactorNode>();
+  prod->kind = FactorNode::Kind::kAnd;
+  prod->children.push_back(FactorNode::literal(var, want == Lit::kZero));
+  prod->children.push_back(factor_rec(quotient));
+  if (remainder.empty()) return prod;
+
+  auto sum = std::make_unique<FactorNode>();
+  sum->kind = FactorNode::Kind::kOr;
+  sum->children.push_back(std::move(prod));
+  sum->children.push_back(factor_rec(remainder));
+  return sum;
+}
+
+}  // namespace
+
+std::unique_ptr<FactorNode> quick_factor(const Cover& cover) {
+  if (cover.empty()) return FactorNode::constant(false);
+  // A cover with an all-dash cube is constant 1.
+  for (const Cube& c : cover.cubes())
+    if (c.num_literals() == 0) return FactorNode::constant(true);
+  return factor_rec(cover);
+}
+
+}  // namespace powder

@@ -1,0 +1,43 @@
+#pragma once
+// Algebraic factoring of single-output covers ("quick factor").
+//
+// Produces a factored expression tree which the synthesis front end turns
+// into a multi-level subject graph. Factoring quality directly controls the
+// quality of the initial mapped circuits (the POSE substitute in this
+// reproduction), but not the correctness of the POWDER optimizer itself.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace powder {
+
+/// Node of a factored form. Leaves are literals; internal nodes are n-ary
+/// AND/OR. Constants appear only as a whole-tree result.
+struct FactorNode {
+  enum class Kind { kConst0, kConst1, kLiteral, kAnd, kOr };
+
+  Kind kind = Kind::kConst0;
+  int var = -1;              // for kLiteral
+  bool complemented = false; // for kLiteral
+  std::vector<std::unique_ptr<FactorNode>> children;
+
+  static std::unique_ptr<FactorNode> constant(bool value);
+  static std::unique_ptr<FactorNode> literal(int var, bool complemented);
+
+  /// Number of literal leaves — the classic factored-form cost.
+  int num_literals() const;
+
+  /// Rebuilds the function for verification.
+  TruthTable to_truth_table(int num_vars) const;
+
+  /// Human-readable form, e.g. "(a' b + c) d".
+  std::string to_string(const std::vector<std::string>& var_names) const;
+};
+
+/// Factors the cover. The result computes exactly the cover's function.
+std::unique_ptr<FactorNode> quick_factor(const Cover& cover);
+
+}  // namespace powder

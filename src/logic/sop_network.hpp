@@ -1,0 +1,27 @@
+#pragma once
+// A multi-output two-level specification (PLA-style): the input format of
+// the synthesis front end.
+
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace powder {
+
+struct SopNetwork {
+  std::string name = "circuit";
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<Cover> outputs;  ///< one cover per output, over the inputs
+  /// Optional external don't-care sets (espresso 'fd' semantics): either
+  /// empty, or one cover per output. Synthesis may implement any function
+  /// between outputs[o] and outputs[o] ∪ dc_sets[o].
+  std::vector<Cover> dc_sets;
+
+  int num_inputs() const { return static_cast<int>(input_names.size()); }
+  int num_outputs() const { return static_cast<int>(outputs.size()); }
+  bool has_dc() const { return !dc_sets.empty(); }
+};
+
+}  // namespace powder

@@ -1,0 +1,334 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+namespace {
+
+struct Cut {
+  std::vector<std::uint32_t> leaves;  // sorted AIG node ids
+};
+
+/// A matched implementation choice for one node polarity.
+struct Choice {
+  double cost = std::numeric_limits<double>::infinity();
+  int cut = -1;                   // index into the node's cut list
+  CellId cell = kInvalidCell;
+  std::vector<int> perm;          // cell pin i <- cut leaf perm[i]
+  bool via_inverter = false;      // realized as INV(other polarity)
+};
+
+class Mapper {
+ public:
+  Mapper(const Aig& aig, const CellLibrary& lib, const MapperOptions& opt)
+      : aig_(aig), lib_(lib), opt_(opt) {}
+
+  Netlist run();
+
+ private:
+  const Aig& aig_;
+  const CellLibrary& lib_;
+  const MapperOptions& opt_;
+
+  std::vector<std::vector<Cut>> cuts_;     // per node
+  std::vector<double> prob_;               // per node (positive phase)
+  std::vector<std::array<Choice, 2>> best_;  // [node][phase]; 1 = inverted
+
+  Netlist* out_ = nullptr;
+  std::unordered_map<std::uint64_t, GateId> realized_;  // (node<<1|ph) -> gate
+  std::vector<GateId> pi_gates_;
+
+  void compute_probs();
+  void enumerate_cuts();
+  TruthTable cut_function(std::uint32_t node, const Cut& cut) const;
+  void run_dp();
+  double leaf_cost(std::uint32_t leaf) const;
+  double activity(std::uint32_t node) const {
+    const double p = prob_[node];
+    return 2.0 * p * (1.0 - p);
+  }
+  double match_cost(const Cell& cell, const std::vector<int>& perm,
+                    const Cut& cut) const;
+  GateId realize(std::uint32_t node, bool inverted);
+};
+
+void Mapper::compute_probs() {
+  prob_.assign(aig_.num_nodes(), 0.0);
+  std::vector<double> pi_probs = opt_.pi_probs;
+  if (pi_probs.empty())
+    pi_probs.assign(static_cast<std::size_t>(aig_.num_inputs()), 0.5);
+  POWDER_CHECK(static_cast<int>(pi_probs.size()) == aig_.num_inputs());
+  for (int i = 0; i < aig_.num_inputs(); ++i)
+    prob_[aig_node(aig_.input(i))] = pi_probs[static_cast<std::size_t>(i)];
+  for (std::uint32_t n = static_cast<std::uint32_t>(aig_.num_inputs()) + 1;
+       n < aig_.num_nodes(); ++n) {
+    const AigLit f0 = aig_.fanin0(n), f1 = aig_.fanin1(n);
+    const double p0 = aig_is_complemented(f0) ? 1.0 - prob_[aig_node(f0)]
+                                              : prob_[aig_node(f0)];
+    const double p1 = aig_is_complemented(f1) ? 1.0 - prob_[aig_node(f1)]
+                                              : prob_[aig_node(f1)];
+    prob_[n] = p0 * p1;  // independence assumption
+  }
+}
+
+void Mapper::enumerate_cuts() {
+  cuts_.assign(aig_.num_nodes(), {});
+  for (std::uint32_t n = 1; n < aig_.num_nodes(); ++n) {
+    if (aig_.is_input(n)) {
+      cuts_[n].push_back(Cut{{n}});
+      continue;
+    }
+    const std::uint32_t a = aig_node(aig_.fanin0(n));
+    const std::uint32_t b = aig_node(aig_.fanin1(n));
+    std::vector<Cut> result;
+    auto add_cut = [&](Cut c) {
+      // Dominance/duplicate filter.
+      for (const Cut& q : result)
+        if (std::includes(c.leaves.begin(), c.leaves.end(), q.leaves.begin(),
+                          q.leaves.end()))
+          return;  // an existing cut is a subset — dominated
+      result.push_back(std::move(c));
+    };
+    // Constant fanins (node 0) contribute no leaves.
+    const std::vector<Cut> empty_cut{Cut{}};
+    const auto& ca = a == 0 ? empty_cut : cuts_[a];
+    const auto& cb = b == 0 ? empty_cut : cuts_[b];
+    for (const Cut& x : ca) {
+      for (const Cut& y : cb) {
+        Cut merged;
+        std::set_union(x.leaves.begin(), x.leaves.end(), y.leaves.begin(),
+                       y.leaves.end(), std::back_inserter(merged.leaves));
+        if (static_cast<int>(merged.leaves.size()) > opt_.cut_size) continue;
+        add_cut(std::move(merged));
+      }
+    }
+    // Prefer small cuts; keep the list bounded.
+    std::sort(result.begin(), result.end(), [](const Cut& x, const Cut& y) {
+      return x.leaves.size() < y.leaves.size();
+    });
+    if (static_cast<int>(result.size()) > opt_.cuts_per_node)
+      result.resize(static_cast<std::size_t>(opt_.cuts_per_node));
+    // The trivial cut {n} is kept last so larger cuts of fanouts can stop
+    // at this node.
+    result.push_back(Cut{{n}});
+    cuts_[n] = std::move(result);
+  }
+}
+
+TruthTable Mapper::cut_function(std::uint32_t node, const Cut& cut) const {
+  const int k = static_cast<int>(cut.leaves.size());
+  std::unordered_map<std::uint32_t, TruthTable> memo;
+  for (int i = 0; i < k; ++i)
+    memo.emplace(cut.leaves[static_cast<std::size_t>(i)],
+                 TruthTable::variable(k, i));
+  memo.emplace(0, TruthTable::constant(k, false));
+  auto rec = [&](auto&& self, std::uint32_t n) -> const TruthTable& {
+    const auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    POWDER_CHECK_MSG(aig_.is_and(n), "cut does not cover its cone");
+    const AigLit f0 = aig_.fanin0(n), f1 = aig_.fanin1(n);
+    TruthTable t0 = self(self, aig_node(f0));
+    TruthTable t1 = self(self, aig_node(f1));
+    if (aig_is_complemented(f0)) t0 = ~t0;
+    if (aig_is_complemented(f1)) t1 = ~t1;
+    return memo.emplace(n, t0 & t1).first->second;
+  };
+  return rec(rec, node);
+}
+
+double Mapper::match_cost(const Cell& cell, const std::vector<int>& perm,
+                          const Cut& cut) const {
+  if (opt_.mode == MapMode::kArea) return cell.area;
+  // Power mode: pin capacitance weighted by the (independence-estimated)
+  // activity of the leaf each pin connects to, with a small area tiebreak.
+  double cost = 0.0;
+  for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+    const std::uint32_t leaf =
+        cut.leaves[static_cast<std::size_t>(perm[static_cast<std::size_t>(pin)])];
+    cost += cell.pins[static_cast<std::size_t>(pin)].input_cap *
+            activity(leaf);
+  }
+  return cost + 1e-6 * cell.area;
+}
+
+double Mapper::leaf_cost(std::uint32_t leaf) const {
+  return best_[leaf][0].cost;
+}
+
+void Mapper::run_dp() {
+  best_.assign(aig_.num_nodes(), {});
+  const CellId inv = lib_.inverter();
+  POWDER_CHECK_MSG(inv != kInvalidCell, "library must contain an inverter");
+  const Cell& inv_cell = lib_.cell(inv);
+  const double inv_cost =
+      opt_.mode == MapMode::kArea ? inv_cell.area : 1e-6 * inv_cell.area;
+
+  for (std::uint32_t n = 1; n < aig_.num_nodes(); ++n) {
+    if (aig_.is_input(n)) {
+      best_[n][0].cost = 0.0;
+      best_[n][1].cost =
+          opt_.mode == MapMode::kArea
+              ? inv_cell.area
+              : inv_cell.pins[0].input_cap * activity(n) + 1e-6 * inv_cell.area;
+      best_[n][1].via_inverter = true;
+      continue;
+    }
+    Choice cand[2];
+    const auto& node_cuts = cuts_[n];
+    for (int ci = 0; ci < static_cast<int>(node_cuts.size()); ++ci) {
+      const Cut& cut = node_cuts[static_cast<std::size_t>(ci)];
+      if (cut.leaves.size() == 1 && cut.leaves[0] == n) continue;  // trivial
+      TruthTable f = cut_function(n, cut);
+      // Shrink away leaves the function does not depend on.
+      Cut shrunk = cut;
+      for (int v = f.num_vars() - 1; v >= 0; --v) {
+        if (f.depends_on(v)) continue;
+        f = f.cofactor(v, false);
+        // Remove variable v by permuting it last and dropping: rebuild.
+        std::vector<int> perm;
+        for (int i = 0; i < f.num_vars(); ++i)
+          if (i != v) perm.push_back(i);
+        perm.push_back(v);
+        f = f.permute(perm);  // moves var v to the top position
+        TruthTable g(f.num_vars() - 1);
+        for (std::uint64_t m = 0; m < g.num_minterms_capacity(); ++m)
+          g.set_bit(m, f.bit(m));
+        f = std::move(g);
+        shrunk.leaves.erase(shrunk.leaves.begin() + v);
+      }
+      if (shrunk.leaves.empty()) continue;  // constant: handled at outputs
+      double leaves_cost = 0.0;
+      for (std::uint32_t leaf : shrunk.leaves) leaves_cost += leaf_cost(leaf);
+      for (int phase = 0; phase < 2; ++phase) {
+        const TruthTable target = phase ? ~f : f;
+        for (const auto& m : lib_.match_function(target)) {
+          const Cell& cell = lib_.cell(m.cell);
+          const double c =
+              match_cost(cell, m.perm, shrunk) + leaves_cost;
+          if (c < cand[phase].cost) {
+            cand[phase].cost = c;
+            cand[phase].cut = ci;
+            cand[phase].cell = m.cell;
+            cand[phase].perm = m.perm;
+            cand[phase].via_inverter = false;
+            // Stash the shrunk leaves by re-deriving at realization time;
+            // we store the cut index and re-shrink deterministically.
+          }
+        }
+      }
+    }
+    // Inverter closure between phases.
+    for (int phase = 0; phase < 2; ++phase) {
+      const double via_inv =
+          cand[phase ^ 1].cost +
+          (opt_.mode == MapMode::kArea
+               ? inv_cell.area
+               : inv_cell.pins[0].input_cap * activity(n) + inv_cost);
+      if (via_inv < cand[phase].cost) {
+        cand[phase].cost = via_inv;
+        cand[phase].cut = -1;
+        cand[phase].cell = kInvalidCell;
+        cand[phase].perm.clear();
+        cand[phase].via_inverter = true;
+      }
+    }
+    POWDER_CHECK_MSG(cand[0].cost < std::numeric_limits<double>::infinity() ||
+                         cand[1].cost < std::numeric_limits<double>::infinity(),
+                     "unmappable node — library too sparse");
+    best_[n][0] = cand[0];
+    best_[n][1] = cand[1];
+  }
+}
+
+GateId Mapper::realize(std::uint32_t node, bool inverted) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(node) << 1) |
+                            static_cast<std::uint64_t>(inverted);
+  if (const auto it = realized_.find(key); it != realized_.end())
+    return it->second;
+
+  GateId g = kNullGate;
+  if (aig_.is_input(node) && !inverted) {
+    g = pi_gates_[node - 1];
+  } else {
+    const Choice& ch = best_[node][inverted ? 1 : 0];
+    if (ch.via_inverter) {
+      const GateId src = realize(node, !inverted);
+      g = out_->add_gate(lib_.inverter(), {src});
+    } else {
+      POWDER_CHECK(ch.cell != kInvalidCell && ch.cut >= 0);
+      // Re-derive the shrunk cut exactly as the DP did.
+      const Cut& cut = cuts_[node][static_cast<std::size_t>(ch.cut)];
+      TruthTable f = cut_function(node, cut);
+      Cut shrunk = cut;
+      for (int v = f.num_vars() - 1; v >= 0; --v) {
+        if (f.depends_on(v)) continue;
+        std::vector<int> perm;
+        for (int i = 0; i < f.num_vars(); ++i)
+          if (i != v) perm.push_back(i);
+        perm.push_back(v);
+        f = f.permute(perm);
+        TruthTable g2(f.num_vars() - 1);
+        for (std::uint64_t m = 0; m < g2.num_minterms_capacity(); ++m)
+          g2.set_bit(m, f.bit(m));
+        f = std::move(g2);
+        shrunk.leaves.erase(shrunk.leaves.begin() + v);
+      }
+      std::vector<GateId> fanins;
+      const Cell& cell = lib_.cell(ch.cell);
+      fanins.reserve(static_cast<std::size_t>(cell.num_inputs()));
+      for (int pin = 0; pin < cell.num_inputs(); ++pin) {
+        const std::uint32_t leaf = shrunk.leaves[static_cast<std::size_t>(
+            ch.perm[static_cast<std::size_t>(pin)])];
+        fanins.push_back(realize(leaf, false));
+      }
+      g = out_->add_gate(ch.cell, fanins);
+    }
+  }
+  realized_.emplace(key, g);
+  return g;
+}
+
+Netlist Mapper::run() {
+  compute_probs();
+  enumerate_cuts();
+  run_dp();
+
+  Netlist netlist(&lib_, aig_.name());
+  out_ = &netlist;
+  pi_gates_.clear();
+  for (int i = 0; i < aig_.num_inputs(); ++i)
+    pi_gates_.push_back(netlist.add_input(aig_.input_name(i)));
+
+  for (int i = 0; i < aig_.num_outputs(); ++i) {
+    const AigLit o = aig_.output(i);
+    GateId driver;
+    if (aig_node(o) == 0) {
+      // Constant output.
+      const CellId cid = aig_is_complemented(o) ? lib_.const1() : lib_.const0();
+      POWDER_CHECK_MSG(cid != kInvalidCell, "library lacks constants");
+      driver = netlist.add_gate(cid, {});
+    } else {
+      driver = realize(aig_node(o), aig_is_complemented(o));
+    }
+    netlist.add_output(aig_.output_name(i), driver, opt_.po_load);
+  }
+  netlist.sweep_dead();
+  return netlist;
+}
+
+}  // namespace
+
+Netlist map_aig(const Aig& aig, const CellLibrary& library,
+                const MapperOptions& options) {
+  Mapper mapper(aig, library, options);
+  return mapper.run();
+}
+
+}  // namespace powder

@@ -1,0 +1,38 @@
+#pragma once
+// Technology mapping: covering the AIG subject graph with library cells.
+//
+// Cut-based structural covering with exact truth-table matching:
+//  1. enumerate k-feasible cuts per AND node (k = 4 by default),
+//  2. compute each cut's local function and match it — in both output
+//     polarities — against the library by exact function + permutation,
+//  3. dynamic programming over both polarities of every node picks the
+//     cheapest cover; inverters stitch phase mismatches,
+//  4. the chosen cover is instantiated as a mapped Netlist.
+//
+// Cost modes:
+//  * kArea  — classic minimum-area covering,
+//  * kPower — switched-capacitance-aware covering (pin capacitance times
+//    estimated leaf activity), the POSE-style "technology mapping for low
+//    power" stand-in used to produce the paper's initial circuits.
+
+#include "aig/aig.hpp"
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+enum class MapMode { kArea, kPower };
+
+struct MapperOptions {
+  int cut_size = 4;
+  int cuts_per_node = 8;
+  MapMode mode = MapMode::kPower;
+  std::vector<double> pi_probs;  ///< empty = all 0.5 (kPower mode)
+  double po_load = 1.0;          ///< external load on each primary output
+};
+
+/// Maps `aig` onto `library`. The resulting netlist preserves input/output
+/// names and order.
+Netlist map_aig(const Aig& aig, const CellLibrary& library,
+                const MapperOptions& options = {});
+
+}  // namespace powder

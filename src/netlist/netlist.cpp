@@ -1,0 +1,383 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+Netlist::Netlist(const CellLibrary* library, std::string name)
+    : library_(library), name_(std::move(name)) {
+  POWDER_CHECK(library_ != nullptr);
+}
+
+GateId Netlist::new_gate(GateKind kind) {
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = kind;
+  gates_.push_back(std::move(g));
+  ++generation_;
+  return id;
+}
+
+std::string Netlist::fresh_name(const std::string& prefix) {
+  for (;;) {
+    std::string cand = prefix + "_" + std::to_string(name_counter_++);
+    if (used_names_.insert(cand).second) return cand;
+  }
+}
+
+GateId Netlist::add_input(std::string name) {
+  const GateId id = new_gate(GateKind::kInput);
+  if (!name.empty()) used_names_.insert(name);
+  gates_[id].name = name.empty() ? fresh_name("pi") : std::move(name);
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_output(std::string name, GateId driver, double load) {
+  POWDER_CHECK(driver < gates_.size() && gates_[driver].alive);
+  const GateId id = new_gate(GateKind::kOutput);
+  if (!name.empty()) used_names_.insert(name);
+  gates_[id].name = name.empty() ? fresh_name("po") : std::move(name);
+  gates_[id].po_load = load;
+  gates_[id].fanins.push_back(driver);
+  connect(driver, id, 0);
+  outputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_gate(CellId cell, const std::vector<GateId>& fanins,
+                         std::string name) {
+  POWDER_CHECK(cell != kInvalidCell);
+  const Cell& c = library_->cell(cell);
+  POWDER_CHECK_MSG(static_cast<int>(fanins.size()) == c.num_inputs(),
+                   "gate arity mismatch for cell " << c.name);
+  const GateId id = new_gate(GateKind::kCell);
+  gates_[id].cell = cell;
+  if (!name.empty()) used_names_.insert(name);
+  gates_[id].name = name.empty() ? fresh_name("g") : std::move(name);
+  gates_[id].fanins = fanins;
+  for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
+    POWDER_CHECK(fanins[pin] < gates_.size() && gates_[fanins[pin]].alive);
+    connect(fanins[pin], id, pin);
+  }
+  return id;
+}
+
+void Netlist::connect(GateId driver, GateId sink, int pin) {
+  gates_[driver].fanouts.push_back(FanoutRef{sink, pin});
+}
+
+void Netlist::disconnect(GateId driver, GateId sink, int pin) {
+  auto& fo = gates_[driver].fanouts;
+  const auto it = std::find(fo.begin(), fo.end(), FanoutRef{sink, pin});
+  POWDER_CHECK_MSG(it != fo.end(), "fanout edge missing on disconnect");
+  fo.erase(it);
+}
+
+void Netlist::set_fanin(GateId gate, int pin, GateId new_driver) {
+  POWDER_CHECK(gate < gates_.size() && gates_[gate].alive);
+  POWDER_CHECK(new_driver < gates_.size() && gates_[new_driver].alive);
+  POWDER_CHECK(pin >= 0 && pin < gates_[gate].num_fanins());
+  const GateId old_driver = gates_[gate].fanins[pin];
+  if (old_driver == new_driver) return;
+  POWDER_CHECK_MSG(!in_tfo(gate, new_driver),
+                   "set_fanin would create a combinational cycle");
+  disconnect(old_driver, gate, pin);
+  gates_[gate].fanins[pin] = new_driver;
+  connect(new_driver, gate, pin);
+  ++generation_;
+}
+
+void Netlist::set_cell(GateId gate, CellId new_cell) {
+  POWDER_CHECK(gate < gates_.size() && gates_[gate].alive);
+  POWDER_CHECK(gates_[gate].kind == GateKind::kCell);
+  const Cell& old_c = library_->cell(gates_[gate].cell);
+  const Cell& new_c = library_->cell(new_cell);
+  POWDER_CHECK_MSG(old_c.num_inputs() == new_c.num_inputs() &&
+                       old_c.function == new_c.function,
+                   "set_cell requires a functionally identical cell");
+  gates_[gate].cell = new_cell;
+  ++generation_;
+}
+
+void Netlist::replace_all_fanouts(GateId old_driver, GateId new_driver) {
+  POWDER_CHECK(old_driver != new_driver);
+  POWDER_CHECK(gates_[old_driver].alive && gates_[new_driver].alive);
+  POWDER_CHECK_MSG(!in_tfo(old_driver, new_driver),
+                   "replace_all_fanouts would create a cycle");
+  // Move branches one by one; copy the list because set_fanin mutates it.
+  const std::vector<FanoutRef> branches = gates_[old_driver].fanouts;
+  for (const FanoutRef& br : branches) {
+    disconnect(old_driver, br.gate, br.pin);
+    gates_[br.gate].fanins[br.pin] = new_driver;
+    connect(new_driver, br.gate, br.pin);
+  }
+  ++generation_;
+}
+
+std::vector<GateId> Netlist::remove_gate_recursive(GateId gate) {
+  std::vector<GateId> removed;
+  std::vector<GateId> stack{gate};
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    if (!gates_[g].alive || gates_[g].kind != GateKind::kCell) continue;
+    if (!gates_[g].fanouts.empty()) continue;
+    gates_[g].alive = false;
+    removed.push_back(g);
+    for (int pin = 0; pin < gates_[g].num_fanins(); ++pin) {
+      const GateId fi = gates_[g].fanins[pin];
+      disconnect(fi, g, pin);
+      if (gates_[fi].fanouts.empty()) stack.push_back(fi);
+    }
+    gates_[g].fanins.clear();
+  }
+  if (!removed.empty()) ++generation_;
+  return removed;
+}
+
+std::vector<GateId> Netlist::sweep_dead() {
+  std::vector<GateId> removed;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    if (gates_[g].alive && gates_[g].kind == GateKind::kCell &&
+        gates_[g].fanouts.empty()) {
+      const auto r = remove_gate_recursive(g);
+      removed.insert(removed.end(), r.begin(), r.end());
+    }
+  }
+  return removed;
+}
+
+int Netlist::num_cells() const {
+  int n = 0;
+  for (const Gate& g : gates_)
+    if (g.alive && g.kind == GateKind::kCell) ++n;
+  return n;
+}
+
+const Cell& Netlist::cell_of(GateId id) const {
+  POWDER_DCHECK(gates_[id].kind == GateKind::kCell);
+  return library_->cell(gates_[id].cell);
+}
+
+double Netlist::pin_cap(GateId gate, int pin) const {
+  const Gate& g = gates_[gate];
+  if (g.kind == GateKind::kOutput) return g.po_load;
+  POWDER_DCHECK(g.kind == GateKind::kCell);
+  return library_->cell(g.cell).pins[static_cast<std::size_t>(pin)].input_cap;
+}
+
+double Netlist::signal_cap(GateId gate) const {
+  double c = 0.0;
+  for (const FanoutRef& br : gates_[gate].fanouts)
+    c += pin_cap(br.gate, br.pin);
+  return c;
+}
+
+double Netlist::total_area() const {
+  double a = 0.0;
+  for (const Gate& g : gates_)
+    if (g.alive && g.kind == GateKind::kCell) a += library_->cell(g.cell).area;
+  return a;
+}
+
+std::vector<GateId> Netlist::topo_order() const {
+  std::vector<GateId> order;
+  order.reserve(gates_.size());
+  std::vector<std::uint8_t> state(gates_.size(), 0);  // 0=new 1=open 2=done
+  std::vector<GateId> stack;
+  for (GateId root = 0; root < gates_.size(); ++root) {
+    if (!gates_[root].alive || state[root] == 2) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      if (state[g] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      if (state[g] == 0) {
+        state[g] = 1;
+        for (GateId fi : gates_[g].fanins) {
+          POWDER_CHECK_MSG(state[fi] != 1, "combinational cycle detected");
+          if (state[fi] == 0) stack.push_back(fi);
+        }
+      } else {
+        state[g] = 2;
+        order.push_back(g);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+bool Netlist::in_tfo(GateId ancestor, GateId descendant) const {
+  if (ancestor == descendant) return false;
+  std::vector<std::uint8_t> seen(gates_.size(), 0);
+  std::vector<GateId> stack{ancestor};
+  seen[ancestor] = 1;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const FanoutRef& br : gates_[g].fanouts) {
+      if (br.gate == descendant) return true;
+      if (!seen[br.gate]) {
+        seen[br.gate] = 1;
+        stack.push_back(br.gate);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<GateId> Netlist::tfo(GateId g) const {
+  std::vector<GateId> out;
+  std::vector<std::uint8_t> seen(gates_.size(), 0);
+  std::vector<GateId> stack{g};
+  seen[g] = 1;
+  while (!stack.empty()) {
+    const GateId cur = stack.back();
+    stack.pop_back();
+    for (const FanoutRef& br : gates_[cur].fanouts) {
+      if (!seen[br.gate]) {
+        seen[br.gate] = 1;
+        out.push_back(br.gate);
+        stack.push_back(br.gate);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GateId> Netlist::mffc(GateId g,
+                                  const std::vector<GateId>& keep_alive) const {
+  // Gates that die if g loses all fanout: g itself plus, transitively, each
+  // fanin whose every fanout lies inside the cone built so far.
+  std::vector<GateId> cone;
+  if (gates_[g].kind != GateKind::kCell) return cone;
+  std::vector<std::uint8_t> pinned(gates_.size(), 0);
+  for (GateId k : keep_alive)
+    if (k != g) pinned[k] = 1;
+  std::vector<std::uint8_t> in_cone(gates_.size(), 0);
+  cone.push_back(g);
+  in_cone[g] = 1;
+  // Process in reverse-topological manner: repeatedly try to absorb fanins.
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    for (GateId fi : gates_[cone[i]].fanins) {
+      if (in_cone[fi] || pinned[fi] || gates_[fi].kind != GateKind::kCell)
+        continue;
+      bool all_inside = true;
+      for (const FanoutRef& br : gates_[fi].fanouts) {
+        if (!in_cone[br.gate]) {
+          all_inside = false;
+          break;
+        }
+      }
+      if (all_inside) {
+        in_cone[fi] = 1;
+        cone.push_back(fi);
+      }
+    }
+  }
+  // A fanin rejected earlier (because one of its fanouts was still outside
+  // the cone) can become absorbable after the cone grows; iterate over the
+  // cone's fanins until a fixed point. Candidates are always fanins of
+  // cone members, so the rescan stays local.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < cone.size(); ++i) {
+      for (GateId fi : gates_[cone[i]].fanins) {
+        if (in_cone[fi] || pinned[fi] ||
+            gates_[fi].kind != GateKind::kCell)
+          continue;
+        bool all_inside = true;
+        for (const FanoutRef& br : gates_[fi].fanouts)
+          if (!in_cone[br.gate]) {
+            all_inside = false;
+            break;
+          }
+        if (all_inside) {
+          in_cone[fi] = 1;
+          cone.push_back(fi);
+          changed = true;
+        }
+      }
+    }
+  }
+  return cone;
+}
+
+Netlist Netlist::compacted(std::vector<GateId>* remap) const {
+  Netlist out(library_, name_);
+  std::vector<GateId> map(gates_.size(), kNullGate);
+  // Inputs keep their order; cells follow in topological order; outputs
+  // keep their order last.
+  for (GateId g : inputs_) map[g] = out.add_input(gates_[g].name);
+  for (GateId g : topo_order()) {
+    const Gate& gate = gates_[g];
+    if (gate.kind != GateKind::kCell) continue;
+    std::vector<GateId> fanins;
+    fanins.reserve(gate.fanins.size());
+    for (GateId fi : gate.fanins) {
+      POWDER_CHECK(map[fi] != kNullGate);
+      fanins.push_back(map[fi]);
+    }
+    map[g] = out.add_gate(gate.cell, fanins, gate.name);
+  }
+  for (GateId g : outputs_) {
+    const Gate& gate = gates_[g];
+    map[g] = out.add_output(gate.name, map[gate.fanins[0]], gate.po_load);
+  }
+  if (remap != nullptr) *remap = std::move(map);
+  return out;
+}
+
+void Netlist::check_consistency() const {
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    const Gate& gate = gates_[g];
+    if (!gate.alive) {
+      POWDER_CHECK_MSG(gate.fanins.empty() && gate.fanouts.empty(),
+                       "dead gate " << gate.name << " still connected");
+      continue;
+    }
+    switch (gate.kind) {
+      case GateKind::kInput:
+        POWDER_CHECK(gate.fanins.empty());
+        break;
+      case GateKind::kOutput:
+        POWDER_CHECK_MSG(gate.fanins.size() == 1,
+                         "output " << gate.name << " must have one fanin");
+        POWDER_CHECK(gate.fanouts.empty());
+        break;
+      case GateKind::kCell: {
+        POWDER_CHECK(gate.cell != kInvalidCell);
+        const Cell& c = library_->cell(gate.cell);
+        POWDER_CHECK_MSG(gate.num_fanins() == c.num_inputs(),
+                         "gate " << gate.name << " arity mismatch");
+        break;
+      }
+    }
+    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
+      const GateId fi = gate.fanins[pin];
+      POWDER_CHECK_MSG(fi < gates_.size() && gates_[fi].alive,
+                       "gate " << gate.name << " has dead fanin");
+      const auto& fo = gates_[fi].fanouts;
+      POWDER_CHECK_MSG(
+          std::find(fo.begin(), fo.end(), FanoutRef{g, pin}) != fo.end(),
+          "missing fanout back-edge into " << gate.name);
+    }
+    for (const FanoutRef& br : gate.fanouts) {
+      POWDER_CHECK(br.gate < gates_.size() && gates_[br.gate].alive);
+      POWDER_CHECK_MSG(
+          br.pin < gates_[br.gate].num_fanins() &&
+              gates_[br.gate].fanins[static_cast<std::size_t>(br.pin)] == g,
+          "dangling fanout edge from " << gate.name);
+    }
+  }
+  (void)topo_order();  // throws on cycles
+}
+
+}  // namespace powder

@@ -1,0 +1,166 @@
+#pragma once
+// Technology-mapped netlist: a DAG of library gates.
+//
+// Terminology follows the paper (§2): every gate output is a signal, named
+// by the gate's label. A signal with several fanout pins is a *stem*; each
+// individual (sink gate, pin) connection is a *branch*. Primary inputs are
+// modeled as gates of kind kInput, primary outputs as single-input gates of
+// kind kOutput carrying an external load.
+//
+// The structure is mutable: POWDER's substitutions rewire branches
+// (`set_fanin`) or whole stems (`replace_all_fanouts`), insert new gates,
+// and sweep dead logic. Gates are tombstoned on removal so GateIds stay
+// stable (simulation/power caches are indexed by GateId).
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "library/cell_library.hpp"
+
+namespace powder {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNullGate = static_cast<GateId>(-1);
+
+enum class GateKind : std::uint8_t {
+  kInput,   ///< primary input; no fanins
+  kOutput,  ///< primary output; exactly one fanin; presents `po_load`
+  kCell,    ///< instance of a library cell
+};
+
+/// One (sink gate, input pin) connection — a *branch* of the driver's signal.
+struct FanoutRef {
+  GateId gate = kNullGate;
+  int pin = 0;
+  bool operator==(const FanoutRef&) const = default;
+};
+
+struct Gate {
+  GateKind kind = GateKind::kCell;
+  CellId cell = kInvalidCell;      ///< valid iff kind == kCell
+  std::string name;                ///< unique label == output signal name
+  std::vector<GateId> fanins;      ///< one entry per input pin
+  std::vector<FanoutRef> fanouts;  ///< maintained by Netlist
+  double po_load = 1.0;            ///< external load iff kind == kOutput
+  bool alive = true;
+
+  int num_fanins() const { return static_cast<int>(fanins.size()); }
+  int num_fanouts() const { return static_cast<int>(fanouts.size()); }
+};
+
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary* library, std::string name = "top");
+
+  const CellLibrary& library() const { return *library_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction / mutation -------------------------------------------
+  GateId add_input(std::string name);
+  GateId add_output(std::string name, GateId driver, double load = 1.0);
+  GateId add_gate(CellId cell, const std::vector<GateId>& fanins,
+                  std::string name = "");
+
+  /// Rewires input pin `pin` of `gate` to `new_driver` (the IS2 primitive).
+  void set_fanin(GateId gate, int pin, GateId new_driver);
+
+  /// Swaps a gate's cell for a functionally identical one (gate
+  /// re-sizing). The new cell must have the same arity and truth table.
+  void set_cell(GateId gate, CellId new_cell);
+
+  /// Moves every fanout branch of `old_driver` to `new_driver` (the OS2
+  /// primitive). `new_driver` must not be in the transitive fanout of
+  /// `old_driver` (checked).
+  void replace_all_fanouts(GateId old_driver, GateId new_driver);
+
+  /// Tombstones every gate from which no primary output is reachable.
+  /// Returns the removed gates. Inputs and outputs are never removed.
+  std::vector<GateId> sweep_dead();
+
+  /// Removes a specific dead gate (no fanouts). Recursively sweeps fanins
+  /// that become dead. Returns all removed gates.
+  std::vector<GateId> remove_gate_recursive(GateId gate);
+
+  // ---- access --------------------------------------------------------------
+  std::size_t num_slots() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  GateKind kind(GateId id) const { return gates_[id].kind; }
+  bool alive(GateId id) const { return gates_[id].alive; }
+  const std::string& gate_name(GateId id) const { return gates_[id].name; }
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  /// Number of live kCell gates.
+  int num_cells() const;
+
+  /// The cell of a kCell gate.
+  const Cell& cell_of(GateId id) const;
+
+  /// Capacitive load presented by input pin `pin` of `gate`.
+  double pin_cap(GateId gate, int pin) const;
+
+  /// Total capacitive load on the signal driven by `gate`
+  /// (sum of the pin caps of all its fanout branches).
+  double signal_cap(GateId gate) const;
+
+  /// Sum of cell areas of live gates.
+  double total_area() const;
+
+  /// Live gates in topological order (inputs first, outputs last).
+  /// Recomputed on demand after mutations.
+  std::vector<GateId> topo_order() const;
+
+  /// True if `descendant` is reachable from `ancestor` (strictly; a gate is
+  /// not its own transitive fanout).
+  bool in_tfo(GateId ancestor, GateId descendant) const;
+
+  /// All live gates in the transitive fanout of `g` (excluding `g`).
+  std::vector<GateId> tfo(GateId g) const;
+
+  /// Maximal fanout-free cone of `g`: the gates (including `g`) that die if
+  /// `g`'s signal is no longer used. PIs are never part of an MFFC. Gates
+  /// in `keep_alive` are treated as externally used and are never absorbed
+  /// (used when a substitution's replacement sources live inside the cone).
+  std::vector<GateId> mffc(GateId g,
+                           const std::vector<GateId>& keep_alive = {}) const;
+
+  /// Structural invariants: fanin/fanout cross-consistency, pin counts vs
+  /// cell arity, acyclicity, liveness of referenced gates. Throws
+  /// CheckError on violation.
+  void check_consistency() const;
+
+  /// Generation counter bumped on every mutation; lets caches detect
+  /// staleness cheaply.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Returns a fresh name not used by any gate yet.
+  std::string fresh_name(const std::string& prefix);
+
+  /// Returns a copy without the tombstoned slots (long optimization runs
+  /// accumulate dead gates; caches indexed by GateId shrink accordingly).
+  /// When `remap` is non-null it receives old-id -> new-id (kNullGate for
+  /// dead gates).
+  Netlist compacted(std::vector<GateId>* remap = nullptr) const;
+
+ private:
+  const CellLibrary* library_;
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t name_counter_ = 0;
+  std::unordered_set<std::string> used_names_;
+
+  GateId new_gate(GateKind kind);
+  void connect(GateId driver, GateId sink, int pin);
+  void disconnect(GateId driver, GateId sink, int pin);
+};
+
+}  // namespace powder

@@ -1,0 +1,244 @@
+#include "opt/candidates.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+namespace {
+
+/// True if (a ^ b) & mask == 0 word-wise.
+bool agrees(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+            std::span<const std::uint64_t> mask, bool invert_b) {
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    const std::uint64_t bv = invert_b ? ~b[w] : b[w];
+    if ((a[w] ^ bv) & mask[w]) return false;
+  }
+  return true;
+}
+
+bool all_zero(std::span<const std::uint64_t> mask) {
+  for (std::uint64_t w : mask)
+    if (w) return false;
+  return true;
+}
+
+}  // namespace
+
+CandidateFinder::CandidateFinder(const Netlist& netlist,
+                                 const PowerEstimator& estimator,
+                                 CandidateOptions options, std::uint64_t seed)
+    : netlist_(&netlist),
+      estimator_(&estimator),
+      sim_(&estimator.simulator()),
+      options_(options),
+      rng_(seed) {
+  for (GateId g = 0; g < netlist.num_slots(); ++g)
+    if (netlist.alive(g) && netlist.kind(g) != GateKind::kOutput)
+      signal_gates_.push_back(g);
+  // Signature hashes for global-equivalence lookup (both phases).
+  sig_hash_.assign(netlist.num_slots(), 0);
+  inv_sig_hash_.assign(netlist.num_slots(), 0);
+  for (GateId g : signal_gates_) {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    std::uint64_t hi = 0xCBF29CE484222325ull;
+    for (std::uint64_t w : sim_->value(g)) {
+      h = (h ^ w) * 0x100000001B3ull;
+      hi = (hi ^ ~w) * 0x100000001B3ull;
+    }
+    sig_hash_[g] = h;
+    inv_sig_hash_[g] = hi;
+    by_signature_[h].push_back(g);
+  }
+}
+
+std::vector<GateId> CandidateFinder::build_pool(
+    GateId around, const std::vector<std::uint8_t>& forbidden) {
+  std::vector<GateId> pool;
+  std::vector<std::uint8_t> seen(netlist_->num_slots(), 0);
+  auto try_add = [&](GateId g) {
+    if (seen[g] || forbidden[g] || !netlist_->alive(g)) return false;
+    seen[g] = 1;
+    if (netlist_->kind(g) == GateKind::kOutput) return false;
+    pool.push_back(g);
+    return true;
+  };
+  // Global equivalence hits first: signals whose signature matches the
+  // target's (either phase) anywhere in the circuit.
+  for (std::uint64_t h : {sig_hash_[around], inv_sig_hash_[around]}) {
+    if (const auto it = by_signature_.find(h); it != by_signature_.end())
+      for (GateId g : it->second)
+        if (g != around) try_add(g);
+  }
+  // Breadth-first over the undirected netlist graph starting at the target;
+  // nearby signals share support and are the most likely permissible
+  // replacements (and the cheapest to wire).
+  std::vector<GateId> frontier{around};
+  std::vector<std::uint8_t> visited(netlist_->num_slots(), 0);
+  visited[around] = 1;
+  while (!frontier.empty() &&
+         static_cast<int>(pool.size()) < options_.local_pool_size) {
+    std::vector<GateId> next;
+    for (GateId g : frontier) {
+      const Gate& gate = netlist_->gate(g);
+      auto visit = [&](GateId n) {
+        if (visited[n]) return;
+        visited[n] = 1;
+        try_add(n);
+        next.push_back(n);
+      };
+      for (GateId fi : gate.fanins) visit(fi);
+      for (const FanoutRef& br : gate.fanouts) visit(br.gate);
+      if (static_cast<int>(pool.size()) >= options_.local_pool_size) break;
+    }
+    frontier = std::move(next);
+  }
+  // A few random signals for diversity (finds global equivalences the
+  // neighborhood misses).
+  for (int i = 0;
+       i < options_.random_pool_size && !signal_gates_.empty(); ++i)
+    try_add(signal_gates_[rng_.below(signal_gates_.size())]);
+  return pool;
+}
+
+void CandidateFinder::harvest_for_site(GateId target, const FanoutRef* branch,
+                                       std::vector<CandidateSub>* out) {
+  const int W = sim_->num_words();
+  const auto sig_a = sim_->value(target);
+  const std::vector<std::uint64_t> obs =
+      branch == nullptr ? sim_->stem_observability(target)
+                        : sim_->branch_observability(target, *branch);
+
+  auto finish = [&](CandidateSub cand) {
+    cand.pg_a = compute_pg_a(*netlist_, *estimator_, cand);
+    cand.pg_b = compute_pg_b(*netlist_, *estimator_, cand);
+    out->push_back(std::move(cand));
+  };
+
+  auto make_base = [&]() {
+    CandidateSub cand;
+    cand.target = target;
+    if (branch != nullptr) {
+      cand.branch = *branch;
+      cand.cls = SubstClass::kIS2;
+    } else {
+      cand.cls = SubstClass::kOS2;
+    }
+    return cand;
+  };
+
+  // Constant replacement: permissible-by-evidence when the signal never
+  // observably carries the other value (fully unobservable signals satisfy
+  // both; pick the majority value so the dead cone keeps its polarity).
+  if (options_.allow_constants) {
+    bool can0 = true, can1 = true;
+    for (std::size_t w = 0; w < obs.size(); ++w) {
+      if (sig_a[w] & obs[w]) can0 = false;
+      if (~sig_a[w] & obs[w]) can1 = false;
+      if (!can0 && !can1) break;
+    }
+    if (can0 || can1) {
+      CandidateSub cand = make_base();
+      const bool value =
+          can0 && can1 ? estimator_->probability(target) >= 0.5 : can1;
+      cand.rep = ReplacementFunction::constant(value);
+      finish(std::move(cand));
+      if (all_zero(obs)) return;  // nothing further to gain here
+    }
+  } else if (all_zero(obs)) {
+    return;
+  }
+
+  // Forbidden region for sources: the faulty region of the site.
+  std::vector<std::uint8_t> forbidden(netlist_->num_slots(), 0);
+  const GateId entry = branch == nullptr ? target : branch->gate;
+  forbidden[entry] = 1;
+  for (GateId g : netlist_->tfo(entry)) forbidden[g] = 1;
+  forbidden[target] = 1;  // substituting a by a is a no-op
+
+  const std::vector<GateId> pool = build_pool(target, forbidden);
+
+  // --- 2-signal substitutions -------------------------------------------
+  for (GateId b : pool) {
+    const auto sig_b = sim_->value(b);
+    if (agrees(sig_a, sig_b, obs, /*invert_b=*/false)) {
+      CandidateSub cand = make_base();
+      cand.rep = ReplacementFunction::signal(b, false);
+      finish(std::move(cand));
+    } else if (agrees(sig_a, sig_b, obs, /*invert_b=*/true)) {
+      CandidateSub cand = make_base();
+      cand.rep = ReplacementFunction::signal(b, true);
+      finish(std::move(cand));
+    }
+  }
+
+  // --- 3-signal substitutions (new 2-input library gate) -----------------
+  if (!options_.enable_three_subs) return;
+  const auto& cells = netlist_->library().two_input_cells();
+  int made = 0;
+  const int b_limit =
+      std::min<int>(options_.three_sub_b_pool, static_cast<int>(pool.size()));
+  std::vector<std::uint64_t> gw(static_cast<std::size_t>(W));
+  for (int bi = 0; bi < b_limit && made < options_.max_three_per_target;
+       ++bi) {
+    const GateId b = pool[static_cast<std::size_t>(bi)];
+    const auto sig_b = sim_->value(b);
+    for (GateId c : pool) {
+      if (c == b) continue;
+      const auto sig_c = sim_->value(c);
+      for (CellId cell_id : cells) {
+        const Cell& cell = netlist_->library().cell(cell_id);
+        const TruthTable& f = cell.function;
+        bool ok = true;
+        for (int w = 0; w < W && ok; ++w) {
+          const std::uint64_t bw = sig_b[static_cast<std::size_t>(w)];
+          const std::uint64_t cw = sig_c[static_cast<std::size_t>(w)];
+          std::uint64_t r = 0;
+          if (f.bit(0)) r |= ~bw & ~cw;
+          if (f.bit(1)) r |= bw & ~cw;
+          if (f.bit(2)) r |= ~bw & cw;
+          if (f.bit(3)) r |= bw & cw;
+          if ((r ^ sig_a[static_cast<std::size_t>(w)]) &
+              obs[static_cast<std::size_t>(w)])
+            ok = false;
+        }
+        if (!ok) continue;
+        // Skip degenerate functions (constant or single-input): the
+        // 2-signal pass already covers those shapes more cheaply.
+        if (!f.depends_on(0) || !f.depends_on(1)) continue;
+        CandidateSub cand = make_base();
+        cand.cls = branch == nullptr ? SubstClass::kOS3 : SubstClass::kIS3;
+        cand.rep = ReplacementFunction::two_input(b, c, f);
+        cand.new_cell = cell_id;
+        finish(std::move(cand));
+        if (++made >= options_.max_three_per_target) break;
+      }
+      if (made >= options_.max_three_per_target) break;
+    }
+  }
+}
+
+std::vector<CandidateSub> CandidateFinder::find() {
+  std::vector<CandidateSub> out;
+  for (GateId g : signal_gates_) {
+    const Gate& gate = netlist_->gate(g);
+    // Output substitutions: only cell stems (a PI cannot be replaced).
+    if (gate.kind == GateKind::kCell && !gate.fanouts.empty())
+      harvest_for_site(g, nullptr, &out);
+    // Input substitutions: individual branches of multi-fanout stems (the
+    // paper regards single-fanout outputs as stem signals only).
+    if (gate.num_fanouts() > 1)
+      for (const FanoutRef& br : gate.fanouts)
+        harvest_for_site(g, &br, &out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CandidateSub& x, const CandidateSub& y) {
+              return x.preselect_gain() > y.preselect_gain();
+            });
+  if (static_cast<int>(out.size()) > options_.max_candidates)
+    out.resize(static_cast<std::size_t>(options_.max_candidates));
+  return out;
+}
+
+}  // namespace powder

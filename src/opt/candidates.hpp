@@ -1,0 +1,65 @@
+#pragma once
+// Candidate-substitution harvesting via fault-simulation signatures.
+//
+// For every target site the simulator provides (a) the signal's signature
+// over the sampled patterns and (b) its observability mask (patterns where
+// flipping it changes some primary output). A source signal b is a
+// candidate replacement when its signature agrees with the target's on
+// every *observable* pattern — i.e., the sampled evidence is consistent
+// with b being a permissible function of the target's location. Candidates
+// are later *proved* (or refuted) by the ATPG checker; this stage only has
+// to be sound-for-rejection and cheap.
+//
+// Pair candidates (OS3/IS3) are enumerated over a bounded local pool to
+// keep the quadratic step affordable, mirroring the windowed clause
+// analysis of the TOS implementation.
+
+#include <vector>
+
+#include "opt/power_gain.hpp"
+#include "opt/substitution.hpp"
+#include "power/power.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+
+struct CandidateOptions {
+  int local_pool_size = 64;     ///< structural-neighborhood sources/target
+  int random_pool_size = 24;    ///< extra random sources/target
+  bool enable_three_subs = true;
+  int three_sub_b_pool = 20;    ///< first operands tried for OS3/IS3
+  int max_three_per_target = 6;
+  int max_candidates = 800;     ///< global cap, best preselect gain first
+  bool allow_constants = true;  ///< replace unobservable signals by constants
+};
+
+class CandidateFinder {
+ public:
+  CandidateFinder(const Netlist& netlist, const PowerEstimator& estimator,
+                  CandidateOptions options = {}, std::uint64_t seed = 1);
+
+  /// Harvests candidates, with pg_a/pg_b filled, sorted by decreasing
+  /// preselection gain and truncated to max_candidates.
+  std::vector<CandidateSub> find();
+
+ private:
+  const Netlist* netlist_;
+  const PowerEstimator* estimator_;
+  const Simulator* sim_;
+  CandidateOptions options_;
+  Rng rng_;
+
+  std::vector<GateId> signal_gates_;  // live PIs + cells
+  // Global equivalence index: hash of the value signature (and of its
+  // complement) -> signals. Catches functionally identical logic anywhere
+  // in the circuit, far beyond the structural neighborhood.
+  std::unordered_map<std::uint64_t, std::vector<GateId>> by_signature_;
+  std::vector<std::uint64_t> sig_hash_, inv_sig_hash_;
+
+  std::vector<GateId> build_pool(GateId around,
+                                 const std::vector<std::uint8_t>& forbidden);
+  void harvest_for_site(GateId target, const FanoutRef* branch,
+                        std::vector<CandidateSub>* out);
+};
+
+}  // namespace powder

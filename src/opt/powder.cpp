@@ -1,0 +1,189 @@
+#include "opt/powder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "power/power.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+
+PowderOptimizer::PowderOptimizer(Netlist* netlist, PowderOptions options)
+    : netlist_(netlist), options_(std::move(options)) {
+  POWDER_CHECK(netlist_ != nullptr);
+}
+
+bool PowderOptimizer::violates_delay(const CandidateSub& sub,
+                                     double limit) const {
+  if (!std::isfinite(limit)) return false;
+  // Apply on a scratch copy and run full STA — exact and side-effect free.
+  Netlist scratch = *netlist_;
+  (void)apply_substitution(scratch, sub);
+  const TimingAnalysis ta = analyze_timing(scratch);
+  return ta.circuit_delay > limit + 1e-9;
+}
+
+PowderReport PowderOptimizer::run() {
+  const auto t_start = std::chrono::steady_clock::now();
+  PowderReport report;
+
+  Simulator sim(*netlist_, options_.num_patterns, options_.pi_probs,
+                options_.seed);
+  PowerEstimator est(&sim);
+  // Independent pattern set used as a cheap second opinion before the
+  // expensive permissibility proof: a candidate that already fails on
+  // fresh patterns is rejected without running PODEM/SAT at all.
+  Simulator verify_sim(*netlist_, options_.num_patterns, options_.pi_probs,
+                       options_.seed ^ 0x5EC0DD5EEDull);
+
+  report.initial_power = est.total_power();
+  report.initial_area = netlist_->total_area();
+  report.initial_delay = analyze_timing(*netlist_).circuit_delay;
+  report.delay_limit = options_.delay_limit_factor < 0.0
+                           ? std::numeric_limits<double>::infinity()
+                           : report.initial_delay *
+                                 options_.delay_limit_factor;
+
+  AtpgChecker atpg(*netlist_, options_.atpg);
+  SatChecker sat(*netlist_, options_.sat);
+  auto prove = [&](const CandidateSub& cand) {
+    switch (options_.proof_engine) {
+      case ProofEngine::kPodem:
+        return atpg.check_replacement(cand.site(), cand.rep);
+      case ProofEngine::kSat:
+        return sat.check_replacement(cand.site(), cand.rep);
+      case ProofEngine::kHybrid: {
+        const AtpgResult r = atpg.check_replacement(cand.site(), cand.rep);
+        if (r != AtpgResult::kAborted) return r;
+        return sat.check_replacement(cand.site(), cand.rep);
+      }
+    }
+    return AtpgResult::kAborted;
+  };
+
+  bool progress = true;
+  for (int outer = 0;
+       progress && outer < options_.max_outer_iterations; ++outer) {
+    ++report.outer_iterations;
+    progress = false;
+
+    CandidateFinder finder(*netlist_, est, options_.candidates,
+                           options_.seed + 17 * static_cast<std::uint64_t>(outer));
+    std::vector<CandidateSub> cands = finder.find();
+    report.candidates_harvested += static_cast<int>(cands.size());
+
+    int performed = 0;
+    while (performed < options_.repeat && !cands.empty()) {
+      // ---- select_power_red_subst --------------------------------------
+      // Refresh validity and PG_A+PG_B of the surviving candidates (the
+      // netlist has changed since harvesting), preselect the best, then
+      // re-estimate PG_C for the shortlist only.
+      const bool area_mode = options_.objective == Objective::kArea;
+      std::vector<std::size_t> order;
+      std::vector<double> metric(cands.size(), 0.0);
+      for (std::size_t i = 0; i < cands.size();) {
+        if (!substitution_still_valid(*netlist_, cands[i])) {
+          ++report.rejected_stale;
+          cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        cands[i].pg_a = compute_pg_a(*netlist_, est, cands[i]);
+        cands[i].pg_b = compute_pg_b(*netlist_, est, cands[i]);
+        metric[i] = area_mode ? compute_area_gain(*netlist_, cands[i])
+                              : cands[i].preselect_gain();
+        order.push_back(i);
+        ++i;
+      }
+      if (order.empty()) break;
+      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return metric[x] > metric[y];
+      });
+      const std::size_t shortlist =
+          std::min<std::size_t>(order.size(),
+                                static_cast<std::size_t>(options_.shortlist));
+      std::size_t best = cands.size();
+      double best_gain = options_.min_gain;
+      if (area_mode) {
+        // Area gain is exact — no shortlist re-estimation needed.
+        if (metric[order[0]] > best_gain) best = order[0];
+      } else {
+        for (std::size_t k = 0; k < shortlist; ++k) {
+          CandidateSub& cand = cands[order[k]];
+          cand.pg_c = compute_pg_c(*netlist_, est, cand);
+          if (cand.total_gain() > best_gain) {
+            best_gain = cand.total_gain();
+            best = order[k];
+          }
+        }
+      }
+      if (best == cands.size()) break;  // nothing left that helps
+
+      CandidateSub chosen = cands[best];
+      cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(best));
+
+      // ---- check_delay (§3.4) -------------------------------------------
+      if (violates_delay(chosen, report.delay_limit)) {
+        ++report.rejected_by_delay;
+        continue;
+      }
+
+      // ---- check_candidate: permissibility proof --------------------------
+      // Cheap pre-proof: simulate the replacement on the independent
+      // pattern set; any output difference is a definite refutation.
+      {
+        const std::vector<std::uint64_t> words =
+            replacement_words(verify_sim, chosen.rep);
+        const FanoutRef* branch =
+            chosen.branch.has_value() ? &*chosen.branch : nullptr;
+        const auto diff = verify_sim.output_diff_with_replacement(
+            chosen.target, branch, words);
+        bool refuted = false;
+        for (std::uint64_t w : diff)
+          if (w) {
+            refuted = true;
+            break;
+          }
+        if (refuted) {
+          ++report.rejected_by_atpg;
+          continue;
+        }
+      }
+      const AtpgResult proof = prove(chosen);
+      if (proof != AtpgResult::kUntestable) {
+        ++report.rejected_by_atpg;
+        continue;
+      }
+
+      // ---- perform_substitution + power_estimate_update ------------------
+      const double power_before = est.total_power();
+      const double area_before = netlist_->total_area();
+      const AppliedSub applied = apply_substitution(*netlist_, chosen);
+      est.update_after_change(applied.changed_roots);
+      verify_sim.resimulate_from(applied.changed_roots);
+      if (options_.check_invariants) netlist_->check_consistency();
+
+      const double power_after = est.total_power();
+      ClassStats& cls =
+          report.by_class[static_cast<std::size_t>(chosen.cls)];
+      ++cls.applied;
+      cls.power_delta += power_before - power_after;
+      cls.area_delta += netlist_->total_area() - area_before;
+      ++report.substitutions_applied;
+      ++performed;
+      progress = true;
+    }
+  }
+
+  atpg_stats_ = atpg.stats();
+  report.final_power = est.total_power();
+  report.final_area = netlist_->total_area();
+  report.final_delay = analyze_timing(*netlist_).circuit_delay;
+  report.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return report;
+}
+
+}  // namespace powder

@@ -1,0 +1,118 @@
+#pragma once
+// POWDER: power optimization of mapped netlists by permissible structural
+// transformations — the paper's core algorithm (Figure 5).
+//
+//   power_estimate(netlist)
+//   do {
+//     cand_substitutions = get_candidate_substitutions(netlist)
+//     while (repeat > 0 && cand_substitutions != {}) {
+//       good = select_power_red_subst(...)      // PG_A+PG_B preselection,
+//                                               // PG_C for the shortlist
+//       if (check_delay(good) violates limit) continue;
+//       if (!check_candidate(good))             // ATPG proof
+//         continue;
+//       perform_substitution(good);
+//       power_estimate_update(good);            // TFO re-estimation
+//     }
+//   } while (cand_substitutions != {});
+
+#include <array>
+#include <string>
+
+#include "atpg/atpg.hpp"
+#include "atpg/sat_checker.hpp"
+#include "opt/candidates.hpp"
+#include "opt/substitution.hpp"
+#include "timing/timing.hpp"
+
+namespace powder {
+
+/// What the greedy selection maximizes.
+enum class Objective {
+  kPower,  ///< predicted power gain PG_A + PG_B + PG_C (the paper)
+  kArea,   ///< exact area gain — RAMBO-style cleanup, used for ablations
+};
+
+struct PowderOptions {
+  Objective objective = Objective::kPower;
+  int num_patterns = 2048;
+  std::vector<double> pi_probs;  ///< empty = all 0.5
+  std::uint64_t seed = 1;
+
+  /// Inner-loop applications before candidates are re-harvested (the
+  /// paper's `repeat` parameter).
+  int repeat = 25;
+
+  /// Delay constraint as a factor of the initial circuit delay. 1.0
+  /// reproduces the paper's "with delay constraints" mode, 1.2 allows 20%
+  /// slower, negative disables timing checks entirely.
+  double delay_limit_factor = -1.0;
+
+  /// Substitutions must beat this power gain to be applied.
+  double min_gain = 1e-9;
+
+  /// Shortlist size for the PG_C re-estimation (paper §3.5 pre-selection).
+  int shortlist = 12;
+
+  int max_outer_iterations = 64;
+  /// Which engine proves candidate permissibility (see ProofEngine).
+  ProofEngine proof_engine = ProofEngine::kHybrid;
+  AtpgOptions atpg;
+  SatCheckerOptions sat;
+  CandidateOptions candidates;
+  bool check_invariants = false;  ///< netlist consistency after every apply
+};
+
+struct ClassStats {
+  int applied = 0;
+  double power_delta = 0.0;  ///< measured power reduction (positive = saved)
+  double area_delta = 0.0;   ///< measured area change (negative = saved)
+};
+
+struct PowderReport {
+  double initial_power = 0.0, final_power = 0.0;
+  double initial_area = 0.0, final_area = 0.0;
+  double initial_delay = 0.0, final_delay = 0.0;
+  double delay_limit = 0.0;  ///< absolute limit used (inf when disabled)
+
+  int substitutions_applied = 0;
+  int candidates_harvested = 0;
+  int rejected_by_delay = 0;
+  int rejected_by_atpg = 0;
+  int rejected_stale = 0;
+  int outer_iterations = 0;
+  double cpu_seconds = 0.0;
+
+  std::array<ClassStats, 4> by_class;  ///< indexed by SubstClass
+
+  double power_reduction_percent() const {
+    return initial_power > 0.0
+               ? 100.0 * (initial_power - final_power) / initial_power
+               : 0.0;
+  }
+  double area_reduction_percent() const {
+    return initial_area > 0.0
+               ? 100.0 * (initial_area - final_area) / initial_area
+               : 0.0;
+  }
+};
+
+class PowderOptimizer {
+ public:
+  PowderOptimizer(Netlist* netlist, PowderOptions options = {});
+
+  /// Runs the full optimization; the netlist is modified in place.
+  PowderReport run();
+
+  const AtpgChecker::Stats& atpg_stats() const { return atpg_stats_; }
+
+ private:
+  Netlist* netlist_;
+  PowderOptions options_;
+  AtpgChecker::Stats atpg_stats_;
+
+  /// Applies the delay check of §3.4 on a scratch copy of the netlist.
+  bool violates_delay(const CandidateSub& sub, double limit) const;
+};
+
+}  // namespace powder

@@ -1,0 +1,201 @@
+#include "opt/power_gain.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+std::vector<std::uint64_t> replacement_words(const Simulator& sim,
+                                             const ReplacementFunction& rep) {
+  const int W = sim.num_words();
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(W), 0);
+  switch (rep.kind) {
+    case ReplacementFunction::Kind::kConstant:
+      if (rep.constant_value)
+        for (auto& w : out) w = ~0ull;
+      break;
+    case ReplacementFunction::Kind::kSignal: {
+      const auto vb = sim.value(rep.b);
+      for (int w = 0; w < W; ++w)
+        out[static_cast<std::size_t>(w)] =
+            rep.invert_b ? ~vb[static_cast<std::size_t>(w)]
+                         : vb[static_cast<std::size_t>(w)];
+      break;
+    }
+    case ReplacementFunction::Kind::kTwoInput: {
+      const auto vb = sim.value(rep.b);
+      const auto vc = sim.value(rep.c);
+      const TruthTable& f = rep.two_input_fn;
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t b = vb[static_cast<std::size_t>(w)];
+        std::uint64_t c = vc[static_cast<std::size_t>(w)];
+        if (rep.invert_b) b = ~b;
+        if (rep.invert_c) c = ~c;
+        std::uint64_t r = 0;
+        if (f.bit(0)) r |= ~b & ~c;
+        if (f.bit(1)) r |= b & ~c;
+        if (f.bit(2)) r |= ~b & c;
+        if (f.bit(3)) r |= b & c;
+        out[static_cast<std::size_t>(w)] = r;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+double words_activity(std::span<const std::uint64_t> words) {
+  std::uint64_t ones = 0;
+  for (std::uint64_t w : words)
+    ones += static_cast<std::uint64_t>(std::popcount(w));
+  const double p =
+      static_cast<double>(ones) / (64.0 * static_cast<double>(words.size()));
+  return 2.0 * p * (1.0 - p);
+}
+
+namespace {
+
+/// True when the substitution removes the whole dominated region of the
+/// target (stem substitution, or the branch is the stem's only fanout).
+/// When the replacement itself reads the target (e.g. rewiring a branch of
+/// `a` to an inverter of `a`), the target stays alive and nothing dies.
+bool removes_dominated_region(const Netlist& netlist,
+                              const CandidateSub& sub) {
+  if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
+    if (sub.rep.b == sub.target) return false;
+    if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput &&
+        sub.rep.c == sub.target)
+      return false;
+  }
+  if (!sub.branch.has_value()) return true;
+  return netlist.gate(sub.target).num_fanouts() == 1;
+}
+
+}  // namespace
+
+double compute_pg_a(const Netlist& netlist, const PowerEstimator& est,
+                    const CandidateSub& sub) {
+  if (netlist.kind(sub.target) != GateKind::kCell ||
+      !removes_dominated_region(netlist, sub)) {
+    // Input substitution on a multi-fanout stem (or a PI driver): only the
+    // branch pin's capacitance is unloaded; nothing is pruned.
+    if (sub.branch.has_value())
+      return netlist.pin_cap(sub.branch->gate, sub.branch->pin) *
+             est.activity(sub.target);
+    // Stem substitution of a PI signal: the PI remains, its load goes away.
+    return netlist.signal_cap(sub.target) * est.activity(sub.target);
+  }
+
+  // Dominated-region removal (Eq. 3): the MFFC of the target dies — except
+  // for gates the replacement itself keeps alive (its sources may sit
+  // inside the cone).
+  std::vector<GateId> keep_alive;
+  if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
+    keep_alive.push_back(sub.rep.b);
+    if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput)
+      keep_alive.push_back(sub.rep.c);
+  }
+  const std::vector<GateId> cone = netlist.mffc(sub.target, keep_alive);
+  std::vector<std::uint8_t> in_cone(netlist.num_slots(), 0);
+  for (GateId g : cone) in_cone[g] = 1;
+
+  double gain = 0.0;
+  // First sum: switched capacitance of the pruned gates' signals. The
+  // target's own term uses its current load, which the substituting signal
+  // inherits (PG_B charges it back at the new activity).
+  for (GateId g : cone) gain += netlist.signal_cap(g) * est.activity(g);
+  // Second sum: pins of surviving signals that fed the cone.
+  for (GateId g : cone) {
+    const Gate& gate = netlist.gate(g);
+    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
+      const GateId fi = gate.fanins[static_cast<std::size_t>(pin)];
+      if (!in_cone[fi])
+        gain += netlist.pin_cap(g, pin) * est.activity(fi);
+    }
+  }
+  return gain;
+}
+
+double compute_pg_b(const Netlist& netlist, const PowerEstimator& est,
+                    const CandidateSub& sub) {
+  const CellLibrary& lib = netlist.library();
+  // Load that moves onto the substituting signal.
+  const double moved_cap =
+      sub.branch.has_value()
+          ? netlist.pin_cap(sub.branch->gate, sub.branch->pin)
+          : netlist.signal_cap(sub.target);
+
+  switch (sub.rep.kind) {
+    case ReplacementFunction::Kind::kConstant:
+      return 0.0;  // a constant never switches
+    case ReplacementFunction::Kind::kSignal: {
+      const double eb = est.activity(sub.rep.b);
+      if (!sub.rep.invert_b) return -moved_cap * eb;
+      // Inserted inverter: b gains the inverter pin; the inverter output
+      // (same activity as b: E(s) is phase-symmetric) drives the load.
+      const Cell& inv = lib.cell(lib.inverter());
+      return -(inv.pins[0].input_cap * eb + moved_cap * eb);
+    }
+    case ReplacementFunction::Kind::kTwoInput: {
+      const Cell& cell = lib.cell(sub.new_cell);
+      const double eb = est.activity(sub.rep.b);
+      const double ec = est.activity(sub.rep.c);
+      const double e_new =
+          words_activity(replacement_words(est.simulator(), sub.rep));
+      return -(cell.pins[0].input_cap * eb + cell.pins[1].input_cap * ec +
+               moved_cap * e_new);
+    }
+  }
+  POWDER_CHECK(false);
+}
+
+double compute_area_gain(const Netlist& netlist, const CandidateSub& sub) {
+  const CellLibrary& lib = netlist.library();
+  double gain = 0.0;
+  // Inserted gate.
+  switch (sub.rep.kind) {
+    case ReplacementFunction::Kind::kConstant:
+      gain -= lib.cell(sub.rep.constant_value ? lib.const1() : lib.const0())
+                  .area;
+      break;
+    case ReplacementFunction::Kind::kSignal:
+      if (sub.rep.invert_b) gain -= lib.cell(lib.inverter()).area;
+      break;
+    case ReplacementFunction::Kind::kTwoInput:
+      gain -= lib.cell(sub.new_cell).area;
+      break;
+  }
+  // Removed cone (only when the whole dominated region dies).
+  if (netlist.kind(sub.target) == GateKind::kCell &&
+      removes_dominated_region(netlist, sub)) {
+    std::vector<GateId> keep_alive;
+    if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
+      keep_alive.push_back(sub.rep.b);
+      if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput)
+        keep_alive.push_back(sub.rep.c);
+    }
+    for (GateId g : netlist.mffc(sub.target, keep_alive))
+      gain += netlist.cell_of(g).area;
+  }
+  return gain;
+}
+
+double compute_pg_c(const Netlist& netlist, const PowerEstimator& est,
+                    const CandidateSub& sub) {
+  const std::vector<std::uint64_t> rep_words =
+      replacement_words(est.simulator(), sub.rep);
+  const FanoutRef* branch =
+      sub.branch.has_value() ? &*sub.branch : nullptr;
+  const auto changed =
+      est.simulator().trial_new_probs(sub.target, branch, rep_words);
+  double gain = 0.0;
+  for (const auto& [g, new_p] : changed) {
+    if (netlist.kind(g) == GateKind::kOutput) continue;
+    const double new_e = 2.0 * new_p * (1.0 - new_p);
+    gain += netlist.signal_cap(g) * (est.activity(g) - new_e);
+  }
+  return gain;
+}
+
+}  // namespace powder

@@ -1,0 +1,42 @@
+#pragma once
+// Power-gain analysis of structural transformations (paper §3.3).
+//
+//   PG(trans) = PG_A + PG_B + PG_C
+//
+// PG_A (>= 0): switched capacitance of the removed dominated region plus
+//   the unloaded pins of its inputs — computable without re-estimation.
+// PG_B (<= 0): new load placed on the substituting signal(s), and for
+//   OS3/IS3 the new gate's own output — computable without re-estimation.
+// PG_C (any sign): activity changes across the transitive fanout of the
+//   substituted signal — requires re-estimating exactly that region, done
+//   here as a non-destructive trial simulation.
+
+#include <vector>
+
+#include "opt/substitution.hpp"
+#include "power/power.hpp"
+
+namespace powder {
+
+/// The 64-bit-parallel value words of the substituting signal under the
+/// simulator's current patterns.
+std::vector<std::uint64_t> replacement_words(const Simulator& sim,
+                                             const ReplacementFunction& rep);
+
+/// Switching activity 2p(1-p) of a word vector.
+double words_activity(std::span<const std::uint64_t> words);
+
+double compute_pg_a(const Netlist& netlist, const PowerEstimator& est,
+                    const CandidateSub& sub);
+double compute_pg_b(const Netlist& netlist, const PowerEstimator& est,
+                    const CandidateSub& sub);
+double compute_pg_c(const Netlist& netlist, const PowerEstimator& est,
+                    const CandidateSub& sub);
+
+/// Exact area gain (removed cell area minus inserted cell area) of a
+/// substitution — positive when the netlist shrinks. Needs no
+/// re-estimation; used by the optimizer's area objective (the paper's
+/// Table 2 contrasts power and area optimization).
+double compute_area_gain(const Netlist& netlist, const CandidateSub& sub);
+
+}  // namespace powder

@@ -1,0 +1,170 @@
+#include "opt/redundancy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+namespace {
+
+/// Returns the driver of a constant cell gate's value, or -1 if `g` is not
+/// a constant gate.
+int constant_value_of(const Netlist& nl, GateId g) {
+  if (nl.kind(g) != GateKind::kCell) return -1;
+  const Cell& c = nl.cell_of(g);
+  if (!c.is_constant()) return -1;
+  return c.function.is_constant(true) ? 1 : 0;
+}
+
+GateId make_constant(Netlist* nl, bool value) {
+  const CellLibrary& lib = nl->library();
+  const CellId cid = value ? lib.const1() : lib.const0();
+  POWDER_CHECK_MSG(cid != kInvalidCell, "library lacks constant cells");
+  return nl->add_gate(cid, {});
+}
+
+/// Propagates constant inputs through gates: a gate with constant fanins
+/// is replaced by the cofactored function (a constant, a wire/inverter, or
+/// a smaller library cell). Returns number of gates simplified.
+int propagate_constants(Netlist* nl) {
+  const CellLibrary& lib = nl->library();
+  int simplified = 0;
+  // Iterate in topological order so upstream simplifications feed
+  // downstream ones within a single pass.
+  for (GateId g : nl->topo_order()) {
+    if (!nl->alive(g) || nl->kind(g) != GateKind::kCell) continue;
+    const Gate& gate = nl->gate(g);
+    if (gate.fanouts.empty()) continue;
+    if (nl->cell_of(g).is_constant()) continue;
+
+    // Cofactor the cell function by every constant input.
+    TruthTable f = nl->cell_of(g).function;
+    std::vector<GateId> live_fanins;
+    bool any_const = false;
+    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
+      const GateId fi = gate.fanins[static_cast<std::size_t>(pin)];
+      const int cv = constant_value_of(*nl, fi);
+      if (cv >= 0) {
+        f = f.cofactor(pin, cv == 1);
+        any_const = true;
+      } else {
+        live_fanins.push_back(fi);
+      }
+    }
+    if (!any_const) continue;
+
+    // Compress the function onto the live inputs (drop vacuous variables;
+    // constant-pin variables are vacuous after cofactoring).
+    TruthTable compact(static_cast<int>(live_fanins.size()));
+    {
+      // Build index mapping live pin order -> original variable.
+      std::vector<int> live_vars;
+      for (int pin = 0; pin < gate.num_fanins(); ++pin)
+        if (constant_value_of(*nl, gate.fanins[static_cast<std::size_t>(pin)]) < 0)
+          live_vars.push_back(pin);
+      for (std::uint64_t m = 0; m < compact.num_minterms_capacity(); ++m) {
+        std::uint64_t full = 0;
+        for (std::size_t i = 0; i < live_vars.size(); ++i)
+          if ((m >> i) & 1) full |= 1ull << live_vars[i];
+        compact.set_bit(m, f.bit(full));
+      }
+    }
+
+    GateId replacement = kNullGate;
+    if (compact.num_vars() == 0 || compact.is_constant(false) ||
+        compact.is_constant(true)) {
+      replacement = make_constant(nl, compact.num_vars() == 0
+                                          ? f.bit(0)
+                                          : compact.is_constant(true));
+    } else if (compact.num_vars() == 1) {
+      const bool inverting = compact.bit(0);  // f(0)=1 => inverter
+      if (inverting) {
+        replacement = nl->add_gate(lib.inverter(), {live_fanins[0]});
+      } else {
+        replacement = live_fanins[0];  // wire
+      }
+    } else {
+      // Try an exact library match over the live inputs.
+      const auto matches = lib.match_function(compact);
+      if (matches.empty()) continue;  // keep the gate as is
+      const auto& m = matches.front();
+      std::vector<GateId> wired;
+      for (int pin = 0; pin < lib.cell(m.cell).num_inputs(); ++pin)
+        wired.push_back(live_fanins[static_cast<std::size_t>(
+            m.perm[static_cast<std::size_t>(pin)])]);
+      replacement = nl->add_gate(m.cell, wired);
+    }
+    nl->replace_all_fanouts(g, replacement);
+    nl->remove_gate_recursive(g);
+    ++simplified;
+  }
+  nl->sweep_dead();
+  return simplified;
+}
+
+}  // namespace
+
+RedundancyRemovalReport remove_redundancies(
+    Netlist* netlist, const RedundancyRemovalOptions& options) {
+  POWDER_CHECK(netlist != nullptr);
+  RedundancyRemovalReport report;
+  const double initial_area = netlist->total_area();
+  const int initial_cells = netlist->num_cells();
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++report.rounds;
+    AtpgChecker atpg(*netlist, options.atpg);
+    int tied_this_round = 0;
+
+    // Snapshot the branches up front; the netlist mutates as we go.
+    struct Branch {
+      GateId driver;
+      FanoutRef ref;
+    };
+    std::vector<Branch> branches;
+    for (GateId g = 0; g < netlist->num_slots(); ++g) {
+      if (!netlist->alive(g) || netlist->kind(g) == GateKind::kOutput)
+        continue;
+      if (constant_value_of(*netlist, g) >= 0) continue;
+      for (const FanoutRef& br : netlist->gate(g).fanouts)
+        if (netlist->kind(br.gate) == GateKind::kCell)
+          branches.push_back(Branch{g, br});
+    }
+
+    for (const Branch& br : branches) {
+      // Still wired as snapshotted?
+      if (!netlist->alive(br.driver) || !netlist->alive(br.ref.gate))
+        continue;
+      const Gate& sink = netlist->gate(br.ref.gate);
+      if (br.ref.pin >= sink.num_fanins() ||
+          sink.fanins[static_cast<std::size_t>(br.ref.pin)] != br.driver)
+        continue;
+      for (int value = 0; value < 2; ++value) {
+        const ReplacementSite site{br.driver, br.ref};
+        if (atpg.check_replacement(site,
+                                   ReplacementFunction::constant(value)) !=
+            AtpgResult::kUntestable)
+          continue;
+        const GateId cst = make_constant(netlist, value);
+        netlist->set_fanin(br.ref.gate, br.ref.pin, cst);
+        // The old driver may have just lost its last fanout.
+        if (netlist->kind(br.driver) == GateKind::kCell &&
+            netlist->gate(br.driver).fanouts.empty())
+          netlist->remove_gate_recursive(br.driver);
+        ++tied_this_round;
+        break;
+      }
+    }
+
+    report.pins_tied += tied_this_round;
+    const int simplified = propagate_constants(netlist);
+    if (tied_this_round == 0 && simplified == 0) break;
+  }
+
+  report.gates_removed = initial_cells - netlist->num_cells();
+  report.area_removed = initial_area - netlist->total_area();
+  return report;
+}
+
+}  // namespace powder

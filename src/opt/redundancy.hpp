@@ -1,0 +1,36 @@
+#pragma once
+// ATPG-based redundancy removal (the classic special case of the
+// substitution framework: replacing a connection by a constant).
+//
+// For every branch (gate input pin) the checker asks whether the stuck-at
+// fault on that pin is testable; an untestable pin can be tied to the
+// stuck value without changing any output (Cheng/Entrena [1] in the
+// paper's references). Tying a pin to a controlling constant lets the
+// consuming gate be simplified, which exposes further redundancies, so the
+// pass iterates to a fixed point.
+//
+// This is not part of the POWDER loop itself — it is the cleanup companion
+// used to strengthen initial circuits and as an ablation baseline.
+
+#include "atpg/atpg.hpp"
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+struct RedundancyRemovalOptions {
+  AtpgOptions atpg;
+  int max_rounds = 8;
+};
+
+struct RedundancyRemovalReport {
+  int pins_tied = 0;
+  int gates_removed = 0;
+  double area_removed = 0.0;
+  int rounds = 0;
+};
+
+/// Removes stuck-at-redundant connections from `netlist` in place.
+RedundancyRemovalReport remove_redundancies(
+    Netlist* netlist, const RedundancyRemovalOptions& options = {});
+
+}  // namespace powder

@@ -1,0 +1,153 @@
+#include "opt/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "power/power.hpp"
+#include "sim/simulator.hpp"
+#include "timing/timing.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+
+namespace {
+
+/// Cells grouped by (arity, function): the size alternatives of each gate.
+std::unordered_map<std::string, std::vector<CellId>> size_groups(
+    const CellLibrary& lib) {
+  std::unordered_map<std::string, std::vector<CellId>> groups;
+  for (CellId id = 0; id < lib.num_cells(); ++id) {
+    const Cell& c = lib.cell(id);
+    groups[c.function.to_hex() + "/" + std::to_string(c.num_inputs())]
+        .push_back(id);
+  }
+  return groups;
+}
+
+/// Power of the netlist given fixed activities (resizing does not change
+/// any logic value, so activities are invariant).
+double power_with_caps(const Netlist& nl, const PowerEstimator& est) {
+  double total = 0.0;
+  for (GateId g = 0; g < nl.num_slots(); ++g)
+    if (nl.alive(g) && nl.kind(g) != GateKind::kOutput)
+      total += nl.signal_cap(g) * est.activity(g);
+  return total;
+}
+
+}  // namespace
+
+ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
+  POWDER_CHECK(netlist != nullptr);
+  ResizeReport report;
+  const CellLibrary& lib = netlist->library();
+  const auto groups = size_groups(lib);
+
+  Simulator sim(*netlist, options.num_patterns, options.pi_probs,
+                options.seed);
+  PowerEstimator est(&sim);
+
+  report.initial_power = power_with_caps(*netlist, est);
+  report.initial_area = netlist->total_area();
+  report.initial_delay = analyze_timing(*netlist).circuit_delay;
+  const double limit = options.delay_limit_factor < 0.0
+                           ? std::numeric_limits<double>::infinity()
+                           : report.initial_delay *
+                                 options.delay_limit_factor;
+
+  auto alternatives = [&](GateId g) -> const std::vector<CellId>* {
+    const Cell& c = netlist->cell_of(g);
+    const auto it = groups.find(c.function.to_hex() + "/" +
+                                std::to_string(c.num_inputs()));
+    return it == groups.end() || it->second.size() < 2 ? nullptr
+                                                       : &it->second;
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+
+    // Phase 1: power downsizing. The power effect of a swap is local —
+    // only the fanin signals' loads change — so the candidate ranking is
+    // analytic; the (global) delay effect is checked with a full STA.
+    for (GateId g : netlist->topo_order()) {
+      if (netlist->kind(g) != GateKind::kCell) continue;
+      const auto* alts = alternatives(g);
+      if (alts == nullptr) continue;
+      const CellId current = netlist->gate(g).cell;
+      const Cell& cur_cell = lib.cell(current);
+      CellId best = current;
+      double best_delta = -1e-12;  // require strict improvement
+      for (CellId alt : *alts) {
+        if (alt == current) continue;
+        const Cell& alt_cell = lib.cell(alt);
+        double delta = 0.0;  // power saved by the swap
+        for (int pin = 0; pin < cur_cell.num_inputs(); ++pin)
+          delta += (cur_cell.pins[static_cast<std::size_t>(pin)].input_cap -
+                    alt_cell.pins[static_cast<std::size_t>(pin)].input_cap) *
+                   est.activity(
+                       netlist->gate(g).fanins[static_cast<std::size_t>(pin)]);
+        if (delta <= best_delta) continue;
+        netlist->set_cell(g, alt);
+        if (analyze_timing(*netlist).circuit_delay <= limit + 1e-9) {
+          best_delta = delta;
+          best = alt;
+        }
+        netlist->set_cell(g, current);
+      }
+      netlist->set_cell(g, best);
+      if (best != current) {
+        ++report.downsized;
+        changed = true;
+      }
+    }
+
+    // Phase 2: timing recovery by upsizing along the critical path (only
+    // needed if the entry netlist violated the limit).
+    TimingAnalysis ta = analyze_timing(*netlist, limit);
+    int recovery_guard = 0;
+    while (std::isfinite(limit) && ta.circuit_delay > limit + 1e-9 &&
+           recovery_guard++ < 4 * netlist->num_cells()) {
+      // Most negative slack gate with an upsizing alternative.
+      GateId worst = kNullGate;
+      double worst_slack = 0.0;
+      for (GateId g = 0; g < netlist->num_slots(); ++g) {
+        if (!netlist->alive(g) || netlist->kind(g) != GateKind::kCell)
+          continue;
+        if (alternatives(g) == nullptr) continue;
+        const double s = ta.slack(g);
+        if (worst == kNullGate || s < worst_slack) {
+          worst = g;
+          worst_slack = s;
+        }
+      }
+      if (worst == kNullGate) break;
+      const CellId current = netlist->gate(worst).cell;
+      CellId best = current;
+      double best_delay = ta.circuit_delay;
+      for (CellId alt : *alternatives(worst)) {
+        if (alt == current) continue;
+        netlist->set_cell(worst, alt);
+        const double d = analyze_timing(*netlist).circuit_delay;
+        if (d < best_delay - 1e-12) {
+          best_delay = d;
+          best = alt;
+        }
+      }
+      netlist->set_cell(worst, best);
+      if (best == current) break;  // no further improvement possible
+      ++report.upsized;
+      changed = true;
+      ta = analyze_timing(*netlist, limit);
+    }
+
+    if (!changed) break;
+  }
+
+  report.final_power = power_with_caps(*netlist, est);
+  report.final_area = netlist->total_area();
+  report.final_delay = analyze_timing(*netlist).circuit_delay;
+  return report;
+}
+
+}  // namespace powder

@@ -1,0 +1,43 @@
+#pragma once
+// Gate re-sizing for low power under timing constraints.
+//
+// The paper's Figure 1 places "gate re-sizing" after mapping as a separate
+// optimization phase (Bahar et al. [14] do it for power with timing
+// constraints). This pass swaps gates between drive-strength variants of
+// the same function:
+//  * downsizing replaces a gate by a variant with smaller input
+//    capacitance (less switched capacitance upstream) and larger drive
+//    resistance — accepted only while the delay constraint still holds;
+//  * upsizing is used to *recover* timing: when the constraint is
+//    violated, critical gates get stronger variants.
+//
+// Resizing never changes any logic function, so it composes freely with
+// POWDER before or after.
+
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+struct ResizeOptions {
+  /// Delay limit as factor of the circuit's delay at entry; negative
+  /// disables the timing constraint (pure power downsizing).
+  double delay_limit_factor = 1.0;
+  /// PI probabilities for activity weighting (empty = all 0.5).
+  std::vector<double> pi_probs;
+  int num_patterns = 2048;
+  std::uint64_t seed = 1;
+  int max_rounds = 4;
+};
+
+struct ResizeReport {
+  int downsized = 0;
+  int upsized = 0;
+  double initial_power = 0.0, final_power = 0.0;
+  double initial_delay = 0.0, final_delay = 0.0;
+  double initial_area = 0.0, final_area = 0.0;
+};
+
+/// Re-sizes gates of `netlist` in place.
+ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options = {});
+
+}  // namespace powder

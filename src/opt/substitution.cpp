@@ -1,0 +1,141 @@
+#include "opt/substitution.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+const char* subst_class_name(SubstClass c) {
+  switch (c) {
+    case SubstClass::kOS2: return "OS2";
+    case SubstClass::kIS2: return "IS2";
+    case SubstClass::kOS3: return "OS3";
+    case SubstClass::kIS3: return "IS3";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builds the substituting signal in the netlist: the existing signal, an
+/// inserted inverter, an inserted constant gate, or the new 2-input gate.
+GateId build_replacement_driver(Netlist& netlist, const CandidateSub& sub,
+                                AppliedSub* applied) {
+  const CellLibrary& lib = netlist.library();
+  switch (sub.rep.kind) {
+    case ReplacementFunction::Kind::kConstant: {
+      const CellId cid =
+          sub.rep.constant_value ? lib.const1() : lib.const0();
+      POWDER_CHECK_MSG(cid != kInvalidCell, "library lacks constant cells");
+      const GateId g = netlist.add_gate(cid, {});
+      applied->new_gate = g;
+      applied->area_delta += lib.cell(cid).area;
+      return g;
+    }
+    case ReplacementFunction::Kind::kSignal: {
+      if (!sub.rep.invert_b) return sub.rep.b;
+      const CellId inv = lib.inverter();
+      POWDER_CHECK_MSG(inv != kInvalidCell, "library lacks an inverter");
+      const GateId g = netlist.add_gate(inv, {sub.rep.b});
+      applied->new_gate = g;
+      applied->area_delta += lib.cell(inv).area;
+      return g;
+    }
+    case ReplacementFunction::Kind::kTwoInput: {
+      POWDER_CHECK(sub.new_cell != kInvalidCell);
+      POWDER_CHECK(!sub.rep.invert_b && !sub.rep.invert_c);
+      const GateId g =
+          netlist.add_gate(sub.new_cell, {sub.rep.b, sub.rep.c});
+      applied->new_gate = g;
+      applied->area_delta += lib.cell(sub.new_cell).area;
+      return g;
+    }
+  }
+  POWDER_CHECK(false);
+}
+
+}  // namespace
+
+bool substitution_still_valid(const Netlist& netlist,
+                              const CandidateSub& sub) {
+  if (sub.target >= netlist.num_slots() || !netlist.alive(sub.target))
+    return false;
+  if (sub.branch.has_value()) {
+    const FanoutRef& br = *sub.branch;
+    if (br.gate >= netlist.num_slots() || !netlist.alive(br.gate))
+      return false;
+    const Gate& sink = netlist.gate(br.gate);
+    if (br.pin >= sink.num_fanins() ||
+        sink.fanins[static_cast<std::size_t>(br.pin)] != sub.target)
+      return false;
+  } else {
+    // OS: target must be a removable cell gate that still has fanout.
+    if (netlist.kind(sub.target) != GateKind::kCell) return false;
+    if (netlist.gate(sub.target).fanouts.empty()) return false;
+  }
+  // Sources must be alive and outside the faulty region.
+  const GateId entry =
+      sub.branch.has_value() ? sub.branch->gate : sub.target;
+  auto source_ok = [&](GateId s) {
+    if (s >= netlist.num_slots() || !netlist.alive(s)) return false;
+    if (s == entry) return false;
+    return !netlist.in_tfo(entry, s);
+  };
+  if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
+    if (!source_ok(sub.rep.b)) return false;
+    if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput &&
+        !source_ok(sub.rep.c))
+      return false;
+    // For a stem substitution the sources must also differ from the stem
+    // itself (replacing a by a is a no-op).
+    if (!sub.branch.has_value() &&
+        (sub.rep.b == sub.target ||
+         (sub.rep.kind == ReplacementFunction::Kind::kTwoInput &&
+          sub.rep.c == sub.target)))
+      return false;
+    // Rewiring a branch of a back to a itself is a no-op too.
+    if (sub.branch.has_value() &&
+        sub.rep.kind == ReplacementFunction::Kind::kSignal &&
+        sub.rep.b == sub.target && !sub.rep.invert_b)
+      return false;
+  }
+  return true;
+}
+
+AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub) {
+  POWDER_CHECK_MSG(substitution_still_valid(netlist, sub),
+                   "applying a stale substitution");
+  AppliedSub applied;
+  const GateId driver = build_replacement_driver(netlist, sub, &applied);
+
+  if (sub.branch.has_value()) {
+    netlist.set_fanin(sub.branch->gate, sub.branch->pin, driver);
+    applied.changed_roots.push_back(sub.branch->gate);
+  } else {
+    // Collect the sinks being rewired: their simulated values can change
+    // (within the target's ODC set), so they seed re-simulation.
+    for (const FanoutRef& br : netlist.gate(sub.target).fanouts)
+      if (std::find(applied.changed_roots.begin(), applied.changed_roots.end(),
+                    br.gate) == applied.changed_roots.end())
+        applied.changed_roots.push_back(br.gate);
+    netlist.replace_all_fanouts(sub.target, driver);
+  }
+  if (applied.new_gate != kNullGate)
+    applied.changed_roots.insert(applied.changed_roots.begin(),
+                                 applied.new_gate);
+
+  // Sweep logic that lost its last fanout (the paper's Dom(a) removal; for
+  // IS this only triggers when the rewired branch was the last one).
+  double removed_area = 0.0;
+  if (netlist.kind(sub.target) == GateKind::kCell &&
+      netlist.gate(sub.target).fanouts.empty()) {
+    applied.removed_gates = netlist.remove_gate_recursive(sub.target);
+    for (GateId g : applied.removed_gates)
+      removed_area += netlist.library().cell(netlist.gate(g).cell).area;
+  }
+  applied.area_delta -= removed_area;
+  return applied;
+}
+
+}  // namespace powder

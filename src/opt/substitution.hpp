@@ -1,0 +1,62 @@
+#pragma once
+// Candidate substitutions (paper Definitions 1 and 2) and their application
+// to the netlist.
+//
+//   OS2(a,b):     replace stem a by existing signal b (optionally inverted,
+//                 which inserts a library inverter).
+//   IS2(a,b):     replace one fanout branch of a by b (optionally inverted).
+//   OS3(a,b,c):   replace stem a by a NEW 2-input library gate g(b,c).
+//   IS3(a,b,c):   replace one branch of a by a new 2-input gate g(b,c).
+//   OS2 by constant: special case used for unobservable stems.
+
+#include <optional>
+#include <vector>
+
+#include "atpg/atpg.hpp"
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+enum class SubstClass : std::uint8_t { kOS2, kIS2, kOS3, kIS3 };
+
+const char* subst_class_name(SubstClass c);
+
+struct CandidateSub {
+  SubstClass cls = SubstClass::kOS2;
+  GateId target = kNullGate;            ///< substituted stem signal
+  std::optional<FanoutRef> branch;      ///< set for IS2/IS3
+  ReplacementFunction rep;              ///< what replaces the signal
+  CellId new_cell = kInvalidCell;       ///< 2-input cell for OS3/IS3
+  // Pin order note: `new_cell` is instantiated with fanins {rep.b, rep.c}.
+
+  // Pre-selection gains (paper §3.3/§3.5), refreshed before every use.
+  double pg_a = 0.0;  ///< >= 0, removed capacitance
+  double pg_b = 0.0;  ///< <= 0, added load on the substituting signal(s)
+  double pg_c = 0.0;  ///< TFO re-estimation; filled for the shortlist only
+
+  double preselect_gain() const { return pg_a + pg_b; }
+  double total_gain() const { return pg_a + pg_b + pg_c; }
+
+  ReplacementSite site() const { return ReplacementSite{target, branch}; }
+};
+
+/// Result of applying a substitution.
+struct AppliedSub {
+  std::vector<GateId> removed_gates;  ///< swept MFFC (tombstoned)
+  GateId new_gate = kNullGate;        ///< inserted gate (OS3/IS3/inverted)
+  /// Gates whose *function* changed and therefore seed re-simulation: the
+  /// new gate (if any) and the rewired sinks.
+  std::vector<GateId> changed_roots;
+  double area_delta = 0.0;            ///< new area minus removed area
+};
+
+/// Applies `sub` to `netlist`. The caller must already have established
+/// permissibility; this routine only performs the structural edit, sweeps
+/// dead logic, and reports what changed.
+AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub);
+
+/// Cheap structural validity: every referenced gate alive, the branch still
+/// wired to the target, sources outside the faulty region (no cycles).
+bool substitution_still_valid(const Netlist& netlist, const CandidateSub& sub);
+
+}  // namespace powder

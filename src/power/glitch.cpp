@@ -1,0 +1,148 @@
+#include "power/glitch.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "timing/timing.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+
+namespace {
+
+/// Steady-state (zero-time) evaluation of one input vector.
+void settle(const Netlist& nl, const std::vector<GateId>& topo,
+            const std::vector<bool>& pi_values, std::vector<std::uint8_t>* val) {
+  for (int i = 0; i < nl.num_inputs(); ++i)
+    (*val)[nl.inputs()[static_cast<std::size_t>(i)]] =
+        pi_values[static_cast<std::size_t>(i)] ? 1 : 0;
+  for (GateId g : topo) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kInput) continue;
+    if (gate.kind == GateKind::kOutput) {
+      (*val)[g] = (*val)[gate.fanins[0]];
+      continue;
+    }
+    const TruthTable& f = nl.cell_of(g).function;
+    std::uint64_t idx = 0;
+    for (int pin = 0; pin < gate.num_fanins(); ++pin)
+      if ((*val)[gate.fanins[static_cast<std::size_t>(pin)]])
+        idx |= 1ull << pin;
+    (*val)[g] = f.bit(idx) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+GlitchEstimate estimate_glitch_power(const Netlist& netlist,
+                                     const GlitchOptions& options) {
+  GlitchEstimate out;
+  const std::vector<GateId> topo = netlist.topo_order();
+  const std::size_t slots = netlist.num_slots();
+
+  std::vector<double> pi_probs = options.pi_probs;
+  if (pi_probs.empty())
+    pi_probs.assign(static_cast<std::size_t>(netlist.num_inputs()), 0.5);
+  POWDER_CHECK(static_cast<int>(pi_probs.size()) == netlist.num_inputs());
+
+  // Per-gate propagation delay (fixed load during the analysis).
+  std::vector<double> delay(slots, 0.0);
+  for (GateId g = 0; g < slots; ++g)
+    if (netlist.alive(g)) delay[g] = gate_delay(netlist, g);
+
+  std::vector<double> zero_transitions(slots, 0.0);
+  std::vector<double> timed_transitions(slots, 0.0);
+
+  Rng rng(options.seed);
+  std::vector<std::uint8_t> val(slots, 0);
+  std::vector<bool> v1(static_cast<std::size_t>(netlist.num_inputs()));
+  std::vector<bool> v2 = v1;
+
+  for (int pair = 0; pair < options.num_vector_pairs; ++pair) {
+    for (int i = 0; i < netlist.num_inputs(); ++i) {
+      v1[static_cast<std::size_t>(i)] =
+          rng.flip(pi_probs[static_cast<std::size_t>(i)]);
+      v2[static_cast<std::size_t>(i)] =
+          rng.flip(pi_probs[static_cast<std::size_t>(i)]);
+    }
+    settle(netlist, topo, v1, &val);
+    std::vector<std::uint8_t> initial = val;
+
+    // Event-driven propagation of the v1 -> v2 edge (transport delays).
+    // An event (t, g, v) means: at time t, signal g takes value v. When a
+    // signal actually changes, each fanout gate is re-evaluated against
+    // the *current* signal values and its new output is scheduled after
+    // its own propagation delay.
+    struct Event {
+      double time;
+      GateId gate;
+      std::uint8_t value;
+      bool operator>(const Event& o) const { return time > o.time; }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    for (int i = 0; i < netlist.num_inputs(); ++i) {
+      const GateId g = netlist.inputs()[static_cast<std::size_t>(i)];
+      const std::uint8_t want = v2[static_cast<std::size_t>(i)] ? 1 : 0;
+      if (val[g] != want) queue.push(Event{0.0, g, want});
+    }
+    // Events sharing a timestamp are applied as one batch and the affected
+    // gates re-evaluated once — simultaneous input changes must not be
+    // serialized into phantom glitches.
+    int guard = 0;
+    const int guard_limit =
+        1000 * static_cast<int>(topo.size()) + 10000;  // glitch storms cap
+    std::vector<GateId> dirty_sinks;
+    while (!queue.empty() && guard++ < guard_limit) {
+      const double now = queue.top().time;
+      dirty_sinks.clear();
+      while (!queue.empty() && queue.top().time == now) {
+        const Event ev = queue.top();
+        queue.pop();
+        if (val[ev.gate] == ev.value) continue;  // absorbed
+        val[ev.gate] = ev.value;
+        timed_transitions[ev.gate] += 1.0;
+        for (const FanoutRef& br : netlist.gate(ev.gate).fanouts)
+          dirty_sinks.push_back(br.gate);
+      }
+      // Unique-ify cheaply; duplicate evaluations would be harmless but
+      // would schedule duplicate (identical) events.
+      std::sort(dirty_sinks.begin(), dirty_sinks.end());
+      dirty_sinks.erase(std::unique(dirty_sinks.begin(), dirty_sinks.end()),
+                        dirty_sinks.end());
+      for (GateId s : dirty_sinks) {
+        const Gate& sink = netlist.gate(s);
+        std::uint8_t newval;
+        if (sink.kind == GateKind::kOutput) {
+          newval = val[sink.fanins[0]];
+        } else {
+          const TruthTable& f = netlist.cell_of(s).function;
+          std::uint64_t idx = 0;
+          for (int pin = 0; pin < sink.num_fanins(); ++pin)
+            if (val[sink.fanins[static_cast<std::size_t>(pin)]])
+              idx |= 1ull << pin;
+          newval = f.bit(idx) ? 1 : 0;
+        }
+        queue.push(Event{now + delay[s], s, newval});
+      }
+    }
+
+    for (GateId g = 0; g < slots; ++g)
+      if (netlist.alive(g) && val[g] != initial[g])
+        zero_transitions[g] += 1.0;
+  }
+
+  out.timed_activity.assign(slots, 0.0);
+  const double n = static_cast<double>(options.num_vector_pairs);
+  for (GateId g = 0; g < slots; ++g) {
+    if (!netlist.alive(g) || netlist.kind(g) == GateKind::kOutput) continue;
+    const double cap = netlist.signal_cap(g);
+    out.zero_delay_power += cap * zero_transitions[g] / n;
+    out.timed_power += cap * timed_transitions[g] / n;
+    out.timed_activity[g] = timed_transitions[g] / n;
+  }
+  return out;
+}
+
+}  // namespace powder

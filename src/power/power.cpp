@@ -1,0 +1,119 @@
+#include "power/power.hpp"
+
+#include "bdd/netlist_bdd.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+
+PowerEstimator::PowerEstimator(Simulator* simulator) : sim_(simulator) {
+  POWDER_CHECK(sim_ != nullptr);
+  estimate_all();
+}
+
+void PowerEstimator::refresh_gate(GateId g) {
+  const double p = sim_->signal_prob(g);
+  prob_[g] = p;
+  activity_[g] = 2.0 * p * (1.0 - p);
+}
+
+void PowerEstimator::estimate_all() {
+  const Netlist& nl = sim_->netlist();
+  prob_.assign(nl.num_slots(), 0.0);
+  activity_.assign(nl.num_slots(), 0.0);
+  for (GateId g = 0; g < nl.num_slots(); ++g)
+    if (nl.alive(g) && nl.kind(g) != GateKind::kOutput) refresh_gate(g);
+}
+
+void PowerEstimator::update_after_change(
+    std::span<const GateId> changed_roots) {
+  const Netlist& nl = sim_->netlist();
+  if (prob_.size() < nl.num_slots()) {
+    prob_.resize(nl.num_slots(), 0.0);
+    activity_.resize(nl.num_slots(), 0.0);
+  }
+  sim_->resimulate_from(changed_roots);
+  // Refresh the roots and their TFO (cheap compared to simulation).
+  std::vector<std::uint8_t> seen(nl.num_slots(), 0);
+  std::vector<GateId> stack(changed_roots.begin(), changed_roots.end());
+  for (GateId g : stack) seen[g] = 1;
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    if (nl.alive(g) && nl.kind(g) != GateKind::kOutput) refresh_gate(g);
+    for (const FanoutRef& br : nl.gate(g).fanouts) {
+      if (!seen[br.gate]) {
+        seen[br.gate] = 1;
+        stack.push_back(br.gate);
+      }
+    }
+  }
+}
+
+double PowerEstimator::signal_power(GateId g) const {
+  const Netlist& nl = sim_->netlist();
+  return nl.signal_cap(g) * activity_[g];
+}
+
+double PowerEstimator::total_power() const {
+  const Netlist& nl = sim_->netlist();
+  double total = 0.0;
+  for (GateId g = 0; g < nl.num_slots(); ++g)
+    if (nl.alive(g) && nl.kind(g) != GateKind::kOutput)
+      total += signal_power(g);
+  return total;
+}
+
+std::vector<double> propagate_signal_probs(
+    const Netlist& netlist, const std::vector<double>& pi_probs) {
+  POWDER_CHECK(static_cast<int>(pi_probs.size()) == netlist.num_inputs());
+  std::vector<double> p(netlist.num_slots(), 0.0);
+  for (int i = 0; i < netlist.num_inputs(); ++i)
+    p[netlist.inputs()[static_cast<std::size_t>(i)]] =
+        pi_probs[static_cast<std::size_t>(i)];
+  for (GateId g : netlist.topo_order()) {
+    const Gate& gate = netlist.gate(g);
+    if (gate.kind == GateKind::kInput) continue;
+    if (gate.kind == GateKind::kOutput) {
+      p[g] = p[gate.fanins[0]];
+      continue;
+    }
+    const TruthTable& f = netlist.cell_of(g).function;
+    const int k = f.num_vars();
+    double out = 0.0;
+    for (std::uint64_t m = 0; m < (1ull << k); ++m) {
+      if (!f.bit(m)) continue;
+      double pm = 1.0;
+      for (int v = 0; v < k; ++v) {
+        const double pv = p[gate.fanins[static_cast<std::size_t>(v)]];
+        pm *= ((m >> v) & 1) ? pv : (1.0 - pv);
+      }
+      out += pm;
+    }
+    p[g] = out;
+  }
+  return p;
+}
+
+std::vector<double> exact_signal_probs(const Netlist& netlist,
+                                       const std::vector<double>& pi_probs) {
+  POWDER_CHECK(static_cast<int>(pi_probs.size()) == netlist.num_inputs());
+  NetlistBdds bdds(netlist);
+  std::vector<double> p(netlist.num_slots(), 0.0);
+  for (GateId g = 0; g < netlist.num_slots(); ++g)
+    if (netlist.alive(g))
+      p[g] = bdds.manager.probability(bdds.gate_function[g], pi_probs);
+  return p;
+}
+
+double switched_capacitance(const Netlist& netlist,
+                            const std::vector<double>& probs) {
+  double total = 0.0;
+  for (GateId g = 0; g < netlist.num_slots(); ++g) {
+    if (!netlist.alive(g) || netlist.kind(g) == GateKind::kOutput) continue;
+    const double p = probs[g];
+    total += netlist.signal_cap(g) * 2.0 * p * (1.0 - p);
+  }
+  return total;
+}
+
+}  // namespace powder

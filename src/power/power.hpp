@@ -1,0 +1,74 @@
+#pragma once
+// Zero-delay switched-capacitance power estimation (paper §2).
+//
+// The reported "power" is sum_i C(i)*E(i) over all signals, exactly like
+// Table 1 of the paper (the constant 1/2 V^2 f factor is dropped; it
+// cancels in every ratio the experiments report). E(s) = 2 p(s) (1-p(s)).
+//
+// Three estimators for p(s):
+//  * simulation-based (default; supports incremental TFO re-estimation and
+//    is what POWDER uses, matching the paper's "reestimate the transitive
+//    fanout" step),
+//  * independence propagation (gate inputs assumed independent; cheap,
+//    used for cross-checks and the power-driven mapper),
+//  * exact via BDDs (tests; exponential worst case).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace powder {
+
+/// Simulation-backed estimator with incremental update.
+class PowerEstimator {
+ public:
+  /// Borrows `simulator` (which must outlive the estimator) and computes
+  /// the initial estimate from its current values.
+  explicit PowerEstimator(Simulator* simulator);
+
+  const Simulator& simulator() const { return *sim_; }
+  Simulator& simulator() { return *sim_; }
+
+  /// Recomputes everything from the simulator's current values.
+  void estimate_all();
+
+  /// Re-simulates `changed_roots` plus transitive fanout and refreshes the
+  /// cached activities of exactly those gates (paper:
+  /// power_estimate_update). Also refreshes totals.
+  void update_after_change(std::span<const GateId> changed_roots);
+
+  /// Cached activity E(s) of the signal driven by `g`.
+  double activity(GateId g) const { return activity_[g]; }
+  /// Cached signal probability p(s).
+  double probability(GateId g) const { return prob_[g]; }
+
+  /// C(s) * E(s) for one signal, with C taken live from the netlist.
+  double signal_power(GateId g) const;
+
+  /// sum_i C(i)*E(i) over all live signals.
+  double total_power() const;
+
+ private:
+  Simulator* sim_;
+  std::vector<double> activity_;
+  std::vector<double> prob_;
+
+  void refresh_gate(GateId g);
+};
+
+/// Independence-assumption propagation: output probability of each gate
+/// computed from its cell function and fanin probabilities (inputs treated
+/// as independent). Returns p(s) indexed by GateId.
+std::vector<double> propagate_signal_probs(const Netlist& netlist,
+                                           const std::vector<double>& pi_probs);
+
+/// Exact signal probabilities via global BDDs (small circuits / tests).
+std::vector<double> exact_signal_probs(const Netlist& netlist,
+                                       const std::vector<double>& pi_probs);
+
+/// sum_i C(i)*E(i) from a probability vector (any of the above sources).
+double switched_capacitance(const Netlist& netlist,
+                            const std::vector<double>& probs);
+
+}  // namespace powder

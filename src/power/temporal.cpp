@@ -1,0 +1,123 @@
+#include "power/temporal.hpp"
+
+#include <bit>
+
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+
+TemporalInputModel TemporalInputModel::independent(
+    const std::vector<double>& probs) {
+  TemporalInputModel m;
+  m.prob = probs;
+  m.toggle.reserve(probs.size());
+  for (double p : probs) m.toggle.push_back(2.0 * p * (1.0 - p));
+  return m;
+}
+
+TemporalActivity estimate_temporal_activity(const Netlist& netlist,
+                                            const TemporalInputModel& model,
+                                            const TemporalOptions& options) {
+  const int n = netlist.num_inputs();
+  POWDER_CHECK(static_cast<int>(model.prob.size()) == n);
+  POWDER_CHECK(static_cast<int>(model.toggle.size()) == n);
+  for (int i = 0; i < n; ++i) {
+    const double p = model.prob[static_cast<std::size_t>(i)];
+    const double d = model.toggle[static_cast<std::size_t>(i)];
+    POWDER_CHECK_MSG(p >= 0.0 && p <= 1.0, "invalid probability");
+    POWDER_CHECK_MSG(
+        d >= -1e-12 && d <= 2.0 * std::min(p, 1.0 - p) + 1e-12,
+        "invalid toggle density " << d << " for p=" << p);
+  }
+
+  // Per-input Markov transition probabilities: a chain at 1 falls with
+  // P(1->0) = d / (2p); a chain at 0 rises with P(0->1) = d / (2(1-p)).
+  std::vector<double> fall(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> rise(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double p = model.prob[static_cast<std::size_t>(i)];
+    const double d = model.toggle[static_cast<std::size_t>(i)];
+    fall[static_cast<std::size_t>(i)] = p > 1e-12 ? d / (2.0 * p) : 0.0;
+    rise[static_cast<std::size_t>(i)] =
+        p < 1.0 - 1e-12 ? d / (2.0 * (1.0 - p)) : 0.0;
+  }
+
+  // 64 independent chains run in parallel (one per bit).
+  const std::size_t slots = netlist.num_slots();
+  const CellEvaluator evaluator(netlist.library());
+  const std::vector<GateId> topo = netlist.topo_order();
+  Rng rng(options.seed);
+
+  std::vector<std::uint64_t> value(slots, 0);
+  // Initialize inputs from the stationary distribution.
+  for (int i = 0; i < n; ++i)
+    value[netlist.inputs()[static_cast<std::size_t>(i)]] =
+        rng.biased_word(model.prob[static_cast<std::size_t>(i)]);
+
+  std::vector<std::uint64_t> toggles;  // accumulated per gate (counts)
+  std::vector<std::uint64_t> ones;
+  std::vector<double> tog_acc(slots, 0.0), ones_acc(slots, 0.0);
+
+  std::vector<std::uint64_t> fanin_words;
+  auto eval_all = [&]() {
+    for (GateId g : topo) {
+      const Gate& gate = netlist.gate(g);
+      if (gate.kind == GateKind::kInput) continue;
+      if (gate.kind == GateKind::kOutput) {
+        value[g] = value[gate.fanins[0]];
+        continue;
+      }
+      fanin_words.clear();
+      for (GateId fi : gate.fanins) fanin_words.push_back(value[fi]);
+      value[g] = evaluator.evaluate(gate.cell, fanin_words);
+    }
+  };
+  eval_all();
+
+  std::vector<std::uint64_t> prev(slots, 0);
+  for (int cycle = 0; cycle < options.warmup_cycles + options.num_cycles;
+       ++cycle) {
+    prev = value;
+    // Advance the input chains.
+    for (int i = 0; i < n; ++i) {
+      const GateId g = netlist.inputs()[static_cast<std::size_t>(i)];
+      const std::uint64_t cur = value[g];
+      const std::uint64_t flip =
+          (cur & rng.biased_word(fall[static_cast<std::size_t>(i)])) |
+          (~cur & rng.biased_word(rise[static_cast<std::size_t>(i)]));
+      value[g] = cur ^ flip;
+    }
+    eval_all();
+    if (cycle < options.warmup_cycles) continue;
+    for (GateId g = 0; g < slots; ++g) {
+      if (!netlist.alive(g)) continue;
+      tog_acc[g] +=
+          static_cast<double>(std::popcount(prev[g] ^ value[g]));
+      ones_acc[g] += static_cast<double>(std::popcount(value[g]));
+    }
+  }
+
+  TemporalActivity out;
+  out.activity.assign(slots, 0.0);
+  out.prob.assign(slots, 0.0);
+  const double total =
+      64.0 * static_cast<double>(options.num_cycles);
+  for (GateId g = 0; g < slots; ++g) {
+    out.activity[g] = tog_acc[g] / total;
+    out.prob[g] = ones_acc[g] / total;
+  }
+  return out;
+}
+
+double temporal_switched_capacitance(const Netlist& netlist,
+                                     const TemporalActivity& activity) {
+  double totalc = 0.0;
+  for (GateId g = 0; g < netlist.num_slots(); ++g)
+    if (netlist.alive(g) && netlist.kind(g) != GateKind::kOutput)
+      totalc += netlist.signal_cap(g) * activity.activity[g];
+  return totalc;
+}
+
+}  // namespace powder

@@ -1,0 +1,270 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+std::uint32_t SatSolver::new_var() {
+  const std::uint32_t v = num_vars();
+  assign_.push_back(2);
+  polarity_.push_back(0);
+  activity_.push_back(0.0);
+  reason_.push_back(-1);
+  level_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::attach(std::uint32_t clause_idx) {
+  const Clause& c = clauses_[clause_idx];
+  POWDER_DCHECK(c.lits.size() >= 2);
+  watches_[c.lits[0]].push_back(clause_idx);
+  watches_[c.lits[1]].push_back(clause_idx);
+}
+
+void SatSolver::add_clause(std::vector<SatLit> lits) {
+  POWDER_CHECK_MSG(decision_level() == 0,
+                   "clauses must be added at the root level");
+  // Normalize: drop duplicate and false literals, detect tautologies and
+  // satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<SatLit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    POWDER_CHECK(sat_var(lits[i]) < num_vars());
+    if (i + 1 < lits.size() && lits[i] == lits[i + 1]) continue;
+    if (i + 1 < lits.size() && lits[i + 1] == sat_not(lits[i]))
+      return;  // tautology
+    const std::uint8_t v = value(lits[i]);
+    if (v == 1) return;       // already satisfied at root
+    if (v == 0) continue;     // false at root: drop literal
+    out.push_back(lits[i]);
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (out.size() == 1) {
+    if (value(out[0]) == 2) {
+      enqueue(out[0], -1);
+      if (propagate() != -1) unsat_ = true;
+    }
+    return;
+  }
+  clauses_.push_back(Clause{std::move(out), false});
+  attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+}
+
+void SatSolver::enqueue(SatLit l, std::int32_t reason) {
+  const std::uint32_t v = sat_var(l);
+  POWDER_DCHECK(assign_[v] == 2);
+  assign_[v] = sat_negated(l) ? 0 : 1;
+  reason_[v] = reason;
+  level_[v] = static_cast<std::uint32_t>(decision_level());
+  trail_.push_back(l);
+}
+
+std::int32_t SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const SatLit p = trail_[qhead_++];
+    // Clauses watching ~p must find a new watch or imply/conflict.
+    std::vector<std::uint32_t>& watch_list = watches_[sat_not(p)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const std::uint32_t ci = watch_list[i];
+      Clause& c = clauses_[ci];
+      // Ensure the false literal is at position 1.
+      if (c.lits[0] == sat_not(p)) std::swap(c.lits[0], c.lits[1]);
+      POWDER_DCHECK(c.lits[1] == sat_not(p));
+      if (value(c.lits[0]) == 1) {
+        watch_list[keep++] = ci;  // satisfied, keep watch
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[c.lits[1]].push_back(ci);
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;  // watch moved, do not keep
+      // Unit or conflict.
+      watch_list[keep++] = ci;
+      if (value(c.lits[0]) == 0) {
+        // Conflict: restore remaining watches and report.
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k)
+          watch_list[keep++] = watch_list[k];
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return static_cast<std::int32_t>(ci);
+      }
+      enqueue(c.lits[0], static_cast<std::int32_t>(ci));
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::bump(std::uint32_t var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::analyze(std::int32_t confl, std::vector<SatLit>* learnt,
+                        int* backtrack_level) {
+  learnt->clear();
+  learnt->push_back(0);  // placeholder for the asserting literal
+  std::vector<std::uint8_t> seen(num_vars(), 0);
+  int counter = 0;
+  SatLit p = 0;
+  bool have_p = false;
+  std::size_t index = trail_.size();
+
+  for (;;) {
+    POWDER_DCHECK(confl >= 0);
+    const Clause& c = clauses_[static_cast<std::uint32_t>(confl)];
+    for (std::size_t i = have_p ? 1 : 0; i < c.lits.size(); ++i) {
+      const SatLit q = c.lits[i];
+      const std::uint32_t v = sat_var(q);
+      if (seen[v] || level_[v] == 0) continue;
+      seen[v] = 1;
+      bump(v);
+      if (static_cast<int>(level_[v]) >= decision_level())
+        ++counter;
+      else
+        learnt->push_back(q);
+    }
+    // Select next literal from the trail at the current level.
+    do {
+      POWDER_DCHECK(index > 0);
+      p = trail_[--index];
+    } while (!seen[sat_var(p)]);
+    have_p = true;
+    seen[sat_var(p)] = 0;
+    --counter;
+    if (counter == 0) break;
+    confl = reason_[sat_var(p)];
+  }
+  (*learnt)[0] = sat_not(p);
+
+  // Backtrack level: second highest level in the learnt clause.
+  *backtrack_level = 0;
+  if (learnt->size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt->size(); ++i)
+      if (level_[sat_var((*learnt)[i])] > level_[sat_var((*learnt)[max_i])])
+        max_i = i;
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *backtrack_level = static_cast<int>(level_[sat_var((*learnt)[1])]);
+  }
+}
+
+void SatSolver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  const std::uint32_t bound = trail_lim_[static_cast<std::size_t>(level)];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const std::uint32_t v = sat_var(trail_[i - 1]);
+    polarity_[v] = assign_[v];
+    assign_[v] = 2;
+    reason_[v] = -1;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+}
+
+SatLit SatSolver::pick_branch() {
+  std::uint32_t best = num_vars();
+  double best_act = -1.0;
+  for (std::uint32_t v = 0; v < num_vars(); ++v) {
+    if (assign_[v] != 2) continue;
+    if (activity_[v] > best_act) {
+      best_act = activity_[v];
+      best = v;
+    }
+  }
+  if (best == num_vars()) return kSatLitUndef;  // all assigned
+  return sat_lit(best, polarity_[best] == 0);
+}
+
+SatResult SatSolver::solve(const std::vector<SatLit>& assumptions,
+                           long conflict_budget) {
+  if (unsat_) return SatResult::kUnsat;
+  cancel_until(0);
+  if (propagate() != -1) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+
+  long conflicts = 0;
+  // Assumptions become level-1..k decisions re-established after restarts.
+  std::size_t assumed = 0;
+
+  for (;;) {
+    const std::int32_t confl = propagate();
+    if (confl != -1) {
+      ++conflicts;
+      ++conflicts_total_;
+      if (decision_level() <= static_cast<int>(assumed)) {
+        // Conflict within/below the assumptions: UNSAT under assumptions.
+        cancel_until(0);
+        return SatResult::kUnsat;
+      }
+      std::vector<SatLit> learnt;
+      int back_level = 0;
+      analyze(confl, &learnt, &back_level);
+      back_level = std::max(back_level, static_cast<int>(assumed));
+      cancel_until(back_level);
+      if (learnt.size() == 1) {
+        if (value(learnt[0]) == 0) {
+          cancel_until(0);
+          return SatResult::kUnsat;
+        }
+        if (value(learnt[0]) == 2) enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back(Clause{learnt, true});
+        const auto ci = static_cast<std::uint32_t>(clauses_.size() - 1);
+        attach(ci);
+        enqueue(learnt[0], static_cast<std::int32_t>(ci));
+      }
+      var_inc_ *= 1.05;
+      if (conflict_budget >= 0 && conflicts > conflict_budget) {
+        cancel_until(0);
+        return SatResult::kUnknown;
+      }
+      continue;
+    }
+    // No conflict: extend assumptions, then decide.
+    if (assumed < assumptions.size()) {
+      const SatLit a = assumptions[assumed];
+      const std::uint8_t v = value(a);
+      if (v == 0) {
+        cancel_until(0);
+        return SatResult::kUnsat;  // assumption contradicted
+      }
+      trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      ++assumed;
+      if (v == 2) enqueue(a, -1);
+      continue;
+    }
+    const SatLit decision = pick_branch();
+    if (decision == kSatLitUndef) {
+      // Full assignment without conflict: a model. It stays in assign_
+      // (the next solve() call resets the trail first).
+      return SatResult::kSat;
+    }
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(decision, -1);
+  }
+}
+
+}  // namespace powder

@@ -1,0 +1,92 @@
+#pragma once
+// A small CDCL SAT solver (two-watched-literal propagation, 1-UIP conflict
+// analysis, activity-based branching, geometric restarts).
+//
+// Used by the SAT-based permissibility checker as an alternative to the
+// PODEM engine: the replacement fault is encoded as a miter and the
+// substitution is permissible iff the miter is unsatisfiable. Keeping an
+// independent decision procedure lets the test suite cross-check the two
+// engines clause-for-clause against exhaustive ground truth.
+
+#include <cstdint>
+#include <vector>
+
+namespace powder {
+
+/// A literal: variable index << 1 | complemented. Variables start at 0.
+using SatLit = std::uint32_t;
+
+inline SatLit sat_lit(std::uint32_t var, bool negated) {
+  return (var << 1) | static_cast<SatLit>(negated);
+}
+inline std::uint32_t sat_var(SatLit l) { return l >> 1; }
+inline bool sat_negated(SatLit l) { return l & 1u; }
+inline SatLit sat_not(SatLit l) { return l ^ 1u; }
+inline constexpr SatLit kSatLitUndef = 0xFFFFFFFFu;
+
+enum class SatResult { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+
+  /// Creates a fresh variable; returns its index.
+  std::uint32_t new_var();
+  std::uint32_t num_vars() const { return static_cast<std::uint32_t>(assign_.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially UNSAT).
+  void add_clause(std::vector<SatLit> lits);
+  void add_unit(SatLit a) { add_clause({a}); }
+  void add_binary(SatLit a, SatLit b) { add_clause({a, b}); }
+  void add_ternary(SatLit a, SatLit b, SatLit c) { add_clause({a, b, c}); }
+
+  /// Solves under optional assumptions. `conflict_budget < 0` = no limit.
+  SatResult solve(const std::vector<SatLit>& assumptions = {},
+                  long conflict_budget = -1);
+
+  /// Value of a variable in the satisfying assignment (valid after kSat).
+  bool model_value(std::uint32_t var) const { return assign_[var] == 1; }
+
+  long num_conflicts() const { return conflicts_total_; }
+
+ private:
+  // Assignment: 0 = false, 1 = true, 2 = unassigned.
+  std::vector<std::uint8_t> assign_;
+  std::vector<std::uint8_t> polarity_;  // phase saving
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+
+  struct Clause {
+    std::vector<SatLit> lits;
+    bool learnt = false;
+  };
+  std::vector<Clause> clauses_;
+  // watches_[lit]: clause indices watching `lit`.
+  std::vector<std::vector<std::uint32_t>> watches_;
+
+  std::vector<SatLit> trail_;
+  std::vector<std::uint32_t> trail_lim_;  // decision level boundaries
+  std::vector<std::int32_t> reason_;      // per var: clause idx or -1
+  std::vector<std::uint32_t> level_;      // per var: decision level
+  std::size_t qhead_ = 0;
+  bool unsat_ = false;
+  long conflicts_total_ = 0;
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  std::uint8_t value(SatLit l) const {
+    const std::uint8_t v = assign_[sat_var(l)];
+    if (v == 2) return 2;
+    return static_cast<std::uint8_t>(v ^ static_cast<std::uint8_t>(sat_negated(l)));
+  }
+  void enqueue(SatLit l, std::int32_t reason);
+  /// Returns conflicting clause index or -1.
+  std::int32_t propagate();
+  void analyze(std::int32_t confl, std::vector<SatLit>* learnt,
+               int* backtrack_level);
+  void cancel_until(int level);
+  SatLit pick_branch();
+  void bump(std::uint32_t var);
+  void attach(std::uint32_t clause_idx);
+};
+
+}  // namespace powder

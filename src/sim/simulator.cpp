@@ -1,0 +1,401 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "logic/cube.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+
+// ---------------------------------------------------------------------------
+// CellEvaluator
+// ---------------------------------------------------------------------------
+
+CellEvaluator::CellEvaluator(const CellLibrary& library) {
+  sops_.resize(static_cast<std::size_t>(library.num_cells()));
+  for (CellId id = 0; id < library.num_cells(); ++id) {
+    const Cell& c = library.cell(id);
+    CellSop& sop = sops_[static_cast<std::size_t>(id)];
+    if (c.function.is_constant(true)) {
+      sop.const_one = true;
+      continue;
+    }
+    if (c.function.is_constant(false)) continue;  // empty cube list = 0
+    const Cover cover = Cover::from_truth_table(c.function);
+    for (const Cube& cube : cover.cubes()) {
+      WordCube wc;
+      for (int v = 0; v < cube.num_vars(); ++v) {
+        if (cube.lit(v) == Lit::kDash) continue;
+        wc.care |= 1ull << v;
+        if (cube.lit(v) == Lit::kOne) wc.value |= 1ull << v;
+      }
+      sop.cubes.push_back(wc);
+    }
+  }
+}
+
+std::uint64_t CellEvaluator::evaluate(
+    CellId cell, std::span<const std::uint64_t> fanin_words) const {
+  const CellSop& sop = sops_[static_cast<std::size_t>(cell)];
+  if (sop.const_one) return ~0ull;
+  std::uint64_t out = 0;
+  for (const WordCube& cube : sop.cubes) {
+    std::uint64_t term = ~0ull;
+    std::uint64_t care = cube.care;
+    while (care) {
+      const int v = std::countr_zero(care);
+      care &= care - 1;
+      const std::uint64_t w = fanin_words[static_cast<std::size_t>(v)];
+      term &= (cube.value >> v) & 1 ? w : ~w;
+      if (!term) break;
+    }
+    out |= term;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+Simulator::Simulator(const Netlist& netlist, int num_patterns,
+                     std::vector<double> pi_probs, std::uint64_t seed)
+    : netlist_(&netlist),
+      evaluator_(netlist.library()),
+      num_words_((num_patterns + 63) / 64),
+      pi_probs_(std::move(pi_probs)),
+      rng_(seed) {
+  POWDER_CHECK(num_patterns > 0);
+  if (pi_probs_.empty())
+    pi_probs_.assign(static_cast<std::size_t>(netlist.num_inputs()), 0.5);
+  POWDER_CHECK(static_cast<int>(pi_probs_.size()) == netlist.num_inputs());
+  generate_stimulus();
+  resimulate_all();
+}
+
+void Simulator::generate_stimulus() {
+  pi_stimulus_.assign(
+      static_cast<std::size_t>(netlist_->num_inputs()) * num_words_, 0);
+  for (int i = 0; i < netlist_->num_inputs(); ++i)
+    for (int w = 0; w < num_words_; ++w)
+      pi_stimulus_[static_cast<std::size_t>(i) * num_words_ + w] =
+          rng_.biased_word(pi_probs_[static_cast<std::size_t>(i)]);
+}
+
+void Simulator::use_exhaustive_patterns() {
+  const int n = netlist_->num_inputs();
+  POWDER_CHECK_MSG(n <= 16, "exhaustive simulation limited to 16 inputs");
+  const std::uint64_t total = 1ull << n;
+  num_words_ = static_cast<int>((total + 63) / 64);
+  pi_stimulus_.assign(static_cast<std::size_t>(n) * num_words_, 0);
+  for (int i = 0; i < n; ++i) {
+    for (std::uint64_t m = 0; m < static_cast<std::uint64_t>(num_words_) * 64;
+         ++m) {
+      // Pattern index m assigns input i the bit (m >> i) & 1; indices past
+      // 2^n wrap around, which keeps the value distribution exact.
+      if (((m & (total - 1)) >> i) & 1)
+        pi_stimulus_[static_cast<std::size_t>(i) * num_words_ + (m >> 6)] |=
+            1ull << (m & 63);
+    }
+  }
+  resimulate_all();
+}
+
+void Simulator::ensure_capacity() {
+  const std::size_t need =
+      netlist_->num_slots() * static_cast<std::size_t>(num_words_);
+  if (values_.size() < need) values_.resize(need, 0);
+  if (scratch_.size() < need) scratch_.resize(need, 0);
+}
+
+void Simulator::ensure_scratch() const {
+  // `values_` must already cover every slot (callers resimulate after any
+  // gate insertion); scratch only ever mirrors it.
+  POWDER_CHECK(values_.size() >=
+               netlist_->num_slots() * static_cast<std::size_t>(num_words_));
+  if (scratch_.size() < values_.size()) scratch_.resize(values_.size(), 0);
+}
+
+const std::vector<GateId>& Simulator::cached_topo() const {
+  if (topo_generation_ != netlist_->generation()) {
+    topo_cache_ = netlist_->topo_order();
+    topo_generation_ = netlist_->generation();
+  }
+  return topo_cache_;
+}
+
+void Simulator::resimulate_all() {
+  ensure_capacity();
+  // PIs first.
+  for (int i = 0; i < netlist_->num_inputs(); ++i) {
+    const GateId g = netlist_->inputs()[static_cast<std::size_t>(i)];
+    std::copy_n(pi_stimulus_.data() + static_cast<std::size_t>(i) * num_words_,
+                num_words_,
+                values_.data() + static_cast<std::size_t>(g) * num_words_);
+  }
+  static const std::vector<std::uint8_t> kNoDirty;
+  for (GateId g : cached_topo()) {
+    const Gate& gate = netlist_->gate(g);
+    if (gate.kind == GateKind::kInput) continue;
+    std::uint64_t* dest =
+        values_.data() + static_cast<std::size_t>(g) * num_words_;
+    eval_gate_mixed(g, dest, kNoDirty);
+  }
+}
+
+void Simulator::eval_gate_mixed(GateId g, std::uint64_t* dest,
+                                const std::vector<std::uint8_t>& dirty) const {
+  const Gate& gate = netlist_->gate(g);
+  auto src = [&](GateId fi) -> const std::uint64_t* {
+    const bool use_scratch = !dirty.empty() && dirty[fi];
+    const auto& from = use_scratch ? scratch_ : values_;
+    return from.data() + static_cast<std::size_t>(fi) * num_words_;
+  };
+  if (gate.kind == GateKind::kOutput) {
+    std::copy_n(src(gate.fanins[0]), num_words_, dest);
+    return;
+  }
+  POWDER_DCHECK(gate.kind == GateKind::kCell);
+  std::vector<const std::uint64_t*> fi_ptr;
+  fi_ptr.reserve(gate.fanins.size());
+  for (GateId fi : gate.fanins) fi_ptr.push_back(src(fi));
+  std::vector<std::uint64_t> fanin_words(gate.fanins.size());
+  for (int w = 0; w < num_words_; ++w) {
+    for (std::size_t k = 0; k < fi_ptr.size(); ++k)
+      fanin_words[k] = fi_ptr[k][w];
+    dest[w] = evaluator_.evaluate(gate.cell, fanin_words);
+  }
+}
+
+void Simulator::resimulate_from(std::span<const GateId> roots) {
+  ensure_capacity();
+  std::vector<std::uint8_t> affected(netlist_->num_slots(), 0);
+  std::vector<GateId> stack;
+  for (GateId r : roots) {
+    if (!affected[r]) {
+      affected[r] = 1;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const FanoutRef& br : netlist_->gate(g).fanouts) {
+      if (!affected[br.gate]) {
+        affected[br.gate] = 1;
+        stack.push_back(br.gate);
+      }
+    }
+  }
+  static const std::vector<std::uint8_t> kNoDirty;
+  for (GateId g : cached_topo()) {
+    if (!affected[g]) continue;
+    const Gate& gate = netlist_->gate(g);
+    if (gate.kind == GateKind::kInput) continue;
+    eval_gate_mixed(g, values_.data() + static_cast<std::size_t>(g) * num_words_,
+                    kNoDirty);
+  }
+}
+
+double Simulator::signal_prob(GateId g) const {
+  std::uint64_t ones = 0;
+  const std::uint64_t* v =
+      values_.data() + static_cast<std::size_t>(g) * num_words_;
+  for (int w = 0; w < num_words_; ++w)
+    ones += static_cast<std::uint64_t>(std::popcount(v[w]));
+  return static_cast<double>(ones) / (64.0 * num_words_);
+}
+
+std::vector<std::uint64_t> Simulator::propagate_diff(
+    std::vector<std::uint8_t>& dirty, const std::vector<GateId>& frontier,
+    std::vector<GateId>* changed) const {
+  // Mark the TFO of the frontier as potentially dirty and re-evaluate it in
+  // topological order against the mixed view; gates whose faulty value
+  // equals the good value are un-marked to prune propagation.
+  std::vector<std::uint8_t> affected(netlist_->num_slots(), 0);
+  std::vector<GateId> stack;
+  for (GateId g : frontier) {
+    for (const FanoutRef& br : netlist_->gate(g).fanouts) {
+      if (!affected[br.gate]) {
+        affected[br.gate] = 1;
+        stack.push_back(br.gate);
+      }
+    }
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (const FanoutRef& br : netlist_->gate(g).fanouts) {
+      if (!affected[br.gate]) {
+        affected[br.gate] = 1;
+        stack.push_back(br.gate);
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> diff(static_cast<std::size_t>(num_words_), 0);
+  for (GateId g : cached_topo()) {
+    if (!affected[g]) continue;
+    const Gate& gate = netlist_->gate(g);
+    std::uint64_t* faulty =
+        scratch_.data() + static_cast<std::size_t>(g) * num_words_;
+    eval_gate_mixed(g, faulty, dirty);
+    const std::uint64_t* good =
+        values_.data() + static_cast<std::size_t>(g) * num_words_;
+    bool any = false;
+    for (int w = 0; w < num_words_; ++w)
+      if (faulty[w] != good[w]) {
+        any = true;
+        break;
+      }
+    if (!any) continue;  // fault effect died here
+    dirty[g] = 1;
+    if (changed != nullptr) changed->push_back(g);
+    if (gate.kind == GateKind::kOutput)
+      for (int w = 0; w < num_words_; ++w) diff[static_cast<std::size_t>(w)] |= faulty[w] ^ good[w];
+  }
+  return diff;
+}
+
+std::vector<std::pair<GateId, double>> Simulator::trial_new_probs(
+    GateId site, const FanoutRef* branch,
+    std::span<const std::uint64_t> replacement) const {
+  ensure_scratch();
+  POWDER_CHECK(replacement.size() == static_cast<std::size_t>(num_words_));
+  std::vector<std::uint8_t> dirty(netlist_->num_slots(), 0);
+  std::vector<GateId> changed;
+  if (branch == nullptr) {
+    std::uint64_t* f =
+        scratch_.data() + static_cast<std::size_t>(site) * num_words_;
+    std::copy(replacement.begin(), replacement.end(), f);
+    dirty[site] = 1;
+    (void)propagate_diff(dirty, {site}, &changed);
+  } else {
+    // Pre-evaluate the branch's sink against the replacement, then let the
+    // generic propagation take over.
+    const GateId sink = branch->gate;
+    const Gate& gate = netlist_->gate(sink);
+    std::uint64_t* f =
+        scratch_.data() + static_cast<std::size_t>(sink) * num_words_;
+    if (gate.kind == GateKind::kOutput) {
+      std::copy(replacement.begin(), replacement.end(), f);
+    } else {
+      std::vector<const std::uint64_t*> fi_ptr;
+      for (GateId fi : gate.fanins)
+        fi_ptr.push_back(values_.data() +
+                         static_cast<std::size_t>(fi) * num_words_);
+      std::vector<std::uint64_t> fanin_words(gate.fanins.size());
+      for (int w = 0; w < num_words_; ++w) {
+        for (std::size_t k = 0; k < fi_ptr.size(); ++k)
+          fanin_words[k] = fi_ptr[k][w];
+        fanin_words[static_cast<std::size_t>(branch->pin)] =
+            replacement[static_cast<std::size_t>(w)];
+        f[w] = evaluator_.evaluate(gate.cell, fanin_words);
+      }
+    }
+    const std::uint64_t* good =
+        values_.data() + static_cast<std::size_t>(sink) * num_words_;
+    bool any = false;
+    for (int w = 0; w < num_words_; ++w)
+      if (f[w] != good[w]) {
+        any = true;
+        break;
+      }
+    if (any) {
+      dirty[sink] = 1;
+      changed.push_back(sink);
+      (void)propagate_diff(dirty, {sink}, &changed);
+    }
+  }
+  std::vector<std::pair<GateId, double>> out;
+  out.reserve(changed.size());
+  for (GateId g : changed) {
+    const std::uint64_t* f =
+        scratch_.data() + static_cast<std::size_t>(g) * num_words_;
+    std::uint64_t ones = 0;
+    for (int w = 0; w < num_words_; ++w)
+      ones += static_cast<std::uint64_t>(std::popcount(f[w]));
+    out.emplace_back(g, static_cast<double>(ones) / (64.0 * num_words_));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::stem_observability(GateId g) const {
+  ensure_scratch();
+  std::vector<std::uint8_t> dirty(netlist_->num_slots(), 0);
+  std::uint64_t* f = scratch_.data() + static_cast<std::size_t>(g) * num_words_;
+  const std::uint64_t* good =
+      values_.data() + static_cast<std::size_t>(g) * num_words_;
+  for (int w = 0; w < num_words_; ++w) f[w] = ~good[w];
+  dirty[g] = 1;
+  return propagate_diff(dirty, {g});
+}
+
+std::vector<std::uint64_t> Simulator::branch_observability(
+    GateId g, FanoutRef branch) const {
+  std::vector<std::uint64_t> flipped(static_cast<std::size_t>(num_words_));
+  const std::uint64_t* good =
+      values_.data() + static_cast<std::size_t>(g) * num_words_;
+  for (int w = 0; w < num_words_; ++w)
+    flipped[static_cast<std::size_t>(w)] = ~good[w];
+  return output_diff_with_replacement(g, &branch, flipped);
+}
+
+std::vector<std::uint64_t> Simulator::output_diff_with_replacement(
+    GateId site, const FanoutRef* branch,
+    std::span<const std::uint64_t> replacement) const {
+  ensure_scratch();
+  POWDER_CHECK(replacement.size() == static_cast<std::size_t>(num_words_));
+  std::vector<std::uint8_t> dirty(netlist_->num_slots(), 0);
+  if (branch == nullptr) {
+    // Stem replacement: the whole signal takes the new value.
+    std::uint64_t* f =
+        scratch_.data() + static_cast<std::size_t>(site) * num_words_;
+    std::copy(replacement.begin(), replacement.end(), f);
+    dirty[site] = 1;
+    return propagate_diff(dirty, {site});
+  }
+  // Branch replacement: only the sink gate sees the new value on one pin.
+  const GateId sink = branch->gate;
+  const Gate& gate = netlist_->gate(sink);
+  std::uint64_t* f =
+      scratch_.data() + static_cast<std::size_t>(sink) * num_words_;
+  if (gate.kind == GateKind::kOutput) {
+    std::copy(replacement.begin(), replacement.end(), f);
+  } else {
+    std::vector<const std::uint64_t*> fi_ptr;
+    for (GateId fi : gate.fanins)
+      fi_ptr.push_back(values_.data() +
+                       static_cast<std::size_t>(fi) * num_words_);
+    std::vector<std::uint64_t> fanin_words(gate.fanins.size());
+    for (int w = 0; w < num_words_; ++w) {
+      for (std::size_t k = 0; k < fi_ptr.size(); ++k)
+        fanin_words[k] = fi_ptr[k][w];
+      fanin_words[static_cast<std::size_t>(branch->pin)] =
+          replacement[static_cast<std::size_t>(w)];
+      f[w] = evaluator_.evaluate(gate.cell, fanin_words);
+    }
+  }
+  // Seed dirtiness only if the sink value actually changed.
+  const std::uint64_t* good =
+      values_.data() + static_cast<std::size_t>(sink) * num_words_;
+  std::vector<std::uint64_t> diff(static_cast<std::size_t>(num_words_), 0);
+  bool any = false;
+  for (int w = 0; w < num_words_; ++w)
+    if (f[w] != good[w]) {
+      any = true;
+      break;
+    }
+  if (!any) return diff;
+  dirty[sink] = 1;
+  if (gate.kind == GateKind::kOutput)
+    for (int w = 0; w < num_words_; ++w)
+      diff[static_cast<std::size_t>(w)] |= f[w] ^ good[w];
+  std::vector<std::uint64_t> deeper = propagate_diff(dirty, {sink});
+  for (int w = 0; w < num_words_; ++w)
+    diff[static_cast<std::size_t>(w)] |= deeper[static_cast<std::size_t>(w)];
+  return diff;
+}
+
+}  // namespace powder

@@ -1,0 +1,141 @@
+#pragma once
+// Bit-parallel (64 patterns per word) logic simulation of mapped netlists.
+//
+// This is the workhorse behind both POWDER ingredients:
+//  * signal probabilities / transition activities for power estimation
+//    (weighted random patterns honoring the primary-input probabilities),
+//  * signatures and observability masks for candidate-substitution
+//    harvesting (a fault-simulation style flip-and-diff pass).
+//
+// Values are indexed by GateId and survive netlist mutation: after a
+// substitution, call `resimulate_from` with the gates whose function
+// changed and only their transitive fanout is recomputed.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+
+/// Word-level evaluator for library cells: a minimized SOP per cell,
+/// shared by all simulator instances over the same library.
+class CellEvaluator {
+ public:
+  explicit CellEvaluator(const CellLibrary& library);
+
+  /// Evaluates one 64-pattern word of cell `cell` from fanin words.
+  std::uint64_t evaluate(CellId cell,
+                         std::span<const std::uint64_t> fanin_words) const;
+
+ private:
+  struct WordCube {
+    std::uint64_t care = 0;   ///< bit i set: input i appears in the cube
+    std::uint64_t value = 0;  ///< bit i: required phase of input i
+  };
+  struct CellSop {
+    std::vector<WordCube> cubes;
+    bool const_one = false;
+  };
+  std::vector<CellSop> sops_;
+};
+
+class Simulator {
+ public:
+  /// `num_patterns` is rounded up to a multiple of 64. `pi_probs` gives the
+  /// probability of each primary input being 1 (empty = all 0.5).
+  Simulator(const Netlist& netlist, int num_patterns,
+            std::vector<double> pi_probs = {},
+            std::uint64_t seed = 0xB0DD5EEDull);
+
+  const Netlist& netlist() const { return *netlist_; }
+  int num_words() const { return num_words_; }
+  int num_patterns() const { return 64 * num_words_; }
+  const std::vector<double>& pi_probs() const { return pi_probs_; }
+
+  /// Replaces the PI stimulus with exhaustive patterns (requires
+  /// num_inputs() <= 16; pattern count becomes 2^n rounded up to 64).
+  void use_exhaustive_patterns();
+
+  /// Full resimulation of every live gate (also resizes internal storage
+  /// after gates were added).
+  void resimulate_all();
+
+  /// Recomputes the values of `roots` and their transitive fanout only.
+  void resimulate_from(std::span<const GateId> roots);
+
+  std::span<const std::uint64_t> value(GateId g) const {
+    return {values_.data() + static_cast<std::size_t>(g) * num_words_,
+            static_cast<std::size_t>(num_words_)};
+  }
+
+  /// Fraction of patterns where the signal is 1.
+  double signal_prob(GateId g) const;
+
+  /// Zero-delay transition activity E(s) = 2 p (1-p).
+  double activity(GateId g) const {
+    const double p = signal_prob(g);
+    return 2.0 * p * (1.0 - p);
+  }
+
+  /// Observability mask of stem `g`: bit set for every pattern where
+  /// complementing g's signal changes at least one primary output.
+  std::vector<std::uint64_t> stem_observability(GateId g) const;
+
+  /// Observability mask of one fanout branch of `g` (flip only that pin).
+  std::vector<std::uint64_t> branch_observability(GateId g,
+                                                  FanoutRef branch) const;
+
+  /// OR of output differences if gate `site`'s signal (stem) or one branch
+  /// is *replaced* by the given value words (not just complemented).
+  /// Used to validate candidate substitutions against the sampled patterns.
+  std::vector<std::uint64_t> output_diff_with_replacement(
+      GateId site, const FanoutRef* branch,
+      std::span<const std::uint64_t> replacement) const;
+
+  /// Trial evaluation of a replacement: returns (gate, new signal
+  /// probability) for every gate in the site's transitive fanout whose
+  /// value vector actually changes under the replacement (the inputs to
+  /// the paper's PG_C term). The netlist is not modified.
+  std::vector<std::pair<GateId, double>> trial_new_probs(
+      GateId site, const FanoutRef* branch,
+      std::span<const std::uint64_t> replacement) const;
+
+  /// Word-level evaluator shared with candidate generation.
+  const CellEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  const Netlist* netlist_;
+  CellEvaluator evaluator_;
+  int num_words_;
+  std::vector<double> pi_probs_;
+  Rng rng_;
+  std::vector<std::uint64_t> values_;          // slots * num_words_
+  mutable std::vector<std::uint64_t> scratch_; // same layout, for flips
+  std::vector<std::uint64_t> pi_stimulus_;     // frozen PI words
+
+  mutable std::vector<GateId> topo_cache_;
+  mutable std::uint64_t topo_generation_ = ~0ull;
+
+  void ensure_capacity();
+  void ensure_scratch() const;
+  void generate_stimulus();
+  const std::vector<GateId>& cached_topo() const;
+
+  /// Computes the value word-vector of gate g into `dest`, reading each
+  /// fanin from `scratch_` when its bit is set in `dirty`, else `values_`.
+  void eval_gate_mixed(GateId g, std::uint64_t* dest,
+                       const std::vector<std::uint8_t>& dirty) const;
+
+  /// Propagates preset scratch values of the gates in `dirty` through the
+  /// TFO; returns OR over outputs of (faulty ^ good). When `changed` is
+  /// non-null it collects the gates whose value vector changed (their new
+  /// values live in scratch_ until the next call).
+  std::vector<std::uint64_t> propagate_diff(
+      std::vector<std::uint8_t>& dirty, const std::vector<GateId>& frontier,
+      std::vector<GateId>* changed = nullptr) const;
+};
+
+}  // namespace powder

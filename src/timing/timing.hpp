@@ -1,0 +1,29 @@
+#pragma once
+// Static timing analysis with the paper's linear delay model (§2):
+//   D(gate) = tau + C_load * R_drive
+// Arrival times propagate from primary inputs; required times from the
+// primary outputs given a delay constraint. POWDER consults this to discard
+// substitutions that would push the circuit past the constraint (§3.4).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace powder {
+
+struct TimingAnalysis {
+  std::vector<double> arrival;   ///< indexed by GateId (signal at output)
+  std::vector<double> required;  ///< meaningful after analyze(.., constraint)
+  double circuit_delay = 0.0;    ///< max PO arrival
+
+  double slack(GateId g) const { return required[g] - arrival[g]; }
+};
+
+/// Delay of one gate given its current load.
+double gate_delay(const Netlist& netlist, GateId g);
+
+/// Full STA. If `constraint < 0`, required times are computed against the
+/// circuit's own delay (zero-slack critical path).
+TimingAnalysis analyze_timing(const Netlist& netlist, double constraint = -1.0);
+
+}  // namespace powder

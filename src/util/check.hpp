@@ -1,0 +1,55 @@
+#pragma once
+// Lightweight invariant checking used across the library.
+//
+// POWDER_CHECK is always on (it guards data-structure invariants whose
+// violation would silently corrupt results); POWDER_DCHECK compiles out in
+// NDEBUG builds and is used in inner loops.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace powder {
+
+/// Thrown when a POWDER_CHECK fails. Carrying the message in an exception
+/// (rather than calling abort()) keeps the library testable.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace powder
+
+#define POWDER_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::powder::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define POWDER_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream powder_os_;                                     \
+      powder_os_ << msg;                                                 \
+      ::powder::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                     powder_os_.str());                  \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define POWDER_DCHECK(expr) ((void)0)
+#else
+#define POWDER_DCHECK(expr) POWDER_CHECK(expr)
+#endif

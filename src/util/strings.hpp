@@ -1,0 +1,23 @@
+#pragma once
+// Small string utilities shared by the parsers and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace powder {
+
+/// Splits on any run of characters from `delims`; empty tokens are dropped.
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view delims = " \t\r\n");
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace powder

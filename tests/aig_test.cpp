@@ -1,0 +1,110 @@
+// Tests for the AIG: structural hashing, simplification rules, builders,
+// and exhaustive evaluation.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+namespace {
+
+TEST(Aig, TrivialAndRules) {
+  Aig aig;
+  const AigLit a = aig.add_input("a");
+  const AigLit b = aig.add_input("b");
+  EXPECT_EQ(aig.land(a, kAigFalse), kAigFalse);
+  EXPECT_EQ(aig.land(a, kAigTrue), a);
+  EXPECT_EQ(aig.land(a, a), a);
+  EXPECT_EQ(aig.land(a, aig_not(a)), kAigFalse);
+  const AigLit ab1 = aig.land(a, b);
+  const AigLit ab2 = aig.land(b, a);  // structural hashing canonicalizes
+  EXPECT_EQ(ab1, ab2);
+  EXPECT_EQ(aig.num_ands(), 1);
+}
+
+TEST(Aig, XorMuxSemantics) {
+  Aig aig;
+  const AigLit a = aig.add_input("a");
+  const AigLit b = aig.add_input("b");
+  const AigLit s = aig.add_input("s");
+  aig.add_output(aig.lxor(a, b), "x");
+  aig.add_output(aig.lmux(s, a, b), "m");
+  const auto tts = aig.output_truth_tables();
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const bool va = m & 1, vb = (m >> 1) & 1, vs = (m >> 2) & 1;
+    EXPECT_EQ(tts[0].bit(m), va != vb);
+    EXPECT_EQ(tts[1].bit(m), vs ? va : vb);
+  }
+}
+
+TEST(Aig, ManyInputBuilders) {
+  Aig aig;
+  std::vector<AigLit> lits;
+  for (int i = 0; i < 5; ++i) lits.push_back(aig.add_input());
+  aig.add_output(aig.land_many(lits), "and");
+  aig.add_output(aig.lor_many(lits), "or");
+  const auto tts = aig.output_truth_tables();
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    EXPECT_EQ(tts[0].bit(m), m == 31);
+    EXPECT_EQ(tts[1].bit(m), m != 0);
+  }
+}
+
+TEST(Aig, EmptyAndOr) {
+  Aig aig;
+  (void)aig.add_input("a");
+  aig.add_output(aig.land_many({}), "t");
+  aig.add_output(aig.lor_many({}), "f");
+  const auto tts = aig.output_truth_tables();
+  EXPECT_TRUE(tts[0].is_constant(true));
+  EXPECT_TRUE(tts[1].is_constant(false));
+}
+
+TEST(Aig, FromCoverMatchesTruthTable) {
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    Cover cover(5);
+    const int ncubes = 1 + static_cast<int>(rng.below(9));
+    for (int i = 0; i < ncubes; ++i) {
+      Cube cube(5);
+      for (int v = 0; v < 5; ++v) {
+        const double r = rng.uniform();
+        if (r < 0.3)
+          cube.set_lit(v, Lit::kOne);
+        else if (r < 0.6)
+          cube.set_lit(v, Lit::kZero);
+      }
+      cover.add(cube);
+    }
+    Aig aig;
+    std::vector<AigLit> vars;
+    for (int i = 0; i < 5; ++i) vars.push_back(aig.add_input());
+    aig.add_output(aig.from_cover(cover, vars), "f");
+    EXPECT_TRUE(aig.output_truth_tables()[0] == cover.to_truth_table());
+  }
+}
+
+TEST(Aig, LiveAndCountIgnoresDeadNodes) {
+  Aig aig;
+  const AigLit a = aig.add_input("a");
+  const AigLit b = aig.add_input("b");
+  const AigLit used = aig.land(a, b);
+  (void)aig.land(a, aig_not(b));  // dead
+  aig.add_output(used, "f");
+  EXPECT_EQ(aig.num_ands(), 2);
+  EXPECT_EQ(aig.live_and_count(), 1);
+}
+
+TEST(Aig, ConstantOutputs) {
+  Aig aig;
+  const AigLit a = aig.add_input("a");
+  aig.add_output(aig.land(a, aig_not(a)), "zero");
+  aig.add_output(kAigTrue, "one");
+  const auto tts = aig.output_truth_tables();
+  EXPECT_TRUE(tts[0].is_constant(false));
+  EXPECT_TRUE(tts[1].is_constant(true));
+}
+
+}  // namespace
+}  // namespace powder

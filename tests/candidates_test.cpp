@@ -1,0 +1,172 @@
+// Tests for candidate harvesting: the finder must produce the textbook
+// substitutions, respect structural constraints, and never propose a
+// candidate its own sampled evidence refutes.
+
+#include <gtest/gtest.h>
+
+#include "opt/candidates.hpp"
+
+namespace powder {
+namespace {
+
+class CandTest : public ::testing::Test {
+ protected:
+  CandTest() : lib_(CellLibrary::standard()), nl_(&lib_, "t") {}
+  CellLibrary lib_;
+  Netlist nl_;
+  CellId cell(const char* name) { return lib_.find(name); }
+};
+
+TEST_F(CandTest, FindsEquivalentStemSubstitution) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId g3 = nl_.add_gate(cell("inv1"), {g2});  // == g1
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+  nl_.add_output("g", g3);
+
+  Simulator sim(nl_, 1024);
+  PowerEstimator est(&sim);
+  CandidateFinder finder(nl_, est);
+  const auto cands = finder.find();
+
+  bool found = false;
+  for (const CandidateSub& c : cands) {
+    if (c.cls == SubstClass::kOS2 && c.target == g1 &&
+        c.rep.kind == ReplacementFunction::Kind::kSignal && c.rep.b == g3 &&
+        !c.rep.invert_b)
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CandTest, FindsFigure2BranchSubstitution) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId d = nl_.add_gate(cell("xor2"), {a, c}, "d");
+  const GateId f = nl_.add_gate(cell("and2"), {d, b}, "f");
+  const GateId e = nl_.add_gate(cell("and2"), {a, b}, "e");
+  nl_.add_output("fo", f);
+  nl_.add_output("eo", e);
+
+  Simulator sim(nl_, 2048);
+  PowerEstimator est(&sim);
+  CandidateFinder finder(nl_, est);
+  const auto cands = finder.find();
+
+  bool found = false;
+  for (const CandidateSub& c : cands) {
+    if (c.cls == SubstClass::kIS2 && c.target == a && c.branch.has_value() &&
+        c.branch->gate == d && c.rep.b == e)
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CandTest, NeverProposesCycles) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("inv1"), {g1});
+  const GateId g3 = nl_.add_gate(cell("or2"), {g2, b});
+  nl_.add_output("f", g3);
+
+  Simulator sim(nl_, 1024);
+  PowerEstimator est(&sim);
+  CandidateFinder finder(nl_, est);
+  for (const CandidateSub& c : finder.find())
+    EXPECT_TRUE(substitution_still_valid(nl_, c));
+}
+
+TEST_F(CandTest, UnobservableSignalYieldsConstantCandidate) {
+  // g1 = a&b feeding or2(g1, a): unobservable (a=1 forces out, a=0 kills
+  // g1); expect an OS2-by-constant candidate.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+
+  Simulator sim(nl_, 2048);
+  PowerEstimator est(&sim);
+  CandidateFinder finder(nl_, est);
+  bool found_const = false;
+  for (const CandidateSub& c : finder.find())
+    if (c.target == g1 &&
+        c.rep.kind == ReplacementFunction::Kind::kConstant)
+      found_const = true;
+  EXPECT_TRUE(found_const);
+}
+
+TEST_F(CandTest, ThreeInputCandidatesMatchSampledFunction) {
+  // s == a & b must be found as OS3(and2(a,b)).
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId n = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId s = nl_.add_gate(cell("inv1"), {n});
+  const GateId top = nl_.add_gate(cell("xor2"), {s, c});
+  nl_.add_output("f", top);
+
+  Simulator sim(nl_, 2048);
+  PowerEstimator est(&sim);
+  CandidateFinder finder(nl_, est);
+  bool found_os3 = false;
+  for (const CandidateSub& cand : finder.find()) {
+    if (cand.cls != SubstClass::kOS3 || cand.target != s) continue;
+    if (cand.rep.kind != ReplacementFunction::Kind::kTwoInput) continue;
+    // The proposal must agree with the simulator's evidence by
+    // construction; additionally verify it is the real AND shape.
+    if ((cand.rep.b == a && cand.rep.c == b) ||
+        (cand.rep.b == b && cand.rep.c == a))
+      found_os3 = true;
+  }
+  EXPECT_TRUE(found_os3);
+}
+
+TEST_F(CandTest, PreselectionGainsAreFilled) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId g3 = nl_.add_gate(cell("inv1"), {g2});
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+  nl_.add_output("g", g3);
+
+  Simulator sim(nl_, 1024);
+  PowerEstimator est(&sim);
+  CandidateFinder finder(nl_, est);
+  const auto cands = finder.find();
+  ASSERT_FALSE(cands.empty());
+  for (const CandidateSub& c : cands) {
+    EXPECT_GE(c.pg_a, 0.0);
+    EXPECT_LE(c.pg_b, 1e-12);
+  }
+  // Sorted by preselection gain, descending.
+  for (std::size_t i = 1; i < cands.size(); ++i)
+    EXPECT_GE(cands[i - 1].preselect_gain(), cands[i].preselect_gain());
+}
+
+TEST_F(CandTest, RespectsCandidateCap) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  GateId prev = nl_.add_gate(cell("and2"), {a, b});
+  for (int i = 0; i < 12; ++i)
+    prev = nl_.add_gate(cell("xor2"), {prev, i % 2 ? b : c});
+  nl_.add_output("f", prev);
+
+  Simulator sim(nl_, 1024);
+  PowerEstimator est(&sim);
+  CandidateOptions opt;
+  opt.max_candidates = 5;
+  CandidateFinder finder(nl_, est, opt);
+  EXPECT_LE(finder.find().size(), 5u);
+}
+
+}  // namespace
+}  // namespace powder

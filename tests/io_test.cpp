@@ -1,0 +1,161 @@
+// Tests for BLIF and PLA I/O: round-trips and error handling.
+
+#include <gtest/gtest.h>
+
+#include "bdd/netlist_bdd.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "io/blif.hpp"
+#include "mapper/mapper.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+namespace {
+
+TEST(Blif, WriteReadRoundTrip) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Aig aig = make_comparator(4);
+  const Netlist original = map_aig(aig, lib);
+  const std::string text = write_blif(original);
+  const Netlist parsed = read_blif(text, lib);
+  parsed.check_consistency();
+  EXPECT_EQ(parsed.num_inputs(), original.num_inputs());
+  EXPECT_EQ(parsed.num_outputs(), original.num_outputs());
+  EXPECT_EQ(parsed.num_cells(), original.num_cells());
+  EXPECT_TRUE(functionally_equivalent(original, parsed));
+}
+
+TEST(Blif, RoundTripOnBenchmarks) {
+  const CellLibrary lib = CellLibrary::standard();
+  for (const char* name : {"rd84", "misex3", "t481"}) {
+    const Netlist original = map_aig(make_benchmark(name), lib);
+    const Netlist parsed = read_blif(write_blif(original), lib);
+    EXPECT_TRUE(functionally_equivalent(original, parsed)) << name;
+  }
+}
+
+TEST(Blif, ParsesHandWrittenNetlist) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = read_blif(
+      ".model test\n"
+      ".inputs a b c\n"
+      ".outputs f\n"
+      "# gates may appear in any order\n"
+      ".gate or2 a=n1 b=c O=f\n"
+      ".gate and2 a=a b=b O=n1\n"
+      ".end\n",
+      lib);
+  nl.check_consistency();
+  EXPECT_EQ(nl.num_cells(), 2);
+
+  Netlist want(&lib, "want");
+  const GateId a = want.add_input("a");
+  const GateId b = want.add_input("b");
+  const GateId c = want.add_input("c");
+  const GateId n1 = want.add_gate(lib.find("and2"), {a, b});
+  const GateId f = want.add_gate(lib.find("or2"), {n1, c});
+  want.add_output("f", f);
+  EXPECT_TRUE(functionally_equivalent(want, nl));
+}
+
+TEST(Blif, ConstantsViaNames) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = read_blif(
+      ".model c\n.inputs a\n.outputs f g\n"
+      ".names one\n1\n"
+      ".names zero\n"
+      ".gate and2 a=a b=one O=f\n"
+      ".gate or2 a=a b=zero O=g\n"
+      ".end\n",
+      lib);
+  nl.check_consistency();
+  // f == a, g == a.
+  NetlistBdds bdds(nl);
+  EXPECT_EQ(bdds.gate_function[nl.outputs()[0]],
+            bdds.gate_function[nl.outputs()[1]]);
+}
+
+TEST(Blif, ErrorsAreReported) {
+  const CellLibrary lib = CellLibrary::standard();
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs f\n"
+                         ".gate nosuchcell a=a O=f\n.end\n",
+                         lib),
+               CheckError);
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs f\n.end\n", lib),
+               CheckError);  // undriven output
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs f\n"
+                         ".gate and2 a=a b=f O=f\n.end\n",
+                         lib),
+               CheckError);  // combinational cycle
+}
+
+TEST(Pla, ParseBasics) {
+  const SopNetwork sop = read_pla(
+      ".i 3\n.o 2\n.ilb x y z\n.ob f g\n.p 3\n"
+      "1-0 10\n"
+      "011 11\n"
+      "--1 01\n"
+      ".e\n");
+  EXPECT_EQ(sop.num_inputs(), 3);
+  EXPECT_EQ(sop.num_outputs(), 2);
+  EXPECT_EQ(sop.input_names[0], "x");
+  EXPECT_EQ(sop.outputs[0].num_cubes(), 2);
+  EXPECT_EQ(sop.outputs[1].num_cubes(), 2);
+}
+
+TEST(Pla, WriteReadRoundTrip) {
+  const SopNetwork sop = make_random_pla("p", 8, 4, 20, 5);
+  const SopNetwork back = read_pla(write_pla(sop), "p");
+  ASSERT_EQ(back.num_outputs(), sop.num_outputs());
+  for (int o = 0; o < sop.num_outputs(); ++o)
+    EXPECT_TRUE(back.outputs[static_cast<std::size_t>(o)].to_truth_table() ==
+                sop.outputs[static_cast<std::size_t>(o)].to_truth_table())
+        << o;
+}
+
+TEST(Pla, DefaultNamesGenerated) {
+  const SopNetwork sop = read_pla(".i 2\n.o 1\n11 1\n.e\n");
+  EXPECT_EQ(sop.input_names.size(), 2u);
+  EXPECT_EQ(sop.output_names.size(), 1u);
+}
+
+TEST(Pla, DontCareOutputsCollected) {
+  const SopNetwork sop = read_pla(
+      ".i 2\n.o 2\n"
+      "11 1-\n"   // minterm 11: ON for f, DC for g
+      "10 01\n"
+      "01 ~0\n"   // minterm 01: DC for f ('~' form)
+      ".e\n");
+  ASSERT_TRUE(sop.has_dc());
+  EXPECT_EQ(sop.outputs[0].num_cubes(), 1);
+  EXPECT_EQ(sop.outputs[1].num_cubes(), 1);
+  EXPECT_EQ(sop.dc_sets[0].num_cubes(), 1);
+  EXPECT_EQ(sop.dc_sets[1].num_cubes(), 1);
+  EXPECT_EQ(sop.dc_sets[0].cubes()[0].to_pla(), "01");
+  EXPECT_EQ(sop.dc_sets[1].cubes()[0].to_pla(), "11");
+}
+
+TEST(Pla, DcAwareFlowStaysInsideSandwich) {
+  // Synthesize with DC: every output must agree with the ON-set where the
+  // DC set does not apply.
+  const SopNetwork sop = read_pla(
+      ".i 3\n.o 1\n"
+      "111 1\n"
+      "110 1\n"
+      "0-- ~\n"  // lower half is don't-care
+      ".e\n");
+  ASSERT_TRUE(sop.has_dc());
+  const Aig aig = synthesize(sop);
+  const TruthTable t = aig.output_truth_tables()[0];
+  const TruthTable on = sop.outputs[0].to_truth_table();
+  const TruthTable dc = sop.dc_sets[0].to_truth_table();
+  EXPECT_TRUE((on & ~t).is_constant(false));         // covers ON
+  EXPECT_TRUE((t & ~(on | dc)).is_constant(false));  // inside ON|DC
+}
+
+TEST(Pla, MalformedThrows) {
+  EXPECT_THROW(read_pla("11 1\n"), CheckError);            // cube before .i/.o
+  EXPECT_THROW(read_pla(".i 2\n.o 1\n1 1\n"), CheckError);  // wrong width
+}
+
+}  // namespace
+}  // namespace powder

@@ -1,0 +1,145 @@
+// Tests for the technology mapper: functional equivalence with the subject
+// AIG (exhaustively and per-output), both cost modes, and structural
+// well-formedness of the result.
+
+#include <gtest/gtest.h>
+
+#include "bdd/netlist_bdd.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "mapper/mapper.hpp"
+#include "power/power.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+namespace {
+
+/// Exhaustively checks that the mapped netlist equals the AIG.
+void expect_equivalent(const Aig& aig, const Netlist& nl) {
+  ASSERT_LE(aig.num_inputs(), 14);
+  ASSERT_EQ(nl.num_inputs(), aig.num_inputs());
+  ASSERT_EQ(nl.num_outputs(), aig.num_outputs());
+  const auto want = aig.output_truth_tables();
+
+  Simulator sim(nl, 64);
+  sim.use_exhaustive_patterns();
+  const std::uint64_t total = 1ull << aig.num_inputs();
+  for (int o = 0; o < nl.num_outputs(); ++o) {
+    const auto v = sim.value(nl.outputs()[static_cast<std::size_t>(o)]);
+    for (std::uint64_t m = 0; m < total; ++m)
+      ASSERT_EQ((v[m >> 6] >> (m & 63)) & 1,
+                static_cast<std::uint64_t>(
+                    want[static_cast<std::size_t>(o)].bit(m)))
+          << "output " << o << " minterm " << m;
+  }
+}
+
+TEST(Mapper, SimpleFunctions) {
+  const CellLibrary lib = CellLibrary::standard();
+  Aig aig;
+  const AigLit a = aig.add_input("a");
+  const AigLit b = aig.add_input("b");
+  const AigLit c = aig.add_input("c");
+  aig.add_output(aig.land(a, b), "and");
+  aig.add_output(aig.lxor(a, c), "xor");
+  aig.add_output(aig_not(aig.lor(b, c)), "nor");
+  aig.add_output(a, "buf");
+  aig.add_output(aig_not(a), "inv");
+  const Netlist nl = map_aig(aig, lib);
+  nl.check_consistency();
+  expect_equivalent(aig, nl);
+}
+
+TEST(Mapper, ConstantOutputs) {
+  const CellLibrary lib = CellLibrary::standard();
+  Aig aig;
+  const AigLit a = aig.add_input("a");
+  aig.add_output(aig.land(a, aig_not(a)), "zero");
+  aig.add_output(kAigTrue, "one");
+  const Netlist nl = map_aig(aig, lib);
+  expect_equivalent(aig, nl);
+}
+
+TEST(Mapper, ArithmeticCircuits) {
+  const CellLibrary lib = CellLibrary::standard();
+  for (const Aig& aig :
+       {make_adder(3), make_comparator(3), make_rd(5),
+        make_symmetric(7, 2, 4), make_parity(6), make_multiplier(3)}) {
+    const Netlist nl = map_aig(aig, lib);
+    nl.check_consistency();
+    expect_equivalent(aig, nl);
+  }
+}
+
+TEST(Mapper, BothModesAreCorrect) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Aig aig = make_alu(2);
+  for (MapMode mode : {MapMode::kArea, MapMode::kPower}) {
+    MapperOptions opt;
+    opt.mode = mode;
+    const Netlist nl = map_aig(aig, lib, opt);
+    nl.check_consistency();
+    expect_equivalent(aig, nl);
+  }
+}
+
+TEST(Mapper, AreaModeNotWorseThanNaive) {
+  // Minimum-area covering should beat one-cell-per-AND-node mapping.
+  const CellLibrary lib = CellLibrary::standard();
+  const Aig aig = make_comparator(6);
+  MapperOptions opt;
+  opt.mode = MapMode::kArea;
+  const Netlist nl = map_aig(aig, lib, opt);
+  const double naive_area =
+      aig.live_and_count() *
+      (lib.cell_by_name("nand2").area + lib.cell_by_name("inv1").area);
+  EXPECT_LT(nl.total_area(), naive_area);
+}
+
+TEST(Mapper, PowerModeReducesSwitchedCap) {
+  // On average the power-driven cover should not be worse than the
+  // area-driven one in switched capacitance.
+  const CellLibrary lib = CellLibrary::standard();
+  double power_mode_total = 0.0, area_mode_total = 0.0;
+  for (const char* name : {"comp", "rd84", "Z5xp1", "clip"}) {
+    const Aig aig = make_benchmark(name);
+    MapperOptions popt;
+    popt.mode = MapMode::kPower;
+    Netlist np = map_aig(aig, lib, popt);
+    MapperOptions aopt;
+    aopt.mode = MapMode::kArea;
+    Netlist na = map_aig(aig, lib, aopt);
+    const std::vector<double> probs(
+        static_cast<std::size_t>(np.num_inputs()), 0.5);
+    Simulator sp(np, 8192);
+    Simulator sa(na, 8192);
+    power_mode_total += PowerEstimator(&sp).total_power();
+    area_mode_total += PowerEstimator(&sa).total_power();
+  }
+  EXPECT_LE(power_mode_total, area_mode_total * 1.05);
+}
+
+TEST(Mapper, RandomLogicEquivalence) {
+  const CellLibrary lib = CellLibrary::standard();
+  for (int seed = 0; seed < 6; ++seed) {
+    const Aig aig = make_random_logic("rnd", 7, 4, 40,
+                                      static_cast<std::uint64_t>(seed));
+    const Netlist nl = map_aig(aig, lib);
+    nl.check_consistency();
+    expect_equivalent(aig, nl);
+  }
+}
+
+TEST(Mapper, PreservesInputOutputNames) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Aig aig = make_adder(2);
+  const Netlist nl = map_aig(aig, lib);
+  for (int i = 0; i < aig.num_inputs(); ++i)
+    EXPECT_EQ(nl.gate_name(nl.inputs()[static_cast<std::size_t>(i)]),
+              aig.input_name(i));
+  for (int o = 0; o < aig.num_outputs(); ++o)
+    EXPECT_EQ(nl.gate_name(nl.outputs()[static_cast<std::size_t>(o)]),
+              aig.output_name(o));
+}
+
+}  // namespace
+}  // namespace powder

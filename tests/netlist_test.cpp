@@ -1,0 +1,207 @@
+// Tests for the netlist data structure: construction, rewiring primitives,
+// dead-logic sweeping, MFFC, and the consistency checker.
+
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "util/check.hpp"
+
+namespace powder {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  NetlistTest() : lib_(CellLibrary::standard()), nl_(&lib_, "t") {}
+
+  CellLibrary lib_;
+  Netlist nl_;
+
+  CellId cell(const char* name) { return lib_.find(name); }
+};
+
+TEST_F(NetlistTest, BuildSmallCircuit) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g = nl_.add_gate(cell("and2"), {a, b}, "g");
+  const GateId o = nl_.add_output("f", g);
+  EXPECT_EQ(nl_.num_inputs(), 2);
+  EXPECT_EQ(nl_.num_outputs(), 1);
+  EXPECT_EQ(nl_.num_cells(), 1);
+  EXPECT_EQ(nl_.gate(g).fanouts.size(), 1u);
+  EXPECT_EQ(nl_.gate(o).fanins[0], g);
+  nl_.check_consistency();
+}
+
+TEST_F(NetlistTest, SignalCapSumsFanoutPins) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId x = nl_.add_gate(cell("xor2"), {a, b});   // pin cap 2 each
+  const GateId g = nl_.add_gate(cell("and2"), {a, x});   // pin cap 1 each
+  nl_.add_output("f", g, 1.5);
+  // a drives one xor pin (2) + one and pin (1).
+  EXPECT_DOUBLE_EQ(nl_.signal_cap(a), 3.0);
+  EXPECT_DOUBLE_EQ(nl_.signal_cap(x), 1.0);
+  EXPECT_DOUBLE_EQ(nl_.signal_cap(g), 1.5);  // PO load
+}
+
+TEST_F(NetlistTest, SetFaninRewiresAndMaintainsFanout) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId g = nl_.add_gate(cell("and2"), {a, b});
+  nl_.add_output("f", g);
+  nl_.set_fanin(g, 0, c);
+  EXPECT_EQ(nl_.gate(g).fanins[0], c);
+  EXPECT_TRUE(nl_.gate(a).fanouts.empty());
+  EXPECT_EQ(nl_.gate(c).fanouts.size(), 1u);
+  nl_.check_consistency();
+}
+
+TEST_F(NetlistTest, SetFaninRejectsCycles) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("or2"), {g1, b});
+  nl_.add_output("f", g2);
+  EXPECT_THROW(nl_.set_fanin(g1, 0, g2), CheckError);
+}
+
+TEST_F(NetlistTest, ReplaceAllFanouts) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("or2"), {a, b});
+  const GateId g3 = nl_.add_gate(cell("nand2"), {g1, b});
+  const GateId g4 = nl_.add_gate(cell("nor2"), {g1, g1});
+  nl_.add_output("f", g3);
+  nl_.add_output("h", g4);
+  nl_.replace_all_fanouts(g1, g2);
+  EXPECT_TRUE(nl_.gate(g1).fanouts.empty());
+  EXPECT_EQ(nl_.gate(g2).fanouts.size(), 3u);
+  EXPECT_EQ(nl_.gate(g3).fanins[0], g2);
+  EXPECT_EQ(nl_.gate(g4).fanins[0], g2);
+  EXPECT_EQ(nl_.gate(g4).fanins[1], g2);
+  nl_.check_consistency();
+}
+
+TEST_F(NetlistTest, RemoveGateRecursiveSweepsCone) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("inv1"), {g1});
+  const GateId g3 = nl_.add_gate(cell("or2"), {g2, c});
+  const GateId keep = nl_.add_gate(cell("and2"), {a, c});
+  nl_.add_output("f", keep);
+  // g3 has no fanout: removing it should cascade through g2, g1 but spare
+  // shared inputs and the kept gate.
+  const auto removed = nl_.remove_gate_recursive(g3);
+  EXPECT_EQ(removed.size(), 3u);
+  EXPECT_FALSE(nl_.alive(g1));
+  EXPECT_FALSE(nl_.alive(g2));
+  EXPECT_FALSE(nl_.alive(g3));
+  EXPECT_TRUE(nl_.alive(keep));
+  EXPECT_TRUE(nl_.alive(a));
+  nl_.check_consistency();
+}
+
+TEST_F(NetlistTest, SweepDeadFindsAllDanglers) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId used = nl_.add_gate(cell("and2"), {a, b});
+  (void)nl_.add_gate(cell("or2"), {a, b});  // dead
+  (void)nl_.add_gate(cell("xor2"), {a, b});  // dead
+  nl_.add_output("f", used);
+  EXPECT_EQ(nl_.sweep_dead().size(), 2u);
+  EXPECT_EQ(nl_.num_cells(), 1);
+  nl_.check_consistency();
+}
+
+TEST_F(NetlistTest, MffcStopsAtSharedLogic) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId shared = nl_.add_gate(cell("and2"), {a, b});
+  const GateId only = nl_.add_gate(cell("inv1"), {shared});
+  const GateId top = nl_.add_gate(cell("or2"), {only, shared});
+  nl_.add_output("f", top);
+  const auto cone = nl_.mffc(top);
+  // top and only die with top; shared survives (feeds... nothing else
+  // after top dies, actually shared has two fanouts both inside the cone).
+  std::vector<GateId> expect{top, only, shared};
+  EXPECT_EQ(cone.size(), 3u);
+  for (GateId g : expect)
+    EXPECT_NE(std::find(cone.begin(), cone.end(), g), cone.end());
+}
+
+TEST_F(NetlistTest, MffcExcludesExternallyUsedGates) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId shared = nl_.add_gate(cell("and2"), {a, b});
+  const GateId top = nl_.add_gate(cell("inv1"), {shared});
+  nl_.add_output("f", top);
+  nl_.add_output("g", shared);  // external use of shared
+  const auto cone = nl_.mffc(top);
+  EXPECT_EQ(cone.size(), 1u);
+  EXPECT_EQ(cone[0], top);
+}
+
+TEST_F(NetlistTest, TfoAndInTfo) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("inv1"), {g1});
+  const GateId g3 = nl_.add_gate(cell("or2"), {a, b});
+  nl_.add_output("f", g2);
+  nl_.add_output("h", g3);
+  EXPECT_TRUE(nl_.in_tfo(g1, g2));
+  EXPECT_FALSE(nl_.in_tfo(g2, g1));
+  EXPECT_FALSE(nl_.in_tfo(g1, g3));
+  EXPECT_FALSE(nl_.in_tfo(g1, g1));
+  const auto t = nl_.tfo(a);
+  EXPECT_EQ(t.size(), 5u);  // g1, g2, g3 and two POs
+}
+
+TEST_F(NetlistTest, TopoOrderRespectsDependencies) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("inv1"), {g1});
+  nl_.add_output("f", g2);
+  const auto order = nl_.topo_order();
+  std::vector<std::size_t> pos(nl_.num_slots());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[a], pos[g1]);
+  EXPECT_LT(pos[b], pos[g1]);
+  EXPECT_LT(pos[g1], pos[g2]);
+}
+
+TEST_F(NetlistTest, TotalAreaTracksLiveGates) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g = nl_.add_gate(cell("and2"), {a, b});
+  const GateId dead = nl_.add_gate(cell("xor2"), {a, b});
+  nl_.add_output("f", g);
+  const double with_dead = nl_.total_area();
+  nl_.remove_gate_recursive(dead);
+  EXPECT_DOUBLE_EQ(nl_.total_area(),
+                   with_dead - lib_.cell_by_name("xor2").area);
+}
+
+TEST_F(NetlistTest, GenerationBumpsOnMutation) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const auto g0 = nl_.generation();
+  const GateId g = nl_.add_gate(cell("and2"), {a, b});
+  EXPECT_GT(nl_.generation(), g0);
+  const auto g1 = nl_.generation();
+  nl_.add_output("f", g);
+  EXPECT_GT(nl_.generation(), g1);
+}
+
+TEST_F(NetlistTest, ArityMismatchThrows) {
+  const GateId a = nl_.add_input("a");
+  EXPECT_THROW(nl_.add_gate(cell("and2"), {a}), CheckError);
+}
+
+}  // namespace
+}  // namespace powder

@@ -1,0 +1,127 @@
+// Tests for power estimation: the three estimators agree where they must,
+// and incremental updates match from-scratch estimation.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchmarks.hpp"
+#include "power/power.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+namespace {
+
+class PowerTest : public ::testing::Test {
+ protected:
+  PowerTest() : lib_(CellLibrary::standard()), nl_(&lib_, "t") {}
+  CellLibrary lib_;
+  Netlist nl_;
+  CellId cell(const char* name) { return lib_.find(name); }
+};
+
+TEST_F(PowerTest, Figure2StyleCircuitPower) {
+  // Circuit A of the paper's Figure 2: d = a^c, f = d&b, e = a&b.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId d = nl_.add_gate(cell("xor2"), {a, c}, "d");
+  const GateId f = nl_.add_gate(cell("and2"), {d, b}, "f");
+  const GateId e = nl_.add_gate(cell("and2"), {a, b}, "e");
+  nl_.add_output("fo", f, 0.0);  // zero external load like the paper
+  nl_.add_output("eo", e, 0.0);
+
+  Simulator sim(nl_, 64);
+  sim.use_exhaustive_patterns();
+  PowerEstimator est(&sim);
+  // Exact activities at p=0.5 inputs: E(a)=E(b)=E(c)=E(d)=0.5,
+  // E(e)=E(f)=0.375. Loads: a -> xor pin (2) + and pin (1) = 3;
+  // b -> two and pins = 2; c -> xor pin = 2; d -> and pin = 1; e, f -> 0.
+  EXPECT_DOUBLE_EQ(est.activity(a), 0.5);
+  EXPECT_DOUBLE_EQ(est.activity(e), 0.375);
+  const double expected =
+      3 * 0.5 + 2 * 0.5 + 2 * 0.5 + 1 * 0.5 + 0.0 + 0.0;
+  EXPECT_DOUBLE_EQ(est.total_power(), expected);
+}
+
+TEST_F(PowerTest, EstimatorsAgreeOnTreeCircuits) {
+  // On fanout-free (tree) circuits the independence propagation is exact,
+  // so all three estimators must coincide.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId d = nl_.add_input("d");
+  const GateId g1 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("nor2"), {c, d});
+  const GateId g3 = nl_.add_gate(cell("xor2"), {g1, g2});
+  nl_.add_output("f", g3);
+
+  const std::vector<double> pi_probs{0.3, 0.5, 0.7, 0.9};
+  const auto exact = exact_signal_probs(nl_, pi_probs);
+  const auto prop = propagate_signal_probs(nl_, pi_probs);
+  for (GateId g = 0; g < nl_.num_slots(); ++g)
+    if (nl_.alive(g)) EXPECT_NEAR(exact[g], prop[g], 1e-12);
+
+  Simulator sim(nl_, 1 << 15, pi_probs);
+  PowerEstimator est(&sim);
+  EXPECT_NEAR(est.total_power(), switched_capacitance(nl_, exact), 0.08);
+}
+
+TEST_F(PowerTest, IndependencePropagationDiffersOnReconvergence) {
+  // f = a & a' through two paths: exact prob is 0, independence says 0.25.
+  const GateId a = nl_.add_input("a");
+  const GateId i = nl_.add_gate(cell("inv1"), {a});
+  const GateId g = nl_.add_gate(cell("and2"), {a, i});
+  nl_.add_output("f", g);
+  const auto exact = exact_signal_probs(nl_, {0.5});
+  const auto prop = propagate_signal_probs(nl_, {0.5});
+  EXPECT_DOUBLE_EQ(exact[g], 0.0);
+  EXPECT_DOUBLE_EQ(prop[g], 0.25);
+}
+
+TEST_F(PowerTest, UpdateAfterChangeMatchesFullEstimate) {
+  // Property 2 of DESIGN.md: incremental == from scratch.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("or2"), {g1, c});
+  const GateId g3 = nl_.add_gate(cell("xor2"), {g2, a});
+  nl_.add_output("f", g3);
+
+  Simulator sim(nl_, 2048);
+  PowerEstimator est(&sim);
+  nl_.set_fanin(g2, 1, b);  // rewire
+  est.update_after_change(std::vector<GateId>{g2});
+  const double incremental = est.total_power();
+
+  est.estimate_all();  // simulator values are already current
+  EXPECT_DOUBLE_EQ(est.total_power(), incremental);
+}
+
+TEST_F(PowerTest, ActivityOfComplementEqualsActivity) {
+  const GateId a = nl_.add_input("a");
+  const GateId i = nl_.add_gate(cell("inv1"), {a});
+  const GateId g = nl_.add_gate(cell("and2"), {i, a});
+  nl_.add_output("f", g);
+  Simulator sim(nl_, 4096, {0.8});
+  PowerEstimator est(&sim);
+  EXPECT_DOUBLE_EQ(est.activity(a), est.activity(i));
+}
+
+TEST(PowerSuite, SimulationTracksExactOnBenchmarks) {
+  // Cross-check the simulation estimator against exact BDD probabilities
+  // on small generated circuits.
+  const CellLibrary lib = CellLibrary::standard();
+  for (const char* name : {"comp", "rd84", "Z5xp1"}) {
+    const Aig aig = make_benchmark(name);
+    Netlist nl = map_aig(aig, lib);
+    const std::vector<double> pi_probs(
+        static_cast<std::size_t>(nl.num_inputs()), 0.5);
+    const double exact = switched_capacitance(nl, exact_signal_probs(nl, pi_probs));
+    Simulator sim(nl, 1 << 14);
+    PowerEstimator est(&sim);
+    EXPECT_NEAR(est.total_power() / exact, 1.0, 0.05) << name;
+  }
+}
+
+}  // namespace
+}  // namespace powder

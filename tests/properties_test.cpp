@@ -1,0 +1,208 @@
+// Cross-module property tests that don't belong to a single component:
+// simulator-vs-BDD agreement, estimator consistency, netlist value
+// semantics, and library integrity properties.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bdd/netlist_bdd.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "io/blif.hpp"
+#include "mapper/mapper.hpp"
+#include "power/power.hpp"
+#include "timing/timing.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+namespace {
+
+// --- simulator vs BDD oracle ------------------------------------------------
+
+class SimOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimOracle, ExhaustiveSimulationMatchesBdds) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Aig aig = make_random_logic("so", 7, 4, 35,
+                                    static_cast<std::uint64_t>(GetParam()));
+  const Netlist nl = map_aig(aig, lib);
+  Simulator sim(nl, 128);
+  sim.use_exhaustive_patterns();
+  NetlistBdds bdds(nl);
+  for (GateId g = 0; g < nl.num_slots(); ++g) {
+    if (!nl.alive(g)) continue;
+    const auto v = sim.value(g);
+    for (std::uint64_t m = 0; m < 128; ++m) {
+      const bool simulated = (v[m >> 6] >> (m & 63)) & 1;
+      const bool exact =
+          bdds.manager.evaluate(bdds.gate_function[g], m & 127);
+      ASSERT_EQ(simulated, exact)
+          << nl.gate_name(g) << " minterm " << (m & 127);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimOracle, ::testing::Range(0, 6));
+
+// --- observability vs ODC ground truth --------------------------------------
+
+class ObservabilityOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObservabilityOracle, StemObservabilityMatchesDefinition) {
+  // O(g) bit m must equal: flipping g under input m changes some output.
+  const CellLibrary lib = CellLibrary::standard();
+  const Aig aig = make_random_logic("oo", 6, 3, 25,
+                                    static_cast<std::uint64_t>(GetParam()));
+  Netlist nl = map_aig(aig, lib);
+  Simulator sim(nl, 64);
+  sim.use_exhaustive_patterns();
+  const std::uint64_t total = 1ull << nl.num_inputs();
+
+  NetlistBdds bdds(nl);
+  for (GateId g = 0; g < nl.num_slots(); ++g) {
+    if (!nl.alive(g) || nl.kind(g) != GateKind::kCell) continue;
+    const auto obs = sim.stem_observability(g);
+    for (std::uint64_t m = 0; m < total; ++m) {
+      // Ground truth by brute force: evaluate all outputs with g's value
+      // forced to both polarities. We use the BDD cofactors of each
+      // output with respect to... simpler: compare against the simulator's
+      // own flip — already what stem_observability does — so instead
+      // recompute through an independent path: rebuild netlist values by
+      // direct gate evaluation with an injected flip.
+      bool differs = false;
+      {
+        // Direct interpretive evaluation.
+        std::vector<int> val(nl.num_slots(), -1);
+        auto eval = [&](auto&& self, GateId x) -> int {
+          if (val[x] >= 0) return val[x];
+          const Gate& gate = nl.gate(x);
+          int r;
+          if (gate.kind == GateKind::kInput) {
+            int idx = 0;
+            for (int i = 0; i < nl.num_inputs(); ++i)
+              if (nl.inputs()[static_cast<std::size_t>(i)] == x) idx = i;
+            r = (m >> idx) & 1;
+          } else if (gate.kind == GateKind::kOutput) {
+            r = self(self, gate.fanins[0]);
+          } else {
+            std::uint64_t in = 0;
+            for (int pin = 0; pin < gate.num_fanins(); ++pin)
+              if (self(self, gate.fanins[static_cast<std::size_t>(pin)]))
+                in |= 1ull << pin;
+            r = nl.cell_of(x).function.bit(in) ? 1 : 0;
+          }
+          if (x == g) r ^= 1;  // injected flip
+          val[x] = r;
+          return r;
+        };
+        std::vector<int> flipped;
+        for (GateId o : nl.outputs()) flipped.push_back(eval(eval, o));
+        // Reference values from the simulator.
+        for (std::size_t oi = 0; oi < flipped.size(); ++oi) {
+          const auto v = sim.value(nl.outputs()[oi]);
+          const bool good = (v[m >> 6] >> (m & 63)) & 1;
+          if (good != (flipped[oi] != 0)) differs = true;
+        }
+      }
+      const bool mask_bit = (obs[m >> 6] >> (m & 63)) & 1;
+      ASSERT_EQ(mask_bit, differs)
+          << nl.gate_name(g) << " minterm " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObservabilityOracle, ::testing::Range(0, 4));
+
+// --- estimator consistency ---------------------------------------------------
+
+TEST(EstimatorConsistency, SwitchedCapMatchesEstimatorOnExhaustivePatterns) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = map_aig(make_benchmark("rd84"), lib);
+  Simulator sim(nl, 256);
+  sim.use_exhaustive_patterns();
+  PowerEstimator est(&sim);
+  const std::vector<double> probs(
+      static_cast<std::size_t>(nl.num_inputs()), 0.5);
+  const double exact = switched_capacitance(nl, exact_signal_probs(nl, probs));
+  EXPECT_NEAR(est.total_power(), exact, 1e-9);
+}
+
+TEST(EstimatorConsistency, PowerIsLoadMonotone) {
+  // Adding external load to any output can only increase total power.
+  const CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib, "t");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(lib.find("xor2"), {a, b});
+  nl.add_output("f", g, 1.0);
+  Simulator s1(nl, 1024);
+  const double p1 = PowerEstimator(&s1).total_power();
+  nl.add_output("f2", g, 3.0);
+  Simulator s2(nl, 1024);
+  const double p2 = PowerEstimator(&s2).total_power();
+  EXPECT_GT(p2, p1);
+}
+
+// --- timing sanity over the suite -------------------------------------------
+
+TEST(TimingProperties, ArrivalMonotoneAlongPaths) {
+  const CellLibrary lib = CellLibrary::standard();
+  for (const char* name : {"comp", "duke2", "C432"}) {
+    const Netlist nl = map_aig(make_benchmark(name), lib);
+    const TimingAnalysis ta = analyze_timing(nl);
+    for (GateId g = 0; g < nl.num_slots(); ++g) {
+      if (!nl.alive(g)) continue;
+      for (GateId fi : nl.gate(g).fanins)
+        EXPECT_GE(ta.arrival[g], ta.arrival[fi] - 1e-12) << name;
+    }
+    // Slack non-negative everywhere under the self-constraint.
+    for (GateId g = 0; g < nl.num_slots(); ++g)
+      if (nl.alive(g)) EXPECT_GE(ta.slack(g), -1e-9) << name;
+  }
+}
+
+// --- library integrity --------------------------------------------------------
+
+TEST(LibraryProperties, BuiltinGenlibTextRoundTrips) {
+  const CellLibrary lib1 = CellLibrary::standard();
+  const CellLibrary lib2 =
+      CellLibrary::from_genlib(CellLibrary::builtin_genlib_text());
+  ASSERT_EQ(lib1.num_cells(), lib2.num_cells());
+  for (CellId id = 0; id < lib1.num_cells(); ++id) {
+    EXPECT_EQ(lib1.cell(id).name, lib2.cell(id).name);
+    EXPECT_EQ(lib1.cell(id).function, lib2.cell(id).function);
+    EXPECT_DOUBLE_EQ(lib1.cell(id).area, lib2.cell(id).area);
+  }
+}
+
+TEST(LibraryProperties, AllTwoInputFunctionsMappable) {
+  // Every non-degenerate function of two variables must be coverable by
+  // the library (single cell, or cell + inverter).
+  const CellLibrary lib = CellLibrary::standard();
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  int mappable = 0;
+  for (std::uint32_t code = 0; code < 16; ++code) {
+    TruthTable f(2);
+    for (std::uint64_t m = 0; m < 4; ++m) f.set_bit(m, (code >> m) & 1);
+    if (!f.depends_on(0) || !f.depends_on(1)) continue;
+    const bool direct = !lib.match_function(f).empty();
+    const bool inverted = !lib.match_function(~f).empty();
+    EXPECT_TRUE(direct || inverted) << "function code " << code;
+    if (direct || inverted) ++mappable;
+  }
+  EXPECT_EQ(mappable, 10);  // all ten 2-input functions with full support
+}
+
+// --- BLIF determinism ---------------------------------------------------------
+
+TEST(BlifProperties, WriterIsDeterministic) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = map_aig(make_benchmark("duke2"), lib);
+  EXPECT_EQ(write_blif(nl), write_blif(nl));
+  const Netlist re = read_blif(write_blif(nl), lib);
+  EXPECT_EQ(write_blif(re), write_blif(read_blif(write_blif(re), lib)));
+}
+
+}  // namespace
+}  // namespace powder

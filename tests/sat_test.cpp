@@ -1,0 +1,244 @@
+// Tests for the CDCL SAT solver and the SAT-based permissibility checker.
+
+#include <gtest/gtest.h>
+
+#include "atpg/sat_checker.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "mapper/mapper.hpp"
+#include "sat/solver.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+namespace {
+
+TEST(SatSolver, TrivialInstances) {
+  {
+    SatSolver s;
+    const auto a = s.new_var();
+    s.add_unit(sat_lit(a, false));
+    EXPECT_EQ(s.solve(), SatResult::kSat);
+    EXPECT_TRUE(s.model_value(a));
+  }
+  {
+    SatSolver s;
+    const auto a = s.new_var();
+    s.add_unit(sat_lit(a, false));
+    s.add_unit(sat_lit(a, true));
+    EXPECT_EQ(s.solve(), SatResult::kUnsat);
+  }
+  {
+    SatSolver s;
+    EXPECT_EQ(s.solve(), SatResult::kSat);  // empty formula
+  }
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic small UNSAT instance exercising learning.
+  SatSolver s;
+  const int P = 4, H = 3;
+  std::vector<std::vector<std::uint32_t>> v(P, std::vector<std::uint32_t>(H));
+  for (int p = 0; p < P; ++p)
+    for (int h = 0; h < H; ++h) v[p][h] = s.new_var();
+  for (int p = 0; p < P; ++p) {
+    std::vector<SatLit> clause;
+    for (int h = 0; h < H; ++h) clause.push_back(sat_lit(v[p][h], false));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int p1 = 0; p1 < P; ++p1)
+      for (int p2 = p1 + 1; p2 < P; ++p2)
+        s.add_binary(sat_lit(v[p1][h], true), sat_lit(v[p2][h], true));
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(SatSolver, SatisfiableWithModel) {
+  // (a | b) & (!a | c) & (!b | !c) — satisfiable.
+  SatSolver s;
+  const auto a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_binary(sat_lit(a, false), sat_lit(b, false));
+  s.add_binary(sat_lit(a, true), sat_lit(c, false));
+  s.add_binary(sat_lit(b, true), sat_lit(c, true));
+  ASSERT_EQ(s.solve(), SatResult::kSat);
+  const bool va = s.model_value(a), vb = s.model_value(b),
+             vc = s.model_value(c);
+  EXPECT_TRUE(va || vb);
+  EXPECT_TRUE(!va || vc);
+  EXPECT_TRUE(!vb || !vc);
+}
+
+TEST(SatSolver, AssumptionsWork) {
+  SatSolver s;
+  const auto a = s.new_var(), b = s.new_var();
+  s.add_binary(sat_lit(a, true), sat_lit(b, false));  // a -> b
+  EXPECT_EQ(s.solve({sat_lit(a, false), sat_lit(b, true)}),
+            SatResult::kUnsat);
+  EXPECT_EQ(s.solve({sat_lit(a, false), sat_lit(b, false)}),
+            SatResult::kSat);
+  // Solver stays reusable after assumption solving.
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  // A hard instance with a tiny budget must return kUnknown (not crash,
+  // not lie).
+  SatSolver s;
+  const int P = 7, H = 6;
+  std::vector<std::vector<std::uint32_t>> v(P, std::vector<std::uint32_t>(H));
+  for (int p = 0; p < P; ++p)
+    for (int h = 0; h < H; ++h) v[p][h] = s.new_var();
+  for (int p = 0; p < P; ++p) {
+    std::vector<SatLit> clause;
+    for (int h = 0; h < H; ++h) clause.push_back(sat_lit(v[p][h], false));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int p1 = 0; p1 < P; ++p1)
+      for (int p2 = p1 + 1; p2 < P; ++p2)
+        s.add_binary(sat_lit(v[p1][h], true), sat_lit(v[p2][h], true));
+  EXPECT_EQ(s.solve({}, 3), SatResult::kUnknown);
+}
+
+// Random 3-SAT cross-checked against brute force.
+class Sat3Random : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sat3Random, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+  const int nvars = 10;
+  const int nclauses = 35 + GetParam();
+  std::vector<std::vector<SatLit>> clauses;
+  for (int c = 0; c < nclauses; ++c) {
+    std::vector<SatLit> cl;
+    for (int k = 0; k < 3; ++k)
+      cl.push_back(sat_lit(static_cast<std::uint32_t>(rng.below(nvars)),
+                           rng.flip(0.5)));
+    clauses.push_back(cl);
+  }
+  // Brute force.
+  bool brute_sat = false;
+  for (std::uint32_t m = 0; m < (1u << nvars) && !brute_sat; ++m) {
+    bool ok = true;
+    for (const auto& cl : clauses) {
+      bool cok = false;
+      for (SatLit l : cl)
+        if ((((m >> sat_var(l)) & 1) != 0) != sat_negated(l)) cok = true;
+      if (!cok) {
+        ok = false;
+        break;
+      }
+    }
+    brute_sat = ok;
+  }
+  SatSolver s;
+  for (int v = 0; v < nvars; ++v) s.new_var();
+  for (auto& cl : clauses) s.add_clause(cl);
+  const SatResult r = s.solve();
+  EXPECT_EQ(r == SatResult::kSat, brute_sat);
+  if (r == SatResult::kSat) {
+    // Verify the model.
+    for (const auto& cl : clauses) {
+      bool cok = false;
+      for (SatLit l : cl)
+        if (s.model_value(sat_var(l)) != sat_negated(l)) cok = true;
+      EXPECT_TRUE(cok);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sat3Random, ::testing::Range(0, 15));
+
+// ---------------------------------------------------------------------------
+// SAT-based permissibility checking
+// ---------------------------------------------------------------------------
+
+TEST(SatChecker, AgreesWithPodemOnTextbookCases) {
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib, "t");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g1 = nl.add_gate(lib.find("and2"), {a, b});
+  const GateId g2 = nl.add_gate(lib.find("nand2"), {a, b});
+  const GateId g3 = nl.add_gate(lib.find("inv1"), {g2});
+  const GateId top = nl.add_gate(lib.find("or2"), {g1, a});
+  nl.add_output("f", top);
+  nl.add_output("g", g3);
+
+  SatChecker sat(nl);
+  EXPECT_EQ(sat.check_replacement(ReplacementSite{g1, std::nullopt},
+                                  ReplacementFunction::signal(g3)),
+            AtpgResult::kUntestable);
+  TestVector test;
+  EXPECT_EQ(sat.check_replacement(ReplacementSite{g1, std::nullopt},
+                                  ReplacementFunction::signal(g2), &test),
+            AtpgResult::kTestFound);
+  EXPECT_EQ(sat.check_replacement(ReplacementSite{g1, std::nullopt},
+                                  ReplacementFunction::signal(g2, true)),
+            AtpgResult::kUntestable);
+  EXPECT_EQ(sat.stats().checks, 3);
+}
+
+// Property: PODEM and SAT agree on random circuits, and both agree with
+// exhaustive simulation.
+class EngineAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineAgreement, PodemVsSatVsExhaustive) {
+  const CellLibrary lib = CellLibrary::standard();
+  Rng rng(static_cast<std::uint64_t>(2000 + GetParam()));
+  const Aig aig = make_random_logic("eng", 7, 3, 30,
+                                    static_cast<std::uint64_t>(GetParam()));
+  Netlist nl = map_aig(aig, lib);
+  AtpgChecker podem(nl, AtpgOptions{1000000});
+  SatChecker sat(nl, SatCheckerOptions{1000000});
+
+  std::vector<GateId> signals;
+  for (GateId g = 0; g < nl.num_slots(); ++g)
+    if (nl.alive(g) && nl.kind(g) != GateKind::kOutput) signals.push_back(g);
+
+  Simulator sim(nl, 128);
+  sim.use_exhaustive_patterns();
+  const std::uint64_t total = 1ull << nl.num_inputs();
+
+  int trials = 0;
+  for (int t = 0; t < 60 && trials < 20; ++t) {
+    const GateId target = signals[rng.below(signals.size())];
+    if (nl.kind(target) != GateKind::kCell) continue;
+    if (nl.gate(target).fanouts.empty()) continue;
+    // Mix of stem and branch sites.
+    ReplacementSite site{target, std::nullopt};
+    if (rng.flip(0.4)) {
+      const auto& fo = nl.gate(target).fanouts;
+      site.branch = fo[rng.below(fo.size())];
+      if (nl.kind(site.branch->gate) == GateKind::kOutput) site.branch.reset();
+    }
+    const GateId entry = site.branch ? site.branch->gate : target;
+    const GateId source = signals[rng.below(signals.size())];
+    if (source == target || source == entry || nl.in_tfo(entry, source))
+      continue;
+    const bool invert = rng.flip(0.3);
+    const ReplacementFunction rep = ReplacementFunction::signal(source, invert);
+
+    std::vector<std::uint64_t> rep_words(sim.value(source).begin(),
+                                         sim.value(source).end());
+    if (invert)
+      for (auto& w : rep_words) w = ~w;
+    const auto diff = sim.output_diff_with_replacement(
+        target, site.branch ? &*site.branch : nullptr, rep_words);
+    bool distinguishable = false;
+    for (std::uint64_t m = 0; m < total; ++m)
+      if ((diff[m >> 6] >> (m & 63)) & 1) distinguishable = true;
+
+    const AtpgResult rp = podem.check_replacement(site, rep);
+    const AtpgResult rs = sat.check_replacement(site, rep);
+    ASSERT_NE(rp, AtpgResult::kAborted);
+    ASSERT_NE(rs, AtpgResult::kAborted);
+    EXPECT_EQ(rp, rs);
+    EXPECT_EQ(rp == AtpgResult::kTestFound, distinguishable);
+    ++trials;
+  }
+  EXPECT_GT(trials, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace powder

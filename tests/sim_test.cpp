@@ -1,0 +1,197 @@
+// Tests for the bit-parallel simulator: value correctness vs truth tables,
+// exhaustive mode, incremental resimulation, observability masks, and
+// trial replacement evaluation.
+
+#include <gtest/gtest.h>
+
+#include "bdd/netlist_bdd.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace powder {
+namespace {
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : lib_(CellLibrary::standard()), nl_(&lib_, "t") {}
+  CellLibrary lib_;
+  Netlist nl_;
+  CellId cell(const char* name) { return lib_.find(name); }
+};
+
+TEST_F(SimTest, ExhaustiveMatchesGateSemantics) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId x = nl_.add_gate(cell("xor2"), {a, b});
+  const GateId g = nl_.add_gate(cell("aoi21"), {x, c, a});
+  nl_.add_output("f", g);
+
+  Simulator sim(nl_, 64);
+  sim.use_exhaustive_patterns();
+  const auto vx = sim.value(x);
+  const auto vg = sim.value(g);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const bool va = m & 1, vb = (m >> 1) & 1, vc = (m >> 2) & 1;
+    EXPECT_EQ((vx[0] >> m) & 1, static_cast<std::uint64_t>(va != vb));
+    // aoi21: !((p0 & p1) | p2) with p0=x, p1=c, p2=a
+    const bool expect = !(((va != vb) && vc) || va);
+    EXPECT_EQ((vg[0] >> m) & 1, static_cast<std::uint64_t>(expect));
+  }
+}
+
+TEST_F(SimTest, SignalProbExhaustive) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g = nl_.add_gate(cell("and2"), {a, b});
+  nl_.add_output("f", g);
+  Simulator sim(nl_, 64);
+  sim.use_exhaustive_patterns();
+  // With 4 exhaustive patterns padded to 64 by wrap-around, the fraction
+  // stays exact.
+  EXPECT_DOUBLE_EQ(sim.signal_prob(g), 0.25);
+  EXPECT_DOUBLE_EQ(sim.activity(g), 2 * 0.25 * 0.75);
+}
+
+TEST_F(SimTest, WeightedStimulusApproximatesProbability) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g = nl_.add_gate(cell("and2"), {a, b});
+  nl_.add_output("f", g);
+  Simulator sim(nl_, 1 << 14, {0.9, 0.5});
+  EXPECT_NEAR(sim.signal_prob(a), 0.9, 0.02);
+  EXPECT_NEAR(sim.signal_prob(g), 0.45, 0.02);
+}
+
+TEST_F(SimTest, IncrementalResimulationMatchesFull) {
+  Rng rng(21);
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId g1 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("or2"), {g1, c});
+  const GateId g3 = nl_.add_gate(cell("xor2"), {g1, g2});
+  nl_.add_output("f", g3);
+
+  Simulator sim(nl_, 512);
+  // Rewire g2's input from c to a, then resimulate incrementally.
+  nl_.set_fanin(g2, 1, a);
+  sim.resimulate_from(std::vector<GateId>{g2});
+  // Compare against a fresh full simulation with identical stimulus.
+  Simulator full(nl_, 512);
+  for (GateId g : {g1, g2, g3}) {
+    const auto vi = sim.value(g);
+    const auto vf = full.value(g);
+    for (std::size_t w = 0; w < vi.size(); ++w) EXPECT_EQ(vi[w], vf[w]);
+  }
+}
+
+TEST_F(SimTest, StemObservabilityFullWhenPathIsTransparent) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId x = nl_.add_gate(cell("xor2"), {a, b});
+  nl_.add_output("f", x);
+  Simulator sim(nl_, 128);
+  // x drives the output directly: always observable.
+  const auto obs = sim.stem_observability(x);
+  for (auto w : obs) EXPECT_EQ(w, ~0ull);
+  // a feeds an XOR: also always observable.
+  const auto obs_a = sim.stem_observability(a);
+  for (auto w : obs_a) EXPECT_EQ(w, ~0ull);
+}
+
+TEST_F(SimTest, ObservabilityMaskedByAndGate) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g = nl_.add_gate(cell("and2"), {a, b});
+  nl_.add_output("f", g);
+  Simulator sim(nl_, 256);
+  // a is observable exactly where b = 1.
+  const auto obs = sim.stem_observability(a);
+  const auto vb = sim.value(b);
+  for (std::size_t w = 0; w < obs.size(); ++w) EXPECT_EQ(obs[w], vb[w]);
+}
+
+TEST_F(SimTest, BranchObservabilityIsPerBranch) {
+  // a feeds both an AND (masked by b) and an XOR (transparent).
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("xor2"), {a, b});
+  nl_.add_output("f", g1);
+  nl_.add_output("h", g2);
+  Simulator sim(nl_, 256);
+  const auto vb = sim.value(b);
+  const auto obs_and = sim.branch_observability(a, FanoutRef{g1, 0});
+  const auto obs_xor = sim.branch_observability(a, FanoutRef{g2, 0});
+  for (std::size_t w = 0; w < obs_and.size(); ++w) {
+    EXPECT_EQ(obs_and[w], vb[w]);
+    EXPECT_EQ(obs_xor[w], ~0ull);
+  }
+}
+
+TEST_F(SimTest, OutputDiffWithEquivalentReplacementIsZero) {
+  // Replace a stem by a functionally identical signal: no output diff.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId g3 = nl_.add_gate(cell("inv1"), {g2});  // == g1
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+  nl_.add_output("g", g3);
+  Simulator sim(nl_, 256);
+  const auto rep = sim.value(g3);
+  std::vector<std::uint64_t> rep_words(rep.begin(), rep.end());
+  const auto diff = sim.output_diff_with_replacement(g1, nullptr, rep_words);
+  for (auto w : diff) EXPECT_EQ(w, 0ull);
+}
+
+TEST_F(SimTest, TrialNewProbsReportsChangedCone) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("inv1"), {g1});
+  nl_.add_output("f", g2);
+  Simulator sim(nl_, 256);
+  // Replace g1's signal by constant 0: g2 becomes constant 1.
+  std::vector<std::uint64_t> zeros(static_cast<std::size_t>(sim.num_words()),
+                                   0);
+  const auto changed = sim.trial_new_probs(g1, nullptr, zeros);
+  bool found_g2 = false;
+  for (const auto& [g, p] : changed) {
+    if (g == g2) {
+      found_g2 = true;
+      EXPECT_DOUBLE_EQ(p, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_g2);
+  // The trial must not modify committed values.
+  EXPECT_NEAR(sim.signal_prob(g2), 0.75, 0.1);
+}
+
+TEST_F(SimTest, CellEvaluatorAllLibraryCells) {
+  // Word evaluation agrees with the truth table for every library cell.
+  const CellLibrary lib = CellLibrary::standard();
+  const CellEvaluator eval(lib);
+  Rng rng(77);
+  for (CellId id = 0; id < lib.num_cells(); ++id) {
+    const Cell& c = lib.cell(id);
+    const int k = c.num_inputs();
+    std::vector<std::uint64_t> inputs(static_cast<std::size_t>(k));
+    for (auto& w : inputs) w = rng.next64();
+    const std::uint64_t out = eval.evaluate(id, inputs);
+    for (int bit = 0; bit < 64; ++bit) {
+      std::uint64_t minterm = 0;
+      for (int v = 0; v < k; ++v)
+        if ((inputs[static_cast<std::size_t>(v)] >> bit) & 1)
+          minterm |= 1ull << v;
+      EXPECT_EQ((out >> bit) & 1,
+                static_cast<std::uint64_t>(c.function.bit(minterm)))
+          << c.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powder

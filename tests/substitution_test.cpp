@@ -1,0 +1,280 @@
+// Tests for substitution application: structural edits, MFFC sweeping,
+// changed-root reporting, and the PG_A/PG_B/PG_C prediction identity
+// (DESIGN.md invariant 3: predicted gain == measured power delta).
+
+#include <gtest/gtest.h>
+
+#include "bdd/netlist_bdd.hpp"
+#include "opt/power_gain.hpp"
+#include "opt/substitution.hpp"
+
+namespace powder {
+namespace {
+
+class SubstTest : public ::testing::Test {
+ protected:
+  SubstTest() : lib_(CellLibrary::standard()), nl_(&lib_, "t") {}
+  CellLibrary lib_;
+  Netlist nl_;
+  CellId cell(const char* name) { return lib_.find(name); }
+};
+
+TEST_F(SubstTest, OS2MovesFanoutAndSweepsMffc) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});       // dies
+  const GateId g2 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId g3 = nl_.add_gate(cell("inv1"), {g2});          // == g1
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+  nl_.add_output("g", g3);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS2;
+  sub.target = g1;
+  sub.rep = ReplacementFunction::signal(g3);
+  ASSERT_TRUE(substitution_still_valid(nl_, sub));
+  const Netlist before = nl_;
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  nl_.check_consistency();
+  EXPECT_FALSE(nl_.alive(g1));
+  EXPECT_EQ(applied.removed_gates.size(), 1u);
+  EXPECT_EQ(nl_.gate(top).fanins[0], g3);
+  EXPECT_LT(applied.area_delta, 0.0);
+  EXPECT_TRUE(functionally_equivalent(before, nl_));
+}
+
+TEST_F(SubstTest, IS2RewiresSingleBranch) {
+  // Figure 2: move the XOR's `a` branch to e = a&b.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId d = nl_.add_gate(cell("xor2"), {a, c}, "d");
+  const GateId f = nl_.add_gate(cell("and2"), {d, b}, "f");
+  const GateId e = nl_.add_gate(cell("and2"), {a, b}, "e");
+  nl_.add_output("fo", f);
+  nl_.add_output("eo", e);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kIS2;
+  sub.target = a;
+  sub.branch = FanoutRef{d, 0};
+  sub.rep = ReplacementFunction::signal(e);
+  ASSERT_TRUE(substitution_still_valid(nl_, sub));
+  const Netlist before = nl_;
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  nl_.check_consistency();
+  EXPECT_EQ(nl_.gate(d).fanins[0], e);
+  // a still feeds e; nothing was removed.
+  EXPECT_TRUE(applied.removed_gates.empty());
+  EXPECT_TRUE(functionally_equivalent(before, nl_));
+}
+
+TEST_F(SubstTest, OS3InsertsNewGate) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId s = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId si = nl_.add_gate(cell("inv1"), {s});
+  const GateId top = nl_.add_gate(cell("or2"), {si, c});
+  nl_.add_output("f", top);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS3;
+  sub.target = si;
+  sub.new_cell = cell("and2");
+  sub.rep = ReplacementFunction::two_input(
+      a, b, lib_.cell_by_name("and2").function);
+  const Netlist before = nl_;
+  const int cells_before = nl_.num_cells();
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  nl_.check_consistency();
+  EXPECT_NE(applied.new_gate, kNullGate);
+  // nand2+inv1 replaced by and2: net cell count drops by one.
+  EXPECT_EQ(nl_.num_cells(), cells_before - 1);
+  EXPECT_TRUE(functionally_equivalent(before, nl_));
+}
+
+TEST_F(SubstTest, InvertedSignalInsertsInverter) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+  nl_.add_output("g", g2);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS2;
+  sub.target = g1;
+  sub.rep = ReplacementFunction::signal(g2, /*invert=*/true);
+  const Netlist before = nl_;
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  nl_.check_consistency();
+  ASSERT_NE(applied.new_gate, kNullGate);
+  EXPECT_TRUE(nl_.cell_of(applied.new_gate).is_inverter());
+  EXPECT_TRUE(functionally_equivalent(before, nl_));
+}
+
+TEST_F(SubstTest, ConstantReplacement) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS2;
+  sub.target = g1;
+  sub.rep = ReplacementFunction::constant(false);
+  const Netlist before = nl_;
+  apply_substitution(nl_, sub);
+  nl_.check_consistency();
+  EXPECT_FALSE(nl_.alive(g1));
+  EXPECT_TRUE(functionally_equivalent(before, nl_));
+}
+
+TEST_F(SubstTest, StaleSubstitutionDetected) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("or2"), {a, b});
+  const GateId top = nl_.add_gate(cell("nand2"), {g1, g2});
+  nl_.add_output("f", top);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kIS2;
+  sub.target = g1;
+  sub.branch = FanoutRef{top, 0};
+  sub.rep = ReplacementFunction::signal(g2);
+  EXPECT_TRUE(substitution_still_valid(nl_, sub));
+  // Rewire the branch away: candidate goes stale.
+  nl_.set_fanin(top, 0, a);
+  EXPECT_FALSE(substitution_still_valid(nl_, sub));
+}
+
+TEST_F(SubstTest, CycleCreatingSubstitutionInvalid) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("inv1"), {g1});
+  nl_.add_output("f", g2);
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS2;
+  sub.target = g1;
+  sub.rep = ReplacementFunction::signal(g2);  // g2 is in TFO(g1)
+  EXPECT_FALSE(substitution_still_valid(nl_, sub));
+}
+
+TEST_F(SubstTest, PredictedGainEqualsMeasuredDelta) {
+  // DESIGN.md invariant 3 on the Figure-2 circuit.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId d = nl_.add_gate(cell("xor2"), {a, c}, "d");
+  const GateId f = nl_.add_gate(cell("and2"), {d, b}, "f");
+  const GateId e = nl_.add_gate(cell("and2"), {a, b}, "e");
+  nl_.add_output("fo", f);
+  nl_.add_output("eo", e);
+
+  Simulator sim(nl_, 2048);
+  PowerEstimator est(&sim);
+  const double before = est.total_power();
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kIS2;
+  sub.target = a;
+  sub.branch = FanoutRef{d, 0};
+  sub.rep = ReplacementFunction::signal(e);
+  sub.pg_a = compute_pg_a(nl_, est, sub);
+  sub.pg_b = compute_pg_b(nl_, est, sub);
+  sub.pg_c = compute_pg_c(nl_, est, sub);
+  EXPECT_GE(sub.pg_a, 0.0);
+  EXPECT_LE(sub.pg_b, 0.0);
+
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  est.update_after_change(applied.changed_roots);
+  const double after = est.total_power();
+  EXPECT_NEAR(sub.total_gain(), before - after, 1e-9);
+}
+
+TEST_F(SubstTest, AreaGainEqualsMeasuredAreaDelta) {
+  // compute_area_gain must predict apply_substitution's area_delta exactly.
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  const GateId n = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId s = nl_.add_gate(cell("inv1"), {n});
+  const GateId t = nl_.add_gate(cell("and2"), {a, b});
+  const GateId top1 = nl_.add_gate(cell("or2"), {s, c});
+  const GateId top2 = nl_.add_gate(cell("xor2"), {t, c});
+  nl_.add_output("f", top1);
+  nl_.add_output("g", top2);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS2;
+  sub.target = s;
+  sub.rep = ReplacementFunction::signal(t);
+  const double predicted = compute_area_gain(nl_, sub);
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  EXPECT_NEAR(predicted, -applied.area_delta, 1e-9);
+  EXPECT_NEAR(predicted,
+              lib_.cell_by_name("nand2").area + lib_.cell_by_name("inv1").area,
+              1e-9);
+}
+
+TEST_F(SubstTest, AreaGainAccountsForInsertedGates) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g1 = nl_.add_gate(cell("and2"), {a, b});
+  const GateId g2 = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId top = nl_.add_gate(cell("or2"), {g1, a});
+  nl_.add_output("f", top);
+  nl_.add_output("g", g2);
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS2;
+  sub.target = g1;
+  sub.rep = ReplacementFunction::signal(g2, /*invert=*/true);
+  const double predicted = compute_area_gain(nl_, sub);
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  EXPECT_NEAR(predicted, -applied.area_delta, 1e-9);
+  // and2 removed, inv1 inserted.
+  EXPECT_NEAR(predicted,
+              lib_.cell_by_name("and2").area - lib_.cell_by_name("inv1").area,
+              1e-9);
+}
+
+TEST_F(SubstTest, PredictionIdentityForOS2WithMffc) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId c = nl_.add_input("c");
+  // Target cone: s = (a nand b) -> inv == a&b; replacement: t = a&b direct.
+  const GateId n = nl_.add_gate(cell("nand2"), {a, b});
+  const GateId s = nl_.add_gate(cell("inv1"), {n});
+  const GateId t = nl_.add_gate(cell("and2"), {a, b});
+  const GateId top1 = nl_.add_gate(cell("or2"), {s, c});
+  const GateId top2 = nl_.add_gate(cell("xor2"), {t, c});
+  nl_.add_output("f", top1);
+  nl_.add_output("g", top2);
+
+  Simulator sim(nl_, 4096);
+  PowerEstimator est(&sim);
+  const double before = est.total_power();
+
+  CandidateSub sub;
+  sub.cls = SubstClass::kOS2;
+  sub.target = s;
+  sub.rep = ReplacementFunction::signal(t);
+  sub.pg_a = compute_pg_a(nl_, est, sub);
+  sub.pg_b = compute_pg_b(nl_, est, sub);
+  sub.pg_c = compute_pg_c(nl_, est, sub);
+
+  const AppliedSub applied = apply_substitution(nl_, sub);
+  est.update_after_change(applied.changed_roots);
+  EXPECT_NEAR(sub.total_gain(), before - est.total_power(), 1e-9);
+  EXPECT_EQ(applied.removed_gates.size(), 2u);  // inv + nand swept
+}
+
+}  // namespace
+}  // namespace powder

@@ -1,0 +1,95 @@
+// Tests for the linear-delay-model static timing analysis.
+
+#include <gtest/gtest.h>
+
+#include "timing/timing.hpp"
+
+namespace powder {
+namespace {
+
+class TimingTest : public ::testing::Test {
+ protected:
+  TimingTest() : lib_(CellLibrary::standard()), nl_(&lib_, "t") {}
+  CellLibrary lib_;
+  Netlist nl_;
+  CellId cell(const char* name) { return lib_.find(name); }
+};
+
+TEST_F(TimingTest, SingleGateDelay) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId g = nl_.add_gate(cell("nand2"), {a, b});
+  nl_.add_output("f", g, 2.0);
+
+  const Cell& c = lib_.cell_by_name("nand2");
+  const double expected = c.intrinsic_delay + 2.0 * c.drive_resistance;
+  EXPECT_DOUBLE_EQ(gate_delay(nl_, g), expected);
+  const TimingAnalysis ta = analyze_timing(nl_);
+  EXPECT_DOUBLE_EQ(ta.circuit_delay, expected);
+  EXPECT_DOUBLE_EQ(ta.arrival[g], expected);
+  EXPECT_DOUBLE_EQ(ta.arrival[a], 0.0);
+}
+
+TEST_F(TimingTest, ChainAccumulatesAndLoadMatters) {
+  const GateId a = nl_.add_input("a");
+  const GateId g1 = nl_.add_gate(cell("inv1"), {a});
+  const GateId g2 = nl_.add_gate(cell("inv1"), {g1});
+  nl_.add_output("f", g2, 1.0);
+  const Cell& inv = lib_.cell_by_name("inv1");
+  // g1 drives one inv pin (cap 1), g2 drives the PO load 1.
+  const double d1 = inv.intrinsic_delay + 1.0 * inv.drive_resistance;
+  const double d2 = inv.intrinsic_delay + 1.0 * inv.drive_resistance;
+  const TimingAnalysis ta = analyze_timing(nl_);
+  EXPECT_DOUBLE_EQ(ta.circuit_delay, d1 + d2);
+
+  // Adding fanout to g1 increases its load and the path delay.
+  nl_.add_output("g", g1, 3.0);
+  const TimingAnalysis ta2 = analyze_timing(nl_);
+  EXPECT_GT(ta2.circuit_delay, ta.circuit_delay);
+}
+
+TEST_F(TimingTest, ArrivalIsMaxOverPaths) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId slow1 = nl_.add_gate(cell("inv1"), {a});
+  const GateId slow2 = nl_.add_gate(cell("inv1"), {slow1});
+  const GateId g = nl_.add_gate(cell("and2"), {slow2, b});
+  nl_.add_output("f", g);
+  const TimingAnalysis ta = analyze_timing(nl_);
+  EXPECT_DOUBLE_EQ(ta.arrival[g],
+                   ta.arrival[slow2] + gate_delay(nl_, g));
+}
+
+TEST_F(TimingTest, RequiredTimesAndSlack) {
+  const GateId a = nl_.add_input("a");
+  const GateId b = nl_.add_input("b");
+  const GateId slow1 = nl_.add_gate(cell("inv1"), {a});
+  const GateId slow2 = nl_.add_gate(cell("inv1"), {slow1});
+  const GateId g = nl_.add_gate(cell("and2"), {slow2, b});
+  nl_.add_output("f", g);
+  const TimingAnalysis ta = analyze_timing(nl_);  // zero-slack constraint
+  // Critical path has zero slack; the short path (b) has positive slack.
+  EXPECT_NEAR(ta.slack(slow2), 0.0, 1e-12);
+  EXPECT_NEAR(ta.slack(g), 0.0, 1e-12);
+  EXPECT_GT(ta.slack(b), 0.0);
+}
+
+TEST_F(TimingTest, ExplicitConstraintShiftsRequired) {
+  const GateId a = nl_.add_input("a");
+  const GateId g = nl_.add_gate(cell("inv1"), {a});
+  nl_.add_output("f", g);
+  const TimingAnalysis tight = analyze_timing(nl_);
+  const TimingAnalysis loose = analyze_timing(nl_, tight.circuit_delay + 5.0);
+  EXPECT_NEAR(loose.slack(g), 5.0, 1e-12);
+}
+
+TEST_F(TimingTest, OutputsHaveNoDelay) {
+  const GateId a = nl_.add_input("a");
+  const GateId g = nl_.add_gate(cell("inv1"), {a});
+  const GateId o = nl_.add_output("f", g);
+  const TimingAnalysis ta = analyze_timing(nl_);
+  EXPECT_DOUBLE_EQ(ta.arrival[o], ta.arrival[g]);
+}
+
+}  // namespace
+}  // namespace powder

@@ -1,0 +1,102 @@
+// Tests for the structural Verilog writer and netlist compaction (grouped
+// here as "export/maintenance" features).
+
+#include <gtest/gtest.h>
+
+#include "bdd/netlist_bdd.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "io/verilog.hpp"
+#include "mapper/mapper.hpp"
+#include "opt/powder.hpp"
+
+namespace powder {
+namespace {
+
+TEST(Verilog, EmitsWellFormedModule) {
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib, "top");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(lib.find("nand2"), {a, b}, "n1");
+  nl.add_output("f", g);
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("module top(a, b, f);"), std::string::npos);
+  EXPECT_NE(v.find("input a"), std::string::npos);
+  EXPECT_NE(v.find("output f"), std::string::npos);
+  EXPECT_NE(v.find("nand2 g0 (.a(a), .b(b), .O(n1));"), std::string::npos);
+  EXPECT_NE(v.find("assign f = n1;"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, EscapesAwkwardNames) {
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib, "top");
+  const GateId a = nl.add_input("a[3]");
+  const GateId g = nl.add_gate(lib.find("inv1"), {a}, "n.1");
+  nl.add_output("2out", g);
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("\\a[3] "), std::string::npos);
+  EXPECT_NE(v.find("\\n.1 "), std::string::npos);
+  EXPECT_NE(v.find("\\2out "), std::string::npos);
+}
+
+TEST(Verilog, ConstantsBecomeAssigns) {
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib, "top");
+  const GateId one = nl.add_gate(lib.const1(), {}, "c1");
+  nl.add_output("f", one);
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("assign c1 = 1'b1;"), std::string::npos);
+}
+
+TEST(Verilog, EveryGateInstantiatedOnce) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = map_aig(make_benchmark("rd84"), lib);
+  const std::string v = write_verilog(nl);
+  int instances = 0;
+  for (std::size_t pos = v.find(".O("); pos != std::string::npos;
+       pos = v.find(".O(", pos + 1))
+    ++instances;
+  EXPECT_EQ(instances, nl.num_cells());
+}
+
+TEST(Compaction, RemovesTombstonesAndPreservesFunction) {
+  const CellLibrary lib = CellLibrary::standard();
+  Netlist nl = map_aig(make_benchmark("misex3"), lib);
+  PowderOptions opt;
+  opt.num_patterns = 512;
+  opt.repeat = 10;
+  opt.max_outer_iterations = 3;
+  (void)PowderOptimizer(&nl, opt).run();  // creates tombstones
+
+  std::vector<GateId> remap;
+  const Netlist compact = nl.compacted(&remap);
+  compact.check_consistency();
+  EXPECT_EQ(compact.num_cells(), nl.num_cells());
+  EXPECT_LE(compact.num_slots(),
+            static_cast<std::size_t>(compact.num_cells()) +
+                static_cast<std::size_t>(compact.num_inputs()) +
+                static_cast<std::size_t>(compact.num_outputs()));
+  EXPECT_TRUE(functionally_equivalent(nl, compact));
+  // Remap sanity: live gates mapped, names preserved; dead gates dropped.
+  for (GateId g = 0; g < nl.num_slots(); ++g) {
+    if (nl.alive(g)) {
+      ASSERT_NE(remap[g], kNullGate);
+      EXPECT_EQ(compact.gate_name(remap[g]), nl.gate_name(g));
+    } else {
+      EXPECT_EQ(remap[g], kNullGate);
+    }
+  }
+}
+
+TEST(Compaction, IdempotentOnCleanNetlist) {
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = map_aig(make_benchmark("comp"), lib);
+  const Netlist once = nl.compacted();
+  const Netlist twice = once.compacted();
+  EXPECT_EQ(once.num_slots(), twice.num_slots());
+  EXPECT_TRUE(functionally_equivalent(once, twice));
+}
+
+}  // namespace
+}  // namespace powder

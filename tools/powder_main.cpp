@@ -1,0 +1,333 @@
+// powder — command-line front end for the POWDER library.
+//
+//   powder optimize <in.blif> -o <out.blif> [options]   run POWDER
+//   powder stats    <in.blif> [options]                 report metrics
+//   powder gen      <circuit> -o <out.blif> [options]   emit a benchmark
+//   powder check    <a.blif> <b.blif> [options]         equivalence check
+//   powder cleanup  <in.blif> -o <out.blif> [options]   redundancy removal
+//
+// Common options:
+//   --lib <file.genlib>     cell library (default: built-in powder-lib2)
+//   --probs <p0,p1,...>     primary-input signal probabilities
+// Optimize options:
+//   --delay-limit <factor>  delay constraint as factor of the initial
+//                           delay (e.g. 1.0); unconstrained if omitted
+//   --objective power|area  greedy objective (default power)
+//   --engine podem|sat|hybrid  permissibility proof engine
+//   --patterns <n>          simulation patterns (default 2048)
+//   --seed <n>              RNG seed
+//   --resize                follow up with gate re-sizing
+//   --redundancy            precede with redundancy removal
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bdd/netlist_bdd.hpp"
+#include "util/check.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "io/blif.hpp"
+#include "mapper/mapper.hpp"
+#include "opt/powder.hpp"
+#include "opt/redundancy.hpp"
+#include "opt/resize.hpp"
+#include "power/glitch.hpp"
+#include "power/power.hpp"
+#include "timing/timing.hpp"
+
+using namespace powder;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  std::string out_path;
+  std::string lib_path;
+  std::vector<double> probs;
+  double delay_limit = -1.0;
+  Objective objective = Objective::kPower;
+  ProofEngine engine = ProofEngine::kHybrid;
+  int patterns = 2048;
+  std::uint64_t seed = 1;
+  bool resize = false;
+  bool redundancy = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: powder <optimize|stats|gen|check|cleanup> <files...> "
+      "[-o out.blif] [--lib f.genlib]\n"
+      "               [--delay-limit F] [--objective power|area] "
+      "[--engine podem|sat|hybrid]\n"
+      "               [--patterns N] [--seed N] [--probs p0,p1,...] "
+      "[--resize] [--redundancy]\n");
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args a;
+  if (argc < 2) return std::nullopt;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "-o") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.out_path = v;
+    } else if (arg == "--lib") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.lib_path = v;
+    } else if (arg == "--delay-limit") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.delay_limit = std::stod(v);
+    } else if (arg == "--objective") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "area") == 0)
+        a.objective = Objective::kArea;
+      else if (std::strcmp(v, "power") == 0)
+        a.objective = Objective::kPower;
+      else
+        return std::nullopt;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "podem") == 0)
+        a.engine = ProofEngine::kPodem;
+      else if (std::strcmp(v, "sat") == 0)
+        a.engine = ProofEngine::kSat;
+      else if (std::strcmp(v, "hybrid") == 0)
+        a.engine = ProofEngine::kHybrid;
+      else
+        return std::nullopt;
+    } else if (arg == "--patterns") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.patterns = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--probs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) a.probs.push_back(std::stod(tok));
+    } else if (arg == "--resize") {
+      a.resize = true;
+    } else if (arg == "--redundancy") {
+      a.redundancy = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return std::nullopt;
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  POWDER_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+CellLibrary load_library(const Args& a) {
+  if (a.lib_path.empty()) return CellLibrary::standard();
+  return CellLibrary::from_genlib(read_file(a.lib_path));
+}
+
+void print_stats(const Netlist& nl, const Args& a) {
+  std::vector<double> probs = a.probs;
+  if (probs.empty())
+    probs.assign(static_cast<std::size_t>(nl.num_inputs()), 0.5);
+  Simulator sim(nl, a.patterns, probs, a.seed);
+  PowerEstimator est(&sim);
+  const TimingAnalysis ta = analyze_timing(nl);
+  GlitchOptions gopt;
+  gopt.pi_probs = probs;
+  gopt.num_vector_pairs = 128;
+  const GlitchEstimate ge = estimate_glitch_power(nl, gopt);
+  std::printf("circuit:          %s\n", nl.name().c_str());
+  std::printf("inputs/outputs:   %d / %d\n", nl.num_inputs(),
+              nl.num_outputs());
+  std::printf("gates:            %d\n", nl.num_cells());
+  std::printf("area:             %.0f\n", nl.total_area());
+  std::printf("delay:            %.3f\n", ta.circuit_delay);
+  std::printf("power (sum C*E):  %.4f\n", est.total_power());
+  std::printf("glitch-aware:     %.4f  (glitch share %.1f%%)\n",
+              ge.timed_power, 100.0 * ge.glitch_share());
+}
+
+int cmd_optimize(const Args& a) {
+  const CellLibrary lib = load_library(a);
+  Netlist nl = read_blif(read_file(a.positional.at(0)), lib);
+  const Netlist original = nl;
+
+  if (a.redundancy) {
+    const RedundancyRemovalReport rr = remove_redundancies(&nl);
+    std::printf("redundancy: %d pins tied, %d gates removed\n", rr.pins_tied,
+                rr.gates_removed);
+  }
+
+  PowderOptions opt;
+  opt.objective = a.objective;
+  opt.proof_engine = a.engine;
+  opt.num_patterns = a.patterns;
+  opt.seed = a.seed;
+  opt.pi_probs = a.probs;
+  opt.delay_limit_factor = a.delay_limit;
+  const PowderReport r = PowderOptimizer(&nl, opt).run();
+  std::printf(
+      "powder: power %.3f -> %.3f (-%.1f%%), area %.0f -> %.0f, "
+      "delay %.2f -> %.2f, %d substitutions, %.1fs\n",
+      r.initial_power, r.final_power, r.power_reduction_percent(),
+      r.initial_area, r.final_area, r.initial_delay, r.final_delay,
+      r.substitutions_applied, r.cpu_seconds);
+
+  if (a.resize) {
+    ResizeOptions ro;
+    ro.pi_probs = a.probs;
+    ro.delay_limit_factor = a.delay_limit < 0 ? -1.0 : a.delay_limit;
+    const ResizeReport rr = resize_gates(&nl, ro);
+    std::printf("resize: %d down / %d up, power %.3f -> %.3f\n",
+                rr.downsized, rr.upsized, rr.initial_power, rr.final_power);
+  }
+
+  if (!functionally_equivalent(original, nl)) {
+    std::fprintf(stderr, "INTERNAL ERROR: equivalence check failed\n");
+    return 2;
+  }
+  if (!a.out_path.empty()) {
+    std::ofstream out(a.out_path);
+    out << write_blif(nl);
+    std::printf("wrote %s\n", a.out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  const CellLibrary lib = load_library(a);
+  const Netlist nl = read_blif(read_file(a.positional.at(0)), lib);
+  print_stats(nl, a);
+  return 0;
+}
+
+int cmd_gen(const Args& a) {
+  const CellLibrary lib = load_library(a);
+  const std::string& name = a.positional.at(0);
+  if (!is_known_benchmark(name)) {
+    std::fprintf(stderr, "unknown benchmark '%s'; known:", name.c_str());
+    for (const auto& n : table1_suite())
+      std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  MapperOptions mopt;
+  mopt.pi_probs = a.probs;
+  const Netlist nl = map_aig(make_benchmark(name), lib, mopt);
+  const std::string text = write_blif(nl);
+  if (a.out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(a.out_path);
+    out << text;
+    std::printf("wrote %s (%d gates)\n", a.out_path.c_str(), nl.num_cells());
+  }
+  return 0;
+}
+
+int cmd_check(const Args& a) {
+  const CellLibrary lib = load_library(a);
+  const Netlist n1 = read_blif(read_file(a.positional.at(0)), lib);
+  const Netlist n2 = read_blif(read_file(a.positional.at(1)), lib);
+  if (n1.num_inputs() != n2.num_inputs() ||
+      n1.num_outputs() != n2.num_outputs()) {
+    std::printf("NOT EQUIVALENT (interface mismatch)\n");
+    return 1;
+  }
+  const bool eq = functionally_equivalent(n1, n2);
+  std::printf("%s\n", eq ? "EQUIVALENT" : "NOT EQUIVALENT");
+  return eq ? 0 : 1;
+}
+
+int cmd_cleanup(const Args& a) {
+  const CellLibrary lib = load_library(a);
+  Netlist nl = read_blif(read_file(a.positional.at(0)), lib);
+  const Netlist original = nl;
+  const RedundancyRemovalReport rr = remove_redundancies(&nl);
+  std::printf("redundancy removal: %d pins tied, %d gates removed, "
+              "area -%.0f\n",
+              rr.pins_tied, rr.gates_removed, rr.area_removed);
+  if (!functionally_equivalent(original, nl)) {
+    std::fprintf(stderr, "INTERNAL ERROR: equivalence check failed\n");
+    return 2;
+  }
+  if (!a.out_path.empty()) {
+    std::ofstream out(a.out_path);
+    out << write_blif(nl);
+    std::printf("wrote %s\n", a.out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    usage();
+    return 1;
+  }
+  try {
+    const auto need = [&](std::size_t n) {
+      if (args->positional.size() < n) {
+        usage();
+        std::exit(1);
+      }
+    };
+    if (args->command == "optimize") {
+      need(1);
+      return cmd_optimize(*args);
+    }
+    if (args->command == "stats") {
+      need(1);
+      return cmd_stats(*args);
+    }
+    if (args->command == "gen") {
+      need(1);
+      return cmd_gen(*args);
+    }
+    if (args->command == "check") {
+      need(2);
+      return cmd_check(*args);
+    }
+    if (args->command == "cleanup") {
+      need(1);
+      return cmd_cleanup(*args);
+    }
+    usage();
+    return 1;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
