@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_glitch"
+  "../bench/ablation_glitch.pdb"
+  "CMakeFiles/ablation_glitch.dir/ablation_glitch.cpp.o"
+  "CMakeFiles/ablation_glitch.dir/ablation_glitch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_glitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_powder"
+  "../bench/table1_powder.pdb"
+  "CMakeFiles/table1_powder.dir/table1_powder.cpp.o"
+  "CMakeFiles/table1_powder.dir/table1_powder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_powder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_classes"
+  "../bench/table2_classes.pdb"
+  "CMakeFiles/table2_classes.dir/table2_classes.cpp.o"
+  "CMakeFiles/table2_classes.dir/table2_classes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blif_optimize.dir/blif_optimize.cpp.o"
+  "CMakeFiles/blif_optimize.dir/blif_optimize.cpp.o.d"
+  "blif_optimize"
+  "blif_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blif_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_mapping_pipeline.dir/post_mapping_pipeline.cpp.o"
+  "CMakeFiles/post_mapping_pipeline.dir/post_mapping_pipeline.cpp.o.d"
+  "post_mapping_pipeline"
+  "post_mapping_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_mapping_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_tradeoff.dir/timing_tradeoff.cpp.o"
+  "CMakeFiles/timing_tradeoff.dir/timing_tradeoff.cpp.o.d"
+  "timing_tradeoff"
+  "timing_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

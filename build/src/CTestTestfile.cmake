@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("logic")
+subdirs("library")
+subdirs("netlist")
+subdirs("bdd")
+subdirs("sat")
+subdirs("aig")
+subdirs("sim")
+subdirs("power")
+subdirs("timing")
+subdirs("atpg")
+subdirs("mapper")
+subdirs("io")
+subdirs("opt")
+subdirs("benchgen")
+subdirs("flow")

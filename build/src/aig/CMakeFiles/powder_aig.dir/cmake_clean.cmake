@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_aig.dir/aig.cpp.o"
+  "CMakeFiles/powder_aig.dir/aig.cpp.o.d"
+  "CMakeFiles/powder_aig.dir/bool_network.cpp.o"
+  "CMakeFiles/powder_aig.dir/bool_network.cpp.o.d"
+  "libpowder_aig.a"
+  "libpowder_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

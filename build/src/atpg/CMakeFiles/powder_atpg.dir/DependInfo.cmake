@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/atpg.cpp" "src/atpg/CMakeFiles/powder_atpg.dir/atpg.cpp.o" "gcc" "src/atpg/CMakeFiles/powder_atpg.dir/atpg.cpp.o.d"
+  "/root/repo/src/atpg/regions.cpp" "src/atpg/CMakeFiles/powder_atpg.dir/regions.cpp.o" "gcc" "src/atpg/CMakeFiles/powder_atpg.dir/regions.cpp.o.d"
+  "/root/repo/src/atpg/sat_checker.cpp" "src/atpg/CMakeFiles/powder_atpg.dir/sat_checker.cpp.o" "gcc" "src/atpg/CMakeFiles/powder_atpg.dir/sat_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/powder_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/powder_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/powder_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/powder_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_atpg.dir/atpg.cpp.o"
+  "CMakeFiles/powder_atpg.dir/atpg.cpp.o.d"
+  "CMakeFiles/powder_atpg.dir/regions.cpp.o"
+  "CMakeFiles/powder_atpg.dir/regions.cpp.o.d"
+  "CMakeFiles/powder_atpg.dir/sat_checker.cpp.o"
+  "CMakeFiles/powder_atpg.dir/sat_checker.cpp.o.d"
+  "libpowder_atpg.a"
+  "libpowder_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

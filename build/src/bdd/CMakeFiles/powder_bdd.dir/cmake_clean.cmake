@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/powder_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/powder_bdd.dir/netlist_bdd.cpp.o"
+  "CMakeFiles/powder_bdd.dir/netlist_bdd.cpp.o.d"
+  "libpowder_bdd.a"
+  "libpowder_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_benchgen.dir/benchmarks.cpp.o"
+  "CMakeFiles/powder_benchgen.dir/benchmarks.cpp.o.d"
+  "libpowder_benchgen.a"
+  "libpowder_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/flow.cpp" "src/flow/CMakeFiles/powder_flow.dir/flow.cpp.o" "gcc" "src/flow/CMakeFiles/powder_flow.dir/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aig/CMakeFiles/powder_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/powder_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/powder_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/powder_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/powder_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

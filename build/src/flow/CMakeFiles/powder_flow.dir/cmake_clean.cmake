@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_flow.dir/flow.cpp.o"
+  "CMakeFiles/powder_flow.dir/flow.cpp.o.d"
+  "libpowder_flow.a"
+  "libpowder_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

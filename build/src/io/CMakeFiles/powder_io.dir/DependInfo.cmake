@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/blif.cpp" "src/io/CMakeFiles/powder_io.dir/blif.cpp.o" "gcc" "src/io/CMakeFiles/powder_io.dir/blif.cpp.o.d"
+  "/root/repo/src/io/verilog.cpp" "src/io/CMakeFiles/powder_io.dir/verilog.cpp.o" "gcc" "src/io/CMakeFiles/powder_io.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/powder_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/powder_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/powder_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/powder_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/powder_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/powder_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_io.dir/blif.cpp.o"
+  "CMakeFiles/powder_io.dir/blif.cpp.o.d"
+  "CMakeFiles/powder_io.dir/verilog.cpp.o"
+  "CMakeFiles/powder_io.dir/verilog.cpp.o.d"
+  "libpowder_io.a"
+  "libpowder_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_library.dir/cell_library.cpp.o"
+  "CMakeFiles/powder_library.dir/cell_library.cpp.o.d"
+  "libpowder_library.a"
+  "libpowder_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/cube.cpp" "src/logic/CMakeFiles/powder_logic.dir/cube.cpp.o" "gcc" "src/logic/CMakeFiles/powder_logic.dir/cube.cpp.o.d"
+  "/root/repo/src/logic/expr.cpp" "src/logic/CMakeFiles/powder_logic.dir/expr.cpp.o" "gcc" "src/logic/CMakeFiles/powder_logic.dir/expr.cpp.o.d"
+  "/root/repo/src/logic/factor.cpp" "src/logic/CMakeFiles/powder_logic.dir/factor.cpp.o" "gcc" "src/logic/CMakeFiles/powder_logic.dir/factor.cpp.o.d"
+  "/root/repo/src/logic/truth_table.cpp" "src/logic/CMakeFiles/powder_logic.dir/truth_table.cpp.o" "gcc" "src/logic/CMakeFiles/powder_logic.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

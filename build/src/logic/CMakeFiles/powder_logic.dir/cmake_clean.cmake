@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_logic.dir/cube.cpp.o"
+  "CMakeFiles/powder_logic.dir/cube.cpp.o.d"
+  "CMakeFiles/powder_logic.dir/expr.cpp.o"
+  "CMakeFiles/powder_logic.dir/expr.cpp.o.d"
+  "CMakeFiles/powder_logic.dir/factor.cpp.o"
+  "CMakeFiles/powder_logic.dir/factor.cpp.o.d"
+  "CMakeFiles/powder_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/powder_logic.dir/truth_table.cpp.o.d"
+  "libpowder_logic.a"
+  "libpowder_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_mapper.dir/mapper.cpp.o"
+  "CMakeFiles/powder_mapper.dir/mapper.cpp.o.d"
+  "libpowder_mapper.a"
+  "libpowder_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

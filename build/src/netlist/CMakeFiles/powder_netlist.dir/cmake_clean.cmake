@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/powder_netlist.dir/netlist.cpp.o.d"
+  "libpowder_netlist.a"
+  "libpowder_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/candidates.cpp" "src/opt/CMakeFiles/powder_opt.dir/candidates.cpp.o" "gcc" "src/opt/CMakeFiles/powder_opt.dir/candidates.cpp.o.d"
+  "/root/repo/src/opt/powder.cpp" "src/opt/CMakeFiles/powder_opt.dir/powder.cpp.o" "gcc" "src/opt/CMakeFiles/powder_opt.dir/powder.cpp.o.d"
+  "/root/repo/src/opt/power_gain.cpp" "src/opt/CMakeFiles/powder_opt.dir/power_gain.cpp.o" "gcc" "src/opt/CMakeFiles/powder_opt.dir/power_gain.cpp.o.d"
+  "/root/repo/src/opt/redundancy.cpp" "src/opt/CMakeFiles/powder_opt.dir/redundancy.cpp.o" "gcc" "src/opt/CMakeFiles/powder_opt.dir/redundancy.cpp.o.d"
+  "/root/repo/src/opt/resize.cpp" "src/opt/CMakeFiles/powder_opt.dir/resize.cpp.o" "gcc" "src/opt/CMakeFiles/powder_opt.dir/resize.cpp.o.d"
+  "/root/repo/src/opt/substitution.cpp" "src/opt/CMakeFiles/powder_opt.dir/substitution.cpp.o" "gcc" "src/opt/CMakeFiles/powder_opt.dir/substitution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/powder_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/powder_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/powder_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powder_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/powder_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/powder_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/powder_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/powder_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/powder_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_opt.dir/candidates.cpp.o"
+  "CMakeFiles/powder_opt.dir/candidates.cpp.o.d"
+  "CMakeFiles/powder_opt.dir/powder.cpp.o"
+  "CMakeFiles/powder_opt.dir/powder.cpp.o.d"
+  "CMakeFiles/powder_opt.dir/power_gain.cpp.o"
+  "CMakeFiles/powder_opt.dir/power_gain.cpp.o.d"
+  "CMakeFiles/powder_opt.dir/redundancy.cpp.o"
+  "CMakeFiles/powder_opt.dir/redundancy.cpp.o.d"
+  "CMakeFiles/powder_opt.dir/resize.cpp.o"
+  "CMakeFiles/powder_opt.dir/resize.cpp.o.d"
+  "CMakeFiles/powder_opt.dir/substitution.cpp.o"
+  "CMakeFiles/powder_opt.dir/substitution.cpp.o.d"
+  "libpowder_opt.a"
+  "libpowder_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpowder_opt.a"
+)

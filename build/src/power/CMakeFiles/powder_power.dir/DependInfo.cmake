@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/glitch.cpp" "src/power/CMakeFiles/powder_power.dir/glitch.cpp.o" "gcc" "src/power/CMakeFiles/powder_power.dir/glitch.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/power/CMakeFiles/powder_power.dir/power.cpp.o" "gcc" "src/power/CMakeFiles/powder_power.dir/power.cpp.o.d"
+  "/root/repo/src/power/temporal.cpp" "src/power/CMakeFiles/powder_power.dir/temporal.cpp.o" "gcc" "src/power/CMakeFiles/powder_power.dir/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/powder_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/powder_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/powder_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/powder_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/powder_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/powder_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powder_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

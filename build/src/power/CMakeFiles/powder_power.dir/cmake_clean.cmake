@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_power.dir/glitch.cpp.o"
+  "CMakeFiles/powder_power.dir/glitch.cpp.o.d"
+  "CMakeFiles/powder_power.dir/power.cpp.o"
+  "CMakeFiles/powder_power.dir/power.cpp.o.d"
+  "CMakeFiles/powder_power.dir/temporal.cpp.o"
+  "CMakeFiles/powder_power.dir/temporal.cpp.o.d"
+  "libpowder_power.a"
+  "libpowder_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_sat.dir/solver.cpp.o"
+  "CMakeFiles/powder_sat.dir/solver.cpp.o.d"
+  "libpowder_sat.a"
+  "libpowder_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_sim.dir/simulator.cpp.o"
+  "CMakeFiles/powder_sim.dir/simulator.cpp.o.d"
+  "libpowder_sim.a"
+  "libpowder_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

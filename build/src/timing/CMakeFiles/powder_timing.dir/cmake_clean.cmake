@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_timing.dir/timing.cpp.o"
+  "CMakeFiles/powder_timing.dir/timing.cpp.o.d"
+  "libpowder_timing.a"
+  "libpowder_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

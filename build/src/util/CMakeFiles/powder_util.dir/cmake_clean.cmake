@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_util.dir/rng.cpp.o"
+  "CMakeFiles/powder_util.dir/rng.cpp.o.d"
+  "CMakeFiles/powder_util.dir/strings.cpp.o"
+  "CMakeFiles/powder_util.dir/strings.cpp.o.d"
+  "libpowder_util.a"
+  "libpowder_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

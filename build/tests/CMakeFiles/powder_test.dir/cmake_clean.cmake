@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder_test.dir/powder_test.cpp.o"
+  "CMakeFiles/powder_test.dir/powder_test.cpp.o.d"
+  "powder_test"
+  "powder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/redundancy_test.cpp" "tests/CMakeFiles/redundancy_test.dir/redundancy_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_test.dir/redundancy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/powder_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/powder_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/powder_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/powder_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/powder_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/powder_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/powder_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/powder_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powder_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/powder_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/powder_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/powder_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/powder_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/powder_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powder_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/powder_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resize_test.dir/resize_test.cpp.o"
+  "CMakeFiles/resize_test.dir/resize_test.cpp.o.d"
+  "resize_test"
+  "resize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powder.dir/powder_main.cpp.o"
+  "CMakeFiles/powder.dir/powder_main.cpp.o.d"
+  "powder"
+  "powder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
