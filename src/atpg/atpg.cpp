@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/fault_injection.hpp"
 
 namespace powder {
 
@@ -311,6 +312,19 @@ AtpgResult AtpgChecker::check_replacement(const ReplacementSite& site,
                                           const ReplacementFunction& rep,
                                           TestVector* test) {
   ++stats_.checks;
+  if (inject_fault(FaultInjector::Site::kAtpgProof)) {
+    ++stats_.aborted;
+    return AtpgResult::kAborted;
+  }
+  ResourceBudget* budget = options_.budget;
+  long backtrack_limit = options_.backtrack_limit;
+  if (budget != nullptr) {
+    if (budget->expired() || budget->atpg_pool_dry()) {
+      ++stats_.aborted;
+      return AtpgResult::kAborted;
+    }
+    backtrack_limit = budget->grant_atpg_backtracks(backtrack_limit);
+  }
   setup_regions(site, rep);
 
   struct Decision {
@@ -344,37 +358,38 @@ AtpgResult AtpgChecker::check_replacement(const ReplacementSite& site,
     return true;
   };
 
-  for (;;) {
-    if (backtracks > options_.backtrack_limit) {
-      ++stats_.aborted;
-      stats_.total_backtracks += backtracks;
-      return AtpgResult::kAborted;
+  // Every exit charges the backtracks actually spent against the shared
+  // budget, so the pool reflects real effort rather than granted effort.
+  auto finish = [&](AtpgResult r) {
+    stats_.total_backtracks += backtracks;
+    if (budget != nullptr) budget->consume_atpg_backtracks(backtracks);
+    switch (r) {
+      case AtpgResult::kTestFound: ++stats_.tests_found; break;
+      case AtpgResult::kUntestable: ++stats_.proved_untestable; break;
+      case AtpgResult::kAborted: ++stats_.aborted; break;
     }
+    return r;
+  };
+
+  for (;;) {
+    if (backtracks > backtrack_limit ||
+        (budget != nullptr && budget->expired()))
+      return finish(AtpgResult::kAborted);
     imply(site, rep);
     if (detected()) {
       fill_test();
-      ++stats_.tests_found;
-      stats_.total_backtracks += backtracks;
-      return AtpgResult::kTestFound;
+      return finish(AtpgResult::kTestFound);
     }
     const bool hopeless =
         !difference_possible_at_site(site, rep) || all_outputs_clean();
     if (hopeless) {
-      if (!backtrack()) {
-        ++stats_.proved_untestable;
-        stats_.total_backtracks += backtracks;
-        return AtpgResult::kUntestable;
-      }
+      if (!backtrack()) return finish(AtpgResult::kUntestable);
       continue;
     }
     const auto [pi, value] = choose_objective(site, rep);
     if (pi == kNullGate) {
       // Every relevant PI assigned and still undetected: dead end.
-      if (!backtrack()) {
-        ++stats_.proved_untestable;
-        stats_.total_backtracks += backtracks;
-        return AtpgResult::kUntestable;
-      }
+      if (!backtrack()) return finish(AtpgResult::kUntestable);
       continue;
     }
     POWDER_DCHECK(pi_assign_[pi] == Val::kX);

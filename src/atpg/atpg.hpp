@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/budget.hpp"
 
 namespace powder {
 
@@ -34,6 +35,10 @@ struct AtpgOptions {
   // Modest by default: the optimizer's hybrid engine escalates aborted
   // checks to the SAT miter, so a deep PODEM search is wasted effort.
   int backtrack_limit = 300;
+  /// Optional shared run budget. Each check's backtrack limit is clamped to
+  /// what is left in the global pool, actual use is charged back, and a dry
+  /// pool or an expired deadline aborts the check immediately.
+  ResourceBudget* budget = nullptr;
 };
 
 /// Where the replacement happens.

@@ -1,11 +1,13 @@
 #include "atpg/sat_checker.hpp"
 
+#include <limits>
 #include <unordered_map>
 
 #include "atpg/regions.hpp"
 #include "logic/cube.hpp"
 #include "sat/solver.hpp"
 #include "util/check.hpp"
+#include "util/fault_injection.hpp"
 
 namespace powder {
 
@@ -44,6 +46,21 @@ AtpgResult SatChecker::check_replacement(const ReplacementSite& site,
                                          const ReplacementFunction& rep,
                                          TestVector* test) {
   ++stats_.checks;
+  if (inject_fault(FaultInjector::Site::kSatProof)) {
+    ++stats_.aborted;
+    return AtpgResult::kAborted;
+  }
+  ResourceBudget* budget = options_.budget;
+  long conflict_limit = options_.conflict_budget;
+  if (budget != nullptr) {
+    if (budget->expired() || budget->sat_pool_dry()) {
+      ++stats_.aborted;
+      return AtpgResult::kAborted;
+    }
+    conflict_limit = budget->grant_sat_conflicts(
+        conflict_limit < 0 ? std::numeric_limits<long>::max()
+                           : conflict_limit);
+  }
   const FaultRegions regions = compute_fault_regions(*netlist_, site, rep);
 
   SatSolver solver;
@@ -146,8 +163,10 @@ AtpgResult SatChecker::check_replacement(const ReplacementSite& site,
   }
   solver.add_clause(std::move(any_diff));
 
-  const SatResult result = solver.solve({}, options_.conflict_budget);
-  stats_.total_conflicts += solver.num_conflicts() - conflicts_before;
+  const SatResult result = solver.solve({}, conflict_limit);
+  const long used = solver.num_conflicts() - conflicts_before;
+  stats_.total_conflicts += used;
+  if (budget != nullptr) budget->consume_sat_conflicts(used);
   switch (result) {
     case SatResult::kSat: {
       if (test != nullptr) {

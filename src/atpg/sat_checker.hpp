@@ -17,6 +17,10 @@ namespace powder {
 
 struct SatCheckerOptions {
   long conflict_budget = 20000;
+  /// Optional shared run budget. Each check's conflict limit is clamped to
+  /// what is left in the global pool, actual use is charged back, and a dry
+  /// pool or an expired deadline aborts the check immediately.
+  ResourceBudget* budget = nullptr;
 };
 
 class SatChecker {

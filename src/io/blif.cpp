@@ -9,6 +9,21 @@
 
 namespace powder {
 
+namespace {
+
+/// Parse failure with position context. Every diagnostic names the 1-based
+/// source line (of the first physical line when continuations were joined)
+/// and, when useful, the offending token.
+[[noreturn]] void blif_fail(int line, const std::string& msg,
+                            std::string_view near = {}) {
+  std::ostringstream os;
+  os << "BLIF parse error at line " << line << ": " << msg;
+  if (!near.empty()) os << " (near '" << near << "')";
+  throw CheckError(os.str());
+}
+
+}  // namespace
+
 std::string write_blif(const Netlist& netlist) {
   std::ostringstream os;
   os << ".model " << netlist.name() << "\n.inputs";
@@ -39,41 +54,53 @@ std::string write_blif(const Netlist& netlist) {
 }
 
 Netlist read_blif(std::string_view text, const CellLibrary& library) {
-  // Join continuation lines (trailing backslash) and strip comments.
-  std::vector<std::string> lines;
+  // Join continuation lines (trailing backslash) and strip comments,
+  // remembering for each logical line the physical line it started on so
+  // diagnostics can point back into the original file.
+  struct Line {
+    std::string text;
+    int number;  // 1-based physical line of the first fragment
+  };
+  std::vector<Line> lines;
   {
     std::string cur;
+    int cur_start = 0, lineno = 0;
     std::istringstream is{std::string(text)};
     std::string raw;
     while (std::getline(is, raw)) {
+      ++lineno;
       const std::size_t hash = raw.find('#');
       if (hash != std::string::npos) raw.resize(hash);
       std::string_view t = trim(raw);
+      if (cur.empty()) cur_start = lineno;
       if (!t.empty() && t.back() == '\\') {
         cur += std::string(t.substr(0, t.size() - 1));
         cur += ' ';
         continue;
       }
       cur += std::string(t);
-      if (!cur.empty()) lines.push_back(cur);
+      if (!cur.empty()) lines.push_back(Line{cur, cur_start});
       cur.clear();
     }
-    if (!cur.empty()) lines.push_back(cur);
+    if (!cur.empty()) lines.push_back(Line{cur, cur_start});
   }
 
   std::string model = "blif";
   std::vector<std::string> input_names, output_names;
+  int outputs_line = 0;
   struct GateRec {
     CellId cell;
     std::vector<std::string> fanin_nets;  // in pin order
     std::string out_net;
+    int line;  // source line, for diagnostics
   };
   std::vector<GateRec> gates;
   // Buffer aliases out_net -> in_net introduced by ".names a b / 1 1".
   std::vector<std::pair<std::string, std::string>> aliases;
 
   for (std::size_t li = 0; li < lines.size(); ++li) {
-    const auto tok = split(lines[li]);
+    const int ln = lines[li].number;
+    const auto tok = split(lines[li].text);
     if (tok.empty()) continue;
     if (tok[0] == ".model") {
       if (tok.size() > 1) model = std::string(tok[1]);
@@ -81,22 +108,29 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
       for (std::size_t i = 1; i < tok.size(); ++i)
         input_names.emplace_back(tok[i]);
     } else if (tok[0] == ".outputs") {
+      outputs_line = ln;
       for (std::size_t i = 1; i < tok.size(); ++i)
         output_names.emplace_back(tok[i]);
     } else if (tok[0] == ".gate") {
-      POWDER_CHECK_MSG(tok.size() >= 3, "malformed .gate: " << lines[li]);
+      if (tok.size() < 3)
+        blif_fail(ln, ".gate needs a cell name and pin bindings",
+                  lines[li].text);
       const CellId cid = library.find(tok[1]);
-      POWDER_CHECK_MSG(cid != kInvalidCell, "unknown cell " << tok[1]);
+      if (cid == kInvalidCell)
+        blif_fail(ln, "cell not in library", tok[1]);
       const Cell& cell = library.cell(cid);
       GateRec rec;
       rec.cell = cid;
+      rec.line = ln;
       rec.fanin_nets.resize(cell.pins.size());
       for (std::size_t i = 2; i < tok.size(); ++i) {
         const std::size_t eq = tok[i].find('=');
-        POWDER_CHECK_MSG(eq != std::string_view::npos,
-                         "malformed pin binding: " << tok[i]);
+        if (eq == std::string_view::npos)
+          blif_fail(ln, "pin binding is not of the form pin=net", tok[i]);
         const std::string pin(tok[i].substr(0, eq));
         const std::string net(tok[i].substr(eq + 1));
+        if (pin.empty() || net.empty())
+          blif_fail(ln, "pin binding has an empty pin or net name", tok[i]);
         if (pin == "O" || pin == "o" || pin == "out" || pin == "Y") {
           rec.out_net = net;
           continue;
@@ -107,37 +141,43 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
             rec.fanin_nets[p] = net;
             found = true;
           }
-        POWDER_CHECK_MSG(found, "cell " << cell.name << " has no pin " << pin);
+        if (!found)
+          blif_fail(ln, "cell " + cell.name + " has no pin named '" + pin +
+                            "'",
+                    tok[i]);
       }
-      POWDER_CHECK_MSG(!rec.out_net.empty(),
-                       "gate without output net: " << lines[li]);
+      if (rec.out_net.empty())
+        blif_fail(ln, ".gate has no output binding (O=...)", lines[li].text);
       gates.push_back(std::move(rec));
     } else if (tok[0] == ".names") {
       // Accept: constants and single-input buffers only.
       std::vector<std::string> nets;
       for (std::size_t i = 1; i < tok.size(); ++i) nets.emplace_back(tok[i]);
-      POWDER_CHECK_MSG(!nets.empty(), "empty .names");
+      if (nets.empty()) blif_fail(ln, ".names without any net");
       // Gather the cover body (subsequent lines not starting with '.').
       std::vector<std::string> body;
-      while (li + 1 < lines.size() && lines[li + 1][0] != '.')
-        body.push_back(lines[++li]);
+      while (li + 1 < lines.size() && lines[li + 1].text[0] != '.')
+        body.push_back(lines[++li].text);
       if (nets.size() == 1) {
         const CellId cid =
             body.empty() ? library.const0() : library.const1();
-        POWDER_CHECK_MSG(cid != kInvalidCell, "library lacks constants");
-        gates.push_back(GateRec{cid, {}, nets[0]});
+        if (cid == kInvalidCell)
+          blif_fail(ln, "library lacks constant cells for constant .names",
+                    nets[0]);
+        gates.push_back(GateRec{cid, {}, nets[0], ln});
       } else if (nets.size() == 2 && body.size() == 1 &&
                  trim(body[0]) == "1 1") {
         aliases.emplace_back(nets[1], nets[0]);
       } else {
-        POWDER_CHECK_MSG(false,
-                         ".names logic not supported in mapped BLIF: " <<
-                             lines[li]);
+        blif_fail(ln,
+                  ".names logic is not supported in mapped BLIF "
+                  "(only constants and '1 1' buffers)",
+                  lines[li].text);
       }
     } else if (tok[0] == ".end" || tok[0] == ".exdc") {
       break;
     } else {
-      POWDER_CHECK_MSG(false, "unsupported BLIF construct: " << lines[li]);
+      blif_fail(ln, "unsupported BLIF construct", tok[0]);
     }
   }
 
@@ -152,26 +192,33 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
   std::unordered_map<std::string, std::string> alias_of;
   for (const auto& [out, in] : aliases) alias_of.emplace(out, in);
 
-  // Recursive instantiation in dependency order.
+  // Recursive instantiation in dependency order. `ref_line` is the source
+  // line that referenced `net`, so an undriven net is reported where it is
+  // used, not as a generic end-of-parse failure.
   std::vector<std::uint8_t> state(gates.size(), 0);
-  auto instantiate = [&](auto&& self, const std::string& net) -> GateId {
+  auto instantiate = [&](auto&& self, const std::string& net,
+                         int ref_line) -> GateId {
     if (const auto it = net_driver.find(net); it != net_driver.end())
       return it->second;
     if (const auto al = alias_of.find(net); al != alias_of.end()) {
-      const GateId g = self(self, al->second);
+      const GateId g = self(self, al->second, ref_line);
       net_driver.emplace(net, g);
       return g;
     }
     const auto it = gate_of_net.find(net);
-    POWDER_CHECK_MSG(it != gate_of_net.end(), "undriven net " << net);
+    if (it == gate_of_net.end())
+      blif_fail(ref_line, "net has no driver (not an input, .gate output, "
+                          "or alias)",
+                net);
     const std::size_t gi = it->second;
-    POWDER_CHECK_MSG(state[gi] != 1, "combinational cycle at net " << net);
+    if (state[gi] == 1)
+      blif_fail(gates[gi].line, "combinational cycle through net", net);
     state[gi] = 1;
     std::vector<GateId> fanins;
     for (const std::string& fn : gates[gi].fanin_nets) {
-      POWDER_CHECK_MSG(!fn.empty(),
-                       "unbound pin on gate driving " << net);
-      fanins.push_back(self(self, fn));
+      if (fn.empty())
+        blif_fail(gates[gi].line, "gate leaves an input pin unbound", net);
+      fanins.push_back(self(self, fn, gates[gi].line));
     }
     state[gi] = 2;
     const GateId g = netlist.add_gate(gates[gi].cell, fanins, net);
@@ -180,7 +227,7 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
   };
 
   for (const std::string& out : output_names) {
-    const GateId driver = instantiate(instantiate, out);
+    const GateId driver = instantiate(instantiate, out, outputs_line);
     // Gate labels are unique; when the output net *is* the driver's label
     // (direct `.gate ... O=out`), the PO gate needs its own name. Via a
     // buffer alias the names already differ, keeping write/read

@@ -117,7 +117,8 @@ void Netlist::replace_all_fanouts(GateId old_driver, GateId new_driver) {
   ++generation_;
 }
 
-std::vector<GateId> Netlist::remove_gate_recursive(GateId gate) {
+std::vector<GateId> Netlist::remove_gate_recursive(
+    GateId gate, std::vector<std::vector<GateId>>* removed_fanins) {
   std::vector<GateId> removed;
   std::vector<GateId> stack{gate};
   while (!stack.empty()) {
@@ -127,6 +128,7 @@ std::vector<GateId> Netlist::remove_gate_recursive(GateId gate) {
     if (!gates_[g].fanouts.empty()) continue;
     gates_[g].alive = false;
     removed.push_back(g);
+    if (removed_fanins != nullptr) removed_fanins->push_back(gates_[g].fanins);
     for (int pin = 0; pin < gates_[g].num_fanins(); ++pin) {
       const GateId fi = gates_[g].fanins[pin];
       disconnect(fi, g, pin);
@@ -136,6 +138,36 @@ std::vector<GateId> Netlist::remove_gate_recursive(GateId gate) {
   }
   if (!removed.empty()) ++generation_;
   return removed;
+}
+
+void Netlist::remove_single_gate(GateId gate) {
+  POWDER_CHECK(gate < gates_.size() && gates_[gate].alive);
+  POWDER_CHECK(gates_[gate].kind == GateKind::kCell);
+  POWDER_CHECK_MSG(gates_[gate].fanouts.empty(),
+                   "removing gate " << gates_[gate].name
+                                    << " which still drives fanout");
+  for (int pin = 0; pin < gates_[gate].num_fanins(); ++pin)
+    disconnect(gates_[gate].fanins[static_cast<std::size_t>(pin)], gate, pin);
+  gates_[gate].fanins.clear();
+  gates_[gate].alive = false;
+  ++generation_;
+}
+
+void Netlist::revive_gate(GateId gate, const std::vector<GateId>& fanins) {
+  POWDER_CHECK(gate < gates_.size() && !gates_[gate].alive);
+  Gate& g = gates_[gate];
+  POWDER_CHECK(g.kind == GateKind::kCell && g.cell != kInvalidCell);
+  POWDER_CHECK_MSG(
+      static_cast<int>(fanins.size()) == library_->cell(g.cell).num_inputs(),
+      "revive_gate arity mismatch for " << g.name);
+  for (GateId fi : fanins)
+    POWDER_CHECK_MSG(fi < gates_.size() && gates_[fi].alive,
+                     "revive_gate with dead fanin into " << g.name);
+  g.alive = true;
+  g.fanins = fanins;
+  for (int pin = 0; pin < g.num_fanins(); ++pin)
+    connect(fanins[static_cast<std::size_t>(pin)], gate, pin);
+  ++generation_;
 }
 
 std::vector<GateId> Netlist::sweep_dead() {

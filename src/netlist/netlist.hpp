@@ -81,8 +81,22 @@ class Netlist {
   std::vector<GateId> sweep_dead();
 
   /// Removes a specific dead gate (no fanouts). Recursively sweeps fanins
-  /// that become dead. Returns all removed gates.
-  std::vector<GateId> remove_gate_recursive(GateId gate);
+  /// that become dead. Returns all removed gates. When `removed_fanins` is
+  /// non-null it receives, parallel to the returned vector, the fanin list
+  /// each gate had before removal — everything `revive_gate` needs to undo
+  /// the sweep.
+  std::vector<GateId> remove_gate_recursive(
+      GateId gate, std::vector<std::vector<GateId>>* removed_fanins = nullptr);
+
+  /// Tombstones a single fanout-free cell gate without the recursive sweep
+  /// (used to undo an insertion). The slot keeps its cell and name so the
+  /// gate could be revived again.
+  void remove_single_gate(GateId gate);
+
+  /// Re-activates a tombstoned cell gate with the given fanins — the exact
+  /// inverse of a removal; fanout back-edges are re-created on the fanins,
+  /// which must all be alive.
+  void revive_gate(GateId gate, const std::vector<GateId>& fanins);
 
   // ---- access --------------------------------------------------------------
   std::size_t num_slots() const { return gates_.size(); }

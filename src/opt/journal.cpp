@@ -1,0 +1,76 @@
+#include "opt/journal.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/fault_injection.hpp"
+
+namespace powder {
+
+SubstJournal::SubstJournal(Netlist* netlist) : netlist_(netlist) {
+  POWDER_CHECK(netlist_ != nullptr);
+}
+
+const AppliedSub& SubstJournal::apply(const CandidateSub& sub) {
+  AppliedSub applied = apply_substitution(*netlist_, sub);
+  deltas_.push_back(applied);
+  // Fault injection: corrupt the *recorded* inverse only — the forward
+  // application and the returned summary stay intact, so the damage shows
+  // up exactly where a journaling bug would: at rollback time.
+  if (inject_fault(FaultInjector::Site::kCorruptDelta)) {
+    AppliedSub& recorded = deltas_.back();
+    if (!recorded.rewired_pins.empty()) {
+      recorded.rewired_pins.front().old_driver =
+          recorded.rewired_pins.front().new_driver;
+    } else if (!recorded.removed_gates.empty()) {
+      recorded.removed_gates.pop_back();
+      recorded.removed_fanins.pop_back();
+    }
+  }
+  return deltas_.back();
+}
+
+std::vector<GateId> SubstJournal::undo(const AppliedSub& delta) {
+  std::vector<GateId> roots;
+  // 1) Revive the swept cone, deepest (last removed) first: each gate's
+  //    fanins are alive again by the time it is revived.
+  POWDER_CHECK(delta.removed_gates.size() == delta.removed_fanins.size());
+  for (std::size_t i = delta.removed_gates.size(); i-- > 0;) {
+    netlist_->revive_gate(delta.removed_gates[i], delta.removed_fanins[i]);
+    roots.push_back(delta.removed_gates[i]);
+  }
+  // 2) Rewire the pins back to their previous drivers, newest first.
+  for (std::size_t i = delta.rewired_pins.size(); i-- > 0;) {
+    const RewiredPin& rp = delta.rewired_pins[i];
+    netlist_->set_fanin(rp.sink, rp.pin, rp.old_driver);
+    roots.push_back(rp.sink);
+  }
+  // 3) Drop the inserted gate, now fanout-free again.
+  if (delta.new_gate != kNullGate)
+    netlist_->remove_single_gate(delta.new_gate);
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots;
+}
+
+std::vector<GateId> SubstJournal::rollback_last() {
+  POWDER_CHECK_MSG(!deltas_.empty(), "rollback on an empty journal");
+  const AppliedSub delta = std::move(deltas_.back());
+  deltas_.pop_back();
+  return undo(delta);
+}
+
+std::vector<GateId> SubstJournal::rollback_to(std::size_t mark) {
+  POWDER_CHECK_MSG(mark <= deltas_.size(),
+                   "rollback_to mark beyond journal head");
+  std::vector<GateId> roots;
+  while (deltas_.size() > mark) {
+    const std::vector<GateId> r = rollback_last();
+    roots.insert(roots.end(), r.begin(), r.end());
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  return roots;
+}
+
+}  // namespace powder

@@ -1,0 +1,49 @@
+#pragma once
+// Transactional application of substitutions.
+//
+// Every commit goes through the journal, which records the full inverse
+// delta (rewired pins with their previous drivers, the fanin lists of the
+// swept MFFC, the inserted gate). `rollback_last()` undoes the most recent
+// commit exactly — revive the swept gates deepest-first, rewire the pins
+// back, drop the inserted gate — and returns the gates whose function
+// changed so the caller can re-simulate incrementally. This is what lets
+// the optimizer's guard pass restore a last-known-good netlist instead of
+// emitting a miscompiled one.
+
+#include <cstddef>
+#include <vector>
+
+#include "opt/substitution.hpp"
+
+namespace powder {
+
+class SubstJournal {
+ public:
+  explicit SubstJournal(Netlist* netlist);
+
+  /// Applies `sub` and records its inverse delta. Throws CheckError —
+  /// before any mutation — when the substitution is stale or invalid.
+  const AppliedSub& apply(const CandidateSub& sub);
+
+  std::size_t size() const { return deltas_.size(); }
+  bool empty() const { return deltas_.empty(); }
+
+  /// Opaque mark identifying the current state; pass to rollback_to.
+  std::size_t checkpoint() const { return deltas_.size(); }
+
+  /// Undoes the most recent commit. Returns the gates whose function
+  /// changed (deduplicated) — the seed set for incremental re-simulation.
+  std::vector<GateId> rollback_last();
+
+  /// Undoes every commit made after `mark`, newest first. Returns the
+  /// union of changed roots across all undone commits.
+  std::vector<GateId> rollback_to(std::size_t mark);
+
+ private:
+  Netlist* netlist_;
+  std::vector<AppliedSub> deltas_;
+
+  std::vector<GateId> undo(const AppliedSub& delta);
+};
+
+}  // namespace powder

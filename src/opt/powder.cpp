@@ -4,15 +4,90 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 
+#include "bdd/netlist_bdd.hpp"
+#include "opt/journal.hpp"
 #include "power/power.hpp"
+#include "util/budget.hpp"
 #include "util/check.hpp"
+#include "util/fault_injection.hpp"
 
 namespace powder {
+
+namespace {
+
+/// Fault injection (Site::kStaleCandidate): rewrites `sub` into a
+/// structurally valid signal substitution whose sampled signature *differs*
+/// from the target's — exactly what a stale candidate surviving a buggy
+/// revalidation would look like. Returns false when no such corruption
+/// exists at this site.
+bool corrupt_candidate(const Netlist& nl, const Simulator& sim,
+                       CandidateSub* sub) {
+  const GateId entry =
+      sub->branch.has_value() ? sub->branch->gate : sub->target;
+  const auto target_words = sim.value(sub->target);
+  for (GateId g = 0; g < nl.num_slots(); ++g) {
+    if (!nl.alive(g) || nl.kind(g) == GateKind::kOutput) continue;
+    if (g == sub->target || g == entry) continue;
+    const auto words = sim.value(g);
+    bool differs = false;
+    for (std::size_t w = 0; w < words.size(); ++w)
+      if (words[w] != target_words[w]) {
+        differs = true;
+        break;
+      }
+    if (!differs) continue;
+    CandidateSub trial = *sub;
+    trial.cls = sub->branch.has_value() ? SubstClass::kIS2 : SubstClass::kOS2;
+    trial.rep = ReplacementFunction::signal(g, false);
+    trial.new_cell = kInvalidCell;
+    if (!substitution_still_valid(nl, trial)) continue;
+    *sub = trial;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 PowderOptimizer::PowderOptimizer(Netlist* netlist, PowderOptions options)
     : netlist_(netlist), options_(std::move(options)) {
   POWDER_CHECK(netlist_ != nullptr);
+  validate_options();
+}
+
+void PowderOptimizer::validate_options() const {
+  const PowderOptions& o = options_;
+  POWDER_CHECK_MSG(o.num_patterns > 0,
+                   "PowderOptions.num_patterns must be positive, got "
+                       << o.num_patterns);
+  if (!o.pi_probs.empty()) {
+    POWDER_CHECK_MSG(
+        static_cast<int>(o.pi_probs.size()) == netlist_->num_inputs(),
+        "PowderOptions.pi_probs has " << o.pi_probs.size()
+                                      << " entries but the netlist has "
+                                      << netlist_->num_inputs()
+                                      << " primary inputs");
+    for (std::size_t i = 0; i < o.pi_probs.size(); ++i)
+      POWDER_CHECK_MSG(std::isfinite(o.pi_probs[i]) && o.pi_probs[i] >= 0.0 &&
+                           o.pi_probs[i] <= 1.0,
+                       "PowderOptions.pi_probs[" << i << "] = " << o.pi_probs[i]
+                                                 << " is outside [0, 1]");
+  }
+  POWDER_CHECK_MSG(o.shortlist > 0,
+                   "PowderOptions.shortlist must be positive, got "
+                       << o.shortlist);
+  POWDER_CHECK_MSG(o.repeat > 0,
+                   "PowderOptions.repeat must be positive, got " << o.repeat);
+  POWDER_CHECK_MSG(o.max_outer_iterations > 0,
+                   "PowderOptions.max_outer_iterations must be positive, got "
+                       << o.max_outer_iterations);
+  POWDER_CHECK_MSG(std::isfinite(o.min_gain),
+                   "PowderOptions.min_gain must be finite");
+  POWDER_CHECK_MSG(o.atpg.backtrack_limit >= 0,
+                   "PowderOptions.atpg.backtrack_limit must be non-negative, "
+                   "got " << o.atpg.backtrack_limit);
 }
 
 bool PowderOptimizer::violates_delay(const CandidateSub& sub,
@@ -29,12 +104,18 @@ PowderReport PowderOptimizer::run() {
   const auto t_start = std::chrono::steady_clock::now();
   PowderReport report;
 
+  ResourceBudget budget;
+  budget.set_deadline(options_.budget.deadline_seconds);
+  budget.set_atpg_backtrack_pool(options_.budget.atpg_backtrack_pool);
+  budget.set_sat_conflict_pool(options_.budget.sat_conflict_pool);
+
   Simulator sim(*netlist_, options_.num_patterns, options_.pi_probs,
                 options_.seed);
   PowerEstimator est(&sim);
   // Independent pattern set used as a cheap second opinion before the
   // expensive permissibility proof: a candidate that already fails on
-  // fresh patterns is rejected without running PODEM/SAT at all.
+  // fresh patterns is rejected without running PODEM/SAT at all. The same
+  // simulator backs the post-commit signature guard below.
   Simulator verify_sim(*netlist_, options_.num_patterns, options_.pi_probs,
                        options_.seed ^ 0x5EC0DD5EEDull);
 
@@ -46,8 +127,33 @@ PowderReport PowderOptimizer::run() {
                            : report.initial_delay *
                                  options_.delay_limit_factor;
 
-  AtpgChecker atpg(*netlist_, options_.atpg);
-  SatChecker sat(*netlist_, options_.sat);
+  // Pristine copy for the end-of-run miter (the strong guard level).
+  std::optional<Netlist> pristine;
+  if (options_.guard.final_equivalence_check) pristine.emplace(*netlist_);
+
+  // Primary-output signature snapshot on the independent pattern set: the
+  // PI stimulus is frozen, so a permissible substitution can never change
+  // any PO word. Any mismatch after a commit is a proven miscompare.
+  const std::vector<GateId> po_gates = netlist_->outputs();
+  std::vector<std::uint64_t> po_snapshot;
+  for (GateId o : po_gates) {
+    const auto words = verify_sim.value(o);
+    po_snapshot.insert(po_snapshot.end(), words.begin(), words.end());
+  }
+  auto po_signatures_ok = [&]() {
+    std::size_t k = 0;
+    for (GateId o : po_gates)
+      for (std::uint64_t w : verify_sim.value(o))
+        if (w != po_snapshot[k++]) return false;
+    return true;
+  };
+
+  AtpgOptions atpg_options = options_.atpg;
+  atpg_options.budget = &budget;
+  SatCheckerOptions sat_options = options_.sat;
+  sat_options.budget = &budget;
+  AtpgChecker atpg(*netlist_, atpg_options);
+  SatChecker sat(*netlist_, sat_options);
   auto prove = [&](const CandidateSub& cand) {
     switch (options_.proof_engine) {
       case ProofEngine::kPodem:
@@ -55,6 +161,8 @@ PowderReport PowderOptimizer::run() {
       case ProofEngine::kSat:
         return sat.check_replacement(cand.site(), cand.rep);
       case ProofEngine::kHybrid: {
+        // An abort — backtrack limit, dry pool, injected fault — escalates
+        // to the independent engine instead of giving up outright.
         const AtpgResult r = atpg.check_replacement(cand.site(), cand.rep);
         if (r != AtpgResult::kAborted) return r;
         return sat.check_replacement(cand.site(), cand.rep);
@@ -63,11 +171,48 @@ PowderReport PowderOptimizer::run() {
     return AtpgResult::kAborted;
   };
 
+  SubstJournal journal(netlist_);
+  // Per-commit accounting, aligned with the journal, so an end-of-run
+  // rollback can also undo the report's class statistics.
+  struct CommitRecord {
+    SubstClass cls;
+    double power_delta;
+    double area_delta;
+  };
+  std::vector<CommitRecord> commit_log;
+
+  auto resync_after_rollback = [&](const std::vector<GateId>& roots) {
+    est.update_after_change(roots);
+    verify_sim.resimulate_from(roots);
+  };
+  // A corrupted delta can leave a rollback half-done with unknown roots;
+  // rebuilding every cached value keeps the guard's verdict trustworthy.
+  auto full_resync = [&]() {
+    sim.resimulate_all();
+    est.estimate_all();
+    verify_sim.resimulate_all();
+  };
+
+  auto stop_requested = [&]() {
+    if (budget.expired()) {
+      report.deadline_hit = true;
+      return true;
+    }
+    if (budget.proof_effort_exhausted()) {
+      report.budget_exhausted = true;
+      return true;
+    }
+    return false;
+  };
+
   bool progress = true;
+  bool stopped = false;
   for (int outer = 0;
-       progress && outer < options_.max_outer_iterations; ++outer) {
+       progress && !stopped && outer < options_.max_outer_iterations;
+       ++outer) {
     ++report.outer_iterations;
     progress = false;
+    if (stop_requested()) break;
 
     CandidateFinder finder(*netlist_, est, options_.candidates,
                            options_.seed + 17 * static_cast<std::uint64_t>(outer));
@@ -76,6 +221,10 @@ PowderReport PowderOptimizer::run() {
 
     int performed = 0;
     while (performed < options_.repeat && !cands.empty()) {
+      if (stop_requested()) {
+        stopped = true;
+        break;
+      }
       // ---- select_power_red_subst --------------------------------------
       // Refresh validity and PG_A+PG_B of the surviving candidates (the
       // netlist has changed since harvesting), preselect the best, then
@@ -129,10 +278,16 @@ PowderReport PowderOptimizer::run() {
         continue;
       }
 
-      // ---- check_candidate: permissibility proof --------------------------
-      // Cheap pre-proof: simulate the replacement on the independent
-      // pattern set; any output difference is a definite refutation.
-      {
+      // ---- check_candidate: permissibility proof ------------------------
+      // Fault injection can force an unproven candidate through this
+      // pipeline; the post-commit guard below is what must catch it.
+      bool forced = false;
+      if (inject_fault(FaultInjector::Site::kStaleCandidate))
+        forced = corrupt_candidate(*netlist_, verify_sim, &chosen);
+      if (inject_fault(FaultInjector::Site::kAcceptProof)) forced = true;
+      if (!forced) {
+        // Cheap pre-proof: simulate the replacement on the independent
+        // pattern set; any output difference is a definite refutation.
         const std::vector<std::uint64_t> words =
             replacement_words(verify_sim, chosen.rep);
         const FanoutRef* branch =
@@ -149,20 +304,43 @@ PowderReport PowderOptimizer::run() {
           ++report.rejected_by_atpg;
           continue;
         }
-      }
-      const AtpgResult proof = prove(chosen);
-      if (proof != AtpgResult::kUntestable) {
-        ++report.rejected_by_atpg;
-        continue;
+        const AtpgResult proof = prove(chosen);
+        if (proof != AtpgResult::kUntestable) {
+          ++report.rejected_by_atpg;
+          continue;
+        }
       }
 
-      // ---- perform_substitution + power_estimate_update ------------------
+      // ---- perform_substitution + power_estimate_update -----------------
       const double power_before = est.total_power();
       const double area_before = netlist_->total_area();
-      const AppliedSub applied = apply_substitution(*netlist_, chosen);
+      AppliedSub applied;
+      try {
+        applied = journal.apply(chosen);
+      } catch (const CheckError&) {
+        // Stale or invalid at the last moment: the apply validated before
+        // mutating, so the netlist is untouched — skip the candidate.
+        ++report.apply_failures;
+        continue;
+      }
       est.update_after_change(applied.changed_roots);
       verify_sim.resimulate_from(applied.changed_roots);
       if (options_.check_invariants) netlist_->check_consistency();
+
+      // ---- guard: the PO signatures must be untouched -------------------
+      if (options_.guard.signature_check && !po_signatures_ok()) {
+        ++report.guard_rollbacks;
+        try {
+          resync_after_rollback(journal.rollback_last());
+        } catch (const CheckError&) {
+          // Rollback itself failed (possible only with a corrupted
+          // journal); stop committing and let the final guard judge.
+          full_resync();
+          stopped = true;
+          break;
+        }
+        continue;
+      }
 
       const double power_after = est.total_power();
       ClassStats& cls =
@@ -170,10 +348,46 @@ PowderReport PowderOptimizer::run() {
       ++cls.applied;
       cls.power_delta += power_before - power_after;
       cls.area_delta += netlist_->total_area() - area_before;
+      commit_log.push_back(CommitRecord{chosen.cls,
+                                        power_before - power_after,
+                                        netlist_->total_area() - area_before});
       ++report.substitutions_applied;
       ++performed;
       progress = true;
     }
+  }
+
+  // ---- end-of-run guard: never emit a miscompiled netlist ---------------
+  // Walk the journal back until the state passes every enabled check. With
+  // intact deltas this converges at the latest on the pristine input; only
+  // a corrupted journal can leave `guard_failed` set — reported, never
+  // silent.
+  if (options_.guard.signature_check || pristine.has_value()) {
+    auto state_good = [&]() {
+      if (options_.guard.signature_check && !po_signatures_ok()) return false;
+      if (pristine.has_value() &&
+          !functionally_equivalent(*pristine, *netlist_))
+        return false;
+      return true;
+    };
+    while (!state_good() && !journal.empty()) {
+      ++report.final_check_rollbacks;
+      try {
+        resync_after_rollback(journal.rollback_last());
+      } catch (const CheckError&) {
+        full_resync();
+      }
+      if (!commit_log.empty()) {
+        const CommitRecord& rec = commit_log.back();
+        ClassStats& cls = report.by_class[static_cast<std::size_t>(rec.cls)];
+        --cls.applied;
+        cls.power_delta -= rec.power_delta;
+        cls.area_delta -= rec.area_delta;
+        --report.substitutions_applied;
+        commit_log.pop_back();
+      }
+    }
+    report.guard_failed = !state_good();
   }
 
   atpg_stats_ = atpg.stats();

@@ -33,6 +33,27 @@ enum class Objective {
   kArea,   ///< exact area gain — RAMBO-style cleanup, used for ablations
 };
 
+/// Post-commit equivalence guardrails. The signature check re-simulates an
+/// independent pattern set after every commit and rolls the substitution
+/// back on any primary-output mismatch; the final check builds a BDD miter
+/// against the pristine input netlist at end of run and walks the journal
+/// back to the last provably good state on mismatch. Together they enforce
+/// the never-miscompare invariant: the optimizer either emits an equivalent
+/// netlist or reports the rollback/failure in the PowderReport.
+struct GuardOptions {
+  bool signature_check = true;
+  bool final_equivalence_check = false;  ///< exact but needs global BDDs
+};
+
+/// Resource limits for one run. Exhaustion degrades the run (skip
+/// candidate, fall back to the other engine, stop with a partial result
+/// flagged in the report) — it never crashes or loops.
+struct BudgetOptions {
+  double deadline_seconds = -1.0;  ///< wall clock for the run; <0 disables
+  long atpg_backtrack_pool = -1;   ///< global PODEM pool; <0 = unlimited
+  long sat_conflict_pool = -1;     ///< global SAT pool; <0 = unlimited
+};
+
 struct PowderOptions {
   Objective objective = Objective::kPower;
   int num_patterns = 2048;
@@ -60,6 +81,8 @@ struct PowderOptions {
   AtpgOptions atpg;
   SatCheckerOptions sat;
   CandidateOptions candidates;
+  GuardOptions guard;
+  BudgetOptions budget;
   bool check_invariants = false;  ///< netlist consistency after every apply
 };
 
@@ -82,6 +105,14 @@ struct PowderReport {
   int rejected_stale = 0;
   int outer_iterations = 0;
   double cpu_seconds = 0.0;
+
+  // ---- robustness accounting ----------------------------------------------
+  int guard_rollbacks = 0;        ///< commits undone by the signature guard
+  int final_check_rollbacks = 0;  ///< commits undone by the end-of-run check
+  int apply_failures = 0;         ///< applies rejected by the validity check
+  bool guard_failed = false;      ///< inequivalence persisted after rollback
+  bool budget_exhausted = false;  ///< both proof pools drained; partial result
+  bool deadline_hit = false;      ///< wall-clock deadline stopped the run
 
   std::array<ClassStats, 4> by_class;  ///< indexed by SubstClass
 
@@ -110,6 +141,10 @@ class PowderOptimizer {
   Netlist* netlist_;
   PowderOptions options_;
   AtpgChecker::Stats atpg_stats_;
+
+  /// Throws CheckError on malformed options (non-positive pattern count,
+  /// pi_probs size/range mismatch, empty shortlist, ...).
+  void validate_options() const;
 
   /// Applies the delay check of §3.4 on a scratch copy of the netlist.
   bool violates_delay(const CandidateSub& sub, double limit) const;

@@ -106,19 +106,49 @@ bool substitution_still_valid(const Netlist& netlist,
 AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub) {
   POWDER_CHECK_MSG(substitution_still_valid(netlist, sub),
                    "applying a stale substitution");
+  // Validate library capabilities before the first structural edit so that
+  // a CheckError never leaves the netlist half-modified.
+  {
+    const CellLibrary& lib = netlist.library();
+    switch (sub.rep.kind) {
+      case ReplacementFunction::Kind::kConstant:
+        POWDER_CHECK_MSG((sub.rep.constant_value ? lib.const1()
+                                                 : lib.const0()) !=
+                             kInvalidCell,
+                         "library lacks constant cells");
+        break;
+      case ReplacementFunction::Kind::kSignal:
+        if (sub.rep.invert_b)
+          POWDER_CHECK_MSG(lib.inverter() != kInvalidCell,
+                           "library lacks an inverter");
+        break;
+      case ReplacementFunction::Kind::kTwoInput:
+        POWDER_CHECK(sub.new_cell != kInvalidCell);
+        POWDER_CHECK(!sub.rep.invert_b && !sub.rep.invert_c);
+        break;
+    }
+  }
   AppliedSub applied;
   const GateId driver = build_replacement_driver(netlist, sub, &applied);
 
   if (sub.branch.has_value()) {
+    const GateId old_driver =
+        netlist.gate(sub.branch->gate)
+            .fanins[static_cast<std::size_t>(sub.branch->pin)];
     netlist.set_fanin(sub.branch->gate, sub.branch->pin, driver);
+    applied.rewired_pins.push_back(
+        RewiredPin{sub.branch->gate, sub.branch->pin, old_driver, driver});
     applied.changed_roots.push_back(sub.branch->gate);
   } else {
     // Collect the sinks being rewired: their simulated values can change
     // (within the target's ODC set), so they seed re-simulation.
-    for (const FanoutRef& br : netlist.gate(sub.target).fanouts)
+    for (const FanoutRef& br : netlist.gate(sub.target).fanouts) {
+      applied.rewired_pins.push_back(
+          RewiredPin{br.gate, br.pin, sub.target, driver});
       if (std::find(applied.changed_roots.begin(), applied.changed_roots.end(),
                     br.gate) == applied.changed_roots.end())
         applied.changed_roots.push_back(br.gate);
+    }
     netlist.replace_all_fanouts(sub.target, driver);
   }
   if (applied.new_gate != kNullGate)
@@ -130,7 +160,8 @@ AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub) {
   double removed_area = 0.0;
   if (netlist.kind(sub.target) == GateKind::kCell &&
       netlist.gate(sub.target).fanouts.empty()) {
-    applied.removed_gates = netlist.remove_gate_recursive(sub.target);
+    applied.removed_gates =
+        netlist.remove_gate_recursive(sub.target, &applied.removed_fanins);
     for (GateId g : applied.removed_gates)
       removed_area += netlist.library().cell(netlist.gate(g).cell).area;
   }

@@ -40,9 +40,25 @@ struct CandidateSub {
   ReplacementSite site() const { return ReplacementSite{target, branch}; }
 };
 
-/// Result of applying a substitution.
+/// One rewired input pin, with enough context to rewire it back.
+struct RewiredPin {
+  GateId sink = kNullGate;
+  int pin = 0;
+  GateId old_driver = kNullGate;
+  GateId new_driver = kNullGate;
+};
+
+/// Result of applying a substitution. Besides the forward summary (what
+/// changed, for cache updates) it carries the full inverse delta — rewired
+/// pins with their previous drivers and the fanin lists of every swept
+/// gate — which SubstJournal uses for checkpoint/rollback.
 struct AppliedSub {
   std::vector<GateId> removed_gates;  ///< swept MFFC (tombstoned)
+  /// Fanin list each removed gate had before the sweep (parallel to
+  /// `removed_gates`); input to Netlist::revive_gate on rollback.
+  std::vector<std::vector<GateId>> removed_fanins;
+  /// Every rewired pin in application order, with its previous driver.
+  std::vector<RewiredPin> rewired_pins;
   GateId new_gate = kNullGate;        ///< inserted gate (OS3/IS3/inverted)
   /// Gates whose *function* changed and therefore seed re-simulation: the
   /// new gate (if any) and the rewired sinks.
@@ -52,7 +68,9 @@ struct AppliedSub {
 
 /// Applies `sub` to `netlist`. The caller must already have established
 /// permissibility; this routine only performs the structural edit, sweeps
-/// dead logic, and reports what changed.
+/// dead logic, and reports what changed. All validation (staleness, library
+/// capabilities) happens before the first mutation, so a CheckError from
+/// here leaves the netlist untouched.
 AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub);
 
 /// Cheap structural validity: every referenced gate alive, the branch still

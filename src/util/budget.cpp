@@ -1,0 +1,28 @@
+#include "util/budget.hpp"
+
+#include <limits>
+
+namespace powder {
+
+void ResourceBudget::set_deadline(double seconds) {
+  if (seconds < 0.0) {
+    has_deadline_ = false;
+    return;
+  }
+  has_deadline_ = true;
+  deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+}
+
+bool ResourceBudget::expired() const {
+  return has_deadline_ && Clock::now() >= deadline_;
+}
+
+double ResourceBudget::remaining_seconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  const double s =
+      std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  return s > 0.0 ? s : 0.0;
+}
+
+}  // namespace powder

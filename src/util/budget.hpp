@@ -1,0 +1,65 @@
+#pragma once
+// Shared resource budget for an optimization run: a wall-clock deadline and
+// global proof-effort pools (ATPG backtracks, SAT conflicts).
+//
+// The optimizer owns one ResourceBudget and hands a pointer to every
+// component that burns bounded effort. A proof engine asks for a per-call
+// grant (its own per-call limit clamped to what is left in the pool),
+// reports what it actually used afterwards, and aborts immediately when its
+// pool is dry or the deadline has passed. Exhaustion is therefore always a
+// clean, reported degradation — never a hang and never a hard error.
+
+#include <chrono>
+
+namespace powder {
+
+class ResourceBudget {
+ public:
+  ResourceBudget() = default;
+
+  /// Arms a wall-clock deadline `seconds` from now; negative disables.
+  void set_deadline(double seconds);
+  /// Caps the total PODEM backtracks across all checks; negative = unlimited.
+  void set_atpg_backtrack_pool(long n) { atpg_pool_ = n < 0 ? -1 : n; }
+  /// Caps the total SAT conflicts across all checks; negative = unlimited.
+  void set_sat_conflict_pool(long n) { sat_pool_ = n < 0 ? -1 : n; }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool expired() const;
+  /// Seconds until the deadline (clamped at 0); +inf when no deadline.
+  double remaining_seconds() const;
+
+  /// Largest effort (<= `ask`) the caller may spend right now; 0 when the
+  /// pool is dry. The caller reports actual use via the consume_* calls.
+  long grant_atpg_backtracks(long ask) const { return grant(atpg_pool_, ask); }
+  long grant_sat_conflicts(long ask) const { return grant(sat_pool_, ask); }
+  void consume_atpg_backtracks(long used) { consume(&atpg_pool_, used); }
+  void consume_sat_conflicts(long used) { consume(&sat_pool_, used); }
+
+  bool atpg_pool_dry() const { return atpg_pool_ == 0; }
+  bool sat_pool_dry() const { return sat_pool_ == 0; }
+  /// True when neither proof engine can be paid for another call. Unlimited
+  /// pools never drain, so this only triggers when both pools were set.
+  bool proof_effort_exhausted() const {
+    return atpg_pool_dry() && sat_pool_dry();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static long grant(long pool, long ask) {
+    if (pool < 0) return ask;
+    return ask < pool ? ask : pool;
+  }
+  static void consume(long* pool, long used) {
+    if (*pool < 0 || used <= 0) return;
+    *pool = used < *pool ? *pool - used : 0;
+  }
+
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  long atpg_pool_ = -1;  // -1 = unlimited
+  long sat_pool_ = -1;
+};
+
+}  // namespace powder

@@ -1,0 +1,44 @@
+#include "util/fault_injection.hpp"
+
+namespace powder {
+
+namespace {
+FaultInjector* g_injector = nullptr;
+}  // namespace
+
+FaultInjector* FaultInjector::installed() { return g_injector; }
+
+void FaultInjector::install(FaultInjector* injector) { g_injector = injector; }
+
+void FaultInjector::arm(Site site, int skip, int count) {
+  SiteState& s = sites_[static_cast<std::size_t>(site)];
+  s = SiteState{};
+  s.armed = true;
+  s.skip = skip;
+  s.count = count;
+}
+
+void FaultInjector::disarm(Site site) {
+  sites_[static_cast<std::size_t>(site)].armed = false;
+}
+
+bool FaultInjector::fire(Site site) {
+  SiteState& s = sites_[static_cast<std::size_t>(site)];
+  const int occurrence = s.seen++;
+  if (!s.armed) return false;
+  if (occurrence < s.skip ||
+      occurrence >= static_cast<long>(s.skip) + s.count)
+    return false;
+  ++s.fired;
+  return true;
+}
+
+int FaultInjector::occurrences(Site site) const {
+  return sites_[static_cast<std::size_t>(site)].seen;
+}
+
+int FaultInjector::fired(Site site) const {
+  return sites_[static_cast<std::size_t>(site)].fired;
+}
+
+}  // namespace powder

@@ -1,0 +1,216 @@
+// Robustness tests built on the deterministic fault injector: whatever is
+// forced to go wrong — aborted proofs, bogus accepts, stale candidates,
+// corrupted journal deltas, drained budgets, expired deadlines — the
+// optimizer must either emit a BDD-equivalent netlist or say in the report
+// that it rolled back, exhausted its budget, or failed its guard. It must
+// never return a silently miscompiled netlist.
+
+#include <gtest/gtest.h>
+
+#include "bdd/netlist_bdd.hpp"
+#include "benchgen/benchmarks.hpp"
+#include "mapper/mapper.hpp"
+#include "opt/powder.hpp"
+#include "util/fault_injection.hpp"
+
+namespace powder {
+namespace {
+
+using Site = FaultInjector::Site;
+
+const char* const kBenchmarks[] = {"comp", "rd84", "misex3"};
+
+PowderOptions paranoid_options() {
+  PowderOptions opt;
+  opt.num_patterns = 1024;
+  opt.repeat = 10;
+  opt.max_outer_iterations = 4;
+  opt.check_invariants = true;
+  opt.guard.final_equivalence_check = true;
+  return opt;
+}
+
+Netlist make_mapped(const char* name) {
+  static CellLibrary lib = CellLibrary::standard();
+  return map_aig(make_benchmark(name), lib);
+}
+
+/// The contract every degraded run must satisfy.
+void expect_never_miscompiled(const Netlist& before, const Netlist& after,
+                              const PowderReport& report, const char* name) {
+  if (!report.guard_failed) {
+    EXPECT_TRUE(functionally_equivalent(before, after))
+        << name << ": non-equivalent netlist without guard_failed";
+  }
+  after.check_consistency();
+}
+
+TEST(FaultInjection, AtpgAbortsEscalateToSat) {
+  // Every PODEM call aborts; the hybrid engine must still make progress
+  // through the SAT fallback and the result must stay equivalent.
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    ScopedFaultInjector inj;
+    inj->arm(Site::kAtpgProof);
+    PowderOptions opt = paranoid_options();
+    opt.proof_engine = ProofEngine::kHybrid;
+    const PowderReport report = PowderOptimizer(&nl, opt).run();
+    EXPECT_GT(inj->fired(Site::kAtpgProof), 0) << name;
+    EXPECT_GT(report.substitutions_applied, 0)
+        << name << ": SAT fallback made no progress";
+    expect_never_miscompiled(before, nl, report, name);
+  }
+}
+
+TEST(FaultInjection, AllProofEnginesAbortingStillTerminates) {
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    ScopedFaultInjector inj;
+    inj->arm(Site::kAtpgProof);
+    inj->arm(Site::kSatProof);
+    const PowderReport report =
+        PowderOptimizer(&nl, paranoid_options()).run();
+    EXPECT_EQ(report.substitutions_applied, 0) << name;
+    EXPECT_FALSE(report.guard_failed) << name;
+    EXPECT_TRUE(functionally_equivalent(before, nl)) << name;
+  }
+}
+
+TEST(FaultInjection, ForcedAcceptsAreCaughtByTheGuard) {
+  // The optimizer is made to skip the pre-check and the permissibility
+  // proof for every candidate. Non-permissible winners must be undone by
+  // the signature guard or the end-of-run equivalence check.
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    ScopedFaultInjector inj;
+    inj->arm(Site::kAcceptProof);
+    const PowderReport report =
+        PowderOptimizer(&nl, paranoid_options()).run();
+    EXPECT_GT(inj->fired(Site::kAcceptProof), 0) << name;
+    expect_never_miscompiled(before, nl, report, name);
+  }
+}
+
+TEST(FaultInjection, StaleCandidatesAreRolledBack) {
+  // Every chosen candidate is corrupted into a substitution whose signal
+  // provably differs on the verification patterns. The deltas themselves
+  // stay intact, so rollback must always restore equivalence.
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    ScopedFaultInjector inj;
+    inj->arm(Site::kStaleCandidate);
+    const PowderReport report =
+        PowderOptimizer(&nl, paranoid_options()).run();
+    EXPECT_GT(report.guard_rollbacks + report.final_check_rollbacks, 0)
+        << name << ": no corruption was ever caught";
+    EXPECT_FALSE(report.guard_failed) << name;
+    EXPECT_TRUE(functionally_equivalent(before, nl)) << name;
+  }
+}
+
+TEST(FaultInjection, CorruptedDeltasAreReportedNeverSilent) {
+  // Stale candidates force guard rollbacks while every recorded inverse
+  // delta is corrupted: rollback can no longer be trusted. The run may or
+  // may not be able to restore a good netlist — but a bad one must be
+  // flagged with guard_failed, never returned silently.
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    ScopedFaultInjector inj;
+    inj->arm(Site::kStaleCandidate);
+    inj->arm(Site::kCorruptDelta);
+    const PowderReport report =
+        PowderOptimizer(&nl, paranoid_options()).run();
+    expect_never_miscompiled(before, nl, report, name);
+  }
+}
+
+TEST(FaultInjection, CorruptedDeltaOnEveryOtherCommit) {
+  // A subtler mix: honest commits interleaved with corrupted ones.
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    ScopedFaultInjector inj;
+    inj->arm(Site::kStaleCandidate, /*skip=*/1, /*count=*/2);
+    inj->arm(Site::kCorruptDelta, /*skip=*/0, /*count=*/1);
+    const PowderReport report =
+        PowderOptimizer(&nl, paranoid_options()).run();
+    expect_never_miscompiled(before, nl, report, name);
+  }
+}
+
+TEST(FaultInjection, DrainedProofPoolsExhaustCleanly) {
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    PowderOptions opt = paranoid_options();
+    opt.budget.atpg_backtrack_pool = 0;
+    opt.budget.sat_conflict_pool = 0;
+    const PowderReport report = PowderOptimizer(&nl, opt).run();
+    EXPECT_TRUE(report.budget_exhausted) << name;
+    EXPECT_EQ(report.substitutions_applied, 0) << name;
+    EXPECT_TRUE(functionally_equivalent(before, nl)) << name;
+  }
+}
+
+TEST(FaultInjection, SmallProofPoolsDegradeGracefully) {
+  // Pools big enough to start but too small to finish: the run stops with
+  // a partial, still-equivalent result.
+  for (const char* name : kBenchmarks) {
+    Netlist nl = make_mapped(name);
+    const Netlist before = nl;
+    PowderOptions opt = paranoid_options();
+    opt.budget.atpg_backtrack_pool = 20;
+    opt.budget.sat_conflict_pool = 20;
+    const PowderReport report = PowderOptimizer(&nl, opt).run();
+    expect_never_miscompiled(before, nl, report, name);
+    EXPECT_FALSE(report.guard_failed) << name;
+  }
+}
+
+TEST(FaultInjection, ExpiredDeadlineStopsImmediately) {
+  Netlist nl = make_mapped("misex3");
+  const Netlist before = nl;
+  PowderOptions opt = paranoid_options();
+  opt.budget.deadline_seconds = 0.0;
+  const PowderReport report = PowderOptimizer(&nl, opt).run();
+  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_EQ(report.substitutions_applied, 0);
+  EXPECT_TRUE(functionally_equivalent(before, nl));
+}
+
+TEST(FaultInjection, ShortDeadlineTerminatesCleanlyWithPartialResult) {
+  Netlist nl = make_mapped("misex3");
+  const Netlist before = nl;
+  PowderOptions opt = paranoid_options();
+  opt.num_patterns = 4096;  // make the full run comfortably exceed 50ms
+  opt.max_outer_iterations = 64;
+  opt.budget.deadline_seconds = 0.05;
+  const PowderReport report = PowderOptimizer(&nl, opt).run();
+  // Clean termination well before a full run would finish, and a valid,
+  // equivalent partial result.
+  EXPECT_LT(report.cpu_seconds, 2.0);
+  EXPECT_FALSE(report.guard_failed);
+  EXPECT_TRUE(functionally_equivalent(before, nl));
+}
+
+TEST(FaultInjection, GuardCanBeDisabledExplicitly) {
+  // Sanity: with every guard off and no faults armed, the optimizer still
+  // behaves (proofs alone are sound).
+  Netlist nl = make_mapped("comp");
+  const Netlist before = nl;
+  PowderOptions opt = paranoid_options();
+  opt.guard.signature_check = false;
+  opt.guard.final_equivalence_check = false;
+  const PowderReport report = PowderOptimizer(&nl, opt).run();
+  EXPECT_EQ(report.guard_rollbacks, 0);
+  EXPECT_EQ(report.final_check_rollbacks, 0);
+  EXPECT_TRUE(functionally_equivalent(before, nl));
+}
+
+}  // namespace
+}  // namespace powder

@@ -88,6 +88,85 @@ TEST(Blif, ErrorsAreReported) {
                CheckError);  // combinational cycle
 }
 
+/// Parse `text` expecting failure; returns the diagnostic ("" on success).
+std::string blif_error(std::string_view text) {
+  const CellLibrary lib = CellLibrary::standard();
+  try {
+    (void)read_blif(text, lib);
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+bool contains(const std::string& hay, std::string_view needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(Blif, ErrorsCarryLineAndToken) {
+  {
+    // Unknown cell on (physical) line 4.
+    const std::string msg = blif_error(
+        ".model m\n.inputs a\n.outputs f\n.gate nosuchcell a=a O=f\n.end\n");
+    EXPECT_TRUE(contains(msg, "line 4")) << msg;
+    EXPECT_TRUE(contains(msg, "nosuchcell")) << msg;
+  }
+  {
+    // Malformed pin binding (no '=') on line 2.
+    const std::string msg =
+        blif_error(".inputs a\n.gate and2 a=a borked O=f\n.outputs f\n.end\n");
+    EXPECT_TRUE(contains(msg, "line 2")) << msg;
+    EXPECT_TRUE(contains(msg, "borked")) << msg;
+  }
+  {
+    // Missing output binding, with a continuation line: the diagnostic must
+    // name the line the construct started on.
+    const std::string msg = blif_error(
+        ".model m\n.inputs a b\n.outputs f\n.gate and2 \\\na=a b=b\n.end\n");
+    EXPECT_TRUE(contains(msg, "line 4")) << msg;
+    EXPECT_TRUE(contains(msg, "no output binding")) << msg;
+  }
+  {
+    // Undriven net is reported at the line that references it.
+    const std::string msg = blif_error(
+        ".model m\n.inputs a\n.outputs f\n.gate and2 a=a b=ghost O=f\n.end\n");
+    EXPECT_TRUE(contains(msg, "line 4")) << msg;
+    EXPECT_TRUE(contains(msg, "ghost")) << msg;
+  }
+  {
+    // Unsupported construct.
+    const std::string msg = blif_error(".model m\n.latch a b\n.end\n");
+    EXPECT_TRUE(contains(msg, "line 2")) << msg;
+    EXPECT_TRUE(contains(msg, ".latch")) << msg;
+  }
+}
+
+TEST(Blif, TruncatedInputsFailCleanly) {
+  // A file cut off mid-netlist: the referenced-but-missing driver is
+  // diagnosed instead of crashing or silently accepting.
+  const std::string msg = blif_error(
+      ".model trunc\n.inputs a b\n.outputs f\n.gate and2 a=a b=x O=f\n");
+  EXPECT_TRUE(contains(msg, "no driver")) << msg;
+  // Truncation inside a continuation (trailing backslash at EOF).
+  EXPECT_THROW(read_blif(".model m\n.inputs a\n.outputs f\n.gate \\\n",
+                         CellLibrary::standard()),
+               CheckError);
+  // Truncated .names with a dangling cover line is caught by the cover
+  // shape check.
+  EXPECT_NE(blif_error(".model m\n.outputs f\n.names a b f\n11 1\n"), "");
+}
+
+TEST(Blif, GarbageInputsFailCleanly) {
+  EXPECT_NE(blif_error("this is not a blif file at all\n"), "");
+  EXPECT_NE(blif_error("\x01\x02\x03 binary junk\n"), "");
+  EXPECT_NE(blif_error(".gate\n"), "");
+  EXPECT_NE(blif_error(".model m\n.outputs f\n.names a f\n0 1\n.end\n"), "");
+  // Empty and comment-only files parse to an empty netlist, not a crash.
+  const CellLibrary lib = CellLibrary::standard();
+  EXPECT_EQ(read_blif("", lib).num_outputs(), 0);
+  EXPECT_EQ(read_blif("# nothing here\n\n", lib).num_outputs(), 0);
+}
+
 TEST(Pla, ParseBasics) {
   const SopNetwork sop = read_pla(
       ".i 3\n.o 2\n.ilb x y z\n.ob f g\n.p 3\n"

@@ -9,6 +9,7 @@
 #include "mapper/mapper.hpp"
 #include "opt/powder.hpp"
 #include "timing/timing.hpp"
+#include "util/check.hpp"
 
 namespace powder {
 namespace {
@@ -165,6 +166,56 @@ TEST(Powder, IdempotentWhenNoGainLeft) {
   // The second run should find little to nothing.
   EXPECT_LE(r2.power_reduction_percent(), 5.0);
   (void)power_after_first;
+}
+
+TEST(Powder, MalformedOptionsAreRejectedUpFront) {
+  CellLibrary lib = CellLibrary::standard();
+  Netlist nl = map_aig(make_benchmark("rd84"), lib);  // 8 inputs
+
+  auto expect_rejected = [&](PowderOptions opt, const char* why) {
+    EXPECT_THROW(PowderOptimizer(&nl, opt), CheckError) << why;
+  };
+
+  {
+    PowderOptions opt;
+    opt.num_patterns = 0;
+    expect_rejected(opt, "zero patterns");
+    opt.num_patterns = -64;
+    expect_rejected(opt, "negative patterns");
+  }
+  {
+    PowderOptions opt;
+    opt.pi_probs = {0.5, 0.5};  // netlist has 8 PIs
+    expect_rejected(opt, "pi_probs size mismatch");
+    opt.pi_probs.assign(8, 0.5);
+    opt.pi_probs[3] = 1.5;
+    expect_rejected(opt, "probability out of [0,1]");
+    opt.pi_probs[3] = -0.1;
+    expect_rejected(opt, "negative probability");
+  }
+  {
+    PowderOptions opt;
+    opt.shortlist = 0;
+    expect_rejected(opt, "empty shortlist");
+    opt.shortlist = -3;
+    expect_rejected(opt, "negative shortlist");
+  }
+  {
+    PowderOptions opt;
+    opt.repeat = 0;
+    expect_rejected(opt, "zero repeat");
+  }
+  {
+    PowderOptions opt;
+    opt.max_outer_iterations = 0;
+    expect_rejected(opt, "zero outer iterations");
+  }
+
+  // A full-size, in-range pi_probs vector is fine.
+  PowderOptions opt;
+  opt.pi_probs.assign(8, 0.25);
+  opt.num_patterns = 256;
+  EXPECT_NO_THROW(PowderOptimizer(&nl, opt));
 }
 
 }  // namespace

@@ -18,6 +18,10 @@
 //   --seed <n>              RNG seed
 //   --resize                follow up with gate re-sizing
 //   --redundancy            precede with redundancy removal
+//   --deadline <seconds>    wall-clock budget; the run stops cleanly with
+//                           a partial result when it expires
+//   --paranoid              netlist invariant checks after every commit and
+//                           an end-of-run BDD equivalence guard
 
 #include <cstdio>
 #include <cstring>
@@ -56,6 +60,8 @@ struct Args {
   std::uint64_t seed = 1;
   bool resize = false;
   bool redundancy = false;
+  double deadline = -1.0;
+  bool paranoid = false;
 };
 
 void usage() {
@@ -66,7 +72,8 @@ void usage() {
       "               [--delay-limit F] [--objective power|area] "
       "[--engine podem|sat|hybrid]\n"
       "               [--patterns N] [--seed N] [--probs p0,p1,...] "
-      "[--resize] [--redundancy]\n");
+      "[--resize] [--redundancy]\n"
+      "               [--deadline SECONDS] [--paranoid]\n");
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -132,6 +139,12 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.resize = true;
     } else if (arg == "--redundancy") {
       a.redundancy = true;
+    } else if (arg == "--deadline") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.deadline = std::stod(v);
+    } else if (arg == "--paranoid") {
+      a.paranoid = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return std::nullopt;
@@ -195,6 +208,11 @@ int cmd_optimize(const Args& a) {
   opt.seed = a.seed;
   opt.pi_probs = a.probs;
   opt.delay_limit_factor = a.delay_limit;
+  opt.budget.deadline_seconds = a.deadline;
+  if (a.paranoid) {
+    opt.check_invariants = true;
+    opt.guard.final_equivalence_check = true;
+  }
   const PowderReport r = PowderOptimizer(&nl, opt).run();
   std::printf(
       "powder: power %.3f -> %.3f (-%.1f%%), area %.0f -> %.0f, "
@@ -202,6 +220,22 @@ int cmd_optimize(const Args& a) {
       r.initial_power, r.final_power, r.power_reduction_percent(),
       r.initial_area, r.final_area, r.initial_delay, r.final_delay,
       r.substitutions_applied, r.cpu_seconds);
+  if (r.deadline_hit)
+    std::printf("powder: wall-clock deadline hit; result is partial\n");
+  if (r.budget_exhausted)
+    std::printf("powder: proof-effort budget exhausted; result is partial\n");
+  if (r.guard_rollbacks > 0 || r.final_check_rollbacks > 0 ||
+      r.apply_failures > 0)
+    std::printf("powder: guard rolled back %d commit(s) (%d at end of run), "
+                "%d apply failure(s)\n",
+                r.guard_rollbacks + r.final_check_rollbacks,
+                r.final_check_rollbacks, r.apply_failures);
+  if (r.guard_failed) {
+    std::fprintf(stderr,
+                 "INTERNAL ERROR: equivalence guard could not restore a "
+                 "known-good netlist\n");
+    return 2;
+  }
 
   if (a.resize) {
     ResizeOptions ro;
@@ -292,12 +326,15 @@ int cmd_cleanup(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = parse_args(argc, argv);
-  if (!args) {
-    usage();
-    return 1;
-  }
+  // Everything — including argument parsing, whose std::stod calls throw on
+  // malformed numbers — runs under the top-level handler: any failure exits
+  // nonzero with a one-line message instead of std::terminate.
   try {
+    const auto args = parse_args(argc, argv);
+    if (!args) {
+      usage();
+      return 1;
+    }
     const auto need = [&](std::size_t n) {
       if (args->positional.size() < n) {
         usage();
@@ -327,6 +364,9 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
