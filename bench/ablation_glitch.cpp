@@ -36,7 +36,7 @@ int main() {
     const GlitchEstimate before = estimate_glitch_power(nl, gopt);
 
     PowderOptions opt = bench_options(nl.num_inputs());
-    (void)PowderOptimizer(&nl, opt).run();
+    (void)optimize(nl, opt);
     const GlitchEstimate after = estimate_glitch_power(nl, gopt);
 
     std::printf(

@@ -33,12 +33,12 @@ int main() {
   for (const std::string& name : suite) {
     Netlist nlp = initial_circuit(name, lib);
     PowderOptions po = bench_options(nlp.num_inputs());
-    const PowderReport rp = PowderOptimizer(&nlp, po).run();
+    const PowderReport rp = optimize(nlp, po);
 
     Netlist nla = initial_circuit(name, lib);
     PowderOptions ao = bench_options(nla.num_inputs());
     ao.objective = Objective::kArea;
-    const PowderReport ra = PowderOptimizer(&nla, ao).run();
+    const PowderReport ra = optimize(nla, ao);
 
     std::printf("%-10s | %10.1f %10.1f | %10.1f %10.1f | %10.1f %10.1f\n",
                 name.c_str(), rp.power_reduction_percent(),

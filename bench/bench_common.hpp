@@ -6,6 +6,7 @@
 //   POWDER_PATTERNS=<n>            simulation patterns (default 1024)
 //   POWDER_REPEAT=<n>              inner-loop applications per harvest
 //   POWDER_OUTER=<n>               max outer iterations
+//   POWDER_THREADS=<n>             worker threads (default 1; 0 = all cores)
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,7 +15,7 @@
 
 #include "benchgen/benchmarks.hpp"
 #include "mapper/mapper.hpp"
-#include "opt/powder.hpp"
+#include "powder.hpp"
 
 namespace powder::bench {
 
@@ -34,12 +35,13 @@ inline std::vector<std::string> env_suite(const char* fallback) {
 inline std::vector<double> input_probs(int num_inputs);
 
 inline PowderOptions bench_options(int num_inputs) {
-  PowderOptions opt;
-  opt.num_patterns = env_int("POWDER_PATTERNS", 1024);
-  opt.repeat = env_int("POWDER_REPEAT", 25);
-  opt.max_outer_iterations = env_int("POWDER_OUTER", 16);
-  opt.pi_probs = input_probs(num_inputs);
-  return opt;
+  return PowderOptions::builder()
+      .patterns(env_int("POWDER_PATTERNS", 1024))
+      .repeat(env_int("POWDER_REPEAT", 25))
+      .max_outer_iterations(env_int("POWDER_OUTER", 16))
+      .threads(env_int("POWDER_THREADS", 1))
+      .pi_probs(input_probs(num_inputs))
+      .build();
 }
 
 /// Deterministic non-uniform primary-input probabilities. The paper's

@@ -11,8 +11,7 @@
 #include <cstdio>
 
 #include "bdd/netlist_bdd.hpp"
-#include "opt/powder.hpp"
-#include "power/power.hpp"
+#include "powder.hpp"
 
 using namespace powder;
 
@@ -46,10 +45,8 @@ int main() {
                 est.activity(e));
   }
 
-  PowderOptions opt;
-  opt.num_patterns = 4096;
-  PowderOptimizer optimizer(&nl, opt);
-  const PowderReport r = optimizer.run();
+  const PowderReport r =
+      optimize(nl, PowderOptions::builder().patterns(4096).build());
 
   {
     Simulator sim(nl, 64);

@@ -36,7 +36,7 @@ int main() {
       Netlist nl = initial_circuit(name, lib);
       PowderOptions opt = bench_options(nl.num_inputs());
       opt.delay_limit_factor = 1.0 + limit / 100.0;
-      const PowderReport r = PowderOptimizer(&nl, opt).run();
+      const PowderReport r = optimize(nl, opt);
       sum_power += r.final_power;
       sum_delay += r.final_delay;
       sum_p0 += r.initial_power;

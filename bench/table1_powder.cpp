@@ -42,13 +42,13 @@ int main() {
     // Unconstrained run.
     Netlist nl1 = initial_circuit(name, lib);
     PowderOptions opt1 = bench_options(nl1.num_inputs());
-    const PowderReport r1 = PowderOptimizer(&nl1, opt1).run();
+    const PowderReport r1 = optimize(nl1, opt1);
 
     // Constrained run (limit = initial delay), fresh initial circuit.
     Netlist nl2 = initial_circuit(name, lib);
     PowderOptions opt2 = bench_options(nl2.num_inputs());
     opt2.delay_limit_factor = 1.0;
-    const PowderReport r2 = PowderOptimizer(&nl2, opt2).run();
+    const PowderReport r2 = optimize(nl2, opt2);
 
     std::printf("%-10s | %9.2f %9.0f %7.2f | %9.2f %6.1f %9.0f | "
                 "%9.2f %6.1f %9.0f %7.2f %7.1f\n",

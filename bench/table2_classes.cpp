@@ -27,7 +27,7 @@ int main() {
   for (const std::string& name : suite) {
     Netlist nl = initial_circuit(name, lib);
     PowderOptions opt = bench_options(nl.num_inputs());
-    const PowderReport r = PowderOptimizer(&nl, opt).run();
+    const PowderReport r = optimize(nl, opt);
     for (int k = 0; k < 4; ++k) {
       power_delta[k] += r.by_class[static_cast<std::size_t>(k)].power_delta;
       area_delta[k] += r.by_class[static_cast<std::size_t>(k)].area_delta;

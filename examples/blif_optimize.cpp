@@ -12,7 +12,7 @@
 #include "benchgen/benchmarks.hpp"
 #include "io/blif.hpp"
 #include "mapper/mapper.hpp"
-#include "opt/powder.hpp"
+#include "powder.hpp"
 
 using namespace powder;
 
@@ -45,9 +45,8 @@ int main(int argc, char** argv) {
   std::printf("input:  %d gates, area %.0f\n", nl.num_cells(),
               nl.total_area());
 
-  PowderOptions opt;
-  opt.delay_limit_factor = delay_limit;
-  const PowderReport r = PowderOptimizer(&nl, opt).run();
+  const PowderReport r = optimize(
+      nl, PowderOptions::builder().delay_limit_factor(delay_limit).build());
   std::printf("power:  %.3f -> %.3f (-%.1f%%), %d substitutions, %.1fs\n",
               r.initial_power, r.final_power, r.power_reduction_percent(),
               r.substitutions_applied, r.cpu_seconds);

@@ -12,7 +12,7 @@
 
 #include "bdd/netlist_bdd.hpp"
 #include "benchgen/benchmarks.hpp"
-#include "opt/powder.hpp"
+#include "powder.hpp"
 #include "timing/timing.hpp"
 
 using namespace powder;
@@ -41,9 +41,7 @@ int main(int argc, char** argv) {
               nl.num_cells(), nl.total_area(), ta0.circuit_delay);
 
   // POWDER, unconstrained.
-  PowderOptions opt;
-  PowderOptimizer optimizer(&nl, opt);
-  const PowderReport r = optimizer.run();
+  const PowderReport r = optimize(nl, {});
   const TimingAnalysis ta1 = analyze_timing(nl);
 
   std::printf("powder:   %4d gates  area %8.0f  delay %6.2f\n",

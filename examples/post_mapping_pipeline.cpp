@@ -17,7 +17,7 @@
 
 #include "bdd/netlist_bdd.hpp"
 #include "benchgen/benchmarks.hpp"
-#include "opt/powder.hpp"
+#include "powder.hpp"
 #include "opt/redundancy.hpp"
 #include "opt/resize.hpp"
 #include "power/glitch.hpp"
@@ -60,9 +60,9 @@ int main(int argc, char** argv) {
               rr.pins_tied, rr.gates_removed);
   report_stage("cleaned:", nl);
 
-  PowderOptions popt;
-  popt.delay_limit_factor = 1.0;  // never slower than the mapped circuit
-  const PowderReport pr = PowderOptimizer(&nl, popt).run();
+  // Never slower than the mapped circuit.
+  const PowderReport pr = optimize(
+      nl, PowderOptions::builder().delay_limit_factor(1.0).build());
   std::printf("  (powder applied %d substitutions: OS2 %d, IS2 %d, "
               "OS3 %d, IS3 %d)\n",
               pr.substitutions_applied, pr.by_class[0].applied,

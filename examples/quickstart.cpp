@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bdd/netlist_bdd.hpp"
-#include "opt/powder.hpp"
+#include "powder.hpp"
 
 using namespace powder;
 
@@ -34,10 +34,8 @@ int main() {
   // 2. Optimize. POWDER estimates switching activity, harvests permissible
   //    substitution candidates by fault simulation, proves each chosen one
   //    with ATPG, and applies it.
-  PowderOptions opt;
-  opt.num_patterns = 2048;
-  PowderOptimizer optimizer(&nl, opt);
-  const PowderReport report = optimizer.run();
+  const PowderReport report =
+      optimize(nl, PowderOptions::builder().patterns(2048).build());
 
   std::printf("power (sum C*E):  %.3f -> %.3f  (-%.1f%%)\n",
               report.initial_power, report.final_power,

@@ -9,7 +9,7 @@
 
 #include "benchgen/benchmarks.hpp"
 #include "mapper/mapper.hpp"
-#include "opt/powder.hpp"
+#include "powder.hpp"
 
 using namespace powder;
 
@@ -30,9 +30,10 @@ int main(int argc, char** argv) {
   double base_power = -1.0, base_delay = -1.0;
   for (double limit : {0.0, 10.0, 20.0, 30.0, 50.0, 80.0, 120.0, 200.0}) {
     Netlist nl = map_aig(aig, lib);
-    PowderOptions opt;
-    opt.delay_limit_factor = 1.0 + limit / 100.0;
-    const PowderReport r = PowderOptimizer(&nl, opt).run();
+    const PowderReport r =
+        optimize(nl, PowderOptions::builder()
+                         .delay_limit_factor(1.0 + limit / 100.0)
+                         .build());
     if (base_power < 0) {
       base_power = r.initial_power;
       base_delay = r.initial_delay;

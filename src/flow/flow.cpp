@@ -48,4 +48,12 @@ Netlist build_mapped_circuit(const SopNetwork& sop, const CellLibrary& library,
   return map_aig(aig, library, options.mapper);
 }
 
+FlowResult build_and_optimize(const SopNetwork& sop, const CellLibrary& library,
+                              const FlowOptions& flow_options,
+                              const PowderOptions& powder_options) {
+  FlowResult result{build_mapped_circuit(sop, library, flow_options), {}};
+  result.report = optimize(result.netlist, powder_options);
+  return result;
+}
+
 }  // namespace powder

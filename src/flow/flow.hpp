@@ -16,6 +16,7 @@
 #include "logic/cube.hpp"
 #include "mapper/mapper.hpp"
 #include "netlist/netlist.hpp"
+#include "opt/powder.hpp"
 
 namespace powder {
 
@@ -39,5 +40,18 @@ Aig synthesize(const SopNetwork& sop, const FlowOptions& options = {});
 /// Full flow to a mapped netlist.
 Netlist build_mapped_circuit(const SopNetwork& sop, const CellLibrary& library,
                              const FlowOptions& options = {});
+
+/// Outcome of the synthesize -> map -> POWDER pipeline.
+struct FlowResult {
+  Netlist netlist;
+  PowderReport report;
+};
+
+/// Full flow including the POWDER post-mapping optimization, driven through
+/// the stable powder::optimize entry point. Configure the optimization with
+/// PowderOptions::builder() (e.g. .threads(8).delay_limit_factor(1.0)).
+FlowResult build_and_optimize(const SopNetwork& sop, const CellLibrary& library,
+                              const FlowOptions& flow_options = {},
+                              const PowderOptions& powder_options = {});
 
 }  // namespace powder

@@ -1,0 +1,114 @@
+// Implementation of the stable library surface: powder::optimize and the
+// JSON serialization of PowderReport.
+
+#include <cmath>
+#include <sstream>
+
+#include "opt/powder.hpp"
+
+namespace powder {
+
+namespace {
+
+const char* kClassNames[4] = {"OS2", "IS2", "OS3", "IS3"};
+
+/// JSON has no inf/nan; the delay limit is +inf when timing is off.
+void append_number(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+void append_field(std::ostringstream& os, const char* name, double v,
+                  bool* first) {
+  if (!*first) os << ",";
+  *first = false;
+  os << "\"" << name << "\":";
+  append_number(os, v);
+}
+
+void append_field(std::ostringstream& os, const char* name, long v,
+                  bool* first) {
+  if (!*first) os << ",";
+  *first = false;
+  os << "\"" << name << "\":" << v;
+}
+
+void append_field(std::ostringstream& os, const char* name, int v,
+                  bool* first) {
+  append_field(os, name, static_cast<long>(v), first);
+}
+
+void append_field(std::ostringstream& os, const char* name, bool v,
+                  bool* first) {
+  if (!*first) os << ",";
+  *first = false;
+  os << "\"" << name << "\":" << (v ? "true" : "false");
+}
+
+}  // namespace
+
+std::string PowderReport::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  bool first = true;
+  os << "{";
+  append_field(os, "initial_power", initial_power, &first);
+  append_field(os, "final_power", final_power, &first);
+  append_field(os, "initial_area", initial_area, &first);
+  append_field(os, "final_area", final_area, &first);
+  append_field(os, "initial_delay", initial_delay, &first);
+  append_field(os, "final_delay", final_delay, &first);
+  append_field(os, "delay_limit", delay_limit, &first);
+  append_field(os, "power_reduction_percent", power_reduction_percent(),
+               &first);
+  append_field(os, "area_reduction_percent", area_reduction_percent(), &first);
+  append_field(os, "substitutions_applied", substitutions_applied, &first);
+  append_field(os, "candidates_harvested", candidates_harvested, &first);
+  append_field(os, "rejected_by_delay", rejected_by_delay, &first);
+  append_field(os, "rejected_by_atpg", rejected_by_atpg, &first);
+  append_field(os, "rejected_stale", rejected_stale, &first);
+  append_field(os, "outer_iterations", outer_iterations, &first);
+  append_field(os, "cpu_seconds", cpu_seconds, &first);
+
+  os << ",\"by_class\":{";
+  for (std::size_t i = 0; i < by_class.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << kClassNames[i] << "\":{";
+    bool cf = true;
+    append_field(os, "applied", by_class[i].applied, &cf);
+    append_field(os, "power_delta", by_class[i].power_delta, &cf);
+    append_field(os, "area_delta", by_class[i].area_delta, &cf);
+    os << "}";
+  }
+  os << "}";
+
+  os << ",\"diagnostics\":{";
+  bool df = true;
+  append_field(os, "guard_rollbacks", diagnostics.guard_rollbacks, &df);
+  append_field(os, "final_check_rollbacks", diagnostics.final_check_rollbacks,
+               &df);
+  append_field(os, "apply_failures", diagnostics.apply_failures, &df);
+  append_field(os, "guard_failed", diagnostics.guard_failed, &df);
+  append_field(os, "budget_exhausted", diagnostics.budget_exhausted, &df);
+  append_field(os, "deadline_hit", diagnostics.deadline_hit, &df);
+  append_field(os, "threads_used", diagnostics.threads_used, &df);
+  append_field(os, "proof_jobs_enqueued", diagnostics.proof_jobs_enqueued,
+               &df);
+  append_field(os, "speculative_proof_hits",
+               diagnostics.speculative_proof_hits, &df);
+  append_field(os, "stale_proofs_dropped", diagnostics.stale_proofs_dropped,
+               &df);
+  append_field(os, "inline_proofs", diagnostics.inline_proofs, &df);
+  os << "}}";
+  return os.str();
+}
+
+PowderReport optimize(Netlist& netlist, const PowderOptions& options) {
+  PowderOptimizer optimizer(&netlist, options);
+  return optimizer.run();
+}
+
+}  // namespace powder

@@ -28,33 +28,65 @@ bool all_zero(std::span<const std::uint64_t> mask) {
 
 CandidateFinder::CandidateFinder(const Netlist& netlist,
                                  const PowerEstimator& estimator,
-                                 CandidateOptions options, std::uint64_t seed)
+                                 CandidateOptions options, std::uint64_t seed,
+                                 ThreadPool* pool)
     : netlist_(&netlist),
       estimator_(&estimator),
       sim_(&estimator.simulator()),
       options_(options),
-      rng_(seed) {
+      rng_(seed),
+      pool_(pool) {
   for (GateId g = 0; g < netlist.num_slots(); ++g)
     if (netlist.alive(g) && netlist.kind(g) != GateKind::kOutput)
       signal_gates_.push_back(g);
-  // Signature hashes for global-equivalence lookup (both phases).
+  // Signature hashes for global-equivalence lookup (both phases). The hash
+  // computation is sharded (disjoint writes per gate); bucket insertion
+  // stays serial so bucket order is the deterministic signal_gates_ order.
   sig_hash_.assign(netlist.num_slots(), 0);
   inv_sig_hash_.assign(netlist.num_slots(), 0);
-  for (GateId g : signal_gates_) {
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    std::uint64_t hi = 0xCBF29CE484222325ull;
-    for (std::uint64_t w : sim_->value(g)) {
-      h = (h ^ w) * 0x100000001B3ull;
-      hi = (hi ^ ~w) * 0x100000001B3ull;
+  auto hash_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const GateId g = signal_gates_[i];
+      std::uint64_t h = 0xCBF29CE484222325ull;
+      std::uint64_t hi_hash = 0xCBF29CE484222325ull;
+      for (std::uint64_t w : sim_->value(g)) {
+        h = (h ^ w) * 0x100000001B3ull;
+        hi_hash = (hi_hash ^ ~w) * 0x100000001B3ull;
+      }
+      sig_hash_[g] = h;
+      inv_sig_hash_[g] = hi_hash;
     }
-    sig_hash_[g] = h;
-    inv_sig_hash_[g] = hi;
-    by_signature_[h].push_back(g);
+  };
+  if (pool_ != nullptr && !ThreadPool::in_parallel_region()) {
+    pool_->parallel_for(signal_gates_.size(), 64, hash_range);
+  } else {
+    hash_range(0, signal_gates_.size());
   }
+  for (GateId g : signal_gates_) by_signature_[sig_hash_[g]].push_back(g);
+}
+
+void CandidateFinder::for_sites(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (pool_ == nullptr || ThreadPool::in_parallel_region() || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // More shards than lanes: shards are claimed dynamically, which balances
+  // the very uneven per-site cost (a few sites dominate the harvest).
+  const int shards = static_cast<int>(std::min<std::size_t>(
+      n, static_cast<std::size_t>(pool_->parallelism()) * 8));
+  pool_->for_shards(shards, [&](int shard, int num_shards) {
+    const std::size_t lo =
+        n * static_cast<std::size_t>(shard) / static_cast<std::size_t>(num_shards);
+    const std::size_t hi = n * (static_cast<std::size_t>(shard) + 1) /
+                           static_cast<std::size_t>(num_shards);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
 }
 
 std::vector<GateId> CandidateFinder::build_pool(
-    GateId around, const std::vector<std::uint8_t>& forbidden) {
+    GateId around, const std::vector<std::uint8_t>& forbidden,
+    std::span<const std::size_t> random_draws) const {
   std::vector<GateId> pool;
   std::vector<std::uint8_t> seen(netlist_->num_slots(), 0);
   auto try_add = [&](GateId g) {
@@ -95,20 +127,64 @@ std::vector<GateId> CandidateFinder::build_pool(
     frontier = std::move(next);
   }
   // A few random signals for diversity (finds global equivalences the
-  // neighborhood misses).
-  for (int i = 0;
-       i < options_.random_pool_size && !signal_gates_.empty(); ++i)
-    try_add(signal_gates_[rng_.below(signal_gates_.size())]);
+  // neighborhood misses). The indices were pre-drawn serially in site order
+  // so the RNG stream is identical to the serial harvest.
+  for (std::size_t idx : random_draws) try_add(signal_gates_[idx]);
   return pool;
 }
 
-void CandidateFinder::harvest_for_site(GateId target, const FanoutRef* branch,
-                                       std::vector<CandidateSub>* out) {
+CandidateFinder::SitePrep CandidateFinder::prepare_site(
+    GateId target, const FanoutRef* branch) const {
+  SitePrep prep;
+  const auto sig_a = sim_->value(target);
+  prep.obs = branch == nullptr ? sim_->stem_observability(target)
+                               : sim_->branch_observability(target, *branch);
+
+  auto make_base = [&]() {
+    CandidateSub cand;
+    cand.target = target;
+    if (branch != nullptr) {
+      cand.branch = *branch;
+      cand.cls = SubstClass::kIS2;
+    } else {
+      cand.cls = SubstClass::kOS2;
+    }
+    return cand;
+  };
+
+  // Constant replacement: permissible-by-evidence when the signal never
+  // observably carries the other value (fully unobservable signals satisfy
+  // both; pick the majority value so the dead cone keeps its polarity).
+  if (options_.allow_constants) {
+    bool can0 = true, can1 = true;
+    for (std::size_t w = 0; w < prep.obs.size(); ++w) {
+      if (sig_a[w] & prep.obs[w]) can0 = false;
+      if (~sig_a[w] & prep.obs[w]) can1 = false;
+      if (!can0 && !can1) break;
+    }
+    if (can0 || can1) {
+      CandidateSub cand = make_base();
+      const bool value =
+          can0 && can1 ? estimator_->probability(target) >= 0.5 : can1;
+      cand.rep = ReplacementFunction::constant(value);
+      cand.pg_a = compute_pg_a(*netlist_, *estimator_, cand);
+      cand.pg_b = compute_pg_b(*netlist_, *estimator_, cand);
+      prep.const_cand = std::move(cand);
+      if (all_zero(prep.obs)) prep.skip = true;  // nothing further here
+    }
+  } else if (all_zero(prep.obs)) {
+    prep.skip = true;
+  }
+  return prep;
+}
+
+void CandidateFinder::match_site(GateId target, const FanoutRef* branch,
+                                 const SitePrep& prep,
+                                 std::span<const std::size_t> random_draws,
+                                 std::vector<CandidateSub>* out) const {
   const int W = sim_->num_words();
   const auto sig_a = sim_->value(target);
-  const std::vector<std::uint64_t> obs =
-      branch == nullptr ? sim_->stem_observability(target)
-                        : sim_->branch_observability(target, *branch);
+  const std::vector<std::uint64_t>& obs = prep.obs;
 
   auto finish = [&](CandidateSub cand) {
     cand.pg_a = compute_pg_a(*netlist_, *estimator_, cand);
@@ -128,28 +204,6 @@ void CandidateFinder::harvest_for_site(GateId target, const FanoutRef* branch,
     return cand;
   };
 
-  // Constant replacement: permissible-by-evidence when the signal never
-  // observably carries the other value (fully unobservable signals satisfy
-  // both; pick the majority value so the dead cone keeps its polarity).
-  if (options_.allow_constants) {
-    bool can0 = true, can1 = true;
-    for (std::size_t w = 0; w < obs.size(); ++w) {
-      if (sig_a[w] & obs[w]) can0 = false;
-      if (~sig_a[w] & obs[w]) can1 = false;
-      if (!can0 && !can1) break;
-    }
-    if (can0 || can1) {
-      CandidateSub cand = make_base();
-      const bool value =
-          can0 && can1 ? estimator_->probability(target) >= 0.5 : can1;
-      cand.rep = ReplacementFunction::constant(value);
-      finish(std::move(cand));
-      if (all_zero(obs)) return;  // nothing further to gain here
-    }
-  } else if (all_zero(obs)) {
-    return;
-  }
-
   // Forbidden region for sources: the faulty region of the site.
   std::vector<std::uint8_t> forbidden(netlist_->num_slots(), 0);
   const GateId entry = branch == nullptr ? target : branch->gate;
@@ -157,7 +211,8 @@ void CandidateFinder::harvest_for_site(GateId target, const FanoutRef* branch,
   for (GateId g : netlist_->tfo(entry)) forbidden[g] = 1;
   forbidden[target] = 1;  // substituting a by a is a no-op
 
-  const std::vector<GateId> pool = build_pool(target, forbidden);
+  const std::vector<GateId> pool =
+      build_pool(target, forbidden, random_draws);
 
   // --- 2-signal substitutions -------------------------------------------
   for (GateId b : pool) {
@@ -179,7 +234,6 @@ void CandidateFinder::harvest_for_site(GateId target, const FanoutRef* branch,
   int made = 0;
   const int b_limit =
       std::min<int>(options_.three_sub_b_pool, static_cast<int>(pool.size()));
-  std::vector<std::uint64_t> gw(static_cast<std::size_t>(W));
   for (int bi = 0; bi < b_limit && made < options_.max_three_per_target;
        ++bi) {
     const GateId b = pool[static_cast<std::size_t>(bi)];
@@ -220,18 +274,54 @@ void CandidateFinder::harvest_for_site(GateId target, const FanoutRef* branch,
 }
 
 std::vector<CandidateSub> CandidateFinder::find() {
-  std::vector<CandidateSub> out;
+  // Enumerate the sites in the serial harvest's order: for each signal, the
+  // stem first, then every branch of multi-fanout stems.
+  std::vector<Site> sites;
   for (GateId g : signal_gates_) {
     const Gate& gate = netlist_->gate(g);
     // Output substitutions: only cell stems (a PI cannot be replaced).
     if (gate.kind == GateKind::kCell && !gate.fanouts.empty())
-      harvest_for_site(g, nullptr, &out);
+      sites.push_back(Site{g, std::nullopt});
     // Input substitutions: individual branches of multi-fanout stems (the
     // paper regards single-fanout outputs as stem signals only).
     if (gate.num_fanouts() > 1)
-      for (const FanoutRef& br : gate.fanouts)
-        harvest_for_site(g, &br, &out);
+      for (const FanoutRef& br : gate.fanouts) sites.push_back(Site{g, br});
   }
+
+  // Pass 1 (parallel): observability masks, constant candidates, skip flags.
+  std::vector<SitePrep> preps(sites.size());
+  for_sites(sites.size(), [&](std::size_t i) {
+    const Site& s = sites[i];
+    preps[i] =
+        prepare_site(s.target, s.branch ? &*s.branch : nullptr);
+  });
+
+  // Pass 2 (serial, site order): pre-draw the random pool indices so the
+  // RNG stream matches the serial harvest exactly — it always drew
+  // `random_pool_size` indices per non-skipped site, in site order.
+  std::vector<std::vector<std::size_t>> draws(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (preps[i].skip) continue;
+    for (int k = 0; k < options_.random_pool_size && !signal_gates_.empty();
+         ++k)
+      draws[i].push_back(rng_.below(signal_gates_.size()));
+  }
+
+  // Pass 3 (parallel): pool construction + signature matching per site,
+  // each site writing its own output slice.
+  std::vector<std::vector<CandidateSub>> slices(sites.size());
+  for_sites(sites.size(), [&](std::size_t i) {
+    const Site& s = sites[i];
+    std::vector<CandidateSub>& slice = slices[i];
+    if (preps[i].const_cand) slice.push_back(*preps[i].const_cand);
+    if (preps[i].skip) return;
+    match_site(s.target, s.branch ? &*s.branch : nullptr, preps[i], draws[i],
+               &slice);
+  });
+
+  std::vector<CandidateSub> out;
+  for (std::vector<CandidateSub>& slice : slices)
+    for (CandidateSub& cand : slice) out.push_back(std::move(cand));
   std::sort(out.begin(), out.end(),
             [](const CandidateSub& x, const CandidateSub& y) {
               return x.preselect_gain() > y.preselect_gain();

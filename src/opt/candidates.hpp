@@ -13,13 +13,23 @@
 // Pair candidates (OS3/IS3) are enumerated over a bounded local pool to
 // keep the quadratic step affordable, mirroring the windowed clause
 // analysis of the TOS implementation.
+//
+// When a ThreadPool is supplied, harvesting runs as three passes — a
+// parallel observability pass, a serial RNG pre-draw, and a parallel
+// signature-bucket matching pass over per-site slices — that together
+// reproduce the serial harvest bit-for-bit (same candidates, same order,
+// same RNG stream) at any thread count.
 
+#include <optional>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "opt/power_gain.hpp"
 #include "opt/substitution.hpp"
 #include "power/power.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace powder {
 
@@ -36,18 +46,34 @@ struct CandidateOptions {
 class CandidateFinder {
  public:
   CandidateFinder(const Netlist& netlist, const PowerEstimator& estimator,
-                  CandidateOptions options = {}, std::uint64_t seed = 1);
+                  CandidateOptions options = {}, std::uint64_t seed = 1,
+                  ThreadPool* pool = nullptr);
 
   /// Harvests candidates, with pg_a/pg_b filled, sorted by decreasing
   /// preselection gain and truncated to max_candidates.
   std::vector<CandidateSub> find();
 
  private:
+  /// One harvesting site: a stem (no branch) or a single fanout branch.
+  struct Site {
+    GateId target{};
+    std::optional<FanoutRef> branch;
+  };
+
+  /// Pass-1 result for a site: everything derivable without touching the
+  /// shared RNG.
+  struct SitePrep {
+    std::vector<std::uint64_t> obs;
+    bool skip = false;  ///< site is done after the (optional) constant cand
+    std::optional<CandidateSub> const_cand;
+  };
+
   const Netlist* netlist_;
   const PowerEstimator* estimator_;
   const Simulator* sim_;
   CandidateOptions options_;
   Rng rng_;
+  ThreadPool* pool_;
 
   std::vector<GateId> signal_gates_;  // live PIs + cells
   // Global equivalence index: hash of the value signature (and of its
@@ -56,10 +82,17 @@ class CandidateFinder {
   std::unordered_map<std::uint64_t, std::vector<GateId>> by_signature_;
   std::vector<std::uint64_t> sig_hash_, inv_sig_hash_;
 
-  std::vector<GateId> build_pool(GateId around,
-                                 const std::vector<std::uint8_t>& forbidden);
-  void harvest_for_site(GateId target, const FanoutRef* branch,
-                        std::vector<CandidateSub>* out);
+  /// Runs fn(i) for every site index, sharded across the pool when one is
+  /// attached (shards are claimed dynamically for load balance).
+  void for_sites(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  SitePrep prepare_site(GateId target, const FanoutRef* branch) const;
+  std::vector<GateId> build_pool(
+      GateId around, const std::vector<std::uint8_t>& forbidden,
+      std::span<const std::size_t> random_draws) const;
+  void match_site(GateId target, const FanoutRef* branch, const SitePrep& prep,
+                  std::span<const std::size_t> random_draws,
+                  std::vector<CandidateSub>* out) const;
 };
 
 }  // namespace powder

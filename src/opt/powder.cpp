@@ -1,10 +1,16 @@
 #include "opt/powder.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <set>
+#include <shared_mutex>
+#include <thread>
 
 #include "bdd/netlist_bdd.hpp"
 #include "opt/journal.hpp"
@@ -12,6 +18,8 @@
 #include "util/budget.hpp"
 #include "util/check.hpp"
 #include "util/fault_injection.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/thread_pool.hpp"
 
 namespace powder {
 
@@ -48,6 +56,205 @@ bool corrupt_candidate(const Netlist& nl, const Simulator& sim,
   }
   return false;
 }
+
+/// One permissibility check with the configured engine (hybrid escalates an
+/// aborted PODEM run to the SAT miter). Used identically by the commit
+/// thread and the proof workers, so a verdict depends only on the netlist
+/// state and the candidate — never on which thread produced it.
+AtpgResult prove_one(AtpgChecker& atpg, SatChecker& sat, ProofEngine engine,
+                     const CandidateSub& cand) {
+  switch (engine) {
+    case ProofEngine::kPodem:
+      return atpg.check_replacement(cand.site(), cand.rep);
+    case ProofEngine::kSat:
+      return sat.check_replacement(cand.site(), cand.rep);
+    case ProofEngine::kHybrid: {
+      const AtpgResult r = atpg.check_replacement(cand.site(), cand.rep);
+      if (r != AtpgResult::kAborted) return r;
+      return sat.check_replacement(cand.site(), cand.rep);
+    }
+  }
+  return AtpgResult::kAborted;
+}
+
+/// Total order over a candidate's proof obligation (site + replacement):
+/// the cache key of the speculative proof pipeline.
+struct ProofKey {
+  std::array<long long, 12> v{};
+  bool operator<(const ProofKey& o) const { return v < o.v; }
+};
+
+ProofKey make_key(const CandidateSub& cand) {
+  long long tt = 0;
+  if (cand.rep.kind == ReplacementFunction::Kind::kTwoInput)
+    for (int m = 0; m < 4; ++m)
+      if (cand.rep.two_input_fn.bit(m)) tt |= 1ll << m;
+  ProofKey k;
+  k.v = {static_cast<long long>(cand.cls),
+         static_cast<long long>(cand.target),
+         cand.branch ? static_cast<long long>(cand.branch->gate) : -1,
+         cand.branch ? static_cast<long long>(cand.branch->pin) : -1,
+         static_cast<long long>(cand.rep.kind),
+         cand.rep.constant_value ? 1 : 0,
+         static_cast<long long>(cand.rep.b),
+         cand.rep.invert_b ? 1 : 0,
+         static_cast<long long>(cand.rep.c),
+         cand.rep.invert_c ? 1 : 0,
+         tt,
+         static_cast<long long>(cand.new_cell)};
+  return k;
+}
+
+/// Speculative proof pipeline: N workers pop candidate proofs from a
+/// bounded MPMC queue, prove them against the *current* netlist under a
+/// shared lock, and cache the verdict. The single commit thread enqueues
+/// shortlist candidates, looks verdicts up before proving inline, and
+/// brackets every netlist mutation with begin/end_mutation — which bumps
+/// the version (invalidating queued jobs), clears the cache, and takes the
+/// lock exclusively so no worker reads a half-mutated netlist. Verdicts are
+/// pure functions of (netlist state, candidate), so a cache hit equals the
+/// proof the serial code would have run — results stay bit-identical.
+class ProofPipeline {
+ public:
+  ProofPipeline(const Netlist& netlist, const AtpgOptions& atpg_options,
+                const SatCheckerOptions& sat_options, ProofEngine engine,
+                int num_workers)
+      : netlist_(&netlist), engine_(engine), queue_(256) {
+    workers_.reserve(static_cast<std::size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i)
+      workers_.emplace_back([this, atpg_options, sat_options] {
+        worker_loop(atpg_options, sat_options);
+      });
+  }
+
+  ~ProofPipeline() { shutdown(); }
+
+  void shutdown() {
+    if (shut_down_) return;
+    shut_down_ = true;
+    queue_.close();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Hands a candidate's proof to the workers unless it is already proved,
+  /// already in flight, or the queue is full (speculation is best-effort).
+  void speculate(const CandidateSub& cand) {
+    const ProofKey key = make_key(cand);
+    {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      if (results_.count(key) != 0 || in_flight_.count(key) != 0) return;
+      in_flight_.insert(key);
+    }
+    ProofJob job{version_.load(std::memory_order_relaxed), cand};
+    if (!queue_.try_push(std::move(job))) {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      in_flight_.erase(key);
+      return;
+    }
+    ++jobs_enqueued_;
+  }
+
+  /// Cached verdict for `cand` (waiting for a worker that is mid-proof on
+  /// it); nullopt when the pipeline never got to this candidate.
+  std::optional<AtpgResult> lookup(const CandidateSub& cand) {
+    const ProofKey key = make_key(cand);
+    std::unique_lock<std::mutex> lock(results_mutex_);
+    results_cv_.wait(lock, [&] { return in_flight_.count(key) == 0; });
+    const auto it = results_.find(key);
+    if (it == results_.end()) return std::nullopt;
+    ++speculative_hits_;
+    return it->second;
+  }
+
+  /// Must bracket every netlist mutation (apply or rollback).
+  void begin_mutation() {
+    version_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(results_mutex_);
+      results_.clear();
+    }
+    netlist_mutex_.lock();
+  }
+  void end_mutation() { netlist_mutex_.unlock(); }
+
+  long jobs_enqueued() const { return jobs_enqueued_; }
+  long speculative_hits() const { return speculative_hits_; }
+  long stale_dropped() const {
+    return stale_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ProofJob {
+    std::uint64_t version = 0;
+    CandidateSub cand;
+  };
+
+  void worker_loop(AtpgOptions atpg_options, SatCheckerOptions sat_options) {
+    // Worker-owned engines: the checkers keep per-check scratch state, so
+    // each worker needs its own pair (they share the atomic budget).
+    AtpgChecker atpg(*netlist_, atpg_options);
+    SatChecker sat(*netlist_, sat_options);
+    while (std::optional<ProofJob> job = queue_.pop()) {
+      const ProofKey key = make_key(job->cand);
+      AtpgResult verdict{};
+      bool proved = false;
+      {
+        std::shared_lock<std::shared_mutex> lock(netlist_mutex_);
+        // A mutation bumps the version *before* it can take the lock, so a
+        // current version here guarantees the netlist matches the job.
+        if (job->version == version_.load(std::memory_order_relaxed)) {
+          verdict = prove_one(atpg, sat, engine_, job->cand);
+          proved = true;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(results_mutex_);
+        in_flight_.erase(key);
+        if (proved &&
+            job->version == version_.load(std::memory_order_relaxed)) {
+          results_[key] = verdict;
+        } else {
+          stale_dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      results_cv_.notify_all();
+    }
+  }
+
+  const Netlist* netlist_;
+  ProofEngine engine_;
+  MpmcQueue<ProofJob> queue_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+
+  std::shared_mutex netlist_mutex_;
+  std::atomic<std::uint64_t> version_{0};
+
+  std::mutex results_mutex_;
+  std::condition_variable results_cv_;
+  std::map<ProofKey, AtpgResult> results_;
+  std::set<ProofKey> in_flight_;
+
+  long jobs_enqueued_ = 0;     // commit thread only
+  long speculative_hits_ = 0;  // commit thread only
+  std::atomic<long> stale_dropped_{0};
+};
+
+/// RAII mutation bracket; no-op without a pipeline (threads == 1).
+class MutationScope {
+ public:
+  explicit MutationScope(ProofPipeline* pipeline) : pipeline_(pipeline) {
+    if (pipeline_ != nullptr) pipeline_->begin_mutation();
+  }
+  ~MutationScope() {
+    if (pipeline_ != nullptr) pipeline_->end_mutation();
+  }
+  MutationScope(const MutationScope&) = delete;
+  MutationScope& operator=(const MutationScope&) = delete;
+
+ private:
+  ProofPipeline* pipeline_;
+};
 
 }  // namespace
 
@@ -88,6 +295,9 @@ void PowderOptimizer::validate_options() const {
   POWDER_CHECK_MSG(o.atpg.backtrack_limit >= 0,
                    "PowderOptions.atpg.backtrack_limit must be non-negative, "
                    "got " << o.atpg.backtrack_limit);
+  POWDER_CHECK_MSG(o.threads >= 0,
+                   "PowderOptions.threads must be non-negative, got "
+                       << o.threads);
 }
 
 bool PowderOptimizer::violates_delay(const CandidateSub& sub,
@@ -104,13 +314,26 @@ PowderReport PowderOptimizer::run() {
   const auto t_start = std::chrono::steady_clock::now();
   PowderReport report;
 
+  int threads = options_.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  report.diagnostics.threads_used = threads;
+
   ResourceBudget budget;
   budget.set_deadline(options_.budget.deadline_seconds);
   budget.set_atpg_backtrack_pool(options_.budget.atpg_backtrack_pool);
   budget.set_sat_conflict_pool(options_.budget.sat_conflict_pool);
 
+  // Shared pool for the data-parallel kernels (word-sharded simulation and
+  // the three-pass candidate harvest). Proof workers are separate dedicated
+  // threads — they block on the queue, not on pool work.
+  ThreadPool pool(threads - 1);
+
   Simulator sim(*netlist_, options_.num_patterns, options_.pi_probs,
                 options_.seed);
+  sim.set_thread_pool(&pool);
   PowerEstimator est(&sim);
   // Independent pattern set used as a cheap second opinion before the
   // expensive permissibility proof: a candidate that already fails on
@@ -118,6 +341,7 @@ PowderReport PowderOptimizer::run() {
   // simulator backs the post-commit signature guard below.
   Simulator verify_sim(*netlist_, options_.num_patterns, options_.pi_probs,
                        options_.seed ^ 0x5EC0DD5EEDull);
+  verify_sim.set_thread_pool(&pool);
 
   report.initial_power = est.total_power();
   report.initial_area = netlist_->total_area();
@@ -154,22 +378,14 @@ PowderReport PowderOptimizer::run() {
   sat_options.budget = &budget;
   AtpgChecker atpg(*netlist_, atpg_options);
   SatChecker sat(*netlist_, sat_options);
-  auto prove = [&](const CandidateSub& cand) {
-    switch (options_.proof_engine) {
-      case ProofEngine::kPodem:
-        return atpg.check_replacement(cand.site(), cand.rep);
-      case ProofEngine::kSat:
-        return sat.check_replacement(cand.site(), cand.rep);
-      case ProofEngine::kHybrid: {
-        // An abort — backtrack limit, dry pool, injected fault — escalates
-        // to the independent engine instead of giving up outright.
-        const AtpgResult r = atpg.check_replacement(cand.site(), cand.rep);
-        if (r != AtpgResult::kAborted) return r;
-        return sat.check_replacement(cand.site(), cand.rep);
-      }
-    }
-    return AtpgResult::kAborted;
-  };
+
+  // Speculative proof workers (threads - 1 of them); null in serial mode,
+  // which keeps the exact single-threaded code path.
+  std::optional<ProofPipeline> pipeline;
+  if (threads > 1)
+    pipeline.emplace(*netlist_, atpg_options, sat_options,
+                     options_.proof_engine, threads - 1);
+  ProofPipeline* pipe = pipeline.has_value() ? &*pipeline : nullptr;
 
   SubstJournal journal(netlist_);
   // Per-commit accounting, aligned with the journal, so an end-of-run
@@ -195,11 +411,11 @@ PowderReport PowderOptimizer::run() {
 
   auto stop_requested = [&]() {
     if (budget.expired()) {
-      report.deadline_hit = true;
+      report.diagnostics.deadline_hit = true;
       return true;
     }
     if (budget.proof_effort_exhausted()) {
-      report.budget_exhausted = true;
+      report.diagnostics.budget_exhausted = true;
       return true;
     }
     return false;
@@ -215,7 +431,8 @@ PowderReport PowderOptimizer::run() {
     if (stop_requested()) break;
 
     CandidateFinder finder(*netlist_, est, options_.candidates,
-                           options_.seed + 17 * static_cast<std::uint64_t>(outer));
+                           options_.seed + 17 * static_cast<std::uint64_t>(outer),
+                           &pool);
     std::vector<CandidateSub> cands = finder.find();
     report.candidates_harvested += static_cast<int>(cands.size());
 
@@ -269,6 +486,15 @@ PowderReport PowderOptimizer::run() {
       }
       if (best == cands.size()) break;  // nothing left that helps
 
+      // Speculate on the rest of the shortlist: if the chosen candidate is
+      // rejected (delay or proof), the netlist is unchanged and the next
+      // selection will pick from these — their verdicts are then already
+      // cached. A commit invalidates the speculation wholesale.
+      if (pipe != nullptr) {
+        for (std::size_t k = 0; k < shortlist; ++k)
+          if (order[k] != best) pipe->speculate(cands[order[k]]);
+      }
+
       CandidateSub chosen = cands[best];
       cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(best));
 
@@ -304,8 +530,13 @@ PowderReport PowderOptimizer::run() {
           ++report.rejected_by_atpg;
           continue;
         }
-        const AtpgResult proof = prove(chosen);
-        if (proof != AtpgResult::kUntestable) {
+        std::optional<AtpgResult> proof;
+        if (pipe != nullptr) proof = pipe->lookup(chosen);
+        if (!proof.has_value()) {
+          proof = prove_one(atpg, sat, options_.proof_engine, chosen);
+          ++report.diagnostics.inline_proofs;
+        }
+        if (*proof != AtpgResult::kUntestable) {
           ++report.rejected_by_atpg;
           continue;
         }
@@ -316,11 +547,12 @@ PowderReport PowderOptimizer::run() {
       const double area_before = netlist_->total_area();
       AppliedSub applied;
       try {
+        MutationScope scope(pipe);
         applied = journal.apply(chosen);
       } catch (const CheckError&) {
         // Stale or invalid at the last moment: the apply validated before
         // mutating, so the netlist is untouched — skip the candidate.
-        ++report.apply_failures;
+        ++report.diagnostics.apply_failures;
         continue;
       }
       est.update_after_change(applied.changed_roots);
@@ -329,9 +561,14 @@ PowderReport PowderOptimizer::run() {
 
       // ---- guard: the PO signatures must be untouched -------------------
       if (options_.guard.signature_check && !po_signatures_ok()) {
-        ++report.guard_rollbacks;
+        ++report.diagnostics.guard_rollbacks;
         try {
-          resync_after_rollback(journal.rollback_last());
+          std::vector<GateId> roots;
+          {
+            MutationScope scope(pipe);
+            roots = journal.rollback_last();
+          }
+          resync_after_rollback(roots);
         } catch (const CheckError&) {
           // Rollback itself failed (possible only with a corrupted
           // journal); stop committing and let the final guard judge.
@@ -357,6 +594,15 @@ PowderReport PowderOptimizer::run() {
     }
   }
 
+  // Stop the proof workers before the end-of-run guard walk: from here on
+  // the netlist mutates without speculation to invalidate.
+  if (pipeline.has_value()) {
+    pipeline->shutdown();
+    report.diagnostics.proof_jobs_enqueued = pipeline->jobs_enqueued();
+    report.diagnostics.speculative_proof_hits = pipeline->speculative_hits();
+    report.diagnostics.stale_proofs_dropped = pipeline->stale_dropped();
+  }
+
   // ---- end-of-run guard: never emit a miscompiled netlist ---------------
   // Walk the journal back until the state passes every enabled check. With
   // intact deltas this converges at the latest on the pristine input; only
@@ -371,7 +617,7 @@ PowderReport PowderOptimizer::run() {
       return true;
     };
     while (!state_good() && !journal.empty()) {
-      ++report.final_check_rollbacks;
+      ++report.diagnostics.final_check_rollbacks;
       try {
         resync_after_rollback(journal.rollback_last());
       } catch (const CheckError&) {
@@ -387,7 +633,7 @@ PowderReport PowderOptimizer::run() {
         commit_log.pop_back();
       }
     }
-    report.guard_failed = !state_good();
+    report.diagnostics.guard_failed = !state_good();
   }
 
   atpg_stats_ = atpg.stats();

@@ -15,8 +15,15 @@
 //       power_estimate_update(good);            // TFO re-estimation
 //     }
 //   } while (cand_substitutions != {});
+//
+// With threads > 1 the run becomes a harvest/proof pipeline: simulation and
+// candidate matching shard across a thread pool, and permissibility proofs
+// run speculatively on worker threads fed by a bounded MPMC queue while a
+// single commit thread applies substitutions through the journal (see
+// DESIGN.md, "Parallel harvest/proof pipeline").
 
 #include <array>
+#include <chrono>
 #include <string>
 
 #include "atpg/atpg.hpp"
@@ -47,7 +54,8 @@ struct GuardOptions {
 
 /// Resource limits for one run. Exhaustion degrades the run (skip
 /// candidate, fall back to the other engine, stop with a partial result
-/// flagged in the report) — it never crashes or loops.
+/// flagged in the report) — it never crashes or loops. The pools are shared
+/// atomically by every proof worker (see ResourceBudget).
 struct BudgetOptions {
   double deadline_seconds = -1.0;  ///< wall clock for the run; <0 disables
   long atpg_backtrack_pool = -1;   ///< global PODEM pool; <0 = unlimited
@@ -78,13 +86,91 @@ struct PowderOptions {
   int max_outer_iterations = 64;
   /// Which engine proves candidate permissibility (see ProofEngine).
   ProofEngine proof_engine = ProofEngine::kHybrid;
+
+  /// Total threads for the harvest/proof pipeline. 1 = the serial
+  /// algorithm; 0 = one per hardware thread. The final netlist is
+  /// bit-identical at any thread count (with unlimited proof pools and no
+  /// deadline — finite budgets drain in a timing-dependent order).
+  int threads = 1;
+
   AtpgOptions atpg;
   SatCheckerOptions sat;
   CandidateOptions candidates;
   GuardOptions guard;
   BudgetOptions budget;
   bool check_invariants = false;  ///< netlist consistency after every apply
+
+  class Builder;
+  /// Entry point of the fluent configuration API:
+  ///   auto opt = PowderOptions::builder().threads(8).deadline(30s).build();
+  static Builder builder();
 };
+
+/// Fluent construction of PowderOptions, the stable public way to configure
+/// a run — callers no longer reach into the nested structs field-by-field.
+class PowderOptions::Builder {
+ public:
+  Builder& objective(Objective o) { opts_.objective = o; return *this; }
+  Builder& patterns(int n) { opts_.num_patterns = n; return *this; }
+  Builder& pi_probs(std::vector<double> probs) {
+    opts_.pi_probs = std::move(probs);
+    return *this;
+  }
+  Builder& seed(std::uint64_t s) { opts_.seed = s; return *this; }
+  Builder& repeat(int n) { opts_.repeat = n; return *this; }
+  Builder& delay_limit_factor(double f) {
+    opts_.delay_limit_factor = f;
+    return *this;
+  }
+  Builder& min_gain(double g) { opts_.min_gain = g; return *this; }
+  Builder& shortlist(int n) { opts_.shortlist = n; return *this; }
+  Builder& max_outer_iterations(int n) {
+    opts_.max_outer_iterations = n;
+    return *this;
+  }
+  Builder& proof_engine(ProofEngine e) { opts_.proof_engine = e; return *this; }
+  Builder& threads(int n) { opts_.threads = n; return *this; }
+  Builder& deadline(double seconds) {
+    opts_.budget.deadline_seconds = seconds;
+    return *this;
+  }
+  Builder& deadline(std::chrono::duration<double> d) {
+    return deadline(d.count());
+  }
+  Builder& atpg_backtrack_pool(long n) {
+    opts_.budget.atpg_backtrack_pool = n;
+    return *this;
+  }
+  Builder& sat_conflict_pool(long n) {
+    opts_.budget.sat_conflict_pool = n;
+    return *this;
+  }
+  Builder& signature_check(bool on) {
+    opts_.guard.signature_check = on;
+    return *this;
+  }
+  Builder& final_equivalence_check(bool on) {
+    opts_.guard.final_equivalence_check = on;
+    return *this;
+  }
+  Builder& check_invariants(bool on) {
+    opts_.check_invariants = on;
+    return *this;
+  }
+  Builder& candidates(CandidateOptions c) {
+    opts_.candidates = c;
+    return *this;
+  }
+  Builder& atpg(AtpgOptions a) { opts_.atpg = a; return *this; }
+  Builder& sat(SatCheckerOptions s) { opts_.sat = s; return *this; }
+
+  PowderOptions build() const { return opts_; }
+
+ private:
+  PowderOptions opts_;
+};
+
+inline PowderOptions::Builder PowderOptions::builder() { return Builder{}; }
 
 struct ClassStats {
   int applied = 0;
@@ -106,15 +192,26 @@ struct PowderReport {
   int outer_iterations = 0;
   double cpu_seconds = 0.0;
 
-  // ---- robustness accounting ----------------------------------------------
-  int guard_rollbacks = 0;        ///< commits undone by the signature guard
-  int final_check_rollbacks = 0;  ///< commits undone by the end-of-run check
-  int apply_failures = 0;         ///< applies rejected by the validity check
-  bool guard_failed = false;      ///< inequivalence persisted after rollback
-  bool budget_exhausted = false;  ///< both proof pools drained; partial result
-  bool deadline_hit = false;      ///< wall-clock deadline stopped the run
-
   std::array<ClassStats, 4> by_class;  ///< indexed by SubstClass
+
+  /// Robustness and threading accounting, separated from the core result so
+  /// consumers comparing runs (e.g. the determinism test) can ignore the
+  /// timing-dependent part wholesale.
+  struct Diagnostics {
+    int guard_rollbacks = 0;        ///< commits undone by the signature guard
+    int final_check_rollbacks = 0;  ///< commits undone by the end-of-run check
+    int apply_failures = 0;         ///< applies rejected by the validity check
+    bool guard_failed = false;      ///< inequivalence persisted after rollback
+    bool budget_exhausted = false;  ///< both proof pools drained
+    bool deadline_hit = false;      ///< wall-clock deadline stopped the run
+
+    int threads_used = 1;             ///< resolved thread count of the run
+    long proof_jobs_enqueued = 0;     ///< speculative jobs handed to workers
+    long speculative_proof_hits = 0;  ///< chosen candidates already proved
+    long stale_proofs_dropped = 0;    ///< worker results invalidated by commits
+    long inline_proofs = 0;           ///< proofs run on the commit thread
+  };
+  Diagnostics diagnostics;
 
   double power_reduction_percent() const {
     return initial_power > 0.0
@@ -126,6 +223,11 @@ struct PowderReport {
                ? 100.0 * (initial_area - final_area) / initial_area
                : 0.0;
   }
+
+  /// Serializes every field (including diagnostics and per-class stats) as
+  /// a JSON object; the CLI's --report-json and the bench harness use this
+  /// instead of hand-formatting fields.
+  std::string to_json() const;
 };
 
 class PowderOptimizer {
@@ -149,5 +251,9 @@ class PowderOptimizer {
   /// Applies the delay check of §3.4 on a scratch copy of the netlist.
   bool violates_delay(const CandidateSub& sub, double limit) const;
 };
+
+/// Stable library entry point (also exported by the umbrella header
+/// src/powder.hpp): optimizes `netlist` in place and returns the report.
+PowderReport optimize(Netlist& netlist, const PowderOptions& options = {});
 
 }  // namespace powder

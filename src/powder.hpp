@@ -1,0 +1,27 @@
+#pragma once
+// Umbrella header: the stable public API of the POWDER library.
+//
+// Typical use:
+//
+//   #include "powder.hpp"
+//
+//   powder::Netlist nl = powder::read_blif(path, lib);
+//   powder::PowderOptions opt = powder::PowderOptions::builder()
+//                                   .threads(8)
+//                                   .deadline(std::chrono::seconds(30))
+//                                   .delay_limit_factor(1.0)
+//                                   .build();
+//   powder::PowderReport report = powder::optimize(nl, opt);
+//   std::cout << report.to_json() << "\n";
+//
+// Everything exported here — Netlist and its BLIF/Verilog I/O, the cell
+// library, PowderOptions + Builder, PowderReport (+ Diagnostics/to_json),
+// and powder::optimize — is the supported surface; headers under src/ not
+// re-exported here are internal and may change without notice.
+
+#include "io/blif.hpp"
+#include "io/verilog.hpp"
+#include "netlist/netlist.hpp"
+#include "opt/powder.hpp"
+#include "power/power.hpp"
+#include "timing/timing.hpp"

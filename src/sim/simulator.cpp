@@ -8,6 +8,12 @@
 
 namespace powder {
 
+namespace {
+/// Smallest word range worth handing to a pool lane; below this the wake-up
+/// cost of a parallel region outweighs the evaluation work.
+constexpr std::size_t kMinWordsPerShard = 4;
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // CellEvaluator
 // ---------------------------------------------------------------------------
@@ -99,6 +105,11 @@ void Simulator::use_exhaustive_patterns() {
             1ull << (m & 63);
     }
   }
+  // Pattern width changed: existing scratch buffers are the wrong shape.
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    scratch_pool_.clear();
+  }
   resimulate_all();
 }
 
@@ -106,23 +117,51 @@ void Simulator::ensure_capacity() {
   const std::size_t need =
       netlist_->num_slots() * static_cast<std::size_t>(num_words_);
   if (values_.size() < need) values_.resize(need, 0);
-  if (scratch_.size() < need) scratch_.resize(need, 0);
 }
 
-void Simulator::ensure_scratch() const {
+Simulator::ScratchLease Simulator::acquire_scratch() const {
   // `values_` must already cover every slot (callers resimulate after any
-  // gate insertion); scratch only ever mirrors it.
+  // gate insertion); a scratch only ever mirrors it.
   POWDER_CHECK(values_.size() >=
                netlist_->num_slots() * static_cast<std::size_t>(num_words_));
-  if (scratch_.size() < values_.size()) scratch_.resize(values_.size(), 0);
+  std::unique_ptr<Scratch> s;
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!scratch_pool_.empty()) {
+      s = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+    }
+  }
+  if (!s) s = std::make_unique<Scratch>();
+  const std::size_t slots = netlist_->num_slots();
+  if (s->words.size() < slots * static_cast<std::size_t>(num_words_))
+    s->words.resize(slots * static_cast<std::size_t>(num_words_), 0);
+  s->dirty.assign(slots, 0);
+  return ScratchLease(this, std::move(s));
+}
+
+void Simulator::release_scratch(std::unique_ptr<Scratch> scratch) const {
+  if (!scratch) return;
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  scratch_pool_.push_back(std::move(scratch));
 }
 
 const std::vector<GateId>& Simulator::cached_topo() const {
+  std::lock_guard<std::mutex> lock(topo_mutex_);
   if (topo_generation_ != netlist_->generation()) {
     topo_cache_ = netlist_->topo_order();
     topo_generation_ = netlist_->generation();
   }
   return topo_cache_;
+}
+
+int Simulator::word_shards() const {
+  if (pool_ == nullptr || ThreadPool::in_parallel_region()) return 1;
+  const std::size_t by_words =
+      static_cast<std::size_t>(num_words_) / kMinWordsPerShard;
+  const std::size_t shards = std::min<std::size_t>(
+      by_words, static_cast<std::size_t>(pool_->parallelism()));
+  return shards < 1 ? 1 : static_cast<int>(shards);
 }
 
 void Simulator::resimulate_all() {
@@ -134,26 +173,40 @@ void Simulator::resimulate_all() {
                 num_words_,
                 values_.data() + static_cast<std::size_t>(g) * num_words_);
   }
-  static const std::vector<std::uint8_t> kNoDirty;
-  for (GateId g : cached_topo()) {
-    const Gate& gate = netlist_->gate(g);
-    if (gate.kind == GateKind::kInput) continue;
-    std::uint64_t* dest =
-        values_.data() + static_cast<std::size_t>(g) * num_words_;
-    eval_gate_mixed(g, dest, kNoDirty);
+  const std::vector<GateId>& topo = cached_topo();
+  // Word columns are independent, so each lane walks the whole topological
+  // order over its own [lo, hi) word range; within a lane the fanin words it
+  // reads were produced earlier in the same lane.
+  auto eval_range = [&](std::size_t lo, std::size_t hi) {
+    for (GateId g : topo) {
+      const Gate& gate = netlist_->gate(g);
+      if (gate.kind == GateKind::kInput) continue;
+      std::uint64_t* dest =
+          values_.data() + static_cast<std::size_t>(g) * num_words_;
+      eval_gate_mixed(g, dest, nullptr, nullptr, static_cast<int>(lo),
+                      static_cast<int>(hi));
+    }
+  };
+  if (word_shards() > 1) {
+    pool_->parallel_for(static_cast<std::size_t>(num_words_),
+                        kMinWordsPerShard, eval_range);
+  } else {
+    eval_range(0, static_cast<std::size_t>(num_words_));
   }
 }
 
 void Simulator::eval_gate_mixed(GateId g, std::uint64_t* dest,
-                                const std::vector<std::uint8_t>& dirty) const {
+                                const std::uint8_t* dirty,
+                                const std::uint64_t* scratch_words, int w0,
+                                int w1) const {
   const Gate& gate = netlist_->gate(g);
   auto src = [&](GateId fi) -> const std::uint64_t* {
-    const bool use_scratch = !dirty.empty() && dirty[fi];
-    const auto& from = use_scratch ? scratch_ : values_;
-    return from.data() + static_cast<std::size_t>(fi) * num_words_;
+    const bool use_scratch = dirty != nullptr && dirty[fi];
+    const std::uint64_t* from = use_scratch ? scratch_words : values_.data();
+    return from + static_cast<std::size_t>(fi) * num_words_;
   };
   if (gate.kind == GateKind::kOutput) {
-    std::copy_n(src(gate.fanins[0]), num_words_, dest);
+    std::copy(src(gate.fanins[0]) + w0, src(gate.fanins[0]) + w1, dest + w0);
     return;
   }
   POWDER_DCHECK(gate.kind == GateKind::kCell);
@@ -161,7 +214,7 @@ void Simulator::eval_gate_mixed(GateId g, std::uint64_t* dest,
   fi_ptr.reserve(gate.fanins.size());
   for (GateId fi : gate.fanins) fi_ptr.push_back(src(fi));
   std::vector<std::uint64_t> fanin_words(gate.fanins.size());
-  for (int w = 0; w < num_words_; ++w) {
+  for (int w = w0; w < w1; ++w) {
     for (std::size_t k = 0; k < fi_ptr.size(); ++k)
       fanin_words[k] = fi_ptr[k][w];
     dest[w] = evaluator_.evaluate(gate.cell, fanin_words);
@@ -188,13 +241,24 @@ void Simulator::resimulate_from(std::span<const GateId> roots) {
       }
     }
   }
-  static const std::vector<std::uint8_t> kNoDirty;
+  std::vector<GateId> order;
   for (GateId g : cached_topo()) {
     if (!affected[g]) continue;
-    const Gate& gate = netlist_->gate(g);
-    if (gate.kind == GateKind::kInput) continue;
-    eval_gate_mixed(g, values_.data() + static_cast<std::size_t>(g) * num_words_,
-                    kNoDirty);
+    if (netlist_->gate(g).kind == GateKind::kInput) continue;
+    order.push_back(g);
+  }
+  auto eval_range = [&](std::size_t lo, std::size_t hi) {
+    for (GateId g : order)
+      eval_gate_mixed(g,
+                      values_.data() + static_cast<std::size_t>(g) * num_words_,
+                      nullptr, nullptr, static_cast<int>(lo),
+                      static_cast<int>(hi));
+  };
+  if (order.size() >= 4 && word_shards() > 1) {
+    pool_->parallel_for(static_cast<std::size_t>(num_words_),
+                        kMinWordsPerShard, eval_range);
+  } else {
+    eval_range(0, static_cast<std::size_t>(num_words_));
   }
 }
 
@@ -208,7 +272,7 @@ double Simulator::signal_prob(GateId g) const {
 }
 
 std::vector<std::uint64_t> Simulator::propagate_diff(
-    std::vector<std::uint8_t>& dirty, const std::vector<GateId>& frontier,
+    Scratch& scratch, const std::vector<GateId>& frontier,
     std::vector<GateId>* changed) const {
   // Mark the TFO of the frontier as potentially dirty and re-evaluate it in
   // topological order against the mixed view; gates whose faulty value
@@ -233,27 +297,85 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
       }
     }
   }
+  std::vector<GateId> order;
+  for (GateId g : cached_topo())
+    if (affected[g]) order.push_back(g);
 
   std::vector<std::uint64_t> diff(static_cast<std::size_t>(num_words_), 0);
-  for (GateId g : cached_topo()) {
-    if (!affected[g]) continue;
-    const Gate& gate = netlist_->gate(g);
-    std::uint64_t* faulty =
-        scratch_.data() + static_cast<std::size_t>(g) * num_words_;
-    eval_gate_mixed(g, faulty, dirty);
-    const std::uint64_t* good =
-        values_.data() + static_cast<std::size_t>(g) * num_words_;
+  const int shards = word_shards();
+  if (shards <= 1 ||
+      order.size() * static_cast<std::size_t>(num_words_) < 512) {
+    for (GateId g : order) {
+      const Gate& gate = netlist_->gate(g);
+      std::uint64_t* faulty =
+          scratch.words.data() + static_cast<std::size_t>(g) * num_words_;
+      eval_gate_mixed(g, faulty, scratch.dirty.data(), scratch.words.data(), 0,
+                      num_words_);
+      const std::uint64_t* good =
+          values_.data() + static_cast<std::size_t>(g) * num_words_;
+      bool any = false;
+      for (int w = 0; w < num_words_; ++w)
+        if (faulty[w] != good[w]) {
+          any = true;
+          break;
+        }
+      if (!any) continue;  // fault effect died here
+      scratch.dirty[g] = 1;
+      if (changed != nullptr) changed->push_back(g);
+      if (gate.kind == GateKind::kOutput)
+        for (int w = 0; w < num_words_; ++w)
+          diff[static_cast<std::size_t>(w)] |= faulty[w] ^ good[w];
+    }
+    return diff;
+  }
+
+  // Sharded: each lane propagates its own word range with its own dirty
+  // flags. Pruning may differ per lane — a gate can change only in some
+  // word columns — but a lane that prunes a gate has computed scratch words
+  // equal to the good values there, so downstream reads see identical bits
+  // either way and every lane's slice of `scratch.words` matches the serial
+  // computation exactly.
+  std::vector<std::vector<std::uint8_t>> lane_dirty(
+      static_cast<std::size_t>(shards));
+  pool_->for_shards(shards, [&](int shard, int num_shards) {
+    const std::size_t n = static_cast<std::size_t>(num_words_);
+    const std::size_t lo = n * static_cast<std::size_t>(shard) /
+                           static_cast<std::size_t>(num_shards);
+    const std::size_t hi = n * (static_cast<std::size_t>(shard) + 1) /
+                           static_cast<std::size_t>(num_shards);
+    std::vector<std::uint8_t>& dirty = lane_dirty[static_cast<std::size_t>(shard)];
+    dirty = scratch.dirty;  // seed flags from the caller
+    for (GateId g : order) {
+      std::uint64_t* faulty =
+          scratch.words.data() + static_cast<std::size_t>(g) * num_words_;
+      eval_gate_mixed(g, faulty, dirty.data(), scratch.words.data(),
+                      static_cast<int>(lo), static_cast<int>(hi));
+      const std::uint64_t* good =
+          values_.data() + static_cast<std::size_t>(g) * num_words_;
+      bool any = false;
+      for (std::size_t w = lo; w < hi; ++w)
+        if (faulty[w] != good[w]) {
+          any = true;
+          break;
+        }
+      if (any) dirty[g] = 1;
+      if (any && netlist_->gate(g).kind == GateKind::kOutput)
+        for (std::size_t w = lo; w < hi; ++w) diff[w] |= faulty[w] ^ good[w];
+    }
+  });
+  // Merge: a gate changed iff any lane saw a change in its word range. The
+  // seeds stay set in every lane, and no seed is in `order` (the netlist is
+  // acyclic), so OR-ing lane flags over `order` recovers the serial result.
+  for (GateId g : order) {
     bool any = false;
-    for (int w = 0; w < num_words_; ++w)
-      if (faulty[w] != good[w]) {
+    for (const std::vector<std::uint8_t>& d : lane_dirty)
+      if (d[g]) {
         any = true;
         break;
       }
-    if (!any) continue;  // fault effect died here
-    dirty[g] = 1;
+    if (!any) continue;
+    scratch.dirty[g] = 1;
     if (changed != nullptr) changed->push_back(g);
-    if (gate.kind == GateKind::kOutput)
-      for (int w = 0; w < num_words_; ++w) diff[static_cast<std::size_t>(w)] |= faulty[w] ^ good[w];
   }
   return diff;
 }
@@ -261,23 +383,23 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
 std::vector<std::pair<GateId, double>> Simulator::trial_new_probs(
     GateId site, const FanoutRef* branch,
     std::span<const std::uint64_t> replacement) const {
-  ensure_scratch();
   POWDER_CHECK(replacement.size() == static_cast<std::size_t>(num_words_));
-  std::vector<std::uint8_t> dirty(netlist_->num_slots(), 0);
+  ScratchLease lease = acquire_scratch();
+  Scratch& s = *lease;
   std::vector<GateId> changed;
   if (branch == nullptr) {
     std::uint64_t* f =
-        scratch_.data() + static_cast<std::size_t>(site) * num_words_;
+        s.words.data() + static_cast<std::size_t>(site) * num_words_;
     std::copy(replacement.begin(), replacement.end(), f);
-    dirty[site] = 1;
-    (void)propagate_diff(dirty, {site}, &changed);
+    s.dirty[site] = 1;
+    (void)propagate_diff(s, {site}, &changed);
   } else {
     // Pre-evaluate the branch's sink against the replacement, then let the
     // generic propagation take over.
     const GateId sink = branch->gate;
     const Gate& gate = netlist_->gate(sink);
     std::uint64_t* f =
-        scratch_.data() + static_cast<std::size_t>(sink) * num_words_;
+        s.words.data() + static_cast<std::size_t>(sink) * num_words_;
     if (gate.kind == GateKind::kOutput) {
       std::copy(replacement.begin(), replacement.end(), f);
     } else {
@@ -303,16 +425,16 @@ std::vector<std::pair<GateId, double>> Simulator::trial_new_probs(
         break;
       }
     if (any) {
-      dirty[sink] = 1;
+      s.dirty[sink] = 1;
       changed.push_back(sink);
-      (void)propagate_diff(dirty, {sink}, &changed);
+      (void)propagate_diff(s, {sink}, &changed);
     }
   }
   std::vector<std::pair<GateId, double>> out;
   out.reserve(changed.size());
   for (GateId g : changed) {
     const std::uint64_t* f =
-        scratch_.data() + static_cast<std::size_t>(g) * num_words_;
+        s.words.data() + static_cast<std::size_t>(g) * num_words_;
     std::uint64_t ones = 0;
     for (int w = 0; w < num_words_; ++w)
       ones += static_cast<std::uint64_t>(std::popcount(f[w]));
@@ -322,14 +444,14 @@ std::vector<std::pair<GateId, double>> Simulator::trial_new_probs(
 }
 
 std::vector<std::uint64_t> Simulator::stem_observability(GateId g) const {
-  ensure_scratch();
-  std::vector<std::uint8_t> dirty(netlist_->num_slots(), 0);
-  std::uint64_t* f = scratch_.data() + static_cast<std::size_t>(g) * num_words_;
+  ScratchLease lease = acquire_scratch();
+  Scratch& s = *lease;
+  std::uint64_t* f = s.words.data() + static_cast<std::size_t>(g) * num_words_;
   const std::uint64_t* good =
       values_.data() + static_cast<std::size_t>(g) * num_words_;
   for (int w = 0; w < num_words_; ++w) f[w] = ~good[w];
-  dirty[g] = 1;
-  return propagate_diff(dirty, {g});
+  s.dirty[g] = 1;
+  return propagate_diff(s, {g});
 }
 
 std::vector<std::uint64_t> Simulator::branch_observability(
@@ -345,22 +467,22 @@ std::vector<std::uint64_t> Simulator::branch_observability(
 std::vector<std::uint64_t> Simulator::output_diff_with_replacement(
     GateId site, const FanoutRef* branch,
     std::span<const std::uint64_t> replacement) const {
-  ensure_scratch();
   POWDER_CHECK(replacement.size() == static_cast<std::size_t>(num_words_));
-  std::vector<std::uint8_t> dirty(netlist_->num_slots(), 0);
+  ScratchLease lease = acquire_scratch();
+  Scratch& s = *lease;
   if (branch == nullptr) {
     // Stem replacement: the whole signal takes the new value.
     std::uint64_t* f =
-        scratch_.data() + static_cast<std::size_t>(site) * num_words_;
+        s.words.data() + static_cast<std::size_t>(site) * num_words_;
     std::copy(replacement.begin(), replacement.end(), f);
-    dirty[site] = 1;
-    return propagate_diff(dirty, {site});
+    s.dirty[site] = 1;
+    return propagate_diff(s, {site});
   }
   // Branch replacement: only the sink gate sees the new value on one pin.
   const GateId sink = branch->gate;
   const Gate& gate = netlist_->gate(sink);
   std::uint64_t* f =
-      scratch_.data() + static_cast<std::size_t>(sink) * num_words_;
+      s.words.data() + static_cast<std::size_t>(sink) * num_words_;
   if (gate.kind == GateKind::kOutput) {
     std::copy(replacement.begin(), replacement.end(), f);
   } else {
@@ -388,11 +510,11 @@ std::vector<std::uint64_t> Simulator::output_diff_with_replacement(
       break;
     }
   if (!any) return diff;
-  dirty[sink] = 1;
+  s.dirty[sink] = 1;
   if (gate.kind == GateKind::kOutput)
     for (int w = 0; w < num_words_; ++w)
       diff[static_cast<std::size_t>(w)] |= f[w] ^ good[w];
-  std::vector<std::uint64_t> deeper = propagate_diff(dirty, {sink});
+  std::vector<std::uint64_t> deeper = propagate_diff(s, {sink});
   for (int w = 0; w < num_words_; ++w)
     diff[static_cast<std::size_t>(w)] |= deeper[static_cast<std::size_t>(w)];
   return diff;

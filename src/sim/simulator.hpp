@@ -10,13 +10,27 @@
 // Values are indexed by GateId and survive netlist mutation: after a
 // substitution, call `resimulate_from` with the gates whose function
 // changed and only their transitive fanout is recomputed.
+//
+// Threading model: the const query methods (value, signal_prob, the
+// observability / replacement-diff / trial-probability passes) are safe to
+// call from several threads at once — every pass works on a scratch buffer
+// acquired from an internal pool, never on shared mutable state. The
+// mutating methods (resimulate_*, use_exhaustive_patterns) are
+// single-writer: they must not overlap with each other or with queries.
+// When a ThreadPool is attached via set_thread_pool, the mutating passes
+// and top-level flip-and-diff queries additionally shard their inner loops
+// across per-thread word ranges; results are bit-identical to the serial
+// computation for any thread count.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace powder {
 
@@ -54,6 +68,11 @@ class Simulator {
   int num_words() const { return num_words_; }
   int num_patterns() const { return 64 * num_words_; }
   const std::vector<double>& pi_probs() const { return pi_probs_; }
+
+  /// Attaches a thread pool used to shard the simulation kernels across
+  /// word ranges (nullptr restores serial execution). The pool is borrowed
+  /// and must outlive the simulator's use of it.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Replaces the PI stimulus with exhaustive patterns (requires
   /// num_inputs() <= 16; pattern count becomes 2^n rounded up to 64).
@@ -107,34 +126,73 @@ class Simulator {
   const CellEvaluator& evaluator() const { return evaluator_; }
 
  private:
+  /// One flip-and-diff working set: a full values-shaped word array plus
+  /// the per-gate dirty flags. Passes acquire one from the pool below so
+  /// concurrent const queries never share mutable state.
+  struct Scratch {
+    std::vector<std::uint64_t> words;  // slots * num_words_
+    std::vector<std::uint8_t> dirty;   // slots; 1 = read words, not values_
+  };
+
+  /// RAII lease of a Scratch from the simulator's pool.
+  class ScratchLease {
+   public:
+    ScratchLease(const Simulator* sim, std::unique_ptr<Scratch> scratch)
+        : sim_(sim), scratch_(std::move(scratch)) {}
+    ~ScratchLease() { sim_->release_scratch(std::move(scratch_)); }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    Scratch& operator*() const { return *scratch_; }
+    Scratch* operator->() const { return scratch_.get(); }
+
+   private:
+    const Simulator* sim_;
+    std::unique_ptr<Scratch> scratch_;
+  };
+
   const Netlist* netlist_;
   CellEvaluator evaluator_;
   int num_words_;
   std::vector<double> pi_probs_;
   Rng rng_;
-  std::vector<std::uint64_t> values_;          // slots * num_words_
-  mutable std::vector<std::uint64_t> scratch_; // same layout, for flips
-  std::vector<std::uint64_t> pi_stimulus_;     // frozen PI words
+  std::vector<std::uint64_t> values_;       // slots * num_words_
+  std::vector<std::uint64_t> pi_stimulus_;  // frozen PI words
+  ThreadPool* pool_ = nullptr;
 
+  mutable std::mutex scratch_mutex_;
+  mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_;
+
+  mutable std::mutex topo_mutex_;
   mutable std::vector<GateId> topo_cache_;
   mutable std::uint64_t topo_generation_ = ~0ull;
 
   void ensure_capacity();
-  void ensure_scratch() const;
   void generate_stimulus();
   const std::vector<GateId>& cached_topo() const;
 
-  /// Computes the value word-vector of gate g into `dest`, reading each
-  /// fanin from `scratch_` when its bit is set in `dirty`, else `values_`.
+  ScratchLease acquire_scratch() const;
+  void release_scratch(std::unique_ptr<Scratch> scratch) const;
+
+  /// Number of word-range shards the current call may use (1 = serial).
+  int word_shards() const;
+
+  /// Computes words [w0, w1) of gate g's value into `dest + w0`, reading
+  /// each fanin from `scratch_words` when its bit is set in `dirty`
+  /// (nullable = never), else from `values_`.
   void eval_gate_mixed(GateId g, std::uint64_t* dest,
-                       const std::vector<std::uint8_t>& dirty) const;
+                       const std::uint8_t* dirty,
+                       const std::uint64_t* scratch_words, int w0,
+                       int w1) const;
 
   /// Propagates preset scratch values of the gates in `dirty` through the
   /// TFO; returns OR over outputs of (faulty ^ good). When `changed` is
-  /// non-null it collects the gates whose value vector changed (their new
-  /// values live in scratch_ until the next call).
+  /// non-null it collects, in topological order, the gates whose value
+  /// vector changed (their new values live in scratch.words until the
+  /// lease is released). Shards the per-gate evaluation across word ranges
+  /// when a pool is attached and the call does not already run on a pool
+  /// worker; the result is bit-identical either way.
   std::vector<std::uint64_t> propagate_diff(
-      std::vector<std::uint8_t>& dirty, const std::vector<GateId>& frontier,
+      Scratch& scratch, const std::vector<GateId>& frontier,
       std::vector<GateId>* changed = nullptr) const;
 };
 

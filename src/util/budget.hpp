@@ -8,7 +8,13 @@
 // reports what it actually used afterwards, and aborts immediately when its
 // pool is dry or the deadline has passed. Exhaustion is therefore always a
 // clean, reported degradation — never a hang and never a hard error.
+//
+// The pools are atomic: POWDER's proof pipeline runs permissibility checks
+// on several worker threads against the same budget, and a CAS loop in
+// `consume` guarantees the pool is debited exactly once per unit of effort
+// and never goes negative — concurrent workers cannot double-spend.
 
+#include <atomic>
 #include <chrono>
 
 namespace powder {
@@ -16,13 +22,20 @@ namespace powder {
 class ResourceBudget {
  public:
   ResourceBudget() = default;
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
 
   /// Arms a wall-clock deadline `seconds` from now; negative disables.
+  /// Not thread-safe — call before handing the budget to workers.
   void set_deadline(double seconds);
   /// Caps the total PODEM backtracks across all checks; negative = unlimited.
-  void set_atpg_backtrack_pool(long n) { atpg_pool_ = n < 0 ? -1 : n; }
+  void set_atpg_backtrack_pool(long n) {
+    atpg_pool_.store(n < 0 ? -1 : n, std::memory_order_relaxed);
+  }
   /// Caps the total SAT conflicts across all checks; negative = unlimited.
-  void set_sat_conflict_pool(long n) { sat_pool_ = n < 0 ? -1 : n; }
+  void set_sat_conflict_pool(long n) {
+    sat_pool_.store(n < 0 ? -1 : n, std::memory_order_relaxed);
+  }
 
   bool has_deadline() const { return has_deadline_; }
   bool expired() const;
@@ -36,8 +49,12 @@ class ResourceBudget {
   void consume_atpg_backtracks(long used) { consume(&atpg_pool_, used); }
   void consume_sat_conflicts(long used) { consume(&sat_pool_, used); }
 
-  bool atpg_pool_dry() const { return atpg_pool_ == 0; }
-  bool sat_pool_dry() const { return sat_pool_ == 0; }
+  bool atpg_pool_dry() const {
+    return atpg_pool_.load(std::memory_order_relaxed) == 0;
+  }
+  bool sat_pool_dry() const {
+    return sat_pool_.load(std::memory_order_relaxed) == 0;
+  }
   /// True when neither proof engine can be paid for another call. Unlimited
   /// pools never drain, so this only triggers when both pools were set.
   bool proof_effort_exhausted() const {
@@ -47,19 +64,26 @@ class ResourceBudget {
  private:
   using Clock = std::chrono::steady_clock;
 
-  static long grant(long pool, long ask) {
-    if (pool < 0) return ask;
-    return ask < pool ? ask : pool;
+  static long grant(const std::atomic<long>& pool, long ask) {
+    const long p = pool.load(std::memory_order_relaxed);
+    if (p < 0) return ask;
+    return ask < p ? ask : p;
   }
-  static void consume(long* pool, long used) {
-    if (*pool < 0 || used <= 0) return;
-    *pool = used < *pool ? *pool - used : 0;
+  static void consume(std::atomic<long>* pool, long used) {
+    if (used <= 0) return;
+    long p = pool->load(std::memory_order_relaxed);
+    while (p >= 0) {
+      const long next = used < p ? p - used : 0;
+      if (pool->compare_exchange_weak(p, next, std::memory_order_relaxed))
+        return;
+      // p reloaded by the failed CAS; re-check the unlimited sentinel.
+    }
   }
 
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
-  long atpg_pool_ = -1;  // -1 = unlimited
-  long sat_pool_ = -1;
+  std::atomic<long> atpg_pool_{-1};  // -1 = unlimited
+  std::atomic<long> sat_pool_{-1};
 };
 
 }  // namespace powder

@@ -1,0 +1,215 @@
+#pragma once
+// Bounded multi-producer / multi-consumer FIFO.
+//
+// The fast path is a lock-free ring of sequence-stamped slots (the classic
+// bounded-MPMC shape, the same one the block_based_queue contenders use):
+// producers CAS a head ticket, consumers CAS a tail ticket, and each slot's
+// sequence number tells both sides whether the slot is ready for them. On
+// top of that sit blocking push/pop — a thread parks on a condition
+// variable only after registering as a waiter and re-running the lock-free
+// attempt (the seq_cst fences make that re-check and the fast path's
+// waiter-count probe a proper handshake, so no wakeup is ever lost) — and
+// a `close()` that wakes everyone: a closed queue rejects new items but
+// drains the ones already enqueued.
+//
+// Guarantees:
+//  * items from one producer are dequeued in that producer's push order
+//    (global order across producers is the ticket order),
+//  * every pushed item is popped exactly once,
+//  * capacity is a hard bound — push blocks (or try_push fails) when full.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit MpmcQueue(std::size_t capacity) {
+    POWDER_CHECK_MSG(capacity > 0, "MpmcQueue capacity must be positive");
+    capacity_ = 2;
+    while (capacity_ < capacity) capacity_ *= 2;
+    slots_ = std::make_unique<Slot[]>(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i)
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Items currently enqueued (approximate under concurrency).
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+  /// Non-blocking push; false when the queue is full or closed. `value` is
+  /// only moved from on success.
+  bool try_push(T& value) {
+    if (!core_push(value)) return false;
+    notify_unlocked(&not_empty_);
+    return true;
+  }
+
+  bool try_push(T&& value) { return try_push(value); }
+
+  /// Non-blocking pop; nullopt when the queue is empty.
+  std::optional<T> try_pop() {
+    std::optional<T> v = core_pop();
+    if (v) notify_unlocked(&not_full_);
+    return v;
+  }
+
+  /// Blocking push (backpressure); false when the queue was closed before
+  /// the item could be enqueued.
+  bool push(T value) {
+    for (;;) {
+      if (try_push(value)) return true;
+      if (closed_.load(std::memory_order_acquire)) return false;
+      std::unique_lock<std::mutex> lock(wait_mutex_);
+      waiters_.fetch_add(1);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      // Re-check after registering: a pop that freed a slot before seeing
+      // our registration is now guaranteed visible.
+      if (core_push(value)) {
+        waiters_.fetch_sub(1);
+        not_empty_.notify_all();
+        return true;
+      }
+      if (closed_.load(std::memory_order_acquire)) {
+        waiters_.fetch_sub(1);
+        return false;
+      }
+      not_full_.wait(lock);
+      waiters_.fetch_sub(1);
+    }
+  }
+
+  /// Blocking pop; nullopt only when the queue is closed *and* drained.
+  std::optional<T> pop() {
+    for (;;) {
+      if (std::optional<T> v = try_pop()) return v;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Drain race: an item may have landed between try_pop and the
+        // closed check.
+        if (std::optional<T> v = try_pop()) return v;
+        return std::nullopt;
+      }
+      std::unique_lock<std::mutex> lock(wait_mutex_);
+      waiters_.fetch_add(1);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (std::optional<T> v = core_pop()) {
+        waiters_.fetch_sub(1);
+        not_full_.notify_all();
+        return v;
+      }
+      if (closed_.load(std::memory_order_acquire)) {
+        waiters_.fetch_sub(1);
+        continue;  // drain once more at the top of the loop
+      }
+      not_empty_.wait(lock);
+      waiters_.fetch_sub(1);
+    }
+  }
+
+  /// Rejects all future pushes and wakes every blocked producer and
+  /// consumer. Items already enqueued can still be popped.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  bool core_push(T& value) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      slot = &slots_[pos & (capacity_ - 1)];
+      const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const std::intptr_t dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> core_pop() {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      slot = &slots_[pos & (capacity_ - 1)];
+      const std::size_t seq = slot->sequence.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(slot->value));
+    slot->sequence.store(pos + capacity_, std::memory_order_release);
+    return out;
+  }
+
+  /// Called after a successful core operation *outside* wait_mutex_. Pair
+  /// of the waiters' registration fence: if the probe reads 0, the
+  /// waiter's post-registration re-check is guaranteed to observe this
+  /// thread's slot update, so skipping the notification is safe. The
+  /// common (uncontended) path therefore stays lock-free.
+  void notify_unlocked(std::condition_variable* cv) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_relaxed) == 0) return;
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    cv->notify_all();
+  }
+
+  std::size_t capacity_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::atomic<bool> closed_{false};
+
+  std::mutex wait_mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::atomic<int> waiters_{0};
+};
+
+}  // namespace powder

@@ -1,0 +1,175 @@
+#pragma once
+// Fixed-size thread pool for data-parallel sharding.
+//
+// The pool owns `workers` long-lived threads; `for_shards(n, fn)` runs
+// fn(shard, n) for every shard in [0, n) across the workers *and* the
+// calling thread, returning only when every shard finished and every
+// worker left the region. Exceptions thrown inside a shard are captured
+// and rethrown on the caller.
+//
+// The pool is deliberately minimal: one parallel region at a time (POWDER's
+// phases are strictly bracketed), no futures, no work stealing. Nested
+// calls from inside a worker run the region inline on that worker — the
+// simulator's word-sharded kernels can therefore be called freely from
+// already-sharded harvest code without deadlock or oversubscription.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace powder {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (>= 0). Total parallelism of a region is
+  /// workers + 1 because the caller participates.
+  explicit ThreadPool(int workers) {
+    workers_ = workers < 0 ? 0 : workers;
+    threads_.reserve(static_cast<std::size_t>(workers_));
+    for (int i = 0; i < workers_; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes a region can use (workers + caller).
+  int parallelism() const { return workers_ + 1; }
+
+  /// True while the current thread is executing a shard of *any* pool's
+  /// region — as a pool worker or as the participating caller. Nested
+  /// parallel entry points check this and degrade to inline execution.
+  static bool in_parallel_region() { return in_region_flag(); }
+
+  /// Runs fn(shard, num_shards) for every shard in [0, num_shards).
+  /// Blocks until all shards are done; rethrows the first exception.
+  void for_shards(int num_shards, const std::function<void(int, int)>& fn) {
+    if (num_shards <= 0) return;
+    if (workers_ == 0 || num_shards == 1 || in_parallel_region()) {
+      for (int s = 0; s < num_shards; ++s) fn(s, num_shards);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &fn;
+      num_shards_ = num_shards;
+      next_shard_.store(0, std::memory_order_relaxed);
+      pending_shards_ = num_shards;
+      error_ = nullptr;
+      ++generation_;
+    }
+    wake_workers_.notify_all();
+    run_lane(fn);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait for the shards *and* for every worker to leave the region, so
+    // the next region can safely reset the shared counters.
+    done_.wait(lock,
+               [this] { return pending_shards_ == 0 && active_workers_ == 0; });
+    task_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  /// Splits [0, n) into contiguous chunks of at least `min_grain` and runs
+  /// fn(begin, end) on each in parallel.
+  void parallel_for(std::size_t n, std::size_t min_grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    if (min_grain == 0) min_grain = 1;
+    const std::size_t max_shards = (n + min_grain - 1) / min_grain;
+    const int shards = static_cast<int>(std::min<std::size_t>(
+        max_shards, static_cast<std::size_t>(parallelism())));
+    if (shards <= 1) {
+      fn(0, n);
+      return;
+    }
+    for_shards(shards, [&](int shard, int num_shards) {
+      const std::size_t lo = n * static_cast<std::size_t>(shard) /
+                             static_cast<std::size_t>(num_shards);
+      const std::size_t hi = n * (static_cast<std::size_t>(shard) + 1) /
+                             static_cast<std::size_t>(num_shards);
+      if (lo < hi) fn(lo, hi);
+    });
+  }
+
+ private:
+  static bool& in_region_flag() {
+    thread_local bool flag = false;
+    return flag;
+  }
+
+  /// Claims shards until none are left, with the region flag raised so any
+  /// nested parallel call from inside a shard — whether this lane is a
+  /// worker or the participating caller — runs inline instead of
+  /// re-entering the (busy) region machinery. `num_shards_` is stable for
+  /// the whole region: workers read it after the wake-up handshake and the
+  /// caller only resets it once pending_shards_ and active_workers_ both
+  /// reached zero.
+  void run_lane(const std::function<void(int, int)>& fn) {
+    in_region_flag() = true;
+    for (;;) {
+      const int s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (s >= num_shards_) break;
+      try {
+        fn(s, num_shards_);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_shards_ == 0) done_.notify_all();
+    }
+    in_region_flag() = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      const std::function<void(int, int)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_workers_.wait(lock, [&] {
+          return stop_ || (task_ != nullptr && generation_ != seen_generation);
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+        task = task_;
+        ++active_workers_;
+      }
+      run_lane(*task);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0 && pending_shards_ == 0) done_.notify_all();
+    }
+  }
+
+  int workers_ = 0;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable done_;
+  bool stop_ = false;
+  const std::function<void(int, int)>* task_ = nullptr;
+  int num_shards_ = 0;
+  int pending_shards_ = 0;
+  int active_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  std::atomic<int> next_shard_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace powder

@@ -38,7 +38,7 @@ Netlist make_mapped(const char* name) {
 /// The contract every degraded run must satisfy.
 void expect_never_miscompiled(const Netlist& before, const Netlist& after,
                               const PowderReport& report, const char* name) {
-  if (!report.guard_failed) {
+  if (!report.diagnostics.guard_failed) {
     EXPECT_TRUE(functionally_equivalent(before, after))
         << name << ": non-equivalent netlist without guard_failed";
   }
@@ -73,7 +73,7 @@ TEST(FaultInjection, AllProofEnginesAbortingStillTerminates) {
     const PowderReport report =
         PowderOptimizer(&nl, paranoid_options()).run();
     EXPECT_EQ(report.substitutions_applied, 0) << name;
-    EXPECT_FALSE(report.guard_failed) << name;
+    EXPECT_FALSE(report.diagnostics.guard_failed) << name;
     EXPECT_TRUE(functionally_equivalent(before, nl)) << name;
   }
 }
@@ -105,9 +105,9 @@ TEST(FaultInjection, StaleCandidatesAreRolledBack) {
     inj->arm(Site::kStaleCandidate);
     const PowderReport report =
         PowderOptimizer(&nl, paranoid_options()).run();
-    EXPECT_GT(report.guard_rollbacks + report.final_check_rollbacks, 0)
+    EXPECT_GT(report.diagnostics.guard_rollbacks + report.diagnostics.final_check_rollbacks, 0)
         << name << ": no corruption was ever caught";
-    EXPECT_FALSE(report.guard_failed) << name;
+    EXPECT_FALSE(report.diagnostics.guard_failed) << name;
     EXPECT_TRUE(functionally_equivalent(before, nl)) << name;
   }
 }
@@ -151,7 +151,7 @@ TEST(FaultInjection, DrainedProofPoolsExhaustCleanly) {
     opt.budget.atpg_backtrack_pool = 0;
     opt.budget.sat_conflict_pool = 0;
     const PowderReport report = PowderOptimizer(&nl, opt).run();
-    EXPECT_TRUE(report.budget_exhausted) << name;
+    EXPECT_TRUE(report.diagnostics.budget_exhausted) << name;
     EXPECT_EQ(report.substitutions_applied, 0) << name;
     EXPECT_TRUE(functionally_equivalent(before, nl)) << name;
   }
@@ -168,7 +168,7 @@ TEST(FaultInjection, SmallProofPoolsDegradeGracefully) {
     opt.budget.sat_conflict_pool = 20;
     const PowderReport report = PowderOptimizer(&nl, opt).run();
     expect_never_miscompiled(before, nl, report, name);
-    EXPECT_FALSE(report.guard_failed) << name;
+    EXPECT_FALSE(report.diagnostics.guard_failed) << name;
   }
 }
 
@@ -178,7 +178,7 @@ TEST(FaultInjection, ExpiredDeadlineStopsImmediately) {
   PowderOptions opt = paranoid_options();
   opt.budget.deadline_seconds = 0.0;
   const PowderReport report = PowderOptimizer(&nl, opt).run();
-  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_TRUE(report.diagnostics.deadline_hit);
   EXPECT_EQ(report.substitutions_applied, 0);
   EXPECT_TRUE(functionally_equivalent(before, nl));
 }
@@ -194,7 +194,7 @@ TEST(FaultInjection, ShortDeadlineTerminatesCleanlyWithPartialResult) {
   // Clean termination well before a full run would finish, and a valid,
   // equivalent partial result.
   EXPECT_LT(report.cpu_seconds, 2.0);
-  EXPECT_FALSE(report.guard_failed);
+  EXPECT_FALSE(report.diagnostics.guard_failed);
   EXPECT_TRUE(functionally_equivalent(before, nl));
 }
 
@@ -207,8 +207,8 @@ TEST(FaultInjection, GuardCanBeDisabledExplicitly) {
   opt.guard.signature_check = false;
   opt.guard.final_equivalence_check = false;
   const PowderReport report = PowderOptimizer(&nl, opt).run();
-  EXPECT_EQ(report.guard_rollbacks, 0);
-  EXPECT_EQ(report.final_check_rollbacks, 0);
+  EXPECT_EQ(report.diagnostics.guard_rollbacks, 0);
+  EXPECT_EQ(report.diagnostics.final_check_rollbacks, 0);
   EXPECT_TRUE(functionally_equivalent(before, nl));
 }
 

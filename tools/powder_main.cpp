@@ -20,6 +20,9 @@
 //   --redundancy            precede with redundancy removal
 //   --deadline <seconds>    wall-clock budget; the run stops cleanly with
 //                           a partial result when it expires
+//   --threads <n>           harvest/proof pipeline threads (default 1;
+//                           0 = one per hardware thread)
+//   --report-json <path>    write the full report (incl. diagnostics) as JSON
 //   --paranoid              netlist invariant checks after every commit and
 //                           an end-of-run BDD equivalence guard
 
@@ -34,14 +37,11 @@
 #include "bdd/netlist_bdd.hpp"
 #include "util/check.hpp"
 #include "benchgen/benchmarks.hpp"
-#include "io/blif.hpp"
 #include "mapper/mapper.hpp"
-#include "opt/powder.hpp"
 #include "opt/redundancy.hpp"
 #include "opt/resize.hpp"
+#include "powder.hpp"
 #include "power/glitch.hpp"
-#include "power/power.hpp"
-#include "timing/timing.hpp"
 
 using namespace powder;
 
@@ -61,6 +61,8 @@ struct Args {
   bool resize = false;
   bool redundancy = false;
   double deadline = -1.0;
+  int threads = 1;
+  std::string report_json_path;
   bool paranoid = false;
 };
 
@@ -73,7 +75,8 @@ void usage() {
       "[--engine podem|sat|hybrid]\n"
       "               [--patterns N] [--seed N] [--probs p0,p1,...] "
       "[--resize] [--redundancy]\n"
-      "               [--deadline SECONDS] [--paranoid]\n");
+      "               [--deadline SECONDS] [--threads N] "
+      "[--report-json FILE] [--paranoid]\n");
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -143,6 +146,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.deadline = std::stod(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.threads = std::atoi(v);
+    } else if (arg == "--report-json") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.report_json_path = v;
     } else if (arg == "--paranoid") {
       a.paranoid = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -201,36 +212,44 @@ int cmd_optimize(const Args& a) {
                 rr.gates_removed);
   }
 
-  PowderOptions opt;
-  opt.objective = a.objective;
-  opt.proof_engine = a.engine;
-  opt.num_patterns = a.patterns;
-  opt.seed = a.seed;
-  opt.pi_probs = a.probs;
-  opt.delay_limit_factor = a.delay_limit;
-  opt.budget.deadline_seconds = a.deadline;
-  if (a.paranoid) {
-    opt.check_invariants = true;
-    opt.guard.final_equivalence_check = true;
-  }
-  const PowderReport r = PowderOptimizer(&nl, opt).run();
+  const PowderOptions opt = PowderOptions::builder()
+                                .objective(a.objective)
+                                .proof_engine(a.engine)
+                                .patterns(a.patterns)
+                                .seed(a.seed)
+                                .pi_probs(a.probs)
+                                .delay_limit_factor(a.delay_limit)
+                                .deadline(a.deadline)
+                                .threads(a.threads)
+                                .check_invariants(a.paranoid)
+                                .final_equivalence_check(a.paranoid)
+                                .build();
+  const PowderReport r = optimize(nl, opt);
+  const PowderReport::Diagnostics& d = r.diagnostics;
   std::printf(
       "powder: power %.3f -> %.3f (-%.1f%%), area %.0f -> %.0f, "
-      "delay %.2f -> %.2f, %d substitutions, %.1fs\n",
+      "delay %.2f -> %.2f, %d substitutions, %.1fs (%d thread%s)\n",
       r.initial_power, r.final_power, r.power_reduction_percent(),
       r.initial_area, r.final_area, r.initial_delay, r.final_delay,
-      r.substitutions_applied, r.cpu_seconds);
-  if (r.deadline_hit)
+      r.substitutions_applied, r.cpu_seconds, d.threads_used,
+      d.threads_used == 1 ? "" : "s");
+  if (!a.report_json_path.empty()) {
+    std::ofstream out(a.report_json_path);
+    POWDER_CHECK_MSG(out.good(), "cannot write " << a.report_json_path);
+    out << r.to_json() << "\n";
+    std::printf("wrote %s\n", a.report_json_path.c_str());
+  }
+  if (d.deadline_hit)
     std::printf("powder: wall-clock deadline hit; result is partial\n");
-  if (r.budget_exhausted)
+  if (d.budget_exhausted)
     std::printf("powder: proof-effort budget exhausted; result is partial\n");
-  if (r.guard_rollbacks > 0 || r.final_check_rollbacks > 0 ||
-      r.apply_failures > 0)
+  if (d.guard_rollbacks > 0 || d.final_check_rollbacks > 0 ||
+      d.apply_failures > 0)
     std::printf("powder: guard rolled back %d commit(s) (%d at end of run), "
                 "%d apply failure(s)\n",
-                r.guard_rollbacks + r.final_check_rollbacks,
-                r.final_check_rollbacks, r.apply_failures);
-  if (r.guard_failed) {
+                d.guard_rollbacks + d.final_check_rollbacks,
+                d.final_check_rollbacks, d.apply_failures);
+  if (d.guard_failed) {
     std::fprintf(stderr,
                  "INTERNAL ERROR: equivalence guard could not restore a "
                  "known-good netlist\n");
