@@ -6,9 +6,153 @@
 
 namespace powder {
 
+namespace {
+/// Delta-log bound: old deltas are evicted FIFO. Large enough that any
+/// inner-loop consumer (one commit plus its rollback) fits comfortably;
+/// consumers of deltas_since fall back to a full rebuild on eviction.
+constexpr std::size_t kDeltaLogCapacity = 1024;
+}  // namespace
+
 Netlist::Netlist(const CellLibrary* library, std::string name)
     : library_(library), name_(std::move(name)) {
   POWDER_CHECK(library_ != nullptr);
+}
+
+Netlist::Netlist(const Netlist& other)
+    : library_(other.library_),
+      name_(other.name_),
+      gates_(other.gates_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_),
+      generation_(other.generation_),
+      name_counter_(other.name_counter_),
+      used_names_(other.used_names_) {}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  library_ = other.library_;
+  name_ = other.name_;
+  gates_ = other.gates_;
+  inputs_ = other.inputs_;
+  outputs_ = other.outputs_;
+  generation_ = other.generation_;
+  name_counter_ = other.name_counter_;
+  used_names_ = other.used_names_;
+  delta_log_.clear();
+  NetlistDelta d;
+  d.kind = DeltaKind::kRebuilt;
+  publish(std::move(d));
+  return *this;
+}
+
+Netlist::Netlist(Netlist&& other) {
+  POWDER_CHECK_MSG(other.observers_.empty(),
+                   "moving a netlist that still has observers attached");
+  library_ = other.library_;
+  name_ = std::move(other.name_);
+  gates_ = std::move(other.gates_);
+  inputs_ = std::move(other.inputs_);
+  outputs_ = std::move(other.outputs_);
+  generation_ = other.generation_;
+  name_counter_ = other.name_counter_;
+  used_names_ = std::move(other.used_names_);
+  delta_log_ = std::move(other.delta_log_);
+  deltas_published_ = other.deltas_published_;
+  notifications_ = other.notifications_;
+}
+
+Netlist& Netlist::operator=(Netlist&& other) {
+  if (this == &other) return *this;
+  POWDER_CHECK_MSG(other.observers_.empty(),
+                   "moving a netlist that still has observers attached");
+  library_ = other.library_;
+  name_ = std::move(other.name_);
+  gates_ = std::move(other.gates_);
+  inputs_ = std::move(other.inputs_);
+  outputs_ = std::move(other.outputs_);
+  generation_ = other.generation_;
+  name_counter_ = other.name_counter_;
+  used_names_ = std::move(other.used_names_);
+  delta_log_.clear();
+  NetlistDelta d;
+  d.kind = DeltaKind::kRebuilt;
+  publish(std::move(d));
+  return *this;
+}
+
+void Netlist::attach_observer(NetlistObserver* observer) const {
+  POWDER_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void Netlist::detach_observer(NetlistObserver* observer) const {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  POWDER_CHECK_MSG(it != observers_.end(), "detaching unattached observer");
+  observers_.erase(it);
+}
+
+void Netlist::publish(NetlistDelta&& delta) {
+  delta.epoch = ++generation_;
+  ++deltas_published_;
+  for (NetlistObserver* obs : observers_) {
+    obs->on_delta(delta);
+    ++notifications_;
+  }
+  delta_log_.push_back(std::move(delta));
+  if (delta_log_.size() > kDeltaLogCapacity) delta_log_.pop_front();
+}
+
+std::optional<std::vector<NetlistDelta>> Netlist::deltas_since(
+    std::uint64_t epoch) const {
+  if (epoch > generation_) return std::nullopt;  // from the future
+  if (epoch == generation_) return std::vector<NetlistDelta>{};
+  // The log must still hold the delta with epoch+1.
+  if (delta_log_.empty() || delta_log_.front().epoch > epoch + 1)
+    return std::nullopt;
+  std::vector<NetlistDelta> out;
+  for (const NetlistDelta& d : delta_log_)
+    if (d.epoch > epoch) out.push_back(d);
+  return out;
+}
+
+void replay_delta(Netlist& netlist, const NetlistDelta& delta) {
+  switch (delta.kind) {
+    case DeltaKind::kGateAdded: {
+      GateId id = kNullGate;
+      switch (delta.gate_kind) {
+        case GateKind::kInput:
+          id = netlist.add_input(delta.name);
+          break;
+        case GateKind::kOutput:
+          id = netlist.add_output(delta.name, delta.fanins.at(0),
+                                  delta.po_load);
+          break;
+        case GateKind::kCell:
+          id = netlist.add_gate(delta.new_cell, delta.fanins, delta.name);
+          break;
+      }
+      POWDER_CHECK_MSG(id == delta.gate,
+                       "replay_delta: slot mismatch (replica diverged)");
+      break;
+    }
+    case DeltaKind::kFaninChanged:
+      netlist.set_fanin(delta.gate, delta.pin, delta.new_driver);
+      break;
+    case DeltaKind::kCellChanged:
+      netlist.set_cell(delta.gate, delta.new_cell);
+      break;
+    case DeltaKind::kGateRemoved:
+      // Removal order in the source guarantees the gate is fanout-free by
+      // the time its delta is replayed.
+      netlist.remove_single_gate(delta.gate);
+      break;
+    case DeltaKind::kGateRevived:
+      netlist.revive_gate(delta.gate, delta.fanins);
+      break;
+    case DeltaKind::kRebuilt:
+      POWDER_CHECK_MSG(false, "kRebuilt deltas are not replayable");
+      break;
+  }
 }
 
 GateId Netlist::new_gate(GateKind kind) {
@@ -16,7 +160,6 @@ GateId Netlist::new_gate(GateKind kind) {
   Gate g;
   g.kind = kind;
   gates_.push_back(std::move(g));
-  ++generation_;
   return id;
 }
 
@@ -32,6 +175,12 @@ GateId Netlist::add_input(std::string name) {
   if (!name.empty()) used_names_.insert(name);
   gates_[id].name = name.empty() ? fresh_name("pi") : std::move(name);
   inputs_.push_back(id);
+  NetlistDelta d;
+  d.kind = DeltaKind::kGateAdded;
+  d.gate = id;
+  d.gate_kind = GateKind::kInput;
+  d.name = gates_[id].name;
+  publish(std::move(d));
   return id;
 }
 
@@ -44,6 +193,14 @@ GateId Netlist::add_output(std::string name, GateId driver, double load) {
   gates_[id].fanins.push_back(driver);
   connect(driver, id, 0);
   outputs_.push_back(id);
+  NetlistDelta d;
+  d.kind = DeltaKind::kGateAdded;
+  d.gate = id;
+  d.gate_kind = GateKind::kOutput;
+  d.name = gates_[id].name;
+  d.po_load = load;
+  d.fanins = gates_[id].fanins;
+  publish(std::move(d));
   return id;
 }
 
@@ -53,15 +210,23 @@ GateId Netlist::add_gate(CellId cell, const std::vector<GateId>& fanins,
   const Cell& c = library_->cell(cell);
   POWDER_CHECK_MSG(static_cast<int>(fanins.size()) == c.num_inputs(),
                    "gate arity mismatch for cell " << c.name);
+  for (const GateId fi : fanins)
+    POWDER_CHECK(fi < gates_.size() && gates_[fi].alive);
   const GateId id = new_gate(GateKind::kCell);
   gates_[id].cell = cell;
   if (!name.empty()) used_names_.insert(name);
   gates_[id].name = name.empty() ? fresh_name("g") : std::move(name);
   gates_[id].fanins = fanins;
-  for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
-    POWDER_CHECK(fanins[pin] < gates_.size() && gates_[fanins[pin]].alive);
+  for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
     connect(fanins[pin], id, pin);
-  }
+  NetlistDelta d;
+  d.kind = DeltaKind::kGateAdded;
+  d.gate = id;
+  d.gate_kind = GateKind::kCell;
+  d.new_cell = cell;
+  d.name = gates_[id].name;
+  d.fanins = fanins;
+  publish(std::move(d));
   return id;
 }
 
@@ -87,19 +252,32 @@ void Netlist::set_fanin(GateId gate, int pin, GateId new_driver) {
   disconnect(old_driver, gate, pin);
   gates_[gate].fanins[pin] = new_driver;
   connect(new_driver, gate, pin);
-  ++generation_;
+  NetlistDelta d;
+  d.kind = DeltaKind::kFaninChanged;
+  d.gate = gate;
+  d.pin = pin;
+  d.old_driver = old_driver;
+  d.new_driver = new_driver;
+  publish(std::move(d));
 }
 
 void Netlist::set_cell(GateId gate, CellId new_cell) {
   POWDER_CHECK(gate < gates_.size() && gates_[gate].alive);
   POWDER_CHECK(gates_[gate].kind == GateKind::kCell);
-  const Cell& old_c = library_->cell(gates_[gate].cell);
+  const CellId old_cell = gates_[gate].cell;
+  if (old_cell == new_cell) return;
+  const Cell& old_c = library_->cell(old_cell);
   const Cell& new_c = library_->cell(new_cell);
   POWDER_CHECK_MSG(old_c.num_inputs() == new_c.num_inputs() &&
                        old_c.function == new_c.function,
                    "set_cell requires a functionally identical cell");
   gates_[gate].cell = new_cell;
-  ++generation_;
+  NetlistDelta d;
+  d.kind = DeltaKind::kCellChanged;
+  d.gate = gate;
+  d.old_cell = old_cell;
+  d.new_cell = new_cell;
+  publish(std::move(d));
 }
 
 void Netlist::replace_all_fanouts(GateId old_driver, GateId new_driver) {
@@ -107,14 +285,22 @@ void Netlist::replace_all_fanouts(GateId old_driver, GateId new_driver) {
   POWDER_CHECK(gates_[old_driver].alive && gates_[new_driver].alive);
   POWDER_CHECK_MSG(!in_tfo(old_driver, new_driver),
                    "replace_all_fanouts would create a cycle");
-  // Move branches one by one; copy the list because set_fanin mutates it.
+  // Move branches one by one, publishing one kFaninChanged per branch so
+  // the delta stream replays exactly; copy the list because the rewiring
+  // mutates it.
   const std::vector<FanoutRef> branches = gates_[old_driver].fanouts;
   for (const FanoutRef& br : branches) {
     disconnect(old_driver, br.gate, br.pin);
     gates_[br.gate].fanins[br.pin] = new_driver;
     connect(new_driver, br.gate, br.pin);
+    NetlistDelta d;
+    d.kind = DeltaKind::kFaninChanged;
+    d.gate = br.gate;
+    d.pin = br.pin;
+    d.old_driver = old_driver;
+    d.new_driver = new_driver;
+    publish(std::move(d));
   }
-  ++generation_;
 }
 
 std::vector<GateId> Netlist::remove_gate_recursive(
@@ -126,17 +312,22 @@ std::vector<GateId> Netlist::remove_gate_recursive(
     stack.pop_back();
     if (!gates_[g].alive || gates_[g].kind != GateKind::kCell) continue;
     if (!gates_[g].fanouts.empty()) continue;
+    const std::vector<GateId> fanins = gates_[g].fanins;
     gates_[g].alive = false;
     removed.push_back(g);
-    if (removed_fanins != nullptr) removed_fanins->push_back(gates_[g].fanins);
-    for (int pin = 0; pin < gates_[g].num_fanins(); ++pin) {
-      const GateId fi = gates_[g].fanins[pin];
+    if (removed_fanins != nullptr) removed_fanins->push_back(fanins);
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
+      const GateId fi = fanins[static_cast<std::size_t>(pin)];
       disconnect(fi, g, pin);
       if (gates_[fi].fanouts.empty()) stack.push_back(fi);
     }
     gates_[g].fanins.clear();
+    NetlistDelta d;
+    d.kind = DeltaKind::kGateRemoved;
+    d.gate = g;
+    d.fanins = fanins;
+    publish(std::move(d));
   }
-  if (!removed.empty()) ++generation_;
   return removed;
 }
 
@@ -146,11 +337,16 @@ void Netlist::remove_single_gate(GateId gate) {
   POWDER_CHECK_MSG(gates_[gate].fanouts.empty(),
                    "removing gate " << gates_[gate].name
                                     << " which still drives fanout");
-  for (int pin = 0; pin < gates_[gate].num_fanins(); ++pin)
-    disconnect(gates_[gate].fanins[static_cast<std::size_t>(pin)], gate, pin);
+  const std::vector<GateId> fanins = gates_[gate].fanins;
+  for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
+    disconnect(fanins[static_cast<std::size_t>(pin)], gate, pin);
   gates_[gate].fanins.clear();
   gates_[gate].alive = false;
-  ++generation_;
+  NetlistDelta d;
+  d.kind = DeltaKind::kGateRemoved;
+  d.gate = gate;
+  d.fanins = fanins;
+  publish(std::move(d));
 }
 
 void Netlist::revive_gate(GateId gate, const std::vector<GateId>& fanins) {
@@ -167,7 +363,11 @@ void Netlist::revive_gate(GateId gate, const std::vector<GateId>& fanins) {
   g.fanins = fanins;
   for (int pin = 0; pin < g.num_fanins(); ++pin)
     connect(fanins[static_cast<std::size_t>(pin)], gate, pin);
-  ++generation_;
+  NetlistDelta d;
+  d.kind = DeltaKind::kGateRevived;
+  d.gate = gate;
+  d.fanins = fanins;
+  publish(std::move(d));
 }
 
 std::vector<GateId> Netlist::sweep_dead() {

@@ -11,8 +11,18 @@
 // (`set_fanin`) or whole stems (`replace_all_fanouts`), insert new gates,
 // and sweep dead logic. Gates are tombstoned on removal so GateIds stay
 // stable (simulation/power caches are indexed by GateId).
+//
+// Incremental core (DESIGN.md §6): every mutation publishes a typed
+// NetlistDelta — appended to a bounded delta log, bumping the monotone
+// epoch, and pushed to every registered NetlistObserver. Analyses subscribe
+// once and stay coherent by construction instead of being resynchronized by
+// hand after each edit. Deltas are published from the mutating thread only
+// (the optimizer's single-writer commit path); observers must not assume
+// any locking beyond that.
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -50,9 +60,60 @@ struct Gate {
   int num_fanouts() const { return static_cast<int>(fanouts.size()); }
 };
 
+/// Delta taxonomy: the six mutation shapes the netlist can publish. Every
+/// public mutator maps onto a sequence of these (see DESIGN.md §6 for the
+/// exact mapping and the replay semantics of each kind).
+enum class DeltaKind : std::uint8_t {
+  kGateAdded,    ///< new slot created (input, output, or cell)
+  kFaninChanged, ///< one input pin of `gate` rewired old_driver -> new_driver
+  kCellChanged,  ///< cell swapped for a functionally identical one
+  kGateRemoved,  ///< fanout-free gate tombstoned (`fanins` = pre-removal list)
+  kGateRevived,  ///< tombstoned gate re-activated with `fanins`
+  kRebuilt,      ///< wholesale replacement; all per-gate state is invalid
+};
+
+/// One published mutation, rich enough to replay forward onto a replica
+/// netlist (replay_delta) and to drive incremental cache maintenance.
+/// Fields beyond `kind`/`epoch`/`gate` are meaningful per kind only.
+struct NetlistDelta {
+  DeltaKind kind = DeltaKind::kRebuilt;
+  std::uint64_t epoch = 0;  ///< netlist epoch *after* this delta
+  GateId gate = kNullGate;  ///< subject gate (the sink for kFaninChanged)
+  GateKind gate_kind = GateKind::kCell;  ///< kGateAdded
+  CellId old_cell = kInvalidCell;        ///< kCellChanged
+  CellId new_cell = kInvalidCell;        ///< kGateAdded (cells), kCellChanged
+  int pin = -1;                          ///< kFaninChanged
+  GateId old_driver = kNullGate;         ///< kFaninChanged
+  GateId new_driver = kNullGate;         ///< kFaninChanged
+  std::vector<GateId> fanins;  ///< kGateAdded / kGateRemoved / kGateRevived
+  std::string name;            ///< kGateAdded
+  double po_load = 1.0;        ///< kGateAdded outputs
+};
+
+/// Subscriber interface. on_delta runs synchronously inside the mutator, on
+/// the mutating thread, after the structural change is complete — observers
+/// may read the netlist but must never mutate it re-entrantly.
+class NetlistObserver {
+ public:
+  virtual ~NetlistObserver() = default;
+  virtual void on_delta(const NetlistDelta& delta) = 0;
+};
+
 class Netlist {
  public:
   explicit Netlist(const CellLibrary* library, std::string name = "top");
+
+  // Copying transfers structure only: the copy starts with no observers and
+  // an empty delta log (observers are identities bound to one instance).
+  // Copy-assignment keeps the destination's observers and notifies them
+  // with a single kRebuilt delta. Moving a netlist that still has observers
+  // attached is a checked error — the observers hold a pointer to the
+  // moved-from object.
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&& other);
+  Netlist& operator=(Netlist&& other);
+  ~Netlist() = default;
 
   const CellLibrary& library() const { return *library_; }
   const std::string& name() const { return name_; }
@@ -149,9 +210,28 @@ class Netlist {
   /// CheckError on violation.
   void check_consistency() const;
 
-  /// Generation counter bumped on every mutation; lets caches detect
-  /// staleness cheaply.
+  /// Generation counter bumped on every published delta; lets caches detect
+  /// staleness cheaply. `epoch()` is the delta-bus name for the same value.
   std::uint64_t generation() const { return generation_; }
+  std::uint64_t epoch() const { return generation_; }
+
+  // ---- delta bus -----------------------------------------------------------
+
+  /// Registers `observer` for every future delta. Const because analyses
+  /// hold `const Netlist&`; observation does not mutate the structure.
+  void attach_observer(NetlistObserver* observer) const;
+  void detach_observer(NetlistObserver* observer) const;
+
+  /// The deltas published after `epoch`, oldest first — or nullopt when the
+  /// bounded log has already evicted part of that range (caller must fall
+  /// back to a full rebuild).
+  std::optional<std::vector<NetlistDelta>> deltas_since(
+      std::uint64_t epoch) const;
+
+  /// Lifetime totals, for diagnostics: deltas published and observer
+  /// notifications delivered (published * attached observers).
+  std::uint64_t deltas_published() const { return deltas_published_; }
+  std::uint64_t observer_notifications() const { return notifications_; }
 
   /// Returns a fresh name not used by any gate yet.
   std::string fresh_name(const std::string& prefix);
@@ -172,9 +252,30 @@ class Netlist {
   std::uint64_t name_counter_ = 0;
   std::unordered_set<std::string> used_names_;
 
+  // Observation state is identity-bound, not value-bound: mutable so that
+  // const analyses can subscribe, excluded from copies, and guarded against
+  // moves while non-empty (see the copy/move contracts above).
+  mutable std::vector<NetlistObserver*> observers_;
+  std::deque<NetlistDelta> delta_log_;
+  std::uint64_t deltas_published_ = 0;
+  std::uint64_t notifications_ = 0;
+
   GateId new_gate(GateKind kind);
   void connect(GateId driver, GateId sink, int pin);
   void disconnect(GateId driver, GateId sink, int pin);
+
+  /// Stamps the delta with the next epoch, notifies every observer, and
+  /// appends it to the bounded log. The single mutation point for
+  /// generation_ — every mutator funnels through here.
+  void publish(NetlistDelta&& delta);
 };
+
+/// Applies one recorded delta to `netlist`, which must be in the exact
+/// pre-delta state (same GateIds). Replaying an observer's delta stream
+/// onto a copy taken at subscription time reproduces the source netlist;
+/// the tombstone-lifecycle property test relies on this. kRebuilt is not
+/// replayable (it announces that per-gate history was discarded) and is a
+/// checked error.
+void replay_delta(Netlist& netlist, const NetlistDelta& delta);
 
 }  // namespace powder

@@ -102,6 +102,17 @@ std::string PowderReport::to_json() const {
   append_field(os, "stale_proofs_dropped", diagnostics.stale_proofs_dropped,
                &df);
   append_field(os, "inline_proofs", diagnostics.inline_proofs, &df);
+  append_field(os, "deltas_published", diagnostics.deltas_published, &df);
+  append_field(os, "observer_notifications",
+               diagnostics.observer_notifications, &df);
+  append_field(os, "sta_incremental_visits",
+               diagnostics.sta_incremental_visits, &df);
+  append_field(os, "sta_full_equiv_visits",
+               diagnostics.sta_full_equiv_visits, &df);
+  append_field(os, "candidate_gates_refreshed",
+               diagnostics.candidate_gates_refreshed, &df);
+  append_field(os, "candidate_index_size", diagnostics.candidate_index_size,
+               &df);
   os << "}}";
   return os.str();
 }

@@ -36,26 +36,40 @@ CandidateFinder::CandidateFinder(const Netlist& netlist,
       options_(options),
       rng_(seed),
       pool_(pool) {
-  for (GateId g = 0; g < netlist.num_slots(); ++g)
-    if (netlist.alive(g) && netlist.kind(g) != GateKind::kOutput)
+  rebuild_index();
+  netlist_->attach_observer(this);
+}
+
+CandidateFinder::~CandidateFinder() { netlist_->detach_observer(this); }
+
+void CandidateFinder::rehash_gate(GateId g) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  std::uint64_t hi_hash = 0xCBF29CE484222325ull;
+  for (std::uint64_t w : sim_->value(g)) {
+    h = (h ^ w) * 0x100000001B3ull;
+    hi_hash = (hi_hash ^ ~w) * 0x100000001B3ull;
+  }
+  sig_hash_[g] = h;
+  inv_sig_hash_[g] = hi_hash;
+}
+
+void CandidateFinder::rebuild_index() {
+  const std::size_t n = netlist_->num_slots();
+  signal_gates_.clear();
+  by_signature_.clear();
+  in_index_.assign(n, 0);
+  sig_hash_.assign(n, 0);
+  inv_sig_hash_.assign(n, 0);
+  for (GateId g = 0; g < n; ++g)
+    if (netlist_->alive(g) && netlist_->kind(g) != GateKind::kOutput) {
       signal_gates_.push_back(g);
+      in_index_[g] = 1;
+    }
   // Signature hashes for global-equivalence lookup (both phases). The hash
   // computation is sharded (disjoint writes per gate); bucket insertion
   // stays serial so bucket order is the deterministic signal_gates_ order.
-  sig_hash_.assign(netlist.num_slots(), 0);
-  inv_sig_hash_.assign(netlist.num_slots(), 0);
   auto hash_range = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const GateId g = signal_gates_[i];
-      std::uint64_t h = 0xCBF29CE484222325ull;
-      std::uint64_t hi_hash = 0xCBF29CE484222325ull;
-      for (std::uint64_t w : sim_->value(g)) {
-        h = (h ^ w) * 0x100000001B3ull;
-        hi_hash = (hi_hash ^ ~w) * 0x100000001B3ull;
-      }
-      sig_hash_[g] = h;
-      inv_sig_hash_[g] = hi_hash;
-    }
+    for (std::size_t i = lo; i < hi; ++i) rehash_gate(signal_gates_[i]);
   };
   if (pool_ != nullptr && !ThreadPool::in_parallel_region()) {
     pool_->parallel_for(signal_gates_.size(), 64, hash_range);
@@ -63,6 +77,97 @@ CandidateFinder::CandidateFinder(const Netlist& netlist,
     hash_range(0, signal_gates_.size());
   }
   for (GateId g : signal_gates_) by_signature_[sig_hash_[g]].push_back(g);
+}
+
+void CandidateFinder::index_erase(GateId g) {
+  const auto bucket_it = by_signature_.find(sig_hash_[g]);
+  POWDER_CHECK(bucket_it != by_signature_.end());
+  std::vector<GateId>& bucket = bucket_it->second;
+  const auto bit = std::find(bucket.begin(), bucket.end(), g);
+  POWDER_CHECK(bit != bucket.end());
+  bucket.erase(bit);
+  if (bucket.empty()) by_signature_.erase(bucket_it);
+  const auto sit =
+      std::lower_bound(signal_gates_.begin(), signal_gates_.end(), g);
+  POWDER_CHECK(sit != signal_gates_.end() && *sit == g);
+  signal_gates_.erase(sit);
+  in_index_[g] = 0;
+}
+
+void CandidateFinder::index_insert(GateId g) {
+  rehash_gate(g);
+  std::vector<GateId>& bucket = by_signature_[sig_hash_[g]];
+  bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), g), g);
+  signal_gates_.insert(
+      std::lower_bound(signal_gates_.begin(), signal_gates_.end(), g), g);
+  in_index_[g] = 1;
+}
+
+void CandidateFinder::on_delta(const NetlistDelta& delta) {
+  switch (delta.kind) {
+    case DeltaKind::kGateAdded:
+    case DeltaKind::kGateRevived:
+    case DeltaKind::kGateRemoved: {
+      if (pending_full_) return;
+      if (pending_flag_.size() < netlist_->num_slots())
+        pending_flag_.resize(netlist_->num_slots(), 0);
+      if (!pending_flag_[delta.gate]) {
+        pending_flag_[delta.gate] = 1;
+        pending_.push_back(delta.gate);
+      }
+      break;
+    }
+    case DeltaKind::kRebuilt:
+      for (GateId g : pending_) pending_flag_[g] = 0;
+      pending_.clear();
+      pending_full_ = true;
+      break;
+    case DeltaKind::kFaninChanged:
+    case DeltaKind::kCellChanged:
+      // Membership is unchanged; the value dirt arrives through the
+      // simulator's refreshed-gate drain.
+      break;
+  }
+}
+
+void CandidateFinder::refresh_index() {
+  POWDER_CHECK_MSG(!sim_->pending(),
+                   "candidate harvest on a stale simulator — refresh first");
+  const Simulator::Refreshed drained = sim_->drain_refreshed();
+  if (pending_full_ || drained.full) {
+    rebuild_index();
+    for (GateId g : pending_) pending_flag_[g] = 0;
+    pending_.clear();
+    pending_full_ = false;
+    last_refresh_full_ = true;
+    last_refresh_count_ = signal_gates_.size();
+    return;
+  }
+  const std::size_t n = netlist_->num_slots();
+  if (in_index_.size() < n) in_index_.resize(n, 0);
+  if (sig_hash_.size() < n) {
+    sig_hash_.resize(n, 0);
+    inv_sig_hash_.resize(n, 0);
+  }
+  if (pending_flag_.size() < n) pending_flag_.resize(n, 0);
+  for (GateId g : drained.gates) {
+    if (!pending_flag_[g]) {
+      pending_flag_[g] = 1;
+      pending_.push_back(g);
+    }
+  }
+  last_refresh_full_ = false;
+  last_refresh_count_ = pending_.size();
+  for (GateId g : pending_) {
+    pending_flag_[g] = 0;
+    // Erase-then-reinsert keeps the maintained index structurally
+    // identical to a fresh rebuild (ascending signal list, sorted
+    // buckets), so harvests stay bit-identical.
+    if (in_index_[g]) index_erase(g);
+    if (netlist_->alive(g) && netlist_->kind(g) != GateKind::kOutput)
+      index_insert(g);
+  }
+  pending_.clear();
 }
 
 void CandidateFinder::for_sites(std::size_t n,
@@ -274,6 +379,7 @@ void CandidateFinder::match_site(GateId target, const FanoutRef* branch,
 }
 
 std::vector<CandidateSub> CandidateFinder::find() {
+  refresh_index();
   // Enumerate the sites in the serial harvest's order: for each signal, the
   // stem first, then every branch of multi-fanout stems.
   std::vector<Site> sites;

@@ -19,6 +19,14 @@
 // signature-bucket matching pass over per-site slices — that together
 // reproduce the serial harvest bit-for-bit (same candidates, same order,
 // same RNG stream) at any thread count.
+//
+// The finder is persistent across optimization iterations: it subscribes
+// to the netlist delta bus (membership changes) and drains the simulator's
+// refreshed-gate accumulator (signature changes), and find() re-hashes
+// only the gates dirtied since the previous harvest. The maintained index
+// is structurally identical to a fresh rebuild — signal list ascending,
+// signature buckets sorted — so a persistent finder with the same RNG
+// stream returns bit-identical candidates.
 
 #include <optional>
 #include <span>
@@ -43,15 +51,33 @@ struct CandidateOptions {
   bool allow_constants = true;  ///< replace unobservable signals by constants
 };
 
-class CandidateFinder {
+class CandidateFinder final : public NetlistObserver {
  public:
   CandidateFinder(const Netlist& netlist, const PowerEstimator& estimator,
                   CandidateOptions options = {}, std::uint64_t seed = 1,
                   ThreadPool* pool = nullptr);
+  ~CandidateFinder() override;
+  CandidateFinder(const CandidateFinder&) = delete;
+  CandidateFinder& operator=(const CandidateFinder&) = delete;
 
   /// Harvests candidates, with pg_a/pg_b filled, sorted by decreasing
-  /// preselection gain and truncated to max_candidates.
+  /// preselection gain and truncated to max_candidates. Refreshes the
+  /// signature index first (requires a clean simulator).
   std::vector<CandidateSub> find();
+
+  /// Restarts the RNG stream (one reseed per optimization iteration keeps
+  /// the harvest identical to a freshly constructed finder).
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Delta-bus subscription: accumulates membership changes (not for
+  /// users; signature changes arrive via the simulator's drain).
+  void on_delta(const NetlistDelta& delta) override;
+
+  // Diagnostics for the last find(): gates re-hashed by the index refresh,
+  // whether that refresh was a full rebuild, and the index size.
+  std::size_t last_refresh_count() const { return last_refresh_count_; }
+  bool last_refresh_full() const { return last_refresh_full_; }
+  std::size_t index_size() const { return signal_gates_.size(); }
 
  private:
   /// One harvesting site: a stem (no branch) or a single fanout branch.
@@ -75,12 +101,29 @@ class CandidateFinder {
   Rng rng_;
   ThreadPool* pool_;
 
-  std::vector<GateId> signal_gates_;  // live PIs + cells
+  std::vector<GateId> signal_gates_;  // live PIs + cells, ascending
   // Global equivalence index: hash of the value signature (and of its
   // complement) -> signals. Catches functionally identical logic anywhere
-  // in the circuit, far beyond the structural neighborhood.
+  // in the circuit, far beyond the structural neighborhood. Buckets are
+  // kept sorted ascending (the fresh-build order) across incremental
+  // updates.
   std::unordered_map<std::uint64_t, std::vector<GateId>> by_signature_;
   std::vector<std::uint64_t> sig_hash_, inv_sig_hash_;
+  std::vector<std::uint8_t> in_index_;  // gate currently in the index?
+
+  // Epoch-dirty gates accumulated from the delta bus, plus the refresh
+  // bookkeeping of the last find().
+  bool pending_full_ = false;
+  std::vector<GateId> pending_;
+  std::vector<std::uint8_t> pending_flag_;
+  std::size_t last_refresh_count_ = 0;
+  bool last_refresh_full_ = true;
+
+  void rebuild_index();
+  void refresh_index();
+  void rehash_gate(GateId g);
+  void index_insert(GateId g);
+  void index_erase(GateId g);
 
   /// Runs fn(i) for every site index, sharded across the pool when one is
   /// attached (shards are claimed dynamically for load balance).

@@ -30,6 +30,27 @@ const AppliedSub& SubstJournal::apply(const CandidateSub& sub) {
   return deltas_.back();
 }
 
+const AppliedSub& SubstJournal::apply_resize(GateId gate, CellId new_cell) {
+  POWDER_CHECK(netlist_->alive(gate));
+  POWDER_CHECK(netlist_->kind(gate) == GateKind::kCell);
+  AppliedSub applied;
+  ResizedCell rc;
+  rc.gate = gate;
+  rc.old_cell = netlist_->gate(gate).cell;
+  rc.new_cell = new_cell;
+  applied.area_delta = netlist_->library().cell(new_cell).area -
+                       netlist_->library().cell(rc.old_cell).area;
+  netlist_->set_cell(gate, new_cell);
+  applied.resized_cells.push_back(rc);
+  applied.changed_roots.push_back(gate);
+  deltas_.push_back(applied);
+  if (inject_fault(FaultInjector::Site::kCorruptDelta)) {
+    // Same policy as apply(): corrupt the recorded inverse only.
+    deltas_.back().resized_cells.front().old_cell = new_cell;
+  }
+  return deltas_.back();
+}
+
 std::vector<GateId> SubstJournal::undo(const AppliedSub& delta) {
   std::vector<GateId> roots;
   // 1) Revive the swept cone, deepest (last removed) first: each gate's
@@ -45,7 +66,13 @@ std::vector<GateId> SubstJournal::undo(const AppliedSub& delta) {
     netlist_->set_fanin(rp.sink, rp.pin, rp.old_driver);
     roots.push_back(rp.sink);
   }
-  // 3) Drop the inserted gate, now fanout-free again.
+  // 3) Swap re-sized cells back, newest first.
+  for (std::size_t i = delta.resized_cells.size(); i-- > 0;) {
+    const ResizedCell& rc = delta.resized_cells[i];
+    netlist_->set_cell(rc.gate, rc.old_cell);
+    roots.push_back(rc.gate);
+  }
+  // 4) Drop the inserted gate, now fanout-free again.
   if (delta.new_gate != kNullGate)
     netlist_->remove_single_gate(delta.new_gate);
   std::sort(roots.begin(), roots.end());

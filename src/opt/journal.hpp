@@ -25,6 +25,11 @@ class SubstJournal {
   /// before any mutation — when the substitution is stale or invalid.
   const AppliedSub& apply(const CandidateSub& sub);
 
+  /// Swaps `gate`'s cell for the functionally identical `new_cell` and
+  /// records the inverse — the re-sizing pass commits through here so its
+  /// edits share the guard/rollback machinery of substitutions.
+  const AppliedSub& apply_resize(GateId gate, CellId new_cell);
+
   std::size_t size() const { return deltas_.size(); }
   bool empty() const { return deltas_.empty(); }
 

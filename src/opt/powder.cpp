@@ -300,14 +300,24 @@ void PowderOptimizer::validate_options() const {
                        << o.threads);
 }
 
-bool PowderOptimizer::violates_delay(const CandidateSub& sub,
-                                     double limit) const {
+bool PowderOptimizer::violates_delay(const CandidateSub& sub, double limit,
+                                     IncrementalTiming& timing,
+                                     PowderReport::Diagnostics& diag) const {
   if (!std::isfinite(limit)) return false;
-  // Apply on a scratch copy and run full STA — exact and side-effect free.
+  // Apply on a scratch copy — exact and side-effect free. The copy starts
+  // with no observers, so the seeded incremental STA attaches fresh and
+  // only re-propagates the substitution's dirty region; the early-cutoff
+  // propagation is bit-identical to a full analyze_timing on the mutated
+  // scratch.
   Netlist scratch = *netlist_;
+  IncrementalTiming scratch_ta(scratch, timing);
   (void)apply_substitution(scratch, sub);
-  const TimingAnalysis ta = analyze_timing(scratch);
-  return ta.circuit_delay > limit + 1e-9;
+  const bool violates = scratch_ta.circuit_delay() > limit + 1e-9;
+  diag.sta_incremental_visits +=
+      static_cast<long>(scratch_ta.nodes_visited());
+  diag.sta_full_equiv_visits +=
+      static_cast<long>(scratch_ta.full_equiv_visits());
+  return violates;
 }
 
 PowderReport PowderOptimizer::run() {
@@ -342,10 +352,17 @@ PowderReport PowderOptimizer::run() {
   Simulator verify_sim(*netlist_, options_.num_patterns, options_.pi_probs,
                        options_.seed ^ 0x5EC0DD5EEDull);
   verify_sim.set_thread_pool(&pool);
+  // Incremental STA over the main netlist: stays coherent through the delta
+  // bus and seeds the per-candidate scratch analyses of violates_delay.
+  IncrementalTiming timing(*netlist_);
+
+  const std::uint64_t deltas_before = netlist_->deltas_published();
+  const std::uint64_t notifications_before =
+      netlist_->observer_notifications();
 
   report.initial_power = est.total_power();
   report.initial_area = netlist_->total_area();
-  report.initial_delay = analyze_timing(*netlist_).circuit_delay;
+  report.initial_delay = timing.circuit_delay();
   report.delay_limit = options_.delay_limit_factor < 0.0
                            ? std::numeric_limits<double>::infinity()
                            : report.initial_delay *
@@ -397,16 +414,13 @@ PowderReport PowderOptimizer::run() {
   };
   std::vector<CommitRecord> commit_log;
 
-  auto resync_after_rollback = [&](const std::vector<GateId>& roots) {
-    est.update_after_change(roots);
-    verify_sim.resimulate_from(roots);
-  };
-  // A corrupted delta can leave a rollback half-done with unknown roots;
-  // rebuilding every cached value keeps the guard's verdict trustworthy.
-  auto full_resync = [&]() {
-    sim.resimulate_all();
-    est.estimate_all();
-    verify_sim.resimulate_all();
+  // One resync for every situation — commit, rollback, even a rollback
+  // that threw half-way: the published deltas describe the mutations that
+  // actually executed, so draining them brings every cache in line with
+  // whatever state the netlist is in.
+  auto resync = [&]() {
+    est.refresh();
+    verify_sim.refresh();
   };
 
   auto stop_requested = [&]() {
@@ -421,6 +435,12 @@ PowderReport PowderOptimizer::run() {
     return false;
   };
 
+  // Persistent across iterations: the signature index refreshes only the
+  // epoch-dirty gates on re-harvest. Reseeding per iteration keeps the RNG
+  // stream identical to a freshly constructed finder.
+  CandidateFinder finder(*netlist_, est, options_.candidates, options_.seed,
+                         &pool);
+
   bool progress = true;
   bool stopped = false;
   for (int outer = 0;
@@ -430,11 +450,15 @@ PowderReport PowderOptimizer::run() {
     progress = false;
     if (stop_requested()) break;
 
-    CandidateFinder finder(*netlist_, est, options_.candidates,
-                           options_.seed + 17 * static_cast<std::uint64_t>(outer),
-                           &pool);
+    finder.reseed(options_.seed + 17 * static_cast<std::uint64_t>(outer));
     std::vector<CandidateSub> cands = finder.find();
     report.candidates_harvested += static_cast<int>(cands.size());
+    if (outer >= 1) {
+      report.diagnostics.candidate_gates_refreshed +=
+          static_cast<long>(finder.last_refresh_count());
+      report.diagnostics.candidate_index_size +=
+          static_cast<long>(finder.index_size());
+    }
 
     int performed = 0;
     while (performed < options_.repeat && !cands.empty()) {
@@ -499,7 +523,8 @@ PowderReport PowderOptimizer::run() {
       cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(best));
 
       // ---- check_delay (§3.4) -------------------------------------------
-      if (violates_delay(chosen, report.delay_limit)) {
+      if (violates_delay(chosen, report.delay_limit, timing,
+                         report.diagnostics)) {
         ++report.rejected_by_delay;
         continue;
       }
@@ -555,24 +580,24 @@ PowderReport PowderOptimizer::run() {
         ++report.diagnostics.apply_failures;
         continue;
       }
-      est.update_after_change(applied.changed_roots);
-      verify_sim.resimulate_from(applied.changed_roots);
+      resync();
       if (options_.check_invariants) netlist_->check_consistency();
 
       // ---- guard: the PO signatures must be untouched -------------------
       if (options_.guard.signature_check && !po_signatures_ok()) {
         ++report.diagnostics.guard_rollbacks;
         try {
-          std::vector<GateId> roots;
           {
             MutationScope scope(pipe);
-            roots = journal.rollback_last();
+            journal.rollback_last();
           }
-          resync_after_rollback(roots);
+          resync();
         } catch (const CheckError&) {
           // Rollback itself failed (possible only with a corrupted
-          // journal); stop committing and let the final guard judge.
-          full_resync();
+          // journal); the deltas that did execute were published, so the
+          // same resync still yields trustworthy caches. Stop committing
+          // and let the final guard judge.
+          resync();
           stopped = true;
           break;
         }
@@ -619,9 +644,10 @@ PowderReport PowderOptimizer::run() {
     while (!state_good() && !journal.empty()) {
       ++report.diagnostics.final_check_rollbacks;
       try {
-        resync_after_rollback(journal.rollback_last());
+        journal.rollback_last();
+        resync();
       } catch (const CheckError&) {
-        full_resync();
+        resync();
       }
       if (!commit_log.empty()) {
         const CommitRecord& rec = commit_log.back();
@@ -639,7 +665,15 @@ PowderReport PowderOptimizer::run() {
   atpg_stats_ = atpg.stats();
   report.final_power = est.total_power();
   report.final_area = netlist_->total_area();
-  report.final_delay = analyze_timing(*netlist_).circuit_delay;
+  report.final_delay = timing.circuit_delay();
+  report.diagnostics.sta_incremental_visits +=
+      static_cast<long>(timing.nodes_visited());
+  report.diagnostics.sta_full_equiv_visits +=
+      static_cast<long>(timing.full_equiv_visits());
+  report.diagnostics.deltas_published = static_cast<long>(
+      netlist_->deltas_published() - deltas_before);
+  report.diagnostics.observer_notifications = static_cast<long>(
+      netlist_->observer_notifications() - notifications_before);
   report.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();

@@ -30,6 +30,7 @@
 #include "atpg/sat_checker.hpp"
 #include "opt/candidates.hpp"
 #include "opt/substitution.hpp"
+#include "timing/incremental_timing.hpp"
 #include "timing/timing.hpp"
 
 namespace powder {
@@ -210,6 +211,16 @@ struct PowderReport {
     long speculative_proof_hits = 0;  ///< chosen candidates already proved
     long stale_proofs_dropped = 0;    ///< worker results invalidated by commits
     long inline_proofs = 0;           ///< proofs run on the commit thread
+
+    // Incremental-core accounting (DESIGN.md §6).
+    long deltas_published = 0;        ///< netlist deltas this run published
+    long observer_notifications = 0;  ///< delta deliveries to subscribers
+    long sta_incremental_visits = 0;  ///< gates the incremental STA touched
+    long sta_full_equiv_visits = 0;   ///< what full STA would have touched
+    /// Candidate-index work on iterations >= 2 (iteration 1 is always a
+    /// full build): gates re-hashed vs the index size at those refreshes.
+    long candidate_gates_refreshed = 0;
+    long candidate_index_size = 0;
   };
   Diagnostics diagnostics;
 
@@ -248,8 +259,13 @@ class PowderOptimizer {
   /// pi_probs size/range mismatch, empty shortlist, ...).
   void validate_options() const;
 
-  /// Applies the delay check of §3.4 on a scratch copy of the netlist.
-  bool violates_delay(const CandidateSub& sub, double limit) const;
+  /// Applies the delay check of §3.4 on a scratch copy of the netlist,
+  /// using an incremental STA seeded from `timing` (the main netlist's
+  /// analysis) so only the substitution's dirty region is re-propagated.
+  /// Visit counts are accumulated into `diag`.
+  bool violates_delay(const CandidateSub& sub, double limit,
+                      IncrementalTiming& timing,
+                      PowderReport::Diagnostics& diag) const;
 };
 
 /// Stable library entry point (also exported by the umbrella header

@@ -5,8 +5,10 @@
 #include <limits>
 #include <unordered_map>
 
+#include "opt/journal.hpp"
 #include "power/power.hpp"
 #include "sim/simulator.hpp"
+#include "timing/incremental_timing.hpp"
 #include "timing/timing.hpp"
 #include "util/check.hpp"
 
@@ -47,14 +49,42 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
   Simulator sim(*netlist, options.num_patterns, options.pi_probs,
                 options.seed);
   PowerEstimator est(&sim);
+  SubstJournal journal(netlist);
+  IncrementalTiming timing(*netlist);
 
   report.initial_power = power_with_caps(*netlist, est);
   report.initial_area = netlist->total_area();
-  report.initial_delay = analyze_timing(*netlist).circuit_delay;
+  report.initial_delay = timing.circuit_delay();
   const double limit = options.delay_limit_factor < 0.0
                            ? std::numeric_limits<double>::infinity()
                            : report.initial_delay *
                                  options.delay_limit_factor;
+  if (std::isfinite(limit)) timing.set_constraint(limit);
+
+  // Resizing must never change logic: snapshot the primary-output
+  // signatures once and re-check them after every journal commit. A
+  // mismatch (library truth-table bug, injected fault) rolls the commit
+  // back instead of emitting a miscompile.
+  auto collect_po = [&]() {
+    std::vector<std::uint64_t> po_sig;
+    for (GateId o : netlist->outputs()) {
+      const auto v = sim.value(o);
+      po_sig.insert(po_sig.end(), v.begin(), v.end());
+    }
+    return po_sig;
+  };
+  const std::vector<std::uint64_t> po_ref = collect_po();
+  // Commits `gate` -> `cell` through the journal and verifies the PO
+  // signatures; returns false (and rolls back) on a guard failure.
+  auto guarded_commit = [&](GateId gate, CellId cell) {
+    journal.apply_resize(gate, cell);
+    est.refresh();
+    if (collect_po() == po_ref) return true;
+    journal.rollback_last();
+    est.refresh();
+    ++report.guard_rollbacks;
+    return false;
+  };
 
   auto alternatives = [&](GateId g) -> const std::vector<CellId>* {
     const Cell& c = netlist->cell_of(g);
@@ -69,7 +99,8 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
 
     // Phase 1: power downsizing. The power effect of a swap is local —
     // only the fanin signals' loads change — so the candidate ranking is
-    // analytic; the (global) delay effect is checked with a full STA.
+    // analytic; the (global) delay effect is checked with the incremental
+    // STA (each trial swap dirties a handful of gates, not the circuit).
     for (GateId g : netlist->topo_order()) {
       if (netlist->kind(g) != GateKind::kCell) continue;
       const auto* alts = alternatives(g);
@@ -89,14 +120,13 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
                        netlist->gate(g).fanins[static_cast<std::size_t>(pin)]);
         if (delta <= best_delta) continue;
         netlist->set_cell(g, alt);
-        if (analyze_timing(*netlist).circuit_delay <= limit + 1e-9) {
+        if (timing.circuit_delay() <= limit + 1e-9) {
           best_delta = delta;
           best = alt;
         }
         netlist->set_cell(g, current);
       }
-      netlist->set_cell(g, best);
-      if (best != current) {
+      if (best != current && guarded_commit(g, best)) {
         ++report.downsized;
         changed = true;
       }
@@ -104,9 +134,8 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
 
     // Phase 2: timing recovery by upsizing along the critical path (only
     // needed if the entry netlist violated the limit).
-    TimingAnalysis ta = analyze_timing(*netlist, limit);
     int recovery_guard = 0;
-    while (std::isfinite(limit) && ta.circuit_delay > limit + 1e-9 &&
+    while (std::isfinite(limit) && timing.circuit_delay() > limit + 1e-9 &&
            recovery_guard++ < 4 * netlist->num_cells()) {
       // Most negative slack gate with an upsizing alternative.
       GateId worst = kNullGate;
@@ -115,7 +144,7 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
         if (!netlist->alive(g) || netlist->kind(g) != GateKind::kCell)
           continue;
         if (alternatives(g) == nullptr) continue;
-        const double s = ta.slack(g);
+        const double s = timing.slack(g);
         if (worst == kNullGate || s < worst_slack) {
           worst = g;
           worst_slack = s;
@@ -124,21 +153,21 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
       if (worst == kNullGate) break;
       const CellId current = netlist->gate(worst).cell;
       CellId best = current;
-      double best_delay = ta.circuit_delay;
+      double best_delay = timing.circuit_delay();
       for (CellId alt : *alternatives(worst)) {
         if (alt == current) continue;
         netlist->set_cell(worst, alt);
-        const double d = analyze_timing(*netlist).circuit_delay;
+        const double d = timing.circuit_delay();
         if (d < best_delay - 1e-12) {
           best_delay = d;
           best = alt;
         }
+        netlist->set_cell(worst, current);
       }
-      netlist->set_cell(worst, best);
       if (best == current) break;  // no further improvement possible
+      if (!guarded_commit(worst, best)) break;
       ++report.upsized;
       changed = true;
-      ta = analyze_timing(*netlist, limit);
     }
 
     if (!changed) break;
@@ -146,7 +175,7 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
 
   report.final_power = power_with_caps(*netlist, est);
   report.final_area = netlist->total_area();
-  report.final_delay = analyze_timing(*netlist).circuit_delay;
+  report.final_delay = timing.circuit_delay();
   return report;
 }
 

@@ -32,6 +32,9 @@ struct ResizeOptions {
 struct ResizeReport {
   int downsized = 0;
   int upsized = 0;
+  /// Commits undone because the post-commit primary-output signature
+  /// check failed (library truth-table bug or injected fault).
+  int guard_rollbacks = 0;
   double initial_power = 0.0, final_power = 0.0;
   double initial_delay = 0.0, final_delay = 0.0;
   double initial_area = 0.0, final_area = 0.0;

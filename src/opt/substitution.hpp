@@ -48,6 +48,13 @@ struct RewiredPin {
   GateId new_driver = kNullGate;
 };
 
+/// One cell swap (gate re-sizing), with enough context to swap it back.
+struct ResizedCell {
+  GateId gate = kNullGate;
+  CellId old_cell = kInvalidCell;
+  CellId new_cell = kInvalidCell;
+};
+
 /// Result of applying a substitution. Besides the forward summary (what
 /// changed, for cache updates) it carries the full inverse delta — rewired
 /// pins with their previous drivers and the fanin lists of every swept
@@ -59,6 +66,8 @@ struct AppliedSub {
   std::vector<std::vector<GateId>> removed_fanins;
   /// Every rewired pin in application order, with its previous driver.
   std::vector<RewiredPin> rewired_pins;
+  /// Cell swaps (journal-applied re-sizing commits), application order.
+  std::vector<ResizedCell> resized_cells;
   GateId new_gate = kNullGate;        ///< inserted gate (OS3/IS3/inverted)
   /// Gates whose *function* changed and therefore seed re-simulation: the
   /// new gate (if any) and the rewired sinks.

@@ -24,29 +24,17 @@ void PowerEstimator::estimate_all() {
     if (nl.alive(g) && nl.kind(g) != GateKind::kOutput) refresh_gate(g);
 }
 
-void PowerEstimator::update_after_change(
-    std::span<const GateId> changed_roots) {
+void PowerEstimator::refresh() {
   const Netlist& nl = sim_->netlist();
-  if (prob_.size() < nl.num_slots()) {
-    prob_.resize(nl.num_slots(), 0.0);
-    activity_.resize(nl.num_slots(), 0.0);
+  const Simulator::RefreshResult r = sim_->refresh();
+  if (r.full) {
+    estimate_all();
+    return;
   }
-  sim_->resimulate_from(changed_roots);
-  // Refresh the roots and their TFO (cheap compared to simulation).
-  std::vector<std::uint8_t> seen(nl.num_slots(), 0);
-  std::vector<GateId> stack(changed_roots.begin(), changed_roots.end());
-  for (GateId g : stack) seen[g] = 1;
-  while (!stack.empty()) {
-    const GateId g = stack.back();
-    stack.pop_back();
+  prob_.ensure(nl.num_slots());
+  activity_.ensure(nl.num_slots());
+  for (GateId g : r.gates)
     if (nl.alive(g) && nl.kind(g) != GateKind::kOutput) refresh_gate(g);
-    for (const FanoutRef& br : nl.gate(g).fanouts) {
-      if (!seen[br.gate]) {
-        seen[br.gate] = 1;
-        stack.push_back(br.gate);
-      }
-    }
-  }
 }
 
 double PowerEstimator::signal_power(GateId g) const {

@@ -17,10 +17,15 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/simulator.hpp"
+#include "util/gate_map.hpp"
 
 namespace powder {
 
-/// Simulation-backed estimator with incremental update.
+/// Simulation-backed estimator with incremental update. The estimator
+/// rides the netlist delta bus through its simulator: after any sequence
+/// of mutations, one `refresh()` re-simulates the dirty region and
+/// re-derives the cached probabilities/activities of exactly the gates
+/// whose value vectors were recomputed (paper: power_estimate_update).
 class PowerEstimator {
  public:
   /// Borrows `simulator` (which must outlive the estimator) and computes
@@ -33,10 +38,10 @@ class PowerEstimator {
   /// Recomputes everything from the simulator's current values.
   void estimate_all();
 
-  /// Re-simulates `changed_roots` plus transitive fanout and refreshes the
-  /// cached activities of exactly those gates (paper:
-  /// power_estimate_update). Also refreshes totals.
-  void update_after_change(std::span<const GateId> changed_roots);
+  /// Brings the simulator and the cached activities up to date with every
+  /// netlist delta observed since the last refresh. Cheap no-op when the
+  /// netlist is unchanged.
+  void refresh();
 
   /// Cached activity E(s) of the signal driven by `g`.
   double activity(GateId g) const { return activity_[g]; }
@@ -51,8 +56,8 @@ class PowerEstimator {
 
  private:
   Simulator* sim_;
-  std::vector<double> activity_;
-  std::vector<double> prob_;
+  GateMap<double> activity_;
+  GateMap<double> prob_;
 
   void refresh_gate(GateId g);
 };

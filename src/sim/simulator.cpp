@@ -12,6 +12,11 @@ namespace {
 /// Smallest word range worth handing to a pool lane; below this the wake-up
 /// cost of a parallel region outweighs the evaluation work.
 constexpr std::size_t kMinWordsPerShard = 4;
+
+/// Refreshed-gate accumulator bound: past this the single consumer is
+/// clearly not draining (or the circuit churned wholesale) and the
+/// accumulator degrades to the `full` flag instead of growing unbounded.
+constexpr std::size_t kRefreshedAccumCap = 1 << 16;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -78,6 +83,79 @@ Simulator::Simulator(const Netlist& netlist, int num_patterns,
   POWDER_CHECK(static_cast<int>(pi_probs_.size()) == netlist.num_inputs());
   generate_stimulus();
   resimulate_all();
+  netlist_->attach_observer(this);
+}
+
+Simulator::~Simulator() { netlist_->detach_observer(this); }
+
+void Simulator::mark_dirty_root(GateId g) {
+  if (dirty_flag_.size() < netlist_->num_slots())
+    dirty_flag_.resize(netlist_->num_slots(), 0);
+  if (dirty_flag_[g]) return;
+  dirty_flag_[g] = 1;
+  dirty_roots_.push_back(g);
+}
+
+void Simulator::on_delta(const NetlistDelta& delta) {
+  switch (delta.kind) {
+    case DeltaKind::kGateAdded:
+    case DeltaKind::kGateRevived:
+    case DeltaKind::kCellChanged:
+      // A cell swap is functionally identity (set_cell checks the truth
+      // table), but re-evaluating it keeps the downstream equivalence
+      // guards honest against library bugs.
+      mark_dirty_root(delta.gate);
+      topo_dirty_ = true;
+      break;
+    case DeltaKind::kFaninChanged:
+      mark_dirty_root(delta.gate);
+      topo_dirty_ = true;
+      break;
+    case DeltaKind::kGateRemoved:
+      // Dead gates drop out of the cached topological order; their stale
+      // values are never read (refresh skips dead roots).
+      topo_dirty_ = true;
+      break;
+    case DeltaKind::kRebuilt:
+      full_resim_ = true;
+      topo_dirty_ = true;
+      break;
+  }
+}
+
+Simulator::RefreshResult Simulator::refresh() {
+  RefreshResult res;
+  if (full_resim_) {
+    resimulate_all();  // clears the dirty state and flags the accumulator
+    res.full = true;
+    return res;
+  }
+  if (dirty_roots_.empty()) return res;
+  std::vector<GateId> roots;
+  roots.swap(dirty_roots_);
+  for (GateId g : roots) dirty_flag_[g] = 0;
+  std::erase_if(roots, [&](GateId g) { return !netlist_->alive(g); });
+  res.gates = resimulate_from(roots);
+  record_refreshed(res.gates);
+  return res;
+}
+
+void Simulator::record_refreshed(const std::vector<GateId>& gates) {
+  if (refreshed_full_) return;
+  if (refreshed_accum_.size() + gates.size() > kRefreshedAccumCap) {
+    refreshed_full_ = true;
+    refreshed_accum_.clear();
+    return;
+  }
+  refreshed_accum_.insert(refreshed_accum_.end(), gates.begin(), gates.end());
+}
+
+Simulator::Refreshed Simulator::drain_refreshed() const {
+  Refreshed out;
+  out.full = refreshed_full_;
+  out.gates.swap(refreshed_accum_);
+  refreshed_full_ = false;
+  return out;
 }
 
 void Simulator::generate_stimulus() {
@@ -120,8 +198,12 @@ void Simulator::ensure_capacity() {
 }
 
 Simulator::ScratchLease Simulator::acquire_scratch() const {
-  // `values_` must already cover every slot (callers resimulate after any
-  // gate insertion); a scratch only ever mirrors it.
+  // Flip-and-diff passes read `values_` as the good reference, so the
+  // simulator must be clean: every observed delta refreshed, every slot
+  // covered.
+  POWDER_CHECK_MSG(!pending(),
+                   "flip-and-diff query on a stale simulator — call "
+                   "refresh() after netlist mutations");
   POWDER_CHECK(values_.size() >=
                netlist_->num_slots() * static_cast<std::size_t>(num_words_));
   std::unique_ptr<Scratch> s;
@@ -148,9 +230,9 @@ void Simulator::release_scratch(std::unique_ptr<Scratch> scratch) const {
 
 const std::vector<GateId>& Simulator::cached_topo() const {
   std::lock_guard<std::mutex> lock(topo_mutex_);
-  if (topo_generation_ != netlist_->generation()) {
+  if (topo_dirty_) {
     topo_cache_ = netlist_->topo_order();
-    topo_generation_ = netlist_->generation();
+    topo_dirty_ = false;
   }
   return topo_cache_;
 }
@@ -166,6 +248,11 @@ int Simulator::word_shards() const {
 
 void Simulator::resimulate_all() {
   ensure_capacity();
+  full_resim_ = false;
+  for (GateId g : dirty_roots_) dirty_flag_[g] = 0;
+  dirty_roots_.clear();
+  refreshed_full_ = true;
+  refreshed_accum_.clear();
   // PIs first.
   for (int i = 0; i < netlist_->num_inputs(); ++i) {
     const GateId g = netlist_->inputs()[static_cast<std::size_t>(i)];
@@ -221,7 +308,7 @@ void Simulator::eval_gate_mixed(GateId g, std::uint64_t* dest,
   }
 }
 
-void Simulator::resimulate_from(std::span<const GateId> roots) {
+std::vector<GateId> Simulator::resimulate_from(std::span<const GateId> roots) {
   ensure_capacity();
   std::vector<std::uint8_t> affected(netlist_->num_slots(), 0);
   std::vector<GateId> stack;
@@ -260,6 +347,7 @@ void Simulator::resimulate_from(std::span<const GateId> roots) {
   } else {
     eval_range(0, static_cast<std::size_t>(num_words_));
   }
+  return order;
 }
 
 double Simulator::signal_prob(GateId g) const {

@@ -7,9 +7,12 @@
 //  * signatures and observability masks for candidate-substitution
 //    harvesting (a fault-simulation style flip-and-diff pass).
 //
-// Values are indexed by GateId and survive netlist mutation: after a
-// substitution, call `resimulate_from` with the gates whose function
-// changed and only their transitive fanout is recomputed.
+// Values are indexed by GateId and survive netlist mutation: the simulator
+// subscribes to the netlist's delta bus, accumulates the dirty roots of
+// every published mutation itself, and `refresh()` recomputes exactly the
+// affected transitive fanout — callers no longer thread `changed_roots`
+// through by hand. Queries require a clean simulator (refresh() after any
+// mutation); the flip-and-diff passes check this.
 //
 // Threading model: the const query methods (value, signal_prob, the
 // observability / replacement-diff / trial-probability passes) are safe to
@@ -56,13 +59,18 @@ class CellEvaluator {
   std::vector<CellSop> sops_;
 };
 
-class Simulator {
+class Simulator final : public NetlistObserver {
  public:
   /// `num_patterns` is rounded up to a multiple of 64. `pi_probs` gives the
-  /// probability of each primary input being 1 (empty = all 0.5).
+  /// probability of each primary input being 1 (empty = all 0.5). The
+  /// simulator attaches itself to the netlist's delta bus; the netlist must
+  /// outlive it.
   Simulator(const Netlist& netlist, int num_patterns,
             std::vector<double> pi_probs = {},
             std::uint64_t seed = 0xB0DD5EEDull);
+  ~Simulator() override;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   const Netlist& netlist() const { return *netlist_; }
   int num_words() const { return num_words_; }
@@ -79,11 +87,36 @@ class Simulator {
   void use_exhaustive_patterns();
 
   /// Full resimulation of every live gate (also resizes internal storage
-  /// after gates were added).
+  /// after gates were added). Clears any pending dirty state.
   void resimulate_all();
 
-  /// Recomputes the values of `roots` and their transitive fanout only.
-  void resimulate_from(std::span<const GateId> roots);
+  /// Result of one incremental refresh: either a full resimulation
+  /// happened, or exactly `gates` (roots plus transitive fanout, in
+  /// topological order) were re-evaluated.
+  struct RefreshResult {
+    bool full = false;
+    std::vector<GateId> gates;
+  };
+
+  /// Brings the values up to date with every netlist delta observed since
+  /// the last refresh. No-op (empty result) when nothing is pending.
+  RefreshResult refresh();
+
+  /// True when a netlist mutation was observed and refresh() is due.
+  bool pending() const { return full_resim_ || !dirty_roots_.empty(); }
+
+  /// Single-consumer drain of the gates re-evaluated since the last drain
+  /// (by refresh or resimulate_all). `full` means "assume everything" —
+  /// set by full resimulations and by accumulator overflow. The candidate
+  /// index uses this to re-hash only value-dirty signals.
+  struct Refreshed {
+    bool full = false;
+    std::vector<GateId> gates;
+  };
+  Refreshed drain_refreshed() const;
+
+  /// Delta-bus subscription (called by the netlist; not for users).
+  void on_delta(const NetlistDelta& delta) override;
 
   std::span<const std::uint64_t> value(GateId g) const {
     return {values_.data() + static_cast<std::size_t>(g) * num_words_,
@@ -164,11 +197,28 @@ class Simulator {
 
   mutable std::mutex topo_mutex_;
   mutable std::vector<GateId> topo_cache_;
-  mutable std::uint64_t topo_generation_ = ~0ull;
+  mutable bool topo_dirty_ = true;
+
+  // Dirty state accumulated by on_delta (mutated on the single writer
+  // thread only; queries never run concurrently with mutations).
+  bool full_resim_ = false;
+  std::vector<GateId> dirty_roots_;
+  std::vector<std::uint8_t> dirty_flag_;  // dedup for dirty_roots_
+
+  // Refreshed-gate accumulator for drain_refreshed (bounded; overflow
+  // degrades to `full`). Mutable so the const single consumer can drain.
+  mutable bool refreshed_full_ = true;  // a fresh simulator = everything new
+  mutable std::vector<GateId> refreshed_accum_;
 
   void ensure_capacity();
   void generate_stimulus();
   const std::vector<GateId>& cached_topo() const;
+  void mark_dirty_root(GateId g);
+  void record_refreshed(const std::vector<GateId>& gates);
+
+  /// Recomputes the values of `roots` and their transitive fanout only;
+  /// returns the re-evaluated gates in topological order.
+  std::vector<GateId> resimulate_from(std::span<const GateId> roots);
 
   ScratchLease acquire_scratch() const;
   void release_scratch(std::unique_ptr<Scratch> scratch) const;

@@ -1,0 +1,270 @@
+#include "timing/incremental_timing.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+namespace {
+
+void clear_seeds(std::vector<GateId>& seeds, GateMap<std::uint8_t>& flags) {
+  for (GateId g : seeds) flags[g] = 0;
+  seeds.clear();
+}
+
+}  // namespace
+
+IncrementalTiming::IncrementalTiming(const Netlist& netlist, double constraint)
+    : netlist_(&netlist), constraint_(constraint) {
+  netlist_->attach_observer(this);
+}
+
+IncrementalTiming::IncrementalTiming(const Netlist& netlist,
+                                     IncrementalTiming& seed)
+    : netlist_(&netlist), constraint_(seed.constraint_) {
+  POWDER_CHECK_MSG(netlist_->num_slots() == seed.netlist_->num_slots(),
+                   "seeded IncrementalTiming needs a structural twin");
+  seed.refresh_arrival();
+  arrival_ = seed.arrival_;
+  topo_ = seed.topo_;
+  pos_ = seed.pos_;
+  circuit_delay_ = seed.circuit_delay_;
+  topo_dirty_ = false;
+  arrival_full_ = false;
+  required_full_ = true;
+  netlist_->attach_observer(this);
+}
+
+IncrementalTiming::~IncrementalTiming() { netlist_->detach_observer(this); }
+
+void IncrementalTiming::seed_arrival(GateId g) {
+  pending_arrival_flag_.ensure(netlist_->num_slots());
+  if (pending_arrival_flag_[g]) return;
+  pending_arrival_flag_[g] = 1;
+  pending_arrival_.push_back(g);
+}
+
+void IncrementalTiming::seed_required(GateId g) {
+  pending_required_flag_.ensure(netlist_->num_slots());
+  if (pending_required_flag_[g]) return;
+  pending_required_flag_[g] = 1;
+  pending_required_.push_back(g);
+}
+
+void IncrementalTiming::on_delta(const NetlistDelta& delta) {
+  switch (delta.kind) {
+    case DeltaKind::kFaninChanged:
+      // The rewired sink sees a new input arrival; both drivers' loads
+      // (hence delays) changed. The required graph changed shape.
+      seed_arrival(delta.gate);
+      if (delta.old_driver != kNullGate) seed_arrival(delta.old_driver);
+      if (delta.new_driver != kNullGate) seed_arrival(delta.new_driver);
+      topo_dirty_ = true;
+      required_full_ = true;
+      break;
+    case DeltaKind::kCellChanged: {
+      // The swap changes the gate's own drive and its input pin caps, so
+      // the delay-dirty set is {g} ∪ fanins(g); required times are dirty
+      // for the fanins of every delay-dirty gate.
+      seed_arrival(delta.gate);
+      for (GateId fi : netlist_->gate(delta.gate).fanins) {
+        seed_arrival(fi);
+        seed_required(fi);
+        for (GateId ff : netlist_->gate(fi).fanins) seed_required(ff);
+      }
+      break;
+    }
+    case DeltaKind::kGateAdded:
+    case DeltaKind::kGateRevived:
+      seed_arrival(delta.gate);
+      for (GateId fi : delta.fanins) seed_arrival(fi);
+      topo_dirty_ = true;
+      required_full_ = true;
+      break;
+    case DeltaKind::kGateRemoved:
+      // The tombstoned gate itself is filtered by its dead topo position;
+      // its former fanins lost a fanout pin of load.
+      for (GateId fi : delta.fanins) seed_arrival(fi);
+      topo_dirty_ = true;
+      required_full_ = true;
+      break;
+    case DeltaKind::kRebuilt:
+      clear_seeds(pending_arrival_, pending_arrival_flag_);
+      clear_seeds(pending_required_, pending_required_flag_);
+      arrival_full_ = true;
+      required_full_ = true;
+      topo_dirty_ = true;
+      break;
+  }
+}
+
+void IncrementalTiming::set_constraint(double constraint) {
+  constraint_ = constraint;  // refresh_required() notices a target change
+}
+
+void IncrementalTiming::ensure_topo() {
+  if (!topo_dirty_) return;
+  topo_ = netlist_->topo_order();
+  pos_.assign(netlist_->num_slots(), kNoPos);
+  for (std::uint32_t i = 0; i < topo_.size(); ++i) pos_[topo_[i]] = i;
+  topo_dirty_ = false;
+}
+
+double IncrementalTiming::recompute_arrival(GateId g) const {
+  const Gate& gate = netlist_->gate(g);
+  if (gate.kind == GateKind::kInput) return 0.0;
+  double in_arr = 0.0;
+  for (GateId fi : gate.fanins) in_arr = std::max(in_arr, arrival_[fi]);
+  return in_arr + gate_delay(*netlist_, g);
+}
+
+double IncrementalTiming::recompute_required(GateId g, double target) const {
+  const Gate& gate = netlist_->gate(g);
+  if (gate.kind == GateKind::kOutput) return target;
+  double r = std::numeric_limits<double>::infinity();
+  for (const FanoutRef& br : gate.fanouts) {
+    const double rs = required_[br.gate];
+    r = std::min(r, netlist_->kind(br.gate) == GateKind::kCell
+                        ? rs - gate_delay(*netlist_, br.gate)
+                        : rs);
+  }
+  return r;
+}
+
+void IncrementalTiming::refresh_arrival() {
+  if (!arrival_full_ && pending_arrival_.empty()) return;
+  const Netlist& nl = *netlist_;
+  ensure_topo();
+  arrival_.ensure(nl.num_slots());
+
+  if (arrival_full_) {
+    arrival_.assign(nl.num_slots(), 0.0);
+    for (GateId g : topo_) {
+      arrival_[g] = recompute_arrival(g);
+      ++nodes_visited_;
+    }
+    clear_seeds(pending_arrival_, pending_arrival_flag_);
+    arrival_full_ = false;
+  } else {
+    using Entry = std::pair<std::uint32_t, GateId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    in_queue_.ensure(nl.num_slots());
+    for (GateId g : pending_arrival_) {
+      pending_arrival_flag_[g] = 0;
+      if (pos_[g] == kNoPos) continue;  // dead (e.g. rolled-back insertion)
+      if (!in_queue_[g]) {
+        in_queue_[g] = 1;
+        heap.emplace(pos_[g], g);
+      }
+    }
+    pending_arrival_.clear();
+    while (!heap.empty()) {
+      const GateId g = heap.top().second;
+      heap.pop();
+      in_queue_[g] = 0;
+      ++nodes_visited_;
+      const double a = recompute_arrival(g);
+      if (a == arrival_[g]) continue;  // exact cutoff: fanout unaffected
+      arrival_[g] = a;
+      for (const FanoutRef& br : nl.gate(g).fanouts) {
+        const GateId s = br.gate;
+        if (pos_[s] == kNoPos || in_queue_[s]) continue;
+        in_queue_[s] = 1;
+        heap.emplace(pos_[s], s);
+      }
+    }
+  }
+
+  circuit_delay_ = 0.0;
+  for (GateId o : nl.outputs())
+    circuit_delay_ = std::max(circuit_delay_, arrival_[o]);
+  full_equiv_visits_ += topo_.size();
+}
+
+void IncrementalTiming::refresh_required() {
+  refresh_arrival();  // a self-referenced target tracks the circuit delay
+  const double target = constraint_ < 0.0 ? circuit_delay_ : constraint_;
+  if (target != last_target_) required_full_ = true;
+  if (!required_full_ && pending_required_.empty()) return;
+  const Netlist& nl = *netlist_;
+  ensure_topo();
+
+  if (required_full_) {
+    // Mirror of analyze_timing's backward pass — bit-identical by
+    // construction.
+    required_.assign(nl.num_slots(), std::numeric_limits<double>::infinity());
+    for (GateId o : nl.outputs()) required_[o] = target;
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const GateId g = *it;
+      const Gate& gate = nl.gate(g);
+      ++nodes_visited_;
+      if (gate.kind == GateKind::kOutput) {
+        required_[gate.fanins[0]] =
+            std::min(required_[gate.fanins[0]], required_[g]);
+        continue;
+      }
+      const double d = gate_delay(nl, g);
+      for (GateId fi : gate.fanins)
+        required_[fi] = std::min(required_[fi], required_[g] - d);
+    }
+    clear_seeds(pending_required_, pending_required_flag_);
+    required_full_ = false;
+  } else {
+    using Entry = std::pair<std::uint32_t, GateId>;
+    std::priority_queue<Entry> heap;  // max-heap: reverse topological order
+    in_queue_.ensure(nl.num_slots());
+    for (GateId g : pending_required_) {
+      pending_required_flag_[g] = 0;
+      if (pos_[g] == kNoPos) continue;
+      if (!in_queue_[g]) {
+        in_queue_[g] = 1;
+        heap.emplace(pos_[g], g);
+      }
+    }
+    pending_required_.clear();
+    while (!heap.empty()) {
+      const GateId g = heap.top().second;
+      heap.pop();
+      in_queue_[g] = 0;
+      ++nodes_visited_;
+      const double r = recompute_required(g, target);
+      if (r == required_[g]) continue;
+      required_[g] = r;
+      for (GateId fi : nl.gate(g).fanins) {
+        if (pos_[fi] == kNoPos || in_queue_[fi]) continue;
+        in_queue_[fi] = 1;
+        heap.emplace(pos_[fi], fi);
+      }
+    }
+  }
+  last_target_ = target;
+  full_equiv_visits_ += topo_.size();
+}
+
+void IncrementalTiming::refresh() { refresh_required(); }
+
+double IncrementalTiming::circuit_delay() {
+  refresh_arrival();
+  return circuit_delay_;
+}
+
+double IncrementalTiming::arrival(GateId g) {
+  refresh_arrival();
+  return arrival_[g];
+}
+
+double IncrementalTiming::required(GateId g) {
+  refresh_required();
+  return required_[g];
+}
+
+double IncrementalTiming::slack(GateId g) {
+  refresh_required();
+  return required_[g] - arrival_[g];
+}
+
+}  // namespace powder

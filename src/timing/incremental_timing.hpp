@@ -1,0 +1,110 @@
+#pragma once
+// Incremental static timing: a delta-bus subscriber that keeps arrival and
+// required times coherent across netlist mutations (DESIGN.md §6).
+//
+// The full analyze_timing() recomputes every gate on every query; POWDER's
+// §3.4 delay check calls it once per attempted substitution, which makes
+// the constraint check the dominant cost on larger circuits. This class
+// instead accumulates a dirty region from the published deltas and, on
+// refresh, re-propagates only that region:
+//  * arrival times flow forward through a topo-position min-heap with an
+//    exact-equality early cutoff (a gate whose recomputed arrival is
+//    bit-identical does not enqueue its fanouts);
+//  * required times flow backward through a max-heap with the same cutoff,
+//    using the pull form required[g] = min over sinks s of
+//    (required[s] - gate_delay(s)).
+// Both recomputations perform the same max/min reductions as the full STA,
+// and min/max over doubles are order-independent, so refreshed values are
+// bit-identical to analyze_timing() on the same netlist object.
+//
+// Structural deltas (rewire / add / remove / revive) invalidate the
+// required graph wholesale (required_full_); cell swaps — the re-sizing
+// pass's bread and butter — take the incremental required path. When the
+// delay target is derived from the circuit's own delay (constraint < 0),
+// any change of the max PO arrival also forces a full required pass.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/timing.hpp"
+#include "util/gate_map.hpp"
+
+namespace powder {
+
+class IncrementalTiming final : public NetlistObserver {
+ public:
+  /// Attaches to `netlist`'s delta bus (the netlist must outlive this
+  /// object). If `constraint < 0`, required times are computed against the
+  /// circuit's own delay (zero-slack critical path), like analyze_timing.
+  explicit IncrementalTiming(const Netlist& netlist, double constraint = -1.0);
+
+  /// Seeded construction for scratch copies: `netlist` must be structurally
+  /// identical to `seed`'s netlist (e.g. a fresh copy of it). Arrival state
+  /// is transplanted from `seed` (which is refreshed first) so the scratch
+  /// analysis starts warm and only re-propagates the trial mutations.
+  IncrementalTiming(const Netlist& netlist, IncrementalTiming& seed);
+
+  ~IncrementalTiming() override;
+  IncrementalTiming(const IncrementalTiming&) = delete;
+  IncrementalTiming& operator=(const IncrementalTiming&) = delete;
+
+  void on_delta(const NetlistDelta& delta) override;
+
+  double constraint() const { return constraint_; }
+  void set_constraint(double constraint);
+
+  /// Brings arrival and required times up to date with every observed
+  /// delta. Queries below refresh lazily; call this to pay the cost at a
+  /// chosen point instead.
+  void refresh();
+
+  /// Max primary-output arrival (refreshes arrival times).
+  double circuit_delay();
+
+  double arrival(GateId g);
+  double required(GateId g);
+  double slack(GateId g);
+
+  // Diagnostics: gates actually re-evaluated by refreshes, and what a full
+  // forward+backward STA would have evaluated for the same refreshes.
+  std::uint64_t nodes_visited() const { return nodes_visited_; }
+  std::uint64_t full_equiv_visits() const { return full_equiv_visits_; }
+
+ private:
+  static constexpr std::uint32_t kNoPos = static_cast<std::uint32_t>(-1);
+
+  const Netlist* netlist_;
+  double constraint_;
+  double last_target_ = -1.0;  ///< target the current required times use
+
+  GateMap<double> arrival_;
+  GateMap<double> required_;
+  double circuit_delay_ = 0.0;
+
+  std::vector<GateId> topo_;       ///< live gates, topological order
+  GateMap<std::uint32_t> pos_;     ///< topo position; kNoPos when dead
+  bool topo_dirty_ = true;
+
+  bool arrival_full_ = true;
+  bool required_full_ = true;
+  std::vector<GateId> pending_arrival_;   ///< dirty seeds, forward pass
+  std::vector<GateId> pending_required_;  ///< dirty seeds, backward pass
+  GateMap<std::uint8_t> pending_arrival_flag_;
+  GateMap<std::uint8_t> pending_required_flag_;
+  GateMap<std::uint8_t> in_queue_;  ///< heap dedup, zeroed by each drain
+
+  std::uint64_t nodes_visited_ = 0;
+  std::uint64_t full_equiv_visits_ = 0;
+
+  void seed_arrival(GateId g);
+  void seed_required(GateId g);
+  void ensure_topo();
+  void refresh_arrival();
+  void refresh_required();
+  double recompute_arrival(GateId g) const;
+  double recompute_required(GateId g, double target) const;
+};
+
+}  // namespace powder

