@@ -58,8 +58,8 @@ int main() {
   std::printf("reduction:  %.1f%%   substitutions applied: %d\n",
               r.power_reduction_percent(), r.substitutions_applied);
   std::printf("xor2 'd' inputs after POWDER: %s, %s   (paper: a -> e)\n",
-              nl.gate_name(nl.gate(d).fanins[0]).c_str(),
-              nl.gate_name(nl.gate(d).fanins[1]).c_str());
+              nl.gate_name(nl.fanin(d, 0)).data(),
+              nl.gate_name(nl.fanin(d, 1)).data());
   std::printf("equivalence: %s\n",
               functionally_equivalent(original, nl) ? "OK" : "FAIL");
   return 0;

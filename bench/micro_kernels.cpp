@@ -107,6 +107,62 @@ void BM_BenchmarkGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_BenchmarkGeneration);
 
+// ---- layout kernels (BENCH_layout.json) ------------------------------------
+// Micro-benchmarks for the cache-compact data plane (DESIGN.md §7): pure
+// traversal, full resimulation, and signature hashing. These are the
+// memory-bound loops the SoA/pin-arena layout exists for; the bench_layout
+// ctest emits them as BENCH_layout.json for before/after comparison.
+
+void BM_LayoutFaninWalk(benchmark::State& state) {
+  const Netlist& nl = mapped("C880");
+  const std::vector<GateId> order = nl.topo_order();
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const GateId g : order) {
+      for (const GateId fi : nl.fanins(g)) acc += fi;
+      for (const FanoutRef& br : nl.fanouts(g))
+        acc += br.gate + static_cast<std::uint64_t>(br.pin);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(order.size()));
+}
+BENCHMARK(BM_LayoutFaninWalk);
+
+void BM_LayoutFullResim(benchmark::State& state) {
+  const Netlist& nl = mapped("pair");
+  Simulator sim(nl, 1024);
+  for (auto _ : state) {
+    sim.resimulate_all();
+    benchmark::DoNotOptimize(sim.signal_prob(nl.outputs()[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * nl.num_cells() * 1024);
+}
+BENCHMARK(BM_LayoutFullResim);
+
+void BM_LayoutSignatureRehash(benchmark::State& state) {
+  const Netlist& nl = mapped("C880");
+  Simulator sim(nl, 1024);
+  sim.resimulate_all();
+  const std::vector<GateId> order = nl.topo_order();
+  for (auto _ : state) {
+    std::uint64_t mix = 0;
+    for (const GateId g : order) {
+      std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the signature
+      for (const std::uint64_t w : sim.value(g)) {
+        h ^= w;
+        h *= 1099511628211ull;
+      }
+      mix ^= h;
+    }
+    benchmark::DoNotOptimize(mix);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(order.size()));
+}
+BENCHMARK(BM_LayoutSignatureRehash);
+
 }  // namespace
 }  // namespace powder
 

@@ -52,7 +52,7 @@ int main() {
   const bool ok = functionally_equivalent(original, nl);
   std::printf("functional check: %s\n", ok ? "EQUIVALENT" : "MISMATCH");
   std::printf("xor2 'd' now reads: %s, %s (paper: branch moved a -> e)\n",
-              nl.gate_name(nl.gate(d).fanins[0]).c_str(),
-              nl.gate_name(nl.gate(d).fanins[1]).c_str());
+              nl.gate_name(nl.fanin(d, 0)).data(),
+              nl.gate_name(nl.fanin(d, 1)).data());
   return ok ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "atpg/atpg.hpp"
 
+#include <span>
+
 #include "atpg/regions.hpp"
 
 #include <algorithm>
@@ -120,17 +122,16 @@ void AtpgChecker::imply(const ReplacementSite& site,
   // Good-circuit pass over the relevant region.
   std::vector<Val> fanin_vals;
   for (GateId g : region_topo_) {
-    const Gate& gate = netlist_->gate(g);
-    switch (gate.kind) {
+    switch (netlist_->kind(g)) {
       case GateKind::kInput:
         gval_[g] = pi_assign_[g];
         break;
       case GateKind::kOutput:
-        gval_[g] = gval_[gate.fanins[0]];
+        gval_[g] = gval_[netlist_->fanin(g, 0)];
         break;
       case GateKind::kCell: {
         fanin_vals.clear();
-        for (GateId fi : gate.fanins) fanin_vals.push_back(gval_[fi]);
+        for (GateId fi : netlist_->fanins(g)) fanin_vals.push_back(gval_[fi]);
         gval_[g] = eval_cell_3v(g, fanin_vals);
         break;
       }
@@ -144,19 +145,18 @@ void AtpgChecker::imply(const ReplacementSite& site,
   };
   for (GateId g : region_topo_) {
     if (!in_faulty_region_[g]) continue;
-    const Gate& gate = netlist_->gate(g);
     // Stem replacement: the stem's signal itself carries the replacement
     // value in the faulty circuit.
     if (!site.branch.has_value() && g == site.stem) {
       fval_[g] = rv;
       continue;
     }
-    switch (gate.kind) {
+    switch (netlist_->kind(g)) {
       case GateKind::kInput:
         fval_[g] = gval_[g];
         break;
       case GateKind::kOutput: {
-        const GateId fi = gate.fanins[0];
+        const GateId fi = netlist_->fanin(g, 0);
         Val v = effective(fi);
         if (site.branch.has_value() && site.branch->gate == g) v = rv;
         fval_[g] = v;
@@ -164,8 +164,9 @@ void AtpgChecker::imply(const ReplacementSite& site,
       }
       case GateKind::kCell: {
         fanin_vals.clear();
-        for (int pin = 0; pin < gate.num_fanins(); ++pin) {
-          const GateId fi = gate.fanins[static_cast<std::size_t>(pin)];
+        const std::span<const GateId> fanins = netlist_->fanins(g);
+        for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
+          const GateId fi = fanins[static_cast<std::size_t>(pin)];
           Val v = effective(fi);
           if (site.branch.has_value() && site.branch->gate == g &&
               site.branch->pin == pin)
@@ -208,22 +209,22 @@ GateId AtpgChecker::backtrace_to_pi(GateId from, Val desired,
   GateId g = from;
   Val want = desired;
   for (int guard = 0; guard < 100000; ++guard) {
-    const Gate& gate = netlist_->gate(g);
-    if (gate.kind == GateKind::kInput) {
+    if (netlist_->kind(g) == GateKind::kInput) {
       if (pi_assign_[g] != Val::kX) return kNullGate;  // already decided
       *pi_value = want == Val::kX ? Val::k1 : want;
       return g;
     }
-    if (gate.kind == GateKind::kOutput) {
-      g = gate.fanins[0];
+    if (netlist_->kind(g) == GateKind::kOutput) {
+      g = netlist_->fanin(g, 0);
       continue;
     }
     // Cell: descend into an X-valued fanin; choose the value for it that
     // keeps the desired output achievable (cofactor check).
     const TruthTable& f = netlist_->cell_of(g).function;
+    const std::span<const GateId> fanins = netlist_->fanins(g);
     int pick = -1;
-    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
-      if (gval_[gate.fanins[static_cast<std::size_t>(pin)]] == Val::kX) {
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
+      if (gval_[fanins[static_cast<std::size_t>(pin)]] == Val::kX) {
         pick = pin;
         break;
       }
@@ -237,7 +238,7 @@ GateId AtpgChecker::backtrace_to_pi(GateId from, Val desired,
                                         : !c1.is_constant(true);
       child_want = can1 ? Val::k1 : Val::k0;
     }
-    g = gate.fanins[static_cast<std::size_t>(pick)];
+    g = fanins[static_cast<std::size_t>(pick)];
     want = child_want;
   }
   return kNullGate;
@@ -282,17 +283,17 @@ std::pair<GateId, AtpgChecker::Val> AtpgChecker::choose_objective(
   };
   for (GateId g : region_topo_) {
     if (!in_faulty_region_[g] || fval_[g] != Val::kX) continue;
-    const Gate& gate = netlist_->gate(g);
-    if (gate.kind != GateKind::kCell) continue;
+    if (netlist_->kind(g) != GateKind::kCell) continue;
+    const std::span<const GateId> fanins = netlist_->fanins(g);
     bool has_d_input = false;
-    for (int pin = 0; pin < gate.num_fanins(); ++pin)
-      if (differs(gate.fanins[static_cast<std::size_t>(pin)], g, pin)) {
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
+      if (differs(fanins[static_cast<std::size_t>(pin)], g, pin)) {
         has_d_input = true;
         break;
       }
     if (!has_d_input) continue;
-    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
-      const GateId fi = gate.fanins[static_cast<std::size_t>(pin)];
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
+      const GateId fi = fanins[static_cast<std::size_t>(pin)];
       if (gval_[fi] != Val::kX) continue;
       // Heuristic: non-controlling value — the phase under which the cell
       // still depends on the differing input. Try 1 first via backtrace's

@@ -42,7 +42,7 @@ FaultRegions compute_fault_regions(const Netlist& netlist,
   while (!stack.empty()) {
     const GateId g = stack.back();
     stack.pop_back();
-    for (GateId fi : netlist.gate(g).fanins) mark(fi);
+    for (GateId fi : netlist.fanins(g)) mark(fi);
   }
 
   for (GateId g : netlist.topo_order())

@@ -1,5 +1,7 @@
 #include "atpg/sat_checker.hpp"
 
+#include <span>
+
 #include <limits>
 #include <unordered_map>
 
@@ -98,18 +100,19 @@ AtpgResult SatChecker::check_replacement(const ReplacementSite& site,
 
   // Gate semantics.
   for (GateId g : regions.relevant_topo) {
-    const Gate& gate = netlist_->gate(g);
-    if (gate.kind == GateKind::kInput) continue;
+    const GateKind kind = netlist_->kind(g);
+    if (kind == GateKind::kInput) continue;
+    const std::span<const GateId> fanins = netlist_->fanins(g);
 
     // Good circuit.
-    if (gate.kind == GateKind::kOutput) {
+    if (kind == GateKind::kOutput) {
       // g <-> fanin
-      const SatLit a = good.at(g), b = good.at(gate.fanins[0]);
+      const SatLit a = good.at(g), b = good.at(fanins[0]);
       solver.add_binary(sat_not(a), b);
       solver.add_binary(a, sat_not(b));
     } else {
       std::vector<SatLit> ins;
-      for (GateId fi : gate.fanins) ins.push_back(good.at(fi));
+      for (GateId fi : fanins) ins.push_back(good.at(fi));
       encode_function(&solver, netlist_->cell_of(g).function, ins, good.at(g));
     }
 
@@ -124,9 +127,9 @@ AtpgResult SatChecker::check_replacement(const ReplacementSite& site,
       if (!site.branch.has_value() && fi == site.stem) return rep_lit;
       return regions.in_faulty[fi] ? faulty.at(fi) : good.at(fi);
     };
-    if (gate.kind == GateKind::kOutput) {
+    if (kind == GateKind::kOutput) {
       const SatLit a = faulty.at(g);
-      const SatLit b = faulty_in(gate.fanins[0], 0);
+      const SatLit b = faulty_in(fanins[0], 0);
       solver.add_binary(sat_not(a), b);
       solver.add_binary(a, sat_not(b));
     } else if (!site.branch.has_value() && g == site.stem) {
@@ -137,9 +140,8 @@ AtpgResult SatChecker::check_replacement(const ReplacementSite& site,
       solver.add_binary(a, sat_not(rep_lit));
     } else {
       std::vector<SatLit> ins;
-      for (int pin = 0; pin < gate.num_fanins(); ++pin)
-        ins.push_back(
-            faulty_in(gate.fanins[static_cast<std::size_t>(pin)], pin));
+      for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
+        ins.push_back(faulty_in(fanins[static_cast<std::size_t>(pin)], pin));
       encode_function(&solver, netlist_->cell_of(g).function, ins,
                       faulty.at(g));
     }

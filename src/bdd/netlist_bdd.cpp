@@ -1,5 +1,7 @@
 #include "bdd/netlist_bdd.hpp"
 
+#include <span>
+
 #include "util/check.hpp"
 
 namespace powder {
@@ -29,17 +31,17 @@ NetlistBdds::NetlistBdds(const Netlist& netlist)
         manager.var(i);
 
   for (GateId g : netlist.topo_order()) {
-    const Gate& gate = netlist.gate(g);
-    switch (gate.kind) {
+    switch (netlist.kind(g)) {
       case GateKind::kInput:
         break;  // already set
       case GateKind::kOutput:
-        gate_function[g] = gate_function[gate.fanins[0]];
+        gate_function[g] = gate_function[netlist.fanin(g, 0)];
         break;
       case GateKind::kCell: {
+        const std::span<const GateId> fanins = netlist.fanins(g);
         std::vector<BddRef> args;
-        args.reserve(gate.fanins.size());
-        for (GateId fi : gate.fanins) args.push_back(gate_function[fi]);
+        args.reserve(fanins.size());
+        for (GateId fi : fanins) args.push_back(gate_function[fi]);
         gate_function[g] =
             bdd_from_truth_table(manager, netlist.cell_of(g).function, args);
         break;
@@ -59,12 +61,11 @@ bool functionally_equivalent(const Netlist& a, const Netlist& b) {
     for (int i = 0; i < n.num_inputs(); ++i)
       fn[n.inputs()[static_cast<std::size_t>(i)]] = mgr.var(i);
     for (GateId g : n.topo_order()) {
-      const Gate& gate = n.gate(g);
-      if (gate.kind == GateKind::kOutput) {
-        fn[g] = fn[gate.fanins[0]];
-      } else if (gate.kind == GateKind::kCell) {
+      if (n.kind(g) == GateKind::kOutput) {
+        fn[g] = fn[n.fanin(g, 0)];
+      } else if (n.kind(g) == GateKind::kCell) {
         std::vector<BddRef> args;
-        for (GateId fi : gate.fanins) args.push_back(fn[fi]);
+        for (GateId fi : n.fanins(g)) args.push_back(fn[fi]);
         fn[g] = bdd_from_truth_table(mgr, n.cell_of(g).function, args);
       }
     }

@@ -1,5 +1,7 @@
 #include "io/blif.hpp"
 
+#include <span>
+
 #include <map>
 #include <sstream>
 #include <unordered_map>
@@ -32,19 +34,19 @@ std::string write_blif(const Netlist& netlist) {
   for (GateId g : netlist.outputs()) os << ' ' << netlist.gate_name(g);
   os << '\n';
   for (GateId g : netlist.topo_order()) {
-    const Gate& gate = netlist.gate(g);
-    if (gate.kind != GateKind::kCell) continue;
+    if (netlist.kind(g) != GateKind::kCell) continue;
     const Cell& cell = netlist.cell_of(g);
     os << ".gate " << cell.name;
-    for (int pin = 0; pin < gate.num_fanins(); ++pin)
+    const std::span<const GateId> fanins = netlist.fanins(g);
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
       os << ' ' << cell.pins[static_cast<std::size_t>(pin)].name << '='
-         << netlist.gate_name(gate.fanins[static_cast<std::size_t>(pin)]);
-    os << " O=" << gate.name << '\n';
+         << netlist.gate_name(fanins[static_cast<std::size_t>(pin)]);
+    os << " O=" << netlist.gate_name(g) << '\n';
   }
   // Output connections: each PO is an alias of its driver. BLIF expresses
   // this with a buffer .names when the net names differ.
   for (GateId o : netlist.outputs()) {
-    const GateId driver = netlist.gate(o).fanins[0];
+    const GateId driver = netlist.fanin(o, 0);
     if (netlist.gate_name(o) != netlist.gate_name(driver))
       os << ".names " << netlist.gate_name(driver) << ' '
          << netlist.gate_name(o) << "\n1 1\n";
@@ -182,6 +184,11 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
   }
 
   Netlist netlist(&library, model);
+  // Pre-size the SoA columns and pin arena: one slot per PI/PO/gate and a
+  // pin-count estimate of 4 per instance (arena slabs round up internally).
+  netlist.reserve(
+      input_names.size() + output_names.size() + gates.size(),
+      4 * gates.size());
   std::unordered_map<std::string, GateId> net_driver;
   for (const std::string& n : input_names)
     net_driver.emplace(n, netlist.add_input(n));

@@ -1,0 +1,57 @@
+#include "netlist/name_table.hpp"
+
+#include <cstring>
+
+namespace powder {
+
+NameTable::NameTable(const NameTable& other) {
+  for (const Entry& e : other.entries_) intern({e.text, e.len});
+}
+
+NameTable& NameTable::operator=(const NameTable& other) {
+  if (this == &other) return *this;
+  NameTable copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+NameId NameTable::intern(std::string_view name) {
+  auto it = map_.find(name);
+  if (it != map_.end()) return it->second;
+  const char* text = store(name);
+  const NameId id = static_cast<NameId>(entries_.size());
+  entries_.push_back(Entry{text, name.size()});
+  map_.emplace(std::string_view{text, name.size()}, id);
+  return id;
+}
+
+NameId NameTable::find(std::string_view name) const {
+  auto it = map_.find(name);
+  return it == map_.end() ? kNullName : it->second;
+}
+
+const char* NameTable::store(std::string_view name) {
+  const std::size_t need = name.size() + 1;  // keep entries null-terminated
+  char* dst;
+  if (need > kChunkSize) {
+    // Oversized name: dedicated chunk; the open chunk stays open.
+    chunks_.push_back(std::make_unique<char[]>(need));
+    pool_bytes_ += need;
+    dst = chunks_.back().get();
+  } else {
+    if (need > cursor_left_) {
+      chunks_.push_back(std::make_unique<char[]>(kChunkSize));
+      pool_bytes_ += kChunkSize;
+      cursor_ = chunks_.back().get();
+      cursor_left_ = kChunkSize;
+    }
+    dst = cursor_;
+    cursor_ += need;
+    cursor_left_ -= need;
+  }
+  std::memcpy(dst, name.data(), name.size());
+  dst[name.size()] = '\0';
+  return dst;
+}
+
+}  // namespace powder

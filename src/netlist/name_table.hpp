@@ -1,0 +1,68 @@
+#pragma once
+
+// Interned gate names. Every distinct name is stored exactly once in a
+// chunked character pool and addressed by a dense 32-bit NameId; the
+// netlist's SoA gate table and every NetlistDelta carry NameIds, so no hot
+// path ever hashes or copies a std::string. Pool chunks are never
+// reallocated, which keeps the string_views (and the C strings behind
+// them — every entry is null-terminated for printf-style consumers)
+// stable for the lifetime of the table.
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace powder {
+
+using NameId = std::uint32_t;
+inline constexpr NameId kNullName = static_cast<NameId>(-1);
+
+class NameTable {
+ public:
+  NameTable() = default;
+  /// Copying re-interns every entry in order, so ids are preserved.
+  NameTable(const NameTable& other);
+  NameTable& operator=(const NameTable& other);
+  NameTable(NameTable&&) noexcept = default;
+  NameTable& operator=(NameTable&&) noexcept = default;
+
+  /// Returns the id of `name`, interning it on first sight.
+  NameId intern(std::string_view name);
+  /// Returns the id of `name` or kNullName when it was never interned.
+  NameId find(std::string_view name) const;
+  bool contains(std::string_view name) const {
+    return find(name) != kNullName;
+  }
+
+  /// The interned spelling. The view is null-terminated (`view(id).data()`
+  /// is a valid C string) and stable for the table's lifetime.
+  std::string_view view(NameId id) const {
+    const Entry& e = entries_[id];
+    return {e.text, e.len};
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  /// Bytes committed to the character pool (diagnostics).
+  std::size_t pool_bytes() const { return pool_bytes_; }
+
+ private:
+  struct Entry {
+    const char* text;
+    std::size_t len;
+  };
+
+  const char* store(std::string_view name);
+
+  static constexpr std::size_t kChunkSize = 64 * 1024;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* cursor_ = nullptr;       // write position in the open chunk
+  std::size_t cursor_left_ = 0;  // bytes left in the open chunk
+  std::size_t pool_bytes_ = 0;
+  std::vector<Entry> entries_;
+  // Keys are views into the pool, so the map never owns string data.
+  std::unordered_map<std::string_view, NameId> map_;
+};
+
+}  // namespace powder

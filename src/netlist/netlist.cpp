@@ -21,24 +21,41 @@ Netlist::Netlist(const CellLibrary* library, std::string name)
 Netlist::Netlist(const Netlist& other)
     : library_(other.library_),
       name_(other.name_),
-      gates_(other.gates_),
+      kind_(other.kind_),
+      alive_(other.alive_),
+      cell_(other.cell_),
+      gate_name_(other.gate_name_),
+      po_load_(other.po_load_),
+      fanin_ref_(other.fanin_ref_),
+      fanout_ref_(other.fanout_ref_),
+      fanin_pins_(other.fanin_pins_),
+      fanout_pins_(other.fanout_pins_),
+      names_(other.names_),
       inputs_(other.inputs_),
       outputs_(other.outputs_),
       generation_(other.generation_),
-      name_counter_(other.name_counter_),
-      used_names_(other.used_names_) {}
+      name_counter_(other.name_counter_) {}
 
 Netlist& Netlist::operator=(const Netlist& other) {
   if (this == &other) return *this;
   library_ = other.library_;
   name_ = other.name_;
-  gates_ = other.gates_;
+  kind_ = other.kind_;
+  alive_ = other.alive_;
+  cell_ = other.cell_;
+  gate_name_ = other.gate_name_;
+  po_load_ = other.po_load_;
+  fanin_ref_ = other.fanin_ref_;
+  fanout_ref_ = other.fanout_ref_;
+  fanin_pins_ = other.fanin_pins_;
+  fanout_pins_ = other.fanout_pins_;
+  names_ = other.names_;
   inputs_ = other.inputs_;
   outputs_ = other.outputs_;
   generation_ = other.generation_;
   name_counter_ = other.name_counter_;
-  used_names_ = other.used_names_;
   delta_log_.clear();
+  log_head_ = 0;
   NetlistDelta d;
   d.kind = DeltaKind::kRebuilt;
   publish(std::move(d));
@@ -50,13 +67,22 @@ Netlist::Netlist(Netlist&& other) {
                    "moving a netlist that still has observers attached");
   library_ = other.library_;
   name_ = std::move(other.name_);
-  gates_ = std::move(other.gates_);
+  kind_ = std::move(other.kind_);
+  alive_ = std::move(other.alive_);
+  cell_ = std::move(other.cell_);
+  gate_name_ = std::move(other.gate_name_);
+  po_load_ = std::move(other.po_load_);
+  fanin_ref_ = std::move(other.fanin_ref_);
+  fanout_ref_ = std::move(other.fanout_ref_);
+  fanin_pins_ = std::move(other.fanin_pins_);
+  fanout_pins_ = std::move(other.fanout_pins_);
+  names_ = std::move(other.names_);
   inputs_ = std::move(other.inputs_);
   outputs_ = std::move(other.outputs_);
   generation_ = other.generation_;
   name_counter_ = other.name_counter_;
-  used_names_ = std::move(other.used_names_);
   delta_log_ = std::move(other.delta_log_);
+  log_head_ = other.log_head_;
   deltas_published_ = other.deltas_published_;
   notifications_ = other.notifications_;
 }
@@ -67,13 +93,22 @@ Netlist& Netlist::operator=(Netlist&& other) {
                    "moving a netlist that still has observers attached");
   library_ = other.library_;
   name_ = std::move(other.name_);
-  gates_ = std::move(other.gates_);
+  kind_ = std::move(other.kind_);
+  alive_ = std::move(other.alive_);
+  cell_ = std::move(other.cell_);
+  gate_name_ = std::move(other.gate_name_);
+  po_load_ = std::move(other.po_load_);
+  fanin_ref_ = std::move(other.fanin_ref_);
+  fanout_ref_ = std::move(other.fanout_ref_);
+  fanin_pins_ = std::move(other.fanin_pins_);
+  fanout_pins_ = std::move(other.fanout_pins_);
+  names_ = std::move(other.names_);
   inputs_ = std::move(other.inputs_);
   outputs_ = std::move(other.outputs_);
   generation_ = other.generation_;
   name_counter_ = other.name_counter_;
-  used_names_ = std::move(other.used_names_);
   delta_log_.clear();
+  log_head_ = 0;
   NetlistDelta d;
   d.kind = DeltaKind::kRebuilt;
   publish(std::move(d));
@@ -94,12 +129,18 @@ void Netlist::detach_observer(NetlistObserver* observer) const {
 void Netlist::publish(NetlistDelta&& delta) {
   delta.epoch = ++generation_;
   ++deltas_published_;
+  // Resizing (kCellChanged) never changes the DAG; everything else does.
+  if (delta.kind != DeltaKind::kCellChanged) topo_dirty_ = true;
   for (NetlistObserver* obs : observers_) {
     obs->on_delta(delta);
     ++notifications_;
   }
-  delta_log_.push_back(std::move(delta));
-  if (delta_log_.size() > kDeltaLogCapacity) delta_log_.pop_front();
+  if (delta_log_.size() < kDeltaLogCapacity) {
+    delta_log_.push_back(std::move(delta));
+  } else {
+    delta_log_[log_head_] = std::move(delta);  // overwrite the oldest
+    log_head_ = (log_head_ + 1) % kDeltaLogCapacity;
+  }
 }
 
 std::optional<std::vector<NetlistDelta>> Netlist::deltas_since(
@@ -107,28 +148,36 @@ std::optional<std::vector<NetlistDelta>> Netlist::deltas_since(
   if (epoch > generation_) return std::nullopt;  // from the future
   if (epoch == generation_) return std::vector<NetlistDelta>{};
   // The log must still hold the delta with epoch+1.
-  if (delta_log_.empty() || delta_log_.front().epoch > epoch + 1)
+  const std::size_t n = delta_log_.size();
+  if (n == 0 || delta_log_[log_head_ % n].epoch > epoch + 1)
     return std::nullopt;
   std::vector<NetlistDelta> out;
-  for (const NetlistDelta& d : delta_log_)
+  for (std::size_t i = 0; i < n; ++i) {
+    const NetlistDelta& d = delta_log_[(log_head_ + i) % n];
     if (d.epoch > epoch) out.push_back(d);
+  }
   return out;
 }
 
-void replay_delta(Netlist& netlist, const NetlistDelta& delta) {
+void replay_delta(Netlist& netlist, const NetlistDelta& delta,
+                  const NameTable& names) {
   switch (delta.kind) {
     case DeltaKind::kGateAdded: {
       GateId id = kNullGate;
+      const std::string name(names.view(delta.name));
       switch (delta.gate_kind) {
         case GateKind::kInput:
-          id = netlist.add_input(delta.name);
+          id = netlist.add_input(name);
           break;
         case GateKind::kOutput:
-          id = netlist.add_output(delta.name, delta.fanins.at(0),
-                                  delta.po_load);
+          POWDER_CHECK(delta.fanins.size() == 1);
+          id = netlist.add_output(name, delta.fanins[0], delta.po_load);
           break;
         case GateKind::kCell:
-          id = netlist.add_gate(delta.new_cell, delta.fanins, delta.name);
+          id = netlist.add_gate(
+              delta.new_cell,
+              std::vector<GateId>(delta.fanins.begin(), delta.fanins.end()),
+              name);
           break;
       }
       POWDER_CHECK_MSG(id == delta.gate,
@@ -147,7 +196,9 @@ void replay_delta(Netlist& netlist, const NetlistDelta& delta) {
       netlist.remove_single_gate(delta.gate);
       break;
     case DeltaKind::kGateRevived:
-      netlist.revive_gate(delta.gate, delta.fanins);
+      netlist.revive_gate(
+          delta.gate,
+          std::vector<GateId>(delta.fanins.begin(), delta.fanins.end()));
       break;
     case DeltaKind::kRebuilt:
       POWDER_CHECK_MSG(false, "kRebuilt deltas are not replayable");
@@ -156,50 +207,69 @@ void replay_delta(Netlist& netlist, const NetlistDelta& delta) {
 }
 
 GateId Netlist::new_gate(GateKind kind) {
-  const GateId id = static_cast<GateId>(gates_.size());
-  Gate g;
-  g.kind = kind;
-  gates_.push_back(std::move(g));
+  const GateId id = static_cast<GateId>(kind_.size());
+  kind_.push_back(kind);
+  alive_.push_back(1);
+  cell_.push_back(kInvalidCell);
+  gate_name_.push_back(kNullName);
+  po_load_.push_back(1.0);
+  fanin_ref_.emplace_back();
+  fanout_ref_.emplace_back();
   return id;
+}
+
+void Netlist::reserve(std::size_t gates, std::size_t pins) {
+  kind_.reserve(gates);
+  alive_.reserve(gates);
+  cell_.reserve(gates);
+  gate_name_.reserve(gates);
+  po_load_.reserve(gates);
+  fanin_ref_.reserve(gates);
+  fanout_ref_.reserve(gates);
+  // Slabs round pin lists up to powers of two; double the estimate to
+  // cover fanout slack so bulk construction stays reallocation-free.
+  fanin_pins_.reserve(2 * pins);
+  fanout_pins_.reserve(2 * pins);
 }
 
 std::string Netlist::fresh_name(const std::string& prefix) {
   for (;;) {
     std::string cand = prefix + "_" + std::to_string(name_counter_++);
-    if (used_names_.insert(cand).second) return cand;
+    if (!names_.contains(cand)) {
+      names_.intern(cand);  // reserve it for the caller
+      return cand;
+    }
   }
 }
 
 GateId Netlist::add_input(std::string name) {
   const GateId id = new_gate(GateKind::kInput);
-  if (!name.empty()) used_names_.insert(name);
-  gates_[id].name = name.empty() ? fresh_name("pi") : std::move(name);
+  gate_name_[id] = names_.intern(name.empty() ? fresh_name("pi") : name);
   inputs_.push_back(id);
   NetlistDelta d;
   d.kind = DeltaKind::kGateAdded;
   d.gate = id;
   d.gate_kind = GateKind::kInput;
-  d.name = gates_[id].name;
+  d.name = gate_name_[id];
   publish(std::move(d));
   return id;
 }
 
 GateId Netlist::add_output(std::string name, GateId driver, double load) {
-  POWDER_CHECK(driver < gates_.size() && gates_[driver].alive);
+  POWDER_CHECK(driver < kind_.size() && alive_[driver] != 0);
   const GateId id = new_gate(GateKind::kOutput);
-  if (!name.empty()) used_names_.insert(name);
-  gates_[id].name = name.empty() ? fresh_name("po") : std::move(name);
-  gates_[id].po_load = load;
-  gates_[id].fanins.push_back(driver);
+  gate_name_[id] = names_.intern(name.empty() ? fresh_name("po") : name);
+  po_load_[id] = load;
+  fanin_pins_.push_back(fanin_ref_[id], driver);
   connect(driver, id, 0);
   outputs_.push_back(id);
   NetlistDelta d;
   d.kind = DeltaKind::kGateAdded;
   d.gate = id;
   d.gate_kind = GateKind::kOutput;
-  d.name = gates_[id].name;
+  d.name = gate_name_[id];
   d.po_load = load;
-  d.fanins = gates_[id].fanins;
+  d.fanins.push_back(driver);
   publish(std::move(d));
   return id;
 }
@@ -211,46 +281,47 @@ GateId Netlist::add_gate(CellId cell, const std::vector<GateId>& fanins,
   POWDER_CHECK_MSG(static_cast<int>(fanins.size()) == c.num_inputs(),
                    "gate arity mismatch for cell " << c.name);
   for (const GateId fi : fanins)
-    POWDER_CHECK(fi < gates_.size() && gates_[fi].alive);
+    POWDER_CHECK(fi < kind_.size() && alive_[fi] != 0);
   const GateId id = new_gate(GateKind::kCell);
-  gates_[id].cell = cell;
-  if (!name.empty()) used_names_.insert(name);
-  gates_[id].name = name.empty() ? fresh_name("g") : std::move(name);
-  gates_[id].fanins = fanins;
+  cell_[id] = cell;
+  gate_name_[id] = names_.intern(name.empty() ? fresh_name("g") : name);
+  fanin_pins_.assign(fanin_ref_[id], fanins.data(), fanins.size());
   for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
-    connect(fanins[pin], id, pin);
+    connect(fanins[static_cast<std::size_t>(pin)], id, pin);
   NetlistDelta d;
   d.kind = DeltaKind::kGateAdded;
   d.gate = id;
   d.gate_kind = GateKind::kCell;
   d.new_cell = cell;
-  d.name = gates_[id].name;
-  d.fanins = fanins;
+  d.name = gate_name_[id];
+  d.fanins.assign(fanins.data(), fanins.size());
   publish(std::move(d));
   return id;
 }
 
 void Netlist::connect(GateId driver, GateId sink, int pin) {
-  gates_[driver].fanouts.push_back(FanoutRef{sink, pin});
+  fanout_pins_.push_back(fanout_ref_[driver], FanoutRef{sink, pin});
 }
 
 void Netlist::disconnect(GateId driver, GateId sink, int pin) {
-  auto& fo = gates_[driver].fanouts;
+  const std::span<const FanoutRef> fo = fanout_pins_.view(fanout_ref_[driver]);
   const auto it = std::find(fo.begin(), fo.end(), FanoutRef{sink, pin});
   POWDER_CHECK_MSG(it != fo.end(), "fanout edge missing on disconnect");
-  fo.erase(it);
+  fanout_pins_.erase_at(fanout_ref_[driver],
+                        static_cast<std::size_t>(it - fo.begin()));
 }
 
 void Netlist::set_fanin(GateId gate, int pin, GateId new_driver) {
-  POWDER_CHECK(gate < gates_.size() && gates_[gate].alive);
-  POWDER_CHECK(new_driver < gates_.size() && gates_[new_driver].alive);
-  POWDER_CHECK(pin >= 0 && pin < gates_[gate].num_fanins());
-  const GateId old_driver = gates_[gate].fanins[pin];
+  POWDER_CHECK(gate < kind_.size() && alive_[gate] != 0);
+  POWDER_CHECK(new_driver < kind_.size() && alive_[new_driver] != 0);
+  POWDER_CHECK(pin >= 0 && pin < num_fanins(gate));
+  const GateId old_driver = fanin(gate, pin);
   if (old_driver == new_driver) return;
   POWDER_CHECK_MSG(!in_tfo(gate, new_driver),
                    "set_fanin would create a combinational cycle");
   disconnect(old_driver, gate, pin);
-  gates_[gate].fanins[pin] = new_driver;
+  fanin_pins_.at_mut(fanin_ref_[gate], static_cast<std::size_t>(pin)) =
+      new_driver;
   connect(new_driver, gate, pin);
   NetlistDelta d;
   d.kind = DeltaKind::kFaninChanged;
@@ -262,16 +333,16 @@ void Netlist::set_fanin(GateId gate, int pin, GateId new_driver) {
 }
 
 void Netlist::set_cell(GateId gate, CellId new_cell) {
-  POWDER_CHECK(gate < gates_.size() && gates_[gate].alive);
-  POWDER_CHECK(gates_[gate].kind == GateKind::kCell);
-  const CellId old_cell = gates_[gate].cell;
+  POWDER_CHECK(gate < kind_.size() && alive_[gate] != 0);
+  POWDER_CHECK(kind_[gate] == GateKind::kCell);
+  const CellId old_cell = cell_[gate];
   if (old_cell == new_cell) return;
   const Cell& old_c = library_->cell(old_cell);
   const Cell& new_c = library_->cell(new_cell);
   POWDER_CHECK_MSG(old_c.num_inputs() == new_c.num_inputs() &&
                        old_c.function == new_c.function,
                    "set_cell requires a functionally identical cell");
-  gates_[gate].cell = new_cell;
+  cell_[gate] = new_cell;
   NetlistDelta d;
   d.kind = DeltaKind::kCellChanged;
   d.gate = gate;
@@ -282,16 +353,19 @@ void Netlist::set_cell(GateId gate, CellId new_cell) {
 
 void Netlist::replace_all_fanouts(GateId old_driver, GateId new_driver) {
   POWDER_CHECK(old_driver != new_driver);
-  POWDER_CHECK(gates_[old_driver].alive && gates_[new_driver].alive);
+  POWDER_CHECK(alive_[old_driver] != 0 && alive_[new_driver] != 0);
   POWDER_CHECK_MSG(!in_tfo(old_driver, new_driver),
                    "replace_all_fanouts would create a cycle");
   // Move branches one by one, publishing one kFaninChanged per branch so
   // the delta stream replays exactly; copy the list because the rewiring
-  // mutates it.
-  const std::vector<FanoutRef> branches = gates_[old_driver].fanouts;
+  // mutates it (and may grow the arena pool under the span).
+  const std::span<const FanoutRef> fo =
+      fanout_pins_.view(fanout_ref_[old_driver]);
+  const std::vector<FanoutRef> branches(fo.begin(), fo.end());
   for (const FanoutRef& br : branches) {
     disconnect(old_driver, br.gate, br.pin);
-    gates_[br.gate].fanins[br.pin] = new_driver;
+    fanin_pins_.at_mut(fanin_ref_[br.gate],
+                       static_cast<std::size_t>(br.pin)) = new_driver;
     connect(new_driver, br.gate, br.pin);
     NetlistDelta d;
     d.kind = DeltaKind::kFaninChanged;
@@ -310,71 +384,74 @@ std::vector<GateId> Netlist::remove_gate_recursive(
   while (!stack.empty()) {
     const GateId g = stack.back();
     stack.pop_back();
-    if (!gates_[g].alive || gates_[g].kind != GateKind::kCell) continue;
-    if (!gates_[g].fanouts.empty()) continue;
-    const std::vector<GateId> fanins = gates_[g].fanins;
-    gates_[g].alive = false;
+    if (alive_[g] == 0 || kind_[g] != GateKind::kCell) continue;
+    if (fanout_ref_[g].size != 0) continue;
+    const std::span<const GateId> fi_span = fanin_pins_.view(fanin_ref_[g]);
+    const std::vector<GateId> fanins(fi_span.begin(), fi_span.end());
+    alive_[g] = 0;
     removed.push_back(g);
     if (removed_fanins != nullptr) removed_fanins->push_back(fanins);
     for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
       const GateId fi = fanins[static_cast<std::size_t>(pin)];
       disconnect(fi, g, pin);
-      if (gates_[fi].fanouts.empty()) stack.push_back(fi);
+      if (fanout_ref_[fi].size == 0) stack.push_back(fi);
     }
-    gates_[g].fanins.clear();
+    fanin_pins_.release(fanin_ref_[g]);
+    fanout_pins_.release(fanout_ref_[g]);
     NetlistDelta d;
     d.kind = DeltaKind::kGateRemoved;
     d.gate = g;
-    d.fanins = fanins;
+    d.fanins.assign(fanins.data(), fanins.size());
     publish(std::move(d));
   }
   return removed;
 }
 
 void Netlist::remove_single_gate(GateId gate) {
-  POWDER_CHECK(gate < gates_.size() && gates_[gate].alive);
-  POWDER_CHECK(gates_[gate].kind == GateKind::kCell);
-  POWDER_CHECK_MSG(gates_[gate].fanouts.empty(),
-                   "removing gate " << gates_[gate].name
+  POWDER_CHECK(gate < kind_.size() && alive_[gate] != 0);
+  POWDER_CHECK(kind_[gate] == GateKind::kCell);
+  POWDER_CHECK_MSG(fanout_ref_[gate].size == 0,
+                   "removing gate " << gate_name(gate)
                                     << " which still drives fanout");
-  const std::vector<GateId> fanins = gates_[gate].fanins;
+  const std::span<const GateId> fi_span = fanin_pins_.view(fanin_ref_[gate]);
+  const std::vector<GateId> fanins(fi_span.begin(), fi_span.end());
   for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
     disconnect(fanins[static_cast<std::size_t>(pin)], gate, pin);
-  gates_[gate].fanins.clear();
-  gates_[gate].alive = false;
+  fanin_pins_.release(fanin_ref_[gate]);
+  fanout_pins_.release(fanout_ref_[gate]);
+  alive_[gate] = 0;
   NetlistDelta d;
   d.kind = DeltaKind::kGateRemoved;
   d.gate = gate;
-  d.fanins = fanins;
+  d.fanins.assign(fanins.data(), fanins.size());
   publish(std::move(d));
 }
 
 void Netlist::revive_gate(GateId gate, const std::vector<GateId>& fanins) {
-  POWDER_CHECK(gate < gates_.size() && !gates_[gate].alive);
-  Gate& g = gates_[gate];
-  POWDER_CHECK(g.kind == GateKind::kCell && g.cell != kInvalidCell);
-  POWDER_CHECK_MSG(
-      static_cast<int>(fanins.size()) == library_->cell(g.cell).num_inputs(),
-      "revive_gate arity mismatch for " << g.name);
+  POWDER_CHECK(gate < kind_.size() && alive_[gate] == 0);
+  POWDER_CHECK(kind_[gate] == GateKind::kCell && cell_[gate] != kInvalidCell);
+  POWDER_CHECK_MSG(static_cast<int>(fanins.size()) ==
+                       library_->cell(cell_[gate]).num_inputs(),
+                   "revive_gate arity mismatch for " << gate_name(gate));
   for (GateId fi : fanins)
-    POWDER_CHECK_MSG(fi < gates_.size() && gates_[fi].alive,
-                     "revive_gate with dead fanin into " << g.name);
-  g.alive = true;
-  g.fanins = fanins;
-  for (int pin = 0; pin < g.num_fanins(); ++pin)
+    POWDER_CHECK_MSG(fi < kind_.size() && alive_[fi] != 0,
+                     "revive_gate with dead fanin into " << gate_name(gate));
+  alive_[gate] = 1;
+  fanin_pins_.assign(fanin_ref_[gate], fanins.data(), fanins.size());
+  for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
     connect(fanins[static_cast<std::size_t>(pin)], gate, pin);
   NetlistDelta d;
   d.kind = DeltaKind::kGateRevived;
   d.gate = gate;
-  d.fanins = fanins;
+  d.fanins.assign(fanins.data(), fanins.size());
   publish(std::move(d));
 }
 
 std::vector<GateId> Netlist::sweep_dead() {
   std::vector<GateId> removed;
-  for (GateId g = 0; g < gates_.size(); ++g) {
-    if (gates_[g].alive && gates_[g].kind == GateKind::kCell &&
-        gates_[g].fanouts.empty()) {
+  for (GateId g = 0; g < kind_.size(); ++g) {
+    if (alive_[g] != 0 && kind_[g] == GateKind::kCell &&
+        fanout_ref_[g].size == 0) {
       const auto r = remove_gate_recursive(g);
       removed.insert(removed.end(), r.begin(), r.end());
     }
@@ -384,44 +461,45 @@ std::vector<GateId> Netlist::sweep_dead() {
 
 int Netlist::num_cells() const {
   int n = 0;
-  for (const Gate& g : gates_)
-    if (g.alive && g.kind == GateKind::kCell) ++n;
+  for (GateId g = 0; g < kind_.size(); ++g)
+    if (alive_[g] != 0 && kind_[g] == GateKind::kCell) ++n;
   return n;
 }
 
 const Cell& Netlist::cell_of(GateId id) const {
-  POWDER_DCHECK(gates_[id].kind == GateKind::kCell);
-  return library_->cell(gates_[id].cell);
+  POWDER_DCHECK(kind_[id] == GateKind::kCell);
+  return library_->cell(cell_[id]);
 }
 
 double Netlist::pin_cap(GateId gate, int pin) const {
-  const Gate& g = gates_[gate];
-  if (g.kind == GateKind::kOutput) return g.po_load;
-  POWDER_DCHECK(g.kind == GateKind::kCell);
-  return library_->cell(g.cell).pins[static_cast<std::size_t>(pin)].input_cap;
+  if (kind_[gate] == GateKind::kOutput) return po_load_[gate];
+  POWDER_DCHECK(kind_[gate] == GateKind::kCell);
+  return library_->cell(cell_[gate])
+      .pins[static_cast<std::size_t>(pin)]
+      .input_cap;
 }
 
 double Netlist::signal_cap(GateId gate) const {
   double c = 0.0;
-  for (const FanoutRef& br : gates_[gate].fanouts)
-    c += pin_cap(br.gate, br.pin);
+  for (const FanoutRef& br : fanouts(gate)) c += pin_cap(br.gate, br.pin);
   return c;
 }
 
 double Netlist::total_area() const {
   double a = 0.0;
-  for (const Gate& g : gates_)
-    if (g.alive && g.kind == GateKind::kCell) a += library_->cell(g.cell).area;
+  for (GateId g = 0; g < kind_.size(); ++g)
+    if (alive_[g] != 0 && kind_[g] == GateKind::kCell)
+      a += library_->cell(cell_[g]).area;
   return a;
 }
 
-std::vector<GateId> Netlist::topo_order() const {
+std::vector<GateId> Netlist::compute_topo() const {
   std::vector<GateId> order;
-  order.reserve(gates_.size());
-  std::vector<std::uint8_t> state(gates_.size(), 0);  // 0=new 1=open 2=done
+  order.reserve(kind_.size());
+  std::vector<std::uint8_t> state(kind_.size(), 0);  // 0=new 1=open 2=done
   std::vector<GateId> stack;
-  for (GateId root = 0; root < gates_.size(); ++root) {
-    if (!gates_[root].alive || state[root] == 2) continue;
+  for (GateId root = 0; root < kind_.size(); ++root) {
+    if (alive_[root] == 0 || state[root] == 2) continue;
     stack.push_back(root);
     while (!stack.empty()) {
       const GateId g = stack.back();
@@ -431,7 +509,7 @@ std::vector<GateId> Netlist::topo_order() const {
       }
       if (state[g] == 0) {
         state[g] = 1;
-        for (GateId fi : gates_[g].fanins) {
+        for (GateId fi : fanins(g)) {
           POWDER_CHECK_MSG(state[fi] != 1, "combinational cycle detected");
           if (state[fi] == 0) stack.push_back(fi);
         }
@@ -445,19 +523,30 @@ std::vector<GateId> Netlist::topo_order() const {
   return order;
 }
 
+const std::vector<GateId>& Netlist::topo_order() const {
+  std::lock_guard<std::mutex> lock(topo_mutex_);
+  if (topo_dirty_) {
+    topo_cache_ = compute_topo();
+    topo_dirty_ = false;
+  }
+  return topo_cache_;
+}
+
 bool Netlist::in_tfo(GateId ancestor, GateId descendant) const {
   if (ancestor == descendant) return false;
-  std::vector<std::uint8_t> seen(gates_.size(), 0);
-  std::vector<GateId> stack{ancestor};
-  seen[ancestor] = 1;
-  while (!stack.empty()) {
-    const GateId g = stack.back();
-    stack.pop_back();
-    for (const FanoutRef& br : gates_[g].fanouts) {
+  // Reused scratch: called on every rewire, must not allocate once warm.
+  tfo_seen_.assign(kind_.size(), 0);
+  tfo_stack_.clear();
+  tfo_stack_.push_back(ancestor);
+  tfo_seen_[ancestor] = 1;
+  while (!tfo_stack_.empty()) {
+    const GateId g = tfo_stack_.back();
+    tfo_stack_.pop_back();
+    for (const FanoutRef& br : fanouts(g)) {
       if (br.gate == descendant) return true;
-      if (!seen[br.gate]) {
-        seen[br.gate] = 1;
-        stack.push_back(br.gate);
+      if (!tfo_seen_[br.gate]) {
+        tfo_seen_[br.gate] = 1;
+        tfo_stack_.push_back(br.gate);
       }
     }
   }
@@ -466,13 +555,13 @@ bool Netlist::in_tfo(GateId ancestor, GateId descendant) const {
 
 std::vector<GateId> Netlist::tfo(GateId g) const {
   std::vector<GateId> out;
-  std::vector<std::uint8_t> seen(gates_.size(), 0);
+  std::vector<std::uint8_t> seen(kind_.size(), 0);
   std::vector<GateId> stack{g};
   seen[g] = 1;
   while (!stack.empty()) {
     const GateId cur = stack.back();
     stack.pop_back();
-    for (const FanoutRef& br : gates_[cur].fanouts) {
+    for (const FanoutRef& br : fanouts(cur)) {
       if (!seen[br.gate]) {
         seen[br.gate] = 1;
         out.push_back(br.gate);
@@ -488,20 +577,19 @@ std::vector<GateId> Netlist::mffc(GateId g,
   // Gates that die if g loses all fanout: g itself plus, transitively, each
   // fanin whose every fanout lies inside the cone built so far.
   std::vector<GateId> cone;
-  if (gates_[g].kind != GateKind::kCell) return cone;
-  std::vector<std::uint8_t> pinned(gates_.size(), 0);
+  if (kind_[g] != GateKind::kCell) return cone;
+  std::vector<std::uint8_t> pinned(kind_.size(), 0);
   for (GateId k : keep_alive)
     if (k != g) pinned[k] = 1;
-  std::vector<std::uint8_t> in_cone(gates_.size(), 0);
+  std::vector<std::uint8_t> in_cone(kind_.size(), 0);
   cone.push_back(g);
   in_cone[g] = 1;
   // Process in reverse-topological manner: repeatedly try to absorb fanins.
   for (std::size_t i = 0; i < cone.size(); ++i) {
-    for (GateId fi : gates_[cone[i]].fanins) {
-      if (in_cone[fi] || pinned[fi] || gates_[fi].kind != GateKind::kCell)
-        continue;
+    for (GateId fi : fanins(cone[i])) {
+      if (in_cone[fi] || pinned[fi] || kind_[fi] != GateKind::kCell) continue;
       bool all_inside = true;
-      for (const FanoutRef& br : gates_[fi].fanouts) {
+      for (const FanoutRef& br : fanouts(fi)) {
         if (!in_cone[br.gate]) {
           all_inside = false;
           break;
@@ -521,12 +609,11 @@ std::vector<GateId> Netlist::mffc(GateId g,
   while (changed) {
     changed = false;
     for (std::size_t i = 0; i < cone.size(); ++i) {
-      for (GateId fi : gates_[cone[i]].fanins) {
-        if (in_cone[fi] || pinned[fi] ||
-            gates_[fi].kind != GateKind::kCell)
+      for (GateId fi : fanins(cone[i])) {
+        if (in_cone[fi] || pinned[fi] || kind_[fi] != GateKind::kCell)
           continue;
         bool all_inside = true;
-        for (const FanoutRef& br : gates_[fi].fanouts)
+        for (const FanoutRef& br : fanouts(fi))
           if (!in_cone[br.gate]) {
             all_inside = false;
             break;
@@ -544,72 +631,70 @@ std::vector<GateId> Netlist::mffc(GateId g,
 
 Netlist Netlist::compacted(std::vector<GateId>* remap) const {
   Netlist out(library_, name_);
-  std::vector<GateId> map(gates_.size(), kNullGate);
+  out.reserve(kind_.size(), fanin_pins_.pool_bytes() / sizeof(GateId));
+  std::vector<GateId> map(kind_.size(), kNullGate);
   // Inputs keep their order; cells follow in topological order; outputs
   // keep their order last.
-  for (GateId g : inputs_) map[g] = out.add_input(gates_[g].name);
+  for (GateId g : inputs_) map[g] = out.add_input(std::string(gate_name(g)));
   for (GateId g : topo_order()) {
-    const Gate& gate = gates_[g];
-    if (gate.kind != GateKind::kCell) continue;
-    std::vector<GateId> fanins;
-    fanins.reserve(gate.fanins.size());
-    for (GateId fi : gate.fanins) {
+    if (kind_[g] != GateKind::kCell) continue;
+    std::vector<GateId> mapped;
+    mapped.reserve(fanins(g).size());
+    for (GateId fi : fanins(g)) {
       POWDER_CHECK(map[fi] != kNullGate);
-      fanins.push_back(map[fi]);
+      mapped.push_back(map[fi]);
     }
-    map[g] = out.add_gate(gate.cell, fanins, gate.name);
+    map[g] = out.add_gate(cell_[g], mapped, std::string(gate_name(g)));
   }
   for (GateId g : outputs_) {
-    const Gate& gate = gates_[g];
-    map[g] = out.add_output(gate.name, map[gate.fanins[0]], gate.po_load);
+    map[g] = out.add_output(std::string(gate_name(g)), map[fanin(g, 0)],
+                            po_load_[g]);
   }
   if (remap != nullptr) *remap = std::move(map);
   return out;
 }
 
 void Netlist::check_consistency() const {
-  for (GateId g = 0; g < gates_.size(); ++g) {
-    const Gate& gate = gates_[g];
-    if (!gate.alive) {
-      POWDER_CHECK_MSG(gate.fanins.empty() && gate.fanouts.empty(),
-                       "dead gate " << gate.name << " still connected");
+  for (GateId g = 0; g < kind_.size(); ++g) {
+    if (alive_[g] == 0) {
+      POWDER_CHECK_MSG(fanin_ref_[g].size == 0 && fanout_ref_[g].size == 0,
+                       "dead gate " << gate_name(g) << " still connected");
       continue;
     }
-    switch (gate.kind) {
+    switch (kind_[g]) {
       case GateKind::kInput:
-        POWDER_CHECK(gate.fanins.empty());
+        POWDER_CHECK(fanin_ref_[g].size == 0);
         break;
       case GateKind::kOutput:
-        POWDER_CHECK_MSG(gate.fanins.size() == 1,
-                         "output " << gate.name << " must have one fanin");
-        POWDER_CHECK(gate.fanouts.empty());
+        POWDER_CHECK_MSG(fanin_ref_[g].size == 1,
+                         "output " << gate_name(g) << " must have one fanin");
+        POWDER_CHECK(fanout_ref_[g].size == 0);
         break;
       case GateKind::kCell: {
-        POWDER_CHECK(gate.cell != kInvalidCell);
-        const Cell& c = library_->cell(gate.cell);
-        POWDER_CHECK_MSG(gate.num_fanins() == c.num_inputs(),
-                         "gate " << gate.name << " arity mismatch");
+        POWDER_CHECK(cell_[g] != kInvalidCell);
+        const Cell& c = library_->cell(cell_[g]);
+        POWDER_CHECK_MSG(num_fanins(g) == c.num_inputs(),
+                         "gate " << gate_name(g) << " arity mismatch");
         break;
       }
     }
-    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
-      const GateId fi = gate.fanins[pin];
-      POWDER_CHECK_MSG(fi < gates_.size() && gates_[fi].alive,
-                       "gate " << gate.name << " has dead fanin");
-      const auto& fo = gates_[fi].fanouts;
+    for (int pin = 0; pin < num_fanins(g); ++pin) {
+      const GateId fi = fanin(g, pin);
+      POWDER_CHECK_MSG(fi < kind_.size() && alive_[fi] != 0,
+                       "gate " << gate_name(g) << " has dead fanin");
+      const std::span<const FanoutRef> fo = fanouts(fi);
       POWDER_CHECK_MSG(
           std::find(fo.begin(), fo.end(), FanoutRef{g, pin}) != fo.end(),
-          "missing fanout back-edge into " << gate.name);
+          "missing fanout back-edge into " << gate_name(g));
     }
-    for (const FanoutRef& br : gate.fanouts) {
-      POWDER_CHECK(br.gate < gates_.size() && gates_[br.gate].alive);
-      POWDER_CHECK_MSG(
-          br.pin < gates_[br.gate].num_fanins() &&
-              gates_[br.gate].fanins[static_cast<std::size_t>(br.pin)] == g,
-          "dangling fanout edge from " << gate.name);
+    for (const FanoutRef& br : fanouts(g)) {
+      POWDER_CHECK(br.gate < kind_.size() && alive_[br.gate] != 0);
+      POWDER_CHECK_MSG(br.pin < num_fanins(br.gate) &&
+                           fanin(br.gate, br.pin) == g,
+                       "dangling fanout edge from " << gate_name(g));
     }
   }
-  (void)topo_order();  // throws on cycles
+  (void)compute_topo();  // throws on cycles, bypassing the cache
 }
 
 }  // namespace powder

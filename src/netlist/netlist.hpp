@@ -12,22 +12,36 @@
 // and sweep dead logic. Gates are tombstoned on removal so GateIds stay
 // stable (simulation/power caches are indexed by GateId).
 //
+// Storage is struct-of-arrays (DESIGN.md §7): per-gate scalars live in
+// parallel flat vectors, fanin/fanout pin lists live in pooled PinArenas
+// (power-of-two slabs, freelist-recycled across rewires and tombstones),
+// and gate names are interned into a NameTable so no hot path touches a
+// std::string. Accessors hand out std::spans into the arenas; those spans
+// are invalidated by any mutation, the same way the delta bus already
+// forbids mutating while iterating.
+//
 // Incremental core (DESIGN.md §6): every mutation publishes a typed
 // NetlistDelta — appended to a bounded delta log, bumping the monotone
 // epoch, and pushed to every registered NetlistObserver. Analyses subscribe
 // once and stay coherent by construction instead of being resynchronized by
 // hand after each edit. Deltas are published from the mutating thread only
 // (the optimizer's single-writer commit path); observers must not assume
-// any locking beyond that.
+// any locking beyond that. The topological order is cached inside the
+// netlist and invalidated through the same publish point, so repeated
+// topo_order() calls between mutations are free.
 
 #include <cstdint>
-#include <deque>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
 #include "library/cell_library.hpp"
+#include "netlist/name_table.hpp"
+#include "netlist/pin_arena.hpp"
+#include "util/small_vec.hpp"
 
 namespace powder {
 
@@ -47,19 +61,6 @@ struct FanoutRef {
   bool operator==(const FanoutRef&) const = default;
 };
 
-struct Gate {
-  GateKind kind = GateKind::kCell;
-  CellId cell = kInvalidCell;      ///< valid iff kind == kCell
-  std::string name;                ///< unique label == output signal name
-  std::vector<GateId> fanins;      ///< one entry per input pin
-  std::vector<FanoutRef> fanouts;  ///< maintained by Netlist
-  double po_load = 1.0;            ///< external load iff kind == kOutput
-  bool alive = true;
-
-  int num_fanins() const { return static_cast<int>(fanins.size()); }
-  int num_fanouts() const { return static_cast<int>(fanouts.size()); }
-};
-
 /// Delta taxonomy: the six mutation shapes the netlist can publish. Every
 /// public mutator maps onto a sequence of these (see DESIGN.md §6 for the
 /// exact mapping and the replay semantics of each kind).
@@ -75,6 +76,10 @@ enum class DeltaKind : std::uint8_t {
 /// One published mutation, rich enough to replay forward onto a replica
 /// netlist (replay_delta) and to drive incremental cache maintenance.
 /// Fields beyond `kind`/`epoch`/`gate` are meaningful per kind only.
+/// Publishing a delta is allocation-free in steady state: the fanin
+/// snapshot uses inline small-buffer storage (spills only past 8 pins) and
+/// the name travels as a NameId into the netlist's NameTable, not a string
+/// copy (layout_test.cpp asserts this).
 struct NetlistDelta {
   DeltaKind kind = DeltaKind::kRebuilt;
   std::uint64_t epoch = 0;  ///< netlist epoch *after* this delta
@@ -85,8 +90,8 @@ struct NetlistDelta {
   int pin = -1;                          ///< kFaninChanged
   GateId old_driver = kNullGate;         ///< kFaninChanged
   GateId new_driver = kNullGate;         ///< kFaninChanged
-  std::vector<GateId> fanins;  ///< kGateAdded / kGateRemoved / kGateRevived
-  std::string name;            ///< kGateAdded
+  SmallVec<GateId, 8> fanins;  ///< kGateAdded / kGateRemoved / kGateRevived
+  NameId name = kNullName;     ///< kGateAdded; resolve via Netlist::names()
   double po_load = 1.0;        ///< kGateAdded outputs
 };
 
@@ -125,6 +130,10 @@ class Netlist {
   GateId add_gate(CellId cell, const std::vector<GateId>& fanins,
                   std::string name = "");
 
+  /// Pre-sizes the gate table and both pin arenas (BLIF/AIG readers know
+  /// the circuit size up front; bulk construction then never reallocates).
+  void reserve(std::size_t gates, std::size_t pins);
+
   /// Rewires input pin `pin` of `gate` to `new_driver` (the IS2 primitive).
   void set_fanin(GateId gate, int pin, GateId new_driver);
 
@@ -151,7 +160,8 @@ class Netlist {
 
   /// Tombstones a single fanout-free cell gate without the recursive sweep
   /// (used to undo an insertion). The slot keeps its cell and name so the
-  /// gate could be revived again.
+  /// gate could be revived again; its pin slabs return to the arena
+  /// freelists.
   void remove_single_gate(GateId gate);
 
   /// Re-activates a tombstoned cell gate with the given fanins — the exact
@@ -160,11 +170,47 @@ class Netlist {
   void revive_gate(GateId gate, const std::vector<GateId>& fanins);
 
   // ---- access --------------------------------------------------------------
-  std::size_t num_slots() const { return gates_.size(); }
-  const Gate& gate(GateId id) const { return gates_[id]; }
-  GateKind kind(GateId id) const { return gates_[id].kind; }
-  bool alive(GateId id) const { return gates_[id].alive; }
-  const std::string& gate_name(GateId id) const { return gates_[id].name; }
+  std::size_t num_slots() const { return kind_.size(); }
+  GateKind kind(GateId id) const { return kind_[id]; }
+  bool alive(GateId id) const { return alive_[id] != 0; }
+  CellId cell_id(GateId id) const { return cell_[id]; }
+  double po_load(GateId id) const { return po_load_[id]; }
+
+  /// The gate's input pins, one driver per pin. The span points into the
+  /// pin arena: valid until the next mutation.
+  std::span<const GateId> fanins(GateId id) const {
+    return fanin_pins_.view(fanin_ref_[id]);
+  }
+  /// The branches of the gate's output signal. Same lifetime rule.
+  std::span<const FanoutRef> fanouts(GateId id) const {
+    return fanout_pins_.view(fanout_ref_[id]);
+  }
+  GateId fanin(GateId id, int pin) const {
+    return fanin_pins_.at(fanin_ref_[id], static_cast<std::size_t>(pin));
+  }
+  // Pin counts are stored as uint32 slab sizes bounded by cell arity and
+  // fanout degree, so the int conversion is always exact (the old Gate
+  // accessors narrowed from size_t).
+  int num_fanins(GateId id) const {
+    return static_cast<int>(fanin_ref_[id].size);
+  }
+  int num_fanouts(GateId id) const {
+    return static_cast<int>(fanout_ref_[id].size);
+  }
+
+  /// Visits each fanin driver in pin order without materializing a span.
+  template <typename Fn>
+  void for_each_fanin(GateId id, Fn&& fn) const {
+    for (const GateId fi : fanins(id)) fn(fi);
+  }
+
+  /// Interned name id and spelling. The view is null-terminated and stable
+  /// for the netlist's lifetime (names are never un-interned).
+  NameId name_id(GateId id) const { return gate_name_[id]; }
+  std::string_view gate_name(GateId id) const {
+    return names_.view(gate_name_[id]);
+  }
+  const NameTable& names() const { return names_; }
 
   const std::vector<GateId>& inputs() const { return inputs_; }
   const std::vector<GateId>& outputs() const { return outputs_; }
@@ -187,9 +233,12 @@ class Netlist {
   /// Sum of cell areas of live gates.
   double total_area() const;
 
-  /// Live gates in topological order (inputs first, outputs last).
-  /// Recomputed on demand after mutations.
-  std::vector<GateId> topo_order() const;
+  /// Live gates in topological order (inputs first, outputs last). Cached;
+  /// recomputed lazily after a structural delta (kCellChanged keeps the
+  /// cache — resizing never changes the DAG). The reference is valid until
+  /// the next structural mutation; callers that mutate while iterating must
+  /// copy first. Safe to call from concurrent readers between mutations.
+  const std::vector<GateId>& topo_order() const;
 
   /// True if `descendant` is reachable from `ancestor` (strictly; a gate is
   /// not its own transitive fanout).
@@ -233,6 +282,15 @@ class Netlist {
   std::uint64_t deltas_published() const { return deltas_published_; }
   std::uint64_t observer_notifications() const { return notifications_; }
 
+  // ---- storage diagnostics -------------------------------------------------
+  std::uint64_t pin_slabs_allocated() const {
+    return fanin_pins_.slabs_allocated() + fanout_pins_.slabs_allocated();
+  }
+  std::uint64_t pin_slabs_recycled() const {
+    return fanin_pins_.slabs_recycled() + fanout_pins_.slabs_recycled();
+  }
+  std::size_t name_pool_bytes() const { return names_.pool_bytes(); }
+
   /// Returns a fresh name not used by any gate yet.
   std::string fresh_name(const std::string& prefix);
 
@@ -245,37 +303,67 @@ class Netlist {
  private:
   const CellLibrary* library_;
   std::string name_;
-  std::vector<Gate> gates_;
+
+  // Struct-of-arrays gate table: one entry per slot in each vector.
+  std::vector<GateKind> kind_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<CellId> cell_;
+  std::vector<NameId> gate_name_;
+  std::vector<double> po_load_;
+  std::vector<PinArena<GateId>::Ref> fanin_ref_;
+  std::vector<PinArena<FanoutRef>::Ref> fanout_ref_;
+  PinArena<GateId> fanin_pins_;
+  PinArena<FanoutRef> fanout_pins_;
+  NameTable names_;
+
   std::vector<GateId> inputs_;
   std::vector<GateId> outputs_;
   std::uint64_t generation_ = 0;
   std::uint64_t name_counter_ = 0;
-  std::unordered_set<std::string> used_names_;
 
   // Observation state is identity-bound, not value-bound: mutable so that
   // const analyses can subscribe, excluded from copies, and guarded against
   // moves while non-empty (see the copy/move contracts above).
   mutable std::vector<NetlistObserver*> observers_;
-  std::deque<NetlistDelta> delta_log_;
+  // Bounded delta log as a ring buffer: grows to capacity once, then
+  // overwrites in place — steady-state publishing never allocates.
+  std::vector<NetlistDelta> delta_log_;
+  std::size_t log_head_ = 0;  ///< oldest entry once the ring wrapped
   std::uint64_t deltas_published_ = 0;
   std::uint64_t notifications_ = 0;
+
+  // Lazily-maintained topological order (see topo_order()). Guarded by a
+  // mutex because pool workers may race to refill the cache between
+  // mutations; mutators run strictly single-threaded (delta-bus contract).
+  mutable std::vector<GateId> topo_cache_;
+  mutable bool topo_dirty_ = true;
+  mutable std::mutex topo_mutex_;
+
+  // Reused DFS scratch for the in_tfo cycle guard: set_fanin runs once per
+  // committed rewire and must not allocate in steady state.
+  mutable std::vector<std::uint8_t> tfo_seen_;
+  mutable std::vector<GateId> tfo_stack_;
 
   GateId new_gate(GateKind kind);
   void connect(GateId driver, GateId sink, int pin);
   void disconnect(GateId driver, GateId sink, int pin);
+  std::vector<GateId> compute_topo() const;
 
-  /// Stamps the delta with the next epoch, notifies every observer, and
-  /// appends it to the bounded log. The single mutation point for
-  /// generation_ — every mutator funnels through here.
+  /// Stamps the delta with the next epoch, invalidates the topo cache for
+  /// structural kinds, notifies every observer, and appends it to the
+  /// bounded log. The single mutation point for generation_ — every mutator
+  /// funnels through here.
   void publish(NetlistDelta&& delta);
 };
 
 /// Applies one recorded delta to `netlist`, which must be in the exact
-/// pre-delta state (same GateIds). Replaying an observer's delta stream
-/// onto a copy taken at subscription time reproduces the source netlist;
-/// the tombstone-lifecycle property test relies on this. kRebuilt is not
-/// replayable (it announces that per-gate history was discarded) and is a
-/// checked error.
-void replay_delta(Netlist& netlist, const NetlistDelta& delta);
+/// pre-delta state (same GateIds). `names` is the table of the netlist the
+/// delta was recorded from (deltas carry NameIds, not strings). Replaying
+/// an observer's delta stream onto a copy taken at subscription time
+/// reproduces the source netlist; the tombstone-lifecycle property test
+/// relies on this. kRebuilt is not replayable (it announces that per-gate
+/// history was discarded) and is a checked error.
+void replay_delta(Netlist& netlist, const NetlistDelta& delta,
+                  const NameTable& names);
 
 }  // namespace powder

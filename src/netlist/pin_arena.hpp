@@ -1,0 +1,125 @@
+#pragma once
+
+// Pooled storage for per-gate pin lists (fanins and fanouts). All lists
+// live in one contiguous std::vector<T>, carved into power-of-two
+// capacity-class slabs; each gate holds a small Ref {offset, size, class}
+// instead of its own heap vector. Freed slabs (rewire shrink, gate
+// tombstone) go onto per-class freelists and are recycled before the pool
+// grows, so long optimization runs reach a steady state with zero slab
+// allocation (see Netlist::pin_slabs_recycled in the report diagnostics).
+//
+// Invariants the rest of the system depends on:
+//  - erase_at() is order-preserving (shifts the tail down). Fanout
+//    iteration order feeds floating-point accumulation order and delta
+//    publish order, so it must match what a plain std::vector would do.
+//  - view() spans are invalidated by ANY mutating arena call (the pool may
+//    reallocate). Callers that mutate while iterating must copy first —
+//    the same rule the delta bus already imposes on netlist mutation.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+template <typename T>
+class PinArena {
+ public:
+  /// Handle to one slab. capacity = cls == 0 ? 0 : 1 << (cls - 1).
+  struct Ref {
+    std::uint32_t offset = 0;
+    std::uint32_t size = 0;
+    std::uint8_t cls = 0;
+  };
+
+  static constexpr std::uint32_t capacity_of(std::uint8_t cls) {
+    return cls == 0 ? 0u : 1u << (cls - 1);
+  }
+
+  std::span<const T> view(const Ref& ref) const {
+    return {pool_.data() + ref.offset, ref.size};
+  }
+  std::span<T> view_mut(const Ref& ref) {
+    return {pool_.data() + ref.offset, ref.size};
+  }
+  const T& at(const Ref& ref, std::size_t i) const {
+    POWDER_DCHECK(i < ref.size);
+    return pool_[ref.offset + i];
+  }
+  T& at_mut(const Ref& ref, std::size_t i) {
+    POWDER_DCHECK(i < ref.size);
+    return pool_[ref.offset + i];
+  }
+
+  void push_back(Ref& ref, const T& value) {
+    if (ref.size == capacity_of(ref.cls)) grow(ref, ref.size + 1);
+    pool_[ref.offset + ref.size++] = value;
+  }
+
+  void assign(Ref& ref, const T* data, std::size_t n) {
+    if (n > capacity_of(ref.cls)) grow(ref, static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < n; ++i) pool_[ref.offset + i] = data[i];
+    ref.size = static_cast<std::uint32_t>(n);
+  }
+
+  /// Order-preserving removal: shifts the tail left by one.
+  void erase_at(Ref& ref, std::size_t i) {
+    POWDER_DCHECK(i < ref.size);
+    T* base = pool_.data() + ref.offset;
+    for (std::size_t j = i + 1; j < ref.size; ++j) base[j - 1] = base[j];
+    --ref.size;
+  }
+
+  /// Keeps the slab, drops the contents.
+  void clear(Ref& ref) { ref.size = 0; }
+
+  /// Returns the slab to its class freelist; ref becomes empty/slab-less.
+  void release(Ref& ref) {
+    if (ref.cls != 0) free_[ref.cls].push_back(ref.offset);
+    ref = Ref{};
+  }
+
+  std::uint64_t slabs_allocated() const { return slabs_allocated_; }
+  std::uint64_t slabs_recycled() const { return slabs_recycled_; }
+  std::size_t pool_bytes() const { return pool_.capacity() * sizeof(T); }
+  void reserve(std::size_t pins) { pool_.reserve(pins); }
+
+ private:
+  static std::uint8_t class_for(std::uint32_t n) {
+    std::uint8_t cls = 0;
+    while (capacity_of(cls) < n) ++cls;
+    return cls;
+  }
+
+  /// Moves the slab to one of capacity >= need, preserving contents.
+  void grow(Ref& ref, std::uint32_t need) {
+    const std::uint8_t cls = class_for(need);
+    std::uint32_t offset;
+    if (!free_[cls].empty()) {
+      offset = free_[cls].back();
+      free_[cls].pop_back();
+      ++slabs_recycled_;
+    } else {
+      offset = static_cast<std::uint32_t>(pool_.size());
+      pool_.resize(pool_.size() + capacity_of(cls));
+      ++slabs_allocated_;
+    }
+    for (std::uint32_t i = 0; i < ref.size; ++i)
+      pool_[offset + i] = pool_[ref.offset + i];
+    if (ref.cls != 0) free_[ref.cls].push_back(ref.offset);
+    ref.offset = offset;
+    ref.cls = cls;
+  }
+
+  std::vector<T> pool_;
+  // Freelists indexed by capacity class; class 31 would be a 2^30-pin gate,
+  // far beyond anything the mapper emits.
+  std::array<std::vector<std::uint32_t>, 32> free_;
+  std::uint64_t slabs_allocated_ = 0;
+  std::uint64_t slabs_recycled_ = 0;
+};
+
+}  // namespace powder

@@ -113,6 +113,11 @@ std::string PowderReport::to_json() const {
                diagnostics.candidate_gates_refreshed, &df);
   append_field(os, "candidate_index_size", diagnostics.candidate_index_size,
                &df);
+  append_field(os, "pin_slabs_allocated", diagnostics.pin_slabs_allocated,
+               &df);
+  append_field(os, "pin_slabs_recycled", diagnostics.pin_slabs_recycled, &df);
+  append_field(os, "name_pool_bytes", diagnostics.name_pool_bytes, &df);
+  append_field(os, "peak_rss_bytes", diagnostics.peak_rss_bytes, &df);
   os << "}}";
   return os.str();
 }

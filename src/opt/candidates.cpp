@@ -1,5 +1,7 @@
 #include "opt/candidates.hpp"
 
+#include <span>
+
 #include <algorithm>
 
 #include "util/check.hpp"
@@ -218,15 +220,14 @@ std::vector<GateId> CandidateFinder::build_pool(
          static_cast<int>(pool.size()) < options_.local_pool_size) {
     std::vector<GateId> next;
     for (GateId g : frontier) {
-      const Gate& gate = netlist_->gate(g);
       auto visit = [&](GateId n) {
         if (visited[n]) return;
         visited[n] = 1;
         try_add(n);
         next.push_back(n);
       };
-      for (GateId fi : gate.fanins) visit(fi);
-      for (const FanoutRef& br : gate.fanouts) visit(br.gate);
+      for (GateId fi : netlist_->fanins(g)) visit(fi);
+      for (const FanoutRef& br : netlist_->fanouts(g)) visit(br.gate);
       if (static_cast<int>(pool.size()) >= options_.local_pool_size) break;
     }
     frontier = std::move(next);
@@ -384,14 +385,14 @@ std::vector<CandidateSub> CandidateFinder::find() {
   // stem first, then every branch of multi-fanout stems.
   std::vector<Site> sites;
   for (GateId g : signal_gates_) {
-    const Gate& gate = netlist_->gate(g);
+    const std::span<const FanoutRef> fanouts = netlist_->fanouts(g);
     // Output substitutions: only cell stems (a PI cannot be replaced).
-    if (gate.kind == GateKind::kCell && !gate.fanouts.empty())
+    if (netlist_->kind(g) == GateKind::kCell && !fanouts.empty())
       sites.push_back(Site{g, std::nullopt});
     // Input substitutions: individual branches of multi-fanout stems (the
     // paper regards single-fanout outputs as stem signals only).
-    if (gate.num_fanouts() > 1)
-      for (const FanoutRef& br : gate.fanouts) sites.push_back(Site{g, br});
+    if (fanouts.size() > 1)
+      for (const FanoutRef& br : fanouts) sites.push_back(Site{g, br});
   }
 
   // Pass 1 (parallel): observability masks, constant candidates, skip flags.

@@ -36,7 +36,7 @@ const AppliedSub& SubstJournal::apply_resize(GateId gate, CellId new_cell) {
   AppliedSub applied;
   ResizedCell rc;
   rc.gate = gate;
-  rc.old_cell = netlist_->gate(gate).cell;
+  rc.old_cell = netlist_->cell_id(gate);
   rc.new_cell = new_cell;
   applied.area_delta = netlist_->library().cell(new_cell).area -
                        netlist_->library().cell(rc.old_cell).area;

@@ -17,6 +17,7 @@
 #include "power/power.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
+#include "util/memstats.hpp"
 #include "util/fault_injection.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/thread_pool.hpp"
@@ -674,6 +675,13 @@ PowderReport PowderOptimizer::run() {
       netlist_->deltas_published() - deltas_before);
   report.diagnostics.observer_notifications = static_cast<long>(
       netlist_->observer_notifications() - notifications_before);
+  report.diagnostics.pin_slabs_allocated =
+      static_cast<long>(netlist_->pin_slabs_allocated());
+  report.diagnostics.pin_slabs_recycled =
+      static_cast<long>(netlist_->pin_slabs_recycled());
+  report.diagnostics.name_pool_bytes =
+      static_cast<long>(netlist_->name_pool_bytes());
+  report.diagnostics.peak_rss_bytes = static_cast<long>(peak_rss_bytes());
   report.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();

@@ -221,6 +221,12 @@ struct PowderReport {
     /// full build): gates re-hashed vs the index size at those refreshes.
     long candidate_gates_refreshed = 0;
     long candidate_index_size = 0;
+
+    // Data-plane memory accounting (DESIGN.md §7).
+    long pin_slabs_allocated = 0;  ///< pin-arena slabs carved from the pools
+    long pin_slabs_recycled = 0;   ///< slab reuses served by the freelists
+    long name_pool_bytes = 0;      ///< bytes held by the interned-name pool
+    long peak_rss_bytes = 0;       ///< VmHWM sampled at end of run (0=unknown)
   };
   Diagnostics diagnostics;
 

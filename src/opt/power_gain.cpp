@@ -1,5 +1,7 @@
 #include "opt/power_gain.hpp"
 
+#include <span>
+
 #include <bit>
 
 #include "util/check.hpp"
@@ -69,7 +71,7 @@ bool removes_dominated_region(const Netlist& netlist,
       return false;
   }
   if (!sub.branch.has_value()) return true;
-  return netlist.gate(sub.target).num_fanouts() == 1;
+  return netlist.num_fanouts(sub.target) == 1;
 }
 
 }  // namespace
@@ -107,9 +109,9 @@ double compute_pg_a(const Netlist& netlist, const PowerEstimator& est,
   for (GateId g : cone) gain += netlist.signal_cap(g) * est.activity(g);
   // Second sum: pins of surviving signals that fed the cone.
   for (GateId g : cone) {
-    const Gate& gate = netlist.gate(g);
-    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
-      const GateId fi = gate.fanins[static_cast<std::size_t>(pin)];
+    const std::span<const GateId> fanins = netlist.fanins(g);
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
+      const GateId fi = fanins[static_cast<std::size_t>(pin)];
       if (!in_cone[fi])
         gain += netlist.pin_cap(g, pin) * est.activity(fi);
     }

@@ -31,19 +31,23 @@ int propagate_constants(Netlist* nl) {
   const CellLibrary& lib = nl->library();
   int simplified = 0;
   // Iterate in topological order so upstream simplifications feed
-  // downstream ones within a single pass.
-  for (GateId g : nl->topo_order()) {
+  // downstream ones within a single pass. Explicit copy: the loop body
+  // mutates the netlist, which invalidates the cached order.
+  const std::vector<GateId> topo = nl->topo_order();
+  for (GateId g : topo) {
     if (!nl->alive(g) || nl->kind(g) != GateKind::kCell) continue;
-    const Gate& gate = nl->gate(g);
-    if (gate.fanouts.empty()) continue;
+    if (nl->fanouts(g).empty()) continue;
     if (nl->cell_of(g).is_constant()) continue;
 
-    // Cofactor the cell function by every constant input.
+    // Cofactor the cell function by every constant input. Snapshot the
+    // fanins: make_constant/add_gate below may reshape the pin arena.
     TruthTable f = nl->cell_of(g).function;
+    const std::vector<GateId> fanins(nl->fanins(g).begin(),
+                                     nl->fanins(g).end());
     std::vector<GateId> live_fanins;
     bool any_const = false;
-    for (int pin = 0; pin < gate.num_fanins(); ++pin) {
-      const GateId fi = gate.fanins[static_cast<std::size_t>(pin)];
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin) {
+      const GateId fi = fanins[static_cast<std::size_t>(pin)];
       const int cv = constant_value_of(*nl, fi);
       if (cv >= 0) {
         f = f.cofactor(pin, cv == 1);
@@ -60,8 +64,8 @@ int propagate_constants(Netlist* nl) {
     {
       // Build index mapping live pin order -> original variable.
       std::vector<int> live_vars;
-      for (int pin = 0; pin < gate.num_fanins(); ++pin)
-        if (constant_value_of(*nl, gate.fanins[static_cast<std::size_t>(pin)]) < 0)
+      for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
+        if (constant_value_of(*nl, fanins[static_cast<std::size_t>(pin)]) < 0)
           live_vars.push_back(pin);
       for (std::uint64_t m = 0; m < compact.num_minterms_capacity(); ++m) {
         std::uint64_t full = 0;
@@ -127,7 +131,7 @@ RedundancyRemovalReport remove_redundancies(
       if (!netlist->alive(g) || netlist->kind(g) == GateKind::kOutput)
         continue;
       if (constant_value_of(*netlist, g) >= 0) continue;
-      for (const FanoutRef& br : netlist->gate(g).fanouts)
+      for (const FanoutRef& br : netlist->fanouts(g))
         if (netlist->kind(br.gate) == GateKind::kCell)
           branches.push_back(Branch{g, br});
     }
@@ -136,9 +140,8 @@ RedundancyRemovalReport remove_redundancies(
       // Still wired as snapshotted?
       if (!netlist->alive(br.driver) || !netlist->alive(br.ref.gate))
         continue;
-      const Gate& sink = netlist->gate(br.ref.gate);
-      if (br.ref.pin >= sink.num_fanins() ||
-          sink.fanins[static_cast<std::size_t>(br.ref.pin)] != br.driver)
+      if (br.ref.pin >= netlist->num_fanins(br.ref.gate) ||
+          netlist->fanin(br.ref.gate, br.ref.pin) != br.driver)
         continue;
       for (int value = 0; value < 2; ++value) {
         const ReplacementSite site{br.driver, br.ref};
@@ -150,7 +153,7 @@ RedundancyRemovalReport remove_redundancies(
         netlist->set_fanin(br.ref.gate, br.ref.pin, cst);
         // The old driver may have just lost its last fanout.
         if (netlist->kind(br.driver) == GateKind::kCell &&
-            netlist->gate(br.driver).fanouts.empty())
+            netlist->fanouts(br.driver).empty())
           netlist->remove_gate_recursive(br.driver);
         ++tied_this_round;
         break;

@@ -101,11 +101,15 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
     // only the fanin signals' loads change — so the candidate ranking is
     // analytic; the (global) delay effect is checked with the incremental
     // STA (each trial swap dirties a handful of gates, not the circuit).
-    for (GateId g : netlist->topo_order()) {
+    // Explicit copy: the trial set_cell swaps below publish deltas while
+    // this loop runs (the cached order itself survives cell swaps, but the
+    // snapshot keeps the iteration independent of cache refreshes).
+    const std::vector<GateId> topo = netlist->topo_order();
+    for (GateId g : topo) {
       if (netlist->kind(g) != GateKind::kCell) continue;
       const auto* alts = alternatives(g);
       if (alts == nullptr) continue;
-      const CellId current = netlist->gate(g).cell;
+      const CellId current = netlist->cell_id(g);
       const Cell& cur_cell = lib.cell(current);
       CellId best = current;
       double best_delta = -1e-12;  // require strict improvement
@@ -117,7 +121,7 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
           delta += (cur_cell.pins[static_cast<std::size_t>(pin)].input_cap -
                     alt_cell.pins[static_cast<std::size_t>(pin)].input_cap) *
                    est.activity(
-                       netlist->gate(g).fanins[static_cast<std::size_t>(pin)]);
+                       netlist->fanin(g, pin));
         if (delta <= best_delta) continue;
         netlist->set_cell(g, alt);
         if (timing.circuit_delay() <= limit + 1e-9) {
@@ -151,7 +155,7 @@ ResizeReport resize_gates(Netlist* netlist, const ResizeOptions& options) {
         }
       }
       if (worst == kNullGate) break;
-      const CellId current = netlist->gate(worst).cell;
+      const CellId current = netlist->cell_id(worst);
       CellId best = current;
       double best_delay = timing.circuit_delay();
       for (CellId alt : *alternatives(worst)) {

@@ -65,14 +65,13 @@ bool substitution_still_valid(const Netlist& netlist,
     const FanoutRef& br = *sub.branch;
     if (br.gate >= netlist.num_slots() || !netlist.alive(br.gate))
       return false;
-    const Gate& sink = netlist.gate(br.gate);
-    if (br.pin >= sink.num_fanins() ||
-        sink.fanins[static_cast<std::size_t>(br.pin)] != sub.target)
+    if (br.pin >= netlist.num_fanins(br.gate) ||
+        netlist.fanin(br.gate, br.pin) != sub.target)
       return false;
   } else {
     // OS: target must be a removable cell gate that still has fanout.
     if (netlist.kind(sub.target) != GateKind::kCell) return false;
-    if (netlist.gate(sub.target).fanouts.empty()) return false;
+    if (netlist.fanouts(sub.target).empty()) return false;
   }
   // Sources must be alive and outside the faulty region.
   const GateId entry =
@@ -133,8 +132,7 @@ AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub) {
 
   if (sub.branch.has_value()) {
     const GateId old_driver =
-        netlist.gate(sub.branch->gate)
-            .fanins[static_cast<std::size_t>(sub.branch->pin)];
+        netlist.fanin(sub.branch->gate, sub.branch->pin);
     netlist.set_fanin(sub.branch->gate, sub.branch->pin, driver);
     applied.rewired_pins.push_back(
         RewiredPin{sub.branch->gate, sub.branch->pin, old_driver, driver});
@@ -142,7 +140,7 @@ AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub) {
   } else {
     // Collect the sinks being rewired: their simulated values can change
     // (within the target's ODC set), so they seed re-simulation.
-    for (const FanoutRef& br : netlist.gate(sub.target).fanouts) {
+    for (const FanoutRef& br : netlist.fanouts(sub.target)) {
       applied.rewired_pins.push_back(
           RewiredPin{br.gate, br.pin, sub.target, driver});
       if (std::find(applied.changed_roots.begin(), applied.changed_roots.end(),
@@ -159,11 +157,11 @@ AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub) {
   // IS this only triggers when the rewired branch was the last one).
   double removed_area = 0.0;
   if (netlist.kind(sub.target) == GateKind::kCell &&
-      netlist.gate(sub.target).fanouts.empty()) {
+      netlist.fanouts(sub.target).empty()) {
     applied.removed_gates =
         netlist.remove_gate_recursive(sub.target, &applied.removed_fanins);
     for (GateId g : applied.removed_gates)
-      removed_area += netlist.library().cell(netlist.gate(g).cell).area;
+      removed_area += netlist.library().cell(netlist.cell_id(g)).area;
   }
   applied.area_delta -= removed_area;
   return applied;

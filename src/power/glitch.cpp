@@ -1,5 +1,7 @@
 #include "power/glitch.hpp"
 
+#include <span>
+
 #include <algorithm>
 #include <map>
 #include <queue>
@@ -19,17 +21,16 @@ void settle(const Netlist& nl, const std::vector<GateId>& topo,
     (*val)[nl.inputs()[static_cast<std::size_t>(i)]] =
         pi_values[static_cast<std::size_t>(i)] ? 1 : 0;
   for (GateId g : topo) {
-    const Gate& gate = nl.gate(g);
-    if (gate.kind == GateKind::kInput) continue;
-    if (gate.kind == GateKind::kOutput) {
-      (*val)[g] = (*val)[gate.fanins[0]];
+    if (nl.kind(g) == GateKind::kInput) continue;
+    if (nl.kind(g) == GateKind::kOutput) {
+      (*val)[g] = (*val)[nl.fanin(g, 0)];
       continue;
     }
+    const std::span<const GateId> fanins = nl.fanins(g);
     const TruthTable& f = nl.cell_of(g).function;
     std::uint64_t idx = 0;
-    for (int pin = 0; pin < gate.num_fanins(); ++pin)
-      if ((*val)[gate.fanins[static_cast<std::size_t>(pin)]])
-        idx |= 1ull << pin;
+    for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
+      if ((*val)[fanins[static_cast<std::size_t>(pin)]]) idx |= 1ull << pin;
     (*val)[g] = f.bit(idx) ? 1 : 0;
   }
 }
@@ -39,7 +40,7 @@ void settle(const Netlist& nl, const std::vector<GateId>& topo,
 GlitchEstimate estimate_glitch_power(const Netlist& netlist,
                                      const GlitchOptions& options) {
   GlitchEstimate out;
-  const std::vector<GateId> topo = netlist.topo_order();
+  const std::vector<GateId>& topo = netlist.topo_order();
   const std::size_t slots = netlist.num_slots();
 
   std::vector<double> pi_probs = options.pi_probs;
@@ -103,7 +104,7 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
         if (val[ev.gate] == ev.value) continue;  // absorbed
         val[ev.gate] = ev.value;
         timed_transitions[ev.gate] += 1.0;
-        for (const FanoutRef& br : netlist.gate(ev.gate).fanouts)
+        for (const FanoutRef& br : netlist.fanouts(ev.gate))
           dirty_sinks.push_back(br.gate);
       }
       // Unique-ify cheaply; duplicate evaluations would be harmless but
@@ -112,15 +113,15 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
       dirty_sinks.erase(std::unique(dirty_sinks.begin(), dirty_sinks.end()),
                         dirty_sinks.end());
       for (GateId s : dirty_sinks) {
-        const Gate& sink = netlist.gate(s);
         std::uint8_t newval;
-        if (sink.kind == GateKind::kOutput) {
-          newval = val[sink.fanins[0]];
+        if (netlist.kind(s) == GateKind::kOutput) {
+          newval = val[netlist.fanin(s, 0)];
         } else {
+          const std::span<const GateId> fanins = netlist.fanins(s);
           const TruthTable& f = netlist.cell_of(s).function;
           std::uint64_t idx = 0;
-          for (int pin = 0; pin < sink.num_fanins(); ++pin)
-            if (val[sink.fanins[static_cast<std::size_t>(pin)]])
+          for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
+            if (val[fanins[static_cast<std::size_t>(pin)]])
               idx |= 1ull << pin;
           newval = f.bit(idx) ? 1 : 0;
         }

@@ -1,5 +1,7 @@
 #include "power/power.hpp"
 
+#include <span>
+
 #include "bdd/netlist_bdd.hpp"
 #include "util/check.hpp"
 
@@ -59,12 +61,12 @@ std::vector<double> propagate_signal_probs(
     p[netlist.inputs()[static_cast<std::size_t>(i)]] =
         pi_probs[static_cast<std::size_t>(i)];
   for (GateId g : netlist.topo_order()) {
-    const Gate& gate = netlist.gate(g);
-    if (gate.kind == GateKind::kInput) continue;
-    if (gate.kind == GateKind::kOutput) {
-      p[g] = p[gate.fanins[0]];
+    if (netlist.kind(g) == GateKind::kInput) continue;
+    if (netlist.kind(g) == GateKind::kOutput) {
+      p[g] = p[netlist.fanin(g, 0)];
       continue;
     }
+    const std::span<const GateId> fanins = netlist.fanins(g);
     const TruthTable& f = netlist.cell_of(g).function;
     const int k = f.num_vars();
     double out = 0.0;
@@ -72,7 +74,7 @@ std::vector<double> propagate_signal_probs(
       if (!f.bit(m)) continue;
       double pm = 1.0;
       for (int v = 0; v < k; ++v) {
-        const double pv = p[gate.fanins[static_cast<std::size_t>(v)]];
+        const double pv = p[fanins[static_cast<std::size_t>(v)]];
         pm *= ((m >> v) & 1) ? pv : (1.0 - pv);
       }
       out += pm;

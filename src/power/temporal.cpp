@@ -47,7 +47,7 @@ TemporalActivity estimate_temporal_activity(const Netlist& netlist,
   // 64 independent chains run in parallel (one per bit).
   const std::size_t slots = netlist.num_slots();
   const CellEvaluator evaluator(netlist.library());
-  const std::vector<GateId> topo = netlist.topo_order();
+  const std::vector<GateId>& topo = netlist.topo_order();
   Rng rng(options.seed);
 
   std::vector<std::uint64_t> value(slots, 0);
@@ -63,15 +63,14 @@ TemporalActivity estimate_temporal_activity(const Netlist& netlist,
   std::vector<std::uint64_t> fanin_words;
   auto eval_all = [&]() {
     for (GateId g : topo) {
-      const Gate& gate = netlist.gate(g);
-      if (gate.kind == GateKind::kInput) continue;
-      if (gate.kind == GateKind::kOutput) {
-        value[g] = value[gate.fanins[0]];
+      if (netlist.kind(g) == GateKind::kInput) continue;
+      if (netlist.kind(g) == GateKind::kOutput) {
+        value[g] = value[netlist.fanin(g, 0)];
         continue;
       }
       fanin_words.clear();
-      for (GateId fi : gate.fanins) fanin_words.push_back(value[fi]);
-      value[g] = evaluator.evaluate(gate.cell, fanin_words);
+      for (GateId fi : netlist.fanins(g)) fanin_words.push_back(value[fi]);
+      value[g] = evaluator.evaluate(netlist.cell_id(g), fanin_words);
     }
   };
   eval_all();

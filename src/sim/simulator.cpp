@@ -17,6 +17,10 @@ constexpr std::size_t kMinWordsPerShard = 4;
 /// clearly not draining (or the circuit churned wholesale) and the
 /// accumulator degrades to the `full` flag instead of growing unbounded.
 constexpr std::size_t kRefreshedAccumCap = 1 << 16;
+
+/// Stack-buffer bound for per-gate evaluation (WordCube packs one bit per
+/// fanin into a 64-bit word, so arity can never exceed 64).
+constexpr std::size_t kMaxEvalArity = 64;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -105,20 +109,16 @@ void Simulator::on_delta(const NetlistDelta& delta) {
       // table), but re-evaluating it keeps the downstream equivalence
       // guards honest against library bugs.
       mark_dirty_root(delta.gate);
-      topo_dirty_ = true;
       break;
     case DeltaKind::kFaninChanged:
       mark_dirty_root(delta.gate);
-      topo_dirty_ = true;
       break;
     case DeltaKind::kGateRemoved:
-      // Dead gates drop out of the cached topological order; their stale
-      // values are never read (refresh skips dead roots).
-      topo_dirty_ = true;
+      // Dead gates drop out of the netlist's cached topological order;
+      // their stale values are never read (refresh skips dead roots).
       break;
     case DeltaKind::kRebuilt:
       full_resim_ = true;
-      topo_dirty_ = true;
       break;
   }
 }
@@ -228,15 +228,6 @@ void Simulator::release_scratch(std::unique_ptr<Scratch> scratch) const {
   scratch_pool_.push_back(std::move(scratch));
 }
 
-const std::vector<GateId>& Simulator::cached_topo() const {
-  std::lock_guard<std::mutex> lock(topo_mutex_);
-  if (topo_dirty_) {
-    topo_cache_ = netlist_->topo_order();
-    topo_dirty_ = false;
-  }
-  return topo_cache_;
-}
-
 int Simulator::word_shards() const {
   if (pool_ == nullptr || ThreadPool::in_parallel_region()) return 1;
   const std::size_t by_words =
@@ -260,14 +251,13 @@ void Simulator::resimulate_all() {
                 num_words_,
                 values_.data() + static_cast<std::size_t>(g) * num_words_);
   }
-  const std::vector<GateId>& topo = cached_topo();
+  const std::vector<GateId>& topo = netlist_->topo_order();
   // Word columns are independent, so each lane walks the whole topological
   // order over its own [lo, hi) word range; within a lane the fanin words it
   // reads were produced earlier in the same lane.
   auto eval_range = [&](std::size_t lo, std::size_t hi) {
     for (GateId g : topo) {
-      const Gate& gate = netlist_->gate(g);
-      if (gate.kind == GateKind::kInput) continue;
+      if (netlist_->kind(g) == GateKind::kInput) continue;
       std::uint64_t* dest =
           values_.data() + static_cast<std::size_t>(g) * num_words_;
       eval_gate_mixed(g, dest, nullptr, nullptr, static_cast<int>(lo),
@@ -286,25 +276,29 @@ void Simulator::eval_gate_mixed(GateId g, std::uint64_t* dest,
                                 const std::uint8_t* dirty,
                                 const std::uint64_t* scratch_words, int w0,
                                 int w1) const {
-  const Gate& gate = netlist_->gate(g);
   auto src = [&](GateId fi) -> const std::uint64_t* {
     const bool use_scratch = dirty != nullptr && dirty[fi];
     const std::uint64_t* from = use_scratch ? scratch_words : values_.data();
     return from + static_cast<std::size_t>(fi) * num_words_;
   };
-  if (gate.kind == GateKind::kOutput) {
-    std::copy(src(gate.fanins[0]) + w0, src(gate.fanins[0]) + w1, dest + w0);
+  const std::span<const GateId> fanins = netlist_->fanins(g);
+  if (netlist_->kind(g) == GateKind::kOutput) {
+    std::copy(src(fanins[0]) + w0, src(fanins[0]) + w1, dest + w0);
     return;
   }
-  POWDER_DCHECK(gate.kind == GateKind::kCell);
-  std::vector<const std::uint64_t*> fi_ptr;
-  fi_ptr.reserve(gate.fanins.size());
-  for (GateId fi : gate.fanins) fi_ptr.push_back(src(fi));
-  std::vector<std::uint64_t> fanin_words(gate.fanins.size());
+  POWDER_DCHECK(netlist_->kind(g) == GateKind::kCell);
+  // Fixed stack buffers: this runs once per (gate, word-range) visit and
+  // must not allocate. Library cells never approach the WordCube's 64-var
+  // ceiling.
+  POWDER_DCHECK(fanins.size() <= kMaxEvalArity);
+  const std::uint64_t* fi_ptr[kMaxEvalArity];
+  std::uint64_t fanin_words[kMaxEvalArity];
+  const std::size_t n = fanins.size();
+  for (std::size_t k = 0; k < n; ++k) fi_ptr[k] = src(fanins[k]);
+  const CellId cell = netlist_->cell_id(g);
   for (int w = w0; w < w1; ++w) {
-    for (std::size_t k = 0; k < fi_ptr.size(); ++k)
-      fanin_words[k] = fi_ptr[k][w];
-    dest[w] = evaluator_.evaluate(gate.cell, fanin_words);
+    for (std::size_t k = 0; k < n; ++k) fanin_words[k] = fi_ptr[k][w];
+    dest[w] = evaluator_.evaluate(cell, {fanin_words, n});
   }
 }
 
@@ -321,7 +315,7 @@ std::vector<GateId> Simulator::resimulate_from(std::span<const GateId> roots) {
   while (!stack.empty()) {
     const GateId g = stack.back();
     stack.pop_back();
-    for (const FanoutRef& br : netlist_->gate(g).fanouts) {
+    for (const FanoutRef& br : netlist_->fanouts(g)) {
       if (!affected[br.gate]) {
         affected[br.gate] = 1;
         stack.push_back(br.gate);
@@ -329,9 +323,9 @@ std::vector<GateId> Simulator::resimulate_from(std::span<const GateId> roots) {
     }
   }
   std::vector<GateId> order;
-  for (GateId g : cached_topo()) {
+  for (GateId g : netlist_->topo_order()) {
     if (!affected[g]) continue;
-    if (netlist_->gate(g).kind == GateKind::kInput) continue;
+    if (netlist_->kind(g) == GateKind::kInput) continue;
     order.push_back(g);
   }
   auto eval_range = [&](std::size_t lo, std::size_t hi) {
@@ -368,7 +362,7 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
   std::vector<std::uint8_t> affected(netlist_->num_slots(), 0);
   std::vector<GateId> stack;
   for (GateId g : frontier) {
-    for (const FanoutRef& br : netlist_->gate(g).fanouts) {
+    for (const FanoutRef& br : netlist_->fanouts(g)) {
       if (!affected[br.gate]) {
         affected[br.gate] = 1;
         stack.push_back(br.gate);
@@ -378,7 +372,7 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
   while (!stack.empty()) {
     const GateId g = stack.back();
     stack.pop_back();
-    for (const FanoutRef& br : netlist_->gate(g).fanouts) {
+    for (const FanoutRef& br : netlist_->fanouts(g)) {
       if (!affected[br.gate]) {
         affected[br.gate] = 1;
         stack.push_back(br.gate);
@@ -386,7 +380,7 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
     }
   }
   std::vector<GateId> order;
-  for (GateId g : cached_topo())
+  for (GateId g : netlist_->topo_order())
     if (affected[g]) order.push_back(g);
 
   std::vector<std::uint64_t> diff(static_cast<std::size_t>(num_words_), 0);
@@ -394,7 +388,6 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
   if (shards <= 1 ||
       order.size() * static_cast<std::size_t>(num_words_) < 512) {
     for (GateId g : order) {
-      const Gate& gate = netlist_->gate(g);
       std::uint64_t* faulty =
           scratch.words.data() + static_cast<std::size_t>(g) * num_words_;
       eval_gate_mixed(g, faulty, scratch.dirty.data(), scratch.words.data(), 0,
@@ -410,7 +403,7 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
       if (!any) continue;  // fault effect died here
       scratch.dirty[g] = 1;
       if (changed != nullptr) changed->push_back(g);
-      if (gate.kind == GateKind::kOutput)
+      if (netlist_->kind(g) == GateKind::kOutput)
         for (int w = 0; w < num_words_; ++w)
           diff[static_cast<std::size_t>(w)] |= faulty[w] ^ good[w];
     }
@@ -447,7 +440,7 @@ std::vector<std::uint64_t> Simulator::propagate_diff(
           break;
         }
       if (any) dirty[g] = 1;
-      if (any && netlist_->gate(g).kind == GateKind::kOutput)
+      if (any && netlist_->kind(g) == GateKind::kOutput)
         for (std::size_t w = lo; w < hi; ++w) diff[w] |= faulty[w] ^ good[w];
     }
   });
@@ -485,23 +478,25 @@ std::vector<std::pair<GateId, double>> Simulator::trial_new_probs(
     // Pre-evaluate the branch's sink against the replacement, then let the
     // generic propagation take over.
     const GateId sink = branch->gate;
-    const Gate& gate = netlist_->gate(sink);
     std::uint64_t* f =
         s.words.data() + static_cast<std::size_t>(sink) * num_words_;
-    if (gate.kind == GateKind::kOutput) {
+    if (netlist_->kind(sink) == GateKind::kOutput) {
       std::copy(replacement.begin(), replacement.end(), f);
     } else {
-      std::vector<const std::uint64_t*> fi_ptr;
-      for (GateId fi : gate.fanins)
-        fi_ptr.push_back(values_.data() +
-                         static_cast<std::size_t>(fi) * num_words_);
-      std::vector<std::uint64_t> fanin_words(gate.fanins.size());
+      const std::span<const GateId> fanins = netlist_->fanins(sink);
+      POWDER_DCHECK(fanins.size() <= kMaxEvalArity);
+      const std::uint64_t* fi_ptr[kMaxEvalArity];
+      std::uint64_t fanin_words[kMaxEvalArity];
+      const std::size_t n = fanins.size();
+      for (std::size_t k = 0; k < n; ++k)
+        fi_ptr[k] =
+            values_.data() + static_cast<std::size_t>(fanins[k]) * num_words_;
+      const CellId cell = netlist_->cell_id(sink);
       for (int w = 0; w < num_words_; ++w) {
-        for (std::size_t k = 0; k < fi_ptr.size(); ++k)
-          fanin_words[k] = fi_ptr[k][w];
+        for (std::size_t k = 0; k < n; ++k) fanin_words[k] = fi_ptr[k][w];
         fanin_words[static_cast<std::size_t>(branch->pin)] =
             replacement[static_cast<std::size_t>(w)];
-        f[w] = evaluator_.evaluate(gate.cell, fanin_words);
+        f[w] = evaluator_.evaluate(cell, {fanin_words, n});
       }
     }
     const std::uint64_t* good =
@@ -568,23 +563,25 @@ std::vector<std::uint64_t> Simulator::output_diff_with_replacement(
   }
   // Branch replacement: only the sink gate sees the new value on one pin.
   const GateId sink = branch->gate;
-  const Gate& gate = netlist_->gate(sink);
   std::uint64_t* f =
       s.words.data() + static_cast<std::size_t>(sink) * num_words_;
-  if (gate.kind == GateKind::kOutput) {
+  if (netlist_->kind(sink) == GateKind::kOutput) {
     std::copy(replacement.begin(), replacement.end(), f);
   } else {
-    std::vector<const std::uint64_t*> fi_ptr;
-    for (GateId fi : gate.fanins)
-      fi_ptr.push_back(values_.data() +
-                       static_cast<std::size_t>(fi) * num_words_);
-    std::vector<std::uint64_t> fanin_words(gate.fanins.size());
+    const std::span<const GateId> fanins = netlist_->fanins(sink);
+    POWDER_DCHECK(fanins.size() <= kMaxEvalArity);
+    const std::uint64_t* fi_ptr[kMaxEvalArity];
+    std::uint64_t fanin_words[kMaxEvalArity];
+    const std::size_t n = fanins.size();
+    for (std::size_t k = 0; k < n; ++k)
+      fi_ptr[k] =
+          values_.data() + static_cast<std::size_t>(fanins[k]) * num_words_;
+    const CellId cell = netlist_->cell_id(sink);
     for (int w = 0; w < num_words_; ++w) {
-      for (std::size_t k = 0; k < fi_ptr.size(); ++k)
-        fanin_words[k] = fi_ptr[k][w];
+      for (std::size_t k = 0; k < n; ++k) fanin_words[k] = fi_ptr[k][w];
       fanin_words[static_cast<std::size_t>(branch->pin)] =
           replacement[static_cast<std::size_t>(w)];
-      f[w] = evaluator_.evaluate(gate.cell, fanin_words);
+      f[w] = evaluator_.evaluate(cell, {fanin_words, n});
     }
   }
   // Seed dirtiness only if the sink value actually changed.
@@ -599,7 +596,7 @@ std::vector<std::uint64_t> Simulator::output_diff_with_replacement(
     }
   if (!any) return diff;
   s.dirty[sink] = 1;
-  if (gate.kind == GateKind::kOutput)
+  if (netlist_->kind(sink) == GateKind::kOutput)
     for (int w = 0; w < num_words_; ++w)
       diff[static_cast<std::size_t>(w)] |= f[w] ^ good[w];
   std::vector<std::uint64_t> deeper = propagate_diff(s, {sink});

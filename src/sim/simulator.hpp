@@ -195,10 +195,6 @@ class Simulator final : public NetlistObserver {
   mutable std::mutex scratch_mutex_;
   mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_;
 
-  mutable std::mutex topo_mutex_;
-  mutable std::vector<GateId> topo_cache_;
-  mutable bool topo_dirty_ = true;
-
   // Dirty state accumulated by on_delta (mutated on the single writer
   // thread only; queries never run concurrently with mutations).
   bool full_resim_ = false;
@@ -212,7 +208,6 @@ class Simulator final : public NetlistObserver {
 
   void ensure_capacity();
   void generate_stimulus();
-  const std::vector<GateId>& cached_topo() const;
   void mark_dirty_root(GateId g);
   void record_refreshed(const std::vector<GateId>& gates);
 

@@ -71,10 +71,10 @@ void IncrementalTiming::on_delta(const NetlistDelta& delta) {
       // the delay-dirty set is {g} ∪ fanins(g); required times are dirty
       // for the fanins of every delay-dirty gate.
       seed_arrival(delta.gate);
-      for (GateId fi : netlist_->gate(delta.gate).fanins) {
+      for (GateId fi : netlist_->fanins(delta.gate)) {
         seed_arrival(fi);
         seed_required(fi);
-        for (GateId ff : netlist_->gate(fi).fanins) seed_required(ff);
+        for (GateId ff : netlist_->fanins(fi)) seed_required(ff);
       }
       break;
     }
@@ -115,18 +115,17 @@ void IncrementalTiming::ensure_topo() {
 }
 
 double IncrementalTiming::recompute_arrival(GateId g) const {
-  const Gate& gate = netlist_->gate(g);
-  if (gate.kind == GateKind::kInput) return 0.0;
+  if (netlist_->kind(g) == GateKind::kInput) return 0.0;
   double in_arr = 0.0;
-  for (GateId fi : gate.fanins) in_arr = std::max(in_arr, arrival_[fi]);
+  for (GateId fi : netlist_->fanins(g))
+    in_arr = std::max(in_arr, arrival_[fi]);
   return in_arr + gate_delay(*netlist_, g);
 }
 
 double IncrementalTiming::recompute_required(GateId g, double target) const {
-  const Gate& gate = netlist_->gate(g);
-  if (gate.kind == GateKind::kOutput) return target;
+  if (netlist_->kind(g) == GateKind::kOutput) return target;
   double r = std::numeric_limits<double>::infinity();
-  for (const FanoutRef& br : gate.fanouts) {
+  for (const FanoutRef& br : netlist_->fanouts(g)) {
     const double rs = required_[br.gate];
     r = std::min(r, netlist_->kind(br.gate) == GateKind::kCell
                         ? rs - gate_delay(*netlist_, br.gate)
@@ -170,7 +169,7 @@ void IncrementalTiming::refresh_arrival() {
       const double a = recompute_arrival(g);
       if (a == arrival_[g]) continue;  // exact cutoff: fanout unaffected
       arrival_[g] = a;
-      for (const FanoutRef& br : nl.gate(g).fanouts) {
+      for (const FanoutRef& br : nl.fanouts(g)) {
         const GateId s = br.gate;
         if (pos_[s] == kNoPos || in_queue_[s]) continue;
         in_queue_[s] = 1;
@@ -200,15 +199,14 @@ void IncrementalTiming::refresh_required() {
     for (GateId o : nl.outputs()) required_[o] = target;
     for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
       const GateId g = *it;
-      const Gate& gate = nl.gate(g);
       ++nodes_visited_;
-      if (gate.kind == GateKind::kOutput) {
-        required_[gate.fanins[0]] =
-            std::min(required_[gate.fanins[0]], required_[g]);
+      if (nl.kind(g) == GateKind::kOutput) {
+        const GateId drv = nl.fanin(g, 0);
+        required_[drv] = std::min(required_[drv], required_[g]);
         continue;
       }
       const double d = gate_delay(nl, g);
-      for (GateId fi : gate.fanins)
+      for (GateId fi : nl.fanins(g))
         required_[fi] = std::min(required_[fi], required_[g] - d);
     }
     clear_seeds(pending_required_, pending_required_flag_);
@@ -234,7 +232,7 @@ void IncrementalTiming::refresh_required() {
       const double r = recompute_required(g, target);
       if (r == required_[g]) continue;
       required_[g] = r;
-      for (GateId fi : nl.gate(g).fanins) {
+      for (GateId fi : nl.fanins(g)) {
         if (pos_[fi] == kNoPos || in_queue_[fi]) continue;
         in_queue_[fi] = 1;
         heap.emplace(pos_[fi], fi);

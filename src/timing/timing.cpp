@@ -8,8 +8,7 @@
 namespace powder {
 
 double gate_delay(const Netlist& netlist, GateId g) {
-  const Gate& gate = netlist.gate(g);
-  if (gate.kind != GateKind::kCell) return 0.0;
+  if (netlist.kind(g) != GateKind::kCell) return 0.0;
   const Cell& c = netlist.cell_of(g);
   return c.intrinsic_delay + netlist.signal_cap(g) * c.drive_resistance;
 }
@@ -20,15 +19,15 @@ TimingAnalysis analyze_timing(const Netlist& netlist, double constraint) {
   ta.required.assign(netlist.num_slots(),
                      std::numeric_limits<double>::infinity());
 
-  const std::vector<GateId> order = netlist.topo_order();
+  const std::vector<GateId>& order = netlist.topo_order();
   for (GateId g : order) {
-    const Gate& gate = netlist.gate(g);
-    if (gate.kind == GateKind::kInput) {
+    if (netlist.kind(g) == GateKind::kInput) {
       ta.arrival[g] = 0.0;
       continue;
     }
     double in_arr = 0.0;
-    for (GateId fi : gate.fanins) in_arr = std::max(in_arr, ta.arrival[fi]);
+    for (GateId fi : netlist.fanins(g))
+      in_arr = std::max(in_arr, ta.arrival[fi]);
     ta.arrival[g] = in_arr + gate_delay(netlist, g);
   }
   for (GateId o : netlist.outputs())
@@ -38,15 +37,14 @@ TimingAnalysis analyze_timing(const Netlist& netlist, double constraint) {
   for (GateId o : netlist.outputs()) ta.required[o] = target;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const GateId g = *it;
-    const Gate& gate = netlist.gate(g);
-    if (gate.kind == GateKind::kOutput) {
+    if (netlist.kind(g) == GateKind::kOutput) {
       // The PO's driver must arrive by the PO's required time.
-      ta.required[gate.fanins[0]] =
-          std::min(ta.required[gate.fanins[0]], ta.required[g]);
+      const GateId drv = netlist.fanin(g, 0);
+      ta.required[drv] = std::min(ta.required[drv], ta.required[g]);
       continue;
     }
     const double d = gate_delay(netlist, g);
-    for (GateId fi : gate.fanins)
+    for (GateId fi : netlist.fanins(g))
       ta.required[fi] = std::min(ta.required[fi], ta.required[g] - d);
   }
   return ta;

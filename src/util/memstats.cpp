@@ -1,0 +1,30 @@
+#include "util/memstats.hpp"
+
+#ifdef __linux__
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace powder {
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%" SCNu64, &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace powder

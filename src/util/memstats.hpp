@@ -1,0 +1,13 @@
+#pragma once
+
+// Process memory statistics for report diagnostics.
+
+#include <cstdint>
+
+namespace powder {
+
+/// Peak resident set size of this process in bytes (VmHWM). Returns 0 on
+/// platforms without /proc.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace powder

@@ -1,0 +1,121 @@
+#pragma once
+
+// Inline small-buffer vector for hot-path value types. The first N elements
+// live inside the object; pushing past N spills to a single heap block.
+// NetlistDelta stores its fanin snapshot in one of these so that publishing
+// a delta for a typical (<= 8 input) gate performs zero heap allocations —
+// asserted by layout_test.cpp via the global spill counter below.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace powder {
+
+namespace detail {
+/// Counts heap spills across every SmallVec instantiation (test hook).
+inline std::atomic<std::uint64_t>& small_vec_heap_allocations() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+}  // namespace detail
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is specialized for trivially copyable pin types");
+  static_assert(N > 0);
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { assign(other.data(), other.size_); }
+  SmallVec(SmallVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = static_cast<std::uint32_t>(N);
+      other.size_ = 0;
+    } else {
+      assign(other.data(), other.size_);
+    }
+  }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.data(), other.size_);
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = static_cast<std::uint32_t>(N);
+    size_ = 0;
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = static_cast<std::uint32_t>(N);
+      other.size_ = 0;
+    } else {
+      assign(other.data(), other.size_);
+    }
+    return *this;
+  }
+  ~SmallVec() { delete[] heap_; }
+
+  void push_back(const T& value) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = value;
+  }
+  void assign(const T* src, std::size_t n) {
+    if (n > cap_) grow(static_cast<std::uint32_t>(n));
+    if (n > 0) std::memcpy(data(), src, n * sizeof(T));
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  template <typename Range>
+  void assign_range(const Range& range) {
+    clear();
+    for (const T& v : range) push_back(v);
+  }
+  void clear() { size_ = 0; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void grow(std::uint32_t want) {
+    const std::uint32_t new_cap = std::max<std::uint32_t>(want, cap_ * 2);
+    T* block = new T[new_cap];
+    detail::small_vec_heap_allocations().fetch_add(
+        1, std::memory_order_relaxed);
+    if (size_ > 0) std::memcpy(block, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = block;
+    cap_ = new_cap;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = static_cast<std::uint32_t>(N);
+};
+
+}  // namespace powder

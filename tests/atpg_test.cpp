@@ -189,7 +189,7 @@ TEST_P(AtpgOracleAgreement, RandomReplacementsMatchExhaustiveTruth) {
   for (int t = 0; t < 40 && trials < 25; ++t) {
     const GateId target = signals[rng.below(signals.size())];
     if (nl.kind(target) != GateKind::kCell) continue;
-    if (nl.gate(target).fanouts.empty()) continue;
+    if (nl.fanouts(target).empty()) continue;
     const GateId source = signals[rng.below(signals.size())];
     if (source == target || nl.in_tfo(target, source)) continue;
     const bool invert = rng.flip(0.3);

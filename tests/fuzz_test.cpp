@@ -44,12 +44,12 @@ TEST_P(SubstitutionFuzz, RandomProvedSubstitutionsPreserveEverything) {
         signals.push_back(g);
     const GateId target = signals[rng.below(signals.size())];
     if (nl.kind(target) != GateKind::kCell) continue;
-    if (nl.gate(target).fanouts.empty()) continue;
+    if (nl.fanouts(target).empty()) continue;
 
     CandidateSub cand;
     cand.target = target;
     if (rng.flip(0.5)) {
-      const auto& fo = nl.gate(target).fanouts;
+      const auto fo = nl.fanouts(target);
       const FanoutRef br = fo[rng.below(fo.size())];
       cand.branch = br;
       cand.cls = SubstClass::kIS2;

@@ -109,7 +109,7 @@ void storm_round(Netlist& nl, PowerEstimator& est, CandidateFinder& finder,
     const auto it = groups.find(c.function.to_hex() + "/" +
                                 std::to_string(c.num_inputs()));
     if (it == groups.end() || it->second.size() < 2) continue;
-    const CellId cur = nl.gate(g).cell;
+    const CellId cur = nl.cell_id(g);
     for (CellId alt : it->second) {
       if (alt == cur) continue;
       journal.apply_resize(g, alt);
@@ -126,15 +126,18 @@ void expect_same_structure(const Netlist& a, const Netlist& b) {
   EXPECT_EQ(a.outputs(), b.outputs());
   for (GateId g = 0; g < a.num_slots(); ++g) {
     SCOPED_TRACE("gate " + std::to_string(g));
-    const Gate& ga = a.gate(g);
-    const Gate& gb = b.gate(g);
-    EXPECT_EQ(ga.alive, gb.alive);
-    EXPECT_EQ(static_cast<int>(ga.kind), static_cast<int>(gb.kind));
-    EXPECT_EQ(ga.cell, gb.cell);
-    EXPECT_EQ(ga.name, gb.name);
-    EXPECT_EQ(ga.fanins, gb.fanins);
-    EXPECT_EQ(ga.fanouts, gb.fanouts);
-    EXPECT_EQ(ga.po_load, gb.po_load);
+    EXPECT_EQ(a.alive(g), b.alive(g));
+    EXPECT_EQ(static_cast<int>(a.kind(g)), static_cast<int>(b.kind(g)));
+    EXPECT_EQ(a.cell_id(g), b.cell_id(g));
+    EXPECT_EQ(a.gate_name(g), b.gate_name(g));
+    ASSERT_EQ(a.num_fanins(g), b.num_fanins(g));
+    for (int pin = 0; pin < a.num_fanins(g); ++pin)
+      EXPECT_EQ(a.fanin(g, pin), b.fanin(g, pin));
+    ASSERT_EQ(a.num_fanouts(g), b.num_fanouts(g));
+    for (int k = 0; k < a.num_fanouts(g); ++k)
+      EXPECT_TRUE(a.fanouts(g)[static_cast<std::size_t>(k)] ==
+                  b.fanouts(g)[static_cast<std::size_t>(k)]);
+    EXPECT_EQ(a.po_load(g), b.po_load(g));
   }
 }
 
@@ -167,12 +170,12 @@ TEST(DeltaBusTest, DeltasSinceReportsTailAndEviction) {
     if (it == groups.end() || it->second.size() < 2) continue;
     g = cand;
     for (CellId alt : it->second)
-      if (alt != nl.gate(cand).cell) other = alt;
+      if (alt != nl.cell_id(cand)) other = alt;
   }
   ASSERT_NE(g, kNullGate);
 
   const std::uint64_t e0 = nl.epoch();
-  const CellId original = nl.gate(g).cell;
+  const CellId original = nl.cell_id(g);
   nl.set_cell(g, other);
   nl.set_cell(g, original);
   const auto tail = nl.deltas_since(e0);
@@ -223,7 +226,7 @@ TEST(DeltaBusTest, ReplayReproducesStormedNetlist) {
 
   ASSERT_FALSE(rec.saw_rebuilt);
   ASSERT_GT(rec.log.size(), 50u);
-  for (const NetlistDelta& d : rec.log) replay_delta(replica, d);
+  for (const NetlistDelta& d : rec.log) replay_delta(replica, d, nl.names());
   expect_same_structure(nl, replica);
   replica.check_consistency();
 }
@@ -350,17 +353,17 @@ TEST(IncrementalJournalTest, ResizeCommitsRollBackThroughTheJournal) {
     if (it == groups.end() || it->second.size() < 2) continue;
     g = cand;
     for (CellId a : it->second)
-      if (a != nl.gate(cand).cell) alt = a;
+      if (a != nl.cell_id(cand)) alt = a;
   }
   ASSERT_NE(g, kNullGate);
-  const CellId original = nl.gate(g).cell;
+  const CellId original = nl.cell_id(g);
 
   DeltaRecorder rec;
   nl.attach_observer(&rec);
   SubstJournal journal(&nl);
 
   const AppliedSub& applied = journal.apply_resize(g, alt);
-  EXPECT_EQ(nl.gate(g).cell, alt);
+  EXPECT_EQ(nl.cell_id(g), alt);
   ASSERT_EQ(applied.resized_cells.size(), 1u);
   EXPECT_EQ(applied.resized_cells[0].gate, g);
   EXPECT_EQ(applied.resized_cells[0].old_cell, original);
@@ -369,7 +372,7 @@ TEST(IncrementalJournalTest, ResizeCommitsRollBackThroughTheJournal) {
   EXPECT_EQ(rec.log[0].kind, DeltaKind::kCellChanged);
 
   const std::vector<GateId> roots = journal.rollback_last();
-  EXPECT_EQ(nl.gate(g).cell, original);
+  EXPECT_EQ(nl.cell_id(g), original);
   EXPECT_NE(std::find(roots.begin(), roots.end(), g), roots.end());
   ASSERT_EQ(rec.log.size(), 2u);
   EXPECT_EQ(rec.log[1].kind, DeltaKind::kCellChanged);
@@ -395,7 +398,7 @@ TEST(IncrementalSimTest, FlipAndDiffQueriesOnStaleSimulatorAreChecked) {
     if (it == groups.end() || it->second.size() < 2) continue;
     g = cand;
     for (CellId a : it->second)
-      if (a != nl.gate(cand).cell) alt = a;
+      if (a != nl.cell_id(cand)) alt = a;
   }
   ASSERT_NE(g, kNullGate);
 

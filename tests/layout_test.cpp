@@ -1,0 +1,250 @@
+// Unit tests for the cache-compact data plane primitives (DESIGN.md §7):
+// NameTable interning, PinArena slab lifecycle, SmallVec spill behavior,
+// and the zero-allocation NetlistDelta contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netlist/name_table.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/pin_arena.hpp"
+#include "util/small_vec.hpp"
+
+namespace powder {
+namespace {
+
+// ---------------------------------------------------------------- NameTable
+
+TEST(NameTableTest, RoundTripAndDedup) {
+  NameTable t;
+  const NameId a = t.intern("alpha");
+  const NameId b = t.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("alpha"), a);  // dedup: same spelling, same id
+  EXPECT_EQ(t.view(a), "alpha");
+  EXPECT_EQ(t.view(b), "beta");
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.find("alpha"), a);
+  EXPECT_EQ(t.find("gamma"), kNullName);
+  EXPECT_TRUE(t.contains("beta"));
+  EXPECT_FALSE(t.contains(""));
+  // Views are null-terminated for printf-style consumers.
+  EXPECT_EQ(t.view(a).data()[t.view(a).size()], '\0');
+}
+
+TEST(NameTableTest, NearCollisionSpellingsStayDistinct) {
+  // Names that differ only in one byte, share prefixes, or are prefixes of
+  // each other must intern to distinct ids and survive round-trips.
+  NameTable t;
+  const std::vector<std::string> spellings = {
+      "g",    "g1",   "g10",  "g100", "g1000", "n_0", "n_00",
+      "n_0 ", " n_0", "N_0",  "n-0",  "n.0",   "",    "0"};
+  std::vector<NameId> ids;
+  for (const std::string& s : spellings) ids.push_back(t.intern(s));
+  for (std::size_t i = 0; i < spellings.size(); ++i) {
+    EXPECT_EQ(t.view(ids[i]), spellings[i]);
+    EXPECT_EQ(t.find(spellings[i]), ids[i]);
+    for (std::size_t j = i + 1; j < spellings.size(); ++j)
+      EXPECT_NE(ids[i], ids[j]);
+  }
+}
+
+TEST(NameTableTest, ManyNamesSpanChunksWithStableViews) {
+  NameTable t;
+  std::vector<NameId> ids;
+  std::vector<std::string> names;
+  for (int i = 0; i < 20000; ++i) {  // ~200KB of text: crosses chunks
+    names.push_back("gate_with_a_reasonably_long_name_" + std::to_string(i));
+    ids.push_back(t.intern(names.back()));
+  }
+  // An oversized name gets a dedicated chunk without disturbing the rest.
+  const std::string huge(100 * 1024, 'x');
+  const NameId huge_id = t.intern(huge);
+  for (int i = 0; i < 20000; ++i)
+    ASSERT_EQ(t.view(ids[static_cast<std::size_t>(i)]),
+              names[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(t.view(huge_id), huge);
+  EXPECT_GT(t.pool_bytes(), names.size());
+}
+
+TEST(NameTableTest, CopyPreservesIds) {
+  NameTable t;
+  const NameId a = t.intern("pi_0");
+  const NameId b = t.intern("u42");
+  NameTable copy(t);
+  EXPECT_EQ(copy.view(a), "pi_0");
+  EXPECT_EQ(copy.view(b), "u42");
+  EXPECT_EQ(copy.find("u42"), b);
+  // The copy is independent: new interns don't leak back.
+  const NameId c = copy.intern("only_in_copy");
+  EXPECT_EQ(t.find("only_in_copy"), kNullName);
+  EXPECT_EQ(copy.view(c), "only_in_copy");
+}
+
+// ----------------------------------------------------------------- PinArena
+
+TEST(PinArenaTest, PushViewErasePreservesOrder) {
+  PinArena<int> arena;
+  PinArena<int>::Ref ref;
+  for (int i = 0; i < 10; ++i) arena.push_back(ref, i * 11);
+  ASSERT_EQ(ref.size, 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(arena.at(ref, i), i * 11);
+  arena.erase_at(ref, 3);  // order-preserving: tail shifts down
+  const std::vector<int> want = {0, 11, 22, 44, 55, 66, 77, 88, 99};
+  const auto got = arena.view(ref);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+TEST(PinArenaTest, FreelistRecyclesReleasedSlabs) {
+  PinArena<int> arena;
+  PinArena<int>::Ref a;
+  arena.assign(a, nullptr, 0);
+  for (int i = 0; i < 8; ++i) arena.push_back(a, i);  // lands in class 4
+  const std::uint64_t allocated_before = arena.slabs_allocated();
+  arena.release(a);
+  EXPECT_EQ(a.size, 0u);
+  EXPECT_EQ(a.cls, 0u);
+  // A new 8-pin list must reuse the released slab, not grow the pool.
+  PinArena<int>::Ref b;
+  const int pins[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+  arena.assign(b, pins, 8);
+  EXPECT_EQ(arena.slabs_allocated(), allocated_before);
+  EXPECT_GE(arena.slabs_recycled(), 1u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(arena.at(b, i), pins[i]);
+}
+
+TEST(PinArenaTest, GrowMovesContentsAndRecyclesOldSlab) {
+  PinArena<int> arena;
+  PinArena<int>::Ref a;
+  for (int i = 0; i < 4; ++i) arena.push_back(a, i);
+  const std::uint8_t cls_before = a.cls;
+  arena.push_back(a, 4);  // forces a class upgrade
+  EXPECT_GT(a.cls, cls_before);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(arena.at(a, i), i);
+  // The vacated small slab must now serve a fresh list of that class.
+  const std::uint64_t recycled_before = arena.slabs_recycled();
+  PinArena<int>::Ref b;
+  for (int i = 0; i < 4; ++i) arena.push_back(b, 100 + i);
+  EXPECT_GT(arena.slabs_recycled(), recycled_before);
+}
+
+// ------------------------------------------------------------------ SmallVec
+
+TEST(SmallVecTest, InlineUntilSpill) {
+  const std::uint64_t spills_before =
+      detail::small_vec_heap_allocations().load();
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(detail::small_vec_heap_allocations().load(), spills_before);
+  v.push_back(4);  // first element past N spills to the heap
+  EXPECT_GT(detail::small_vec_heap_allocations().load(), spills_before);
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, CopyMoveEquality) {
+  SmallVec<int, 4> a;
+  for (int i = 0; i < 3; ++i) a.push_back(i);
+  SmallVec<int, 4> b(a);
+  EXPECT_TRUE(a == b);
+  b.push_back(99);
+  EXPECT_FALSE(a == b);
+  SmallVec<int, 4> c(std::move(b));
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[3], 99);
+  // Spilled vectors move by pointer steal.
+  SmallVec<int, 2> big;
+  for (int i = 0; i < 10; ++i) big.push_back(i);
+  const std::uint64_t spills_before =
+      detail::small_vec_heap_allocations().load();
+  SmallVec<int, 2> stolen(std::move(big));
+  EXPECT_EQ(detail::small_vec_heap_allocations().load(), spills_before);
+  ASSERT_EQ(stolen.size(), 10u);
+  EXPECT_EQ(stolen[9], 9);
+}
+
+// ------------------------------------------- tombstone/revive slab reuse
+
+TEST(PinArenaTest, NetlistTombstoneReviveRecyclesSlabs) {
+  // Removing a gate returns its fanin/fanout slabs to the arena freelists;
+  // reviving it (journal rollback) and re-removing must recycle those
+  // slabs instead of growing the pools.
+  const CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib);
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const CellId nand2 = lib.find("nand2");
+  const GateId h = nl.add_gate(nand2, {a, b}, "h");
+  nl.add_output("out", h);
+  // A fanout-free gate: remove_single_gate requires the gate drive nothing,
+  // exactly the shape the journal tombstones on rollback.
+  const GateId g = nl.add_gate(nand2, {a, b}, "g");
+
+  const std::vector<GateId> g_fanins(nl.fanins(g).begin(), nl.fanins(g).end());
+  nl.remove_single_gate(g);
+  EXPECT_FALSE(nl.alive(g));
+  const std::uint64_t allocated_after_remove = nl.pin_slabs_allocated();
+  const std::uint64_t recycled_after_remove = nl.pin_slabs_recycled();
+
+  // Tombstone -> revive -> tombstone cycles run entirely off the freelists.
+  for (int i = 0; i < 16; ++i) {
+    nl.revive_gate(g, g_fanins);
+    EXPECT_TRUE(nl.alive(g));
+    nl.remove_single_gate(g);
+  }
+  EXPECT_EQ(nl.pin_slabs_allocated(), allocated_after_remove)
+      << "revive/remove cycling grew the pin pools";
+  EXPECT_GT(nl.pin_slabs_recycled(), recycled_after_remove);
+
+  nl.revive_gate(g, g_fanins);
+  for (std::size_t i = 0; i < g_fanins.size(); ++i)
+    EXPECT_EQ(nl.fanin(g, static_cast<int>(i)), g_fanins[i]);
+  nl.check_consistency();
+}
+
+// ------------------------------------------------- zero-allocation deltas
+
+/// Captures the last delta it sees (by value, like the delta log does).
+class LastDeltaObserver final : public NetlistObserver {
+ public:
+  void on_delta(const NetlistDelta& delta) override { last = delta; }
+  NetlistDelta last;
+};
+
+TEST(DeltaAllocationTest, SteadyStatePublishDoesNotSpill) {
+  // Build a small netlist, warm the delta ring buffer, then assert that
+  // publishing rewire deltas performs zero SmallVec heap spills: the fanin
+  // snapshot of any <=8-input gate fits the delta's inline buffer.
+  const CellLibrary lib = CellLibrary::standard();
+  Netlist nl(&lib);
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const CellId nand2 = lib.find("nand2");
+  const GateId g = nl.add_gate(nand2, {a, b}, "g");
+  const GateId h = nl.add_gate(nand2, {g, b}, "h");
+  nl.add_output("out", h);
+  LastDeltaObserver obs;
+  nl.attach_observer(&obs);
+
+  // Warm up: exercise both rewire directions once so any lazy containers
+  // (ring-buffer slots, fanout slabs) reach steady state.
+  nl.set_fanin(h, 0, b);
+  nl.set_fanin(h, 0, g);
+
+  const std::uint64_t spills_before =
+      detail::small_vec_heap_allocations().load();
+  for (int i = 0; i < 64; ++i) {
+    nl.set_fanin(h, 0, b);
+    nl.set_fanin(h, 0, g);
+  }
+  EXPECT_EQ(detail::small_vec_heap_allocations().load(), spills_before)
+      << "publishing a rewire delta allocated on the heap";
+  EXPECT_EQ(obs.last.kind, DeltaKind::kFaninChanged);
+  nl.detach_observer(&obs);
+}
+
+}  // namespace
+}  // namespace powder

@@ -27,8 +27,8 @@ TEST_F(NetlistTest, BuildSmallCircuit) {
   EXPECT_EQ(nl_.num_inputs(), 2);
   EXPECT_EQ(nl_.num_outputs(), 1);
   EXPECT_EQ(nl_.num_cells(), 1);
-  EXPECT_EQ(nl_.gate(g).fanouts.size(), 1u);
-  EXPECT_EQ(nl_.gate(o).fanins[0], g);
+  EXPECT_EQ(nl_.fanouts(g).size(), 1u);
+  EXPECT_EQ(nl_.fanin(o, 0), g);
   nl_.check_consistency();
 }
 
@@ -51,9 +51,9 @@ TEST_F(NetlistTest, SetFaninRewiresAndMaintainsFanout) {
   const GateId g = nl_.add_gate(cell("and2"), {a, b});
   nl_.add_output("f", g);
   nl_.set_fanin(g, 0, c);
-  EXPECT_EQ(nl_.gate(g).fanins[0], c);
-  EXPECT_TRUE(nl_.gate(a).fanouts.empty());
-  EXPECT_EQ(nl_.gate(c).fanouts.size(), 1u);
+  EXPECT_EQ(nl_.fanin(g, 0), c);
+  EXPECT_TRUE(nl_.fanouts(a).empty());
+  EXPECT_EQ(nl_.fanouts(c).size(), 1u);
   nl_.check_consistency();
 }
 
@@ -76,11 +76,11 @@ TEST_F(NetlistTest, ReplaceAllFanouts) {
   nl_.add_output("f", g3);
   nl_.add_output("h", g4);
   nl_.replace_all_fanouts(g1, g2);
-  EXPECT_TRUE(nl_.gate(g1).fanouts.empty());
-  EXPECT_EQ(nl_.gate(g2).fanouts.size(), 3u);
-  EXPECT_EQ(nl_.gate(g3).fanins[0], g2);
-  EXPECT_EQ(nl_.gate(g4).fanins[0], g2);
-  EXPECT_EQ(nl_.gate(g4).fanins[1], g2);
+  EXPECT_TRUE(nl_.fanouts(g1).empty());
+  EXPECT_EQ(nl_.fanouts(g2).size(), 3u);
+  EXPECT_EQ(nl_.fanin(g3, 0), g2);
+  EXPECT_EQ(nl_.fanin(g4, 0), g2);
+  EXPECT_EQ(nl_.fanin(g4, 1), g2);
   nl_.check_consistency();
 }
 

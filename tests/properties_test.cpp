@@ -78,19 +78,19 @@ TEST_P(ObservabilityOracle, StemObservabilityMatchesDefinition) {
         std::vector<int> val(nl.num_slots(), -1);
         auto eval = [&](auto&& self, GateId x) -> int {
           if (val[x] >= 0) return val[x];
-          const Gate& gate = nl.gate(x);
           int r;
-          if (gate.kind == GateKind::kInput) {
+          if (nl.kind(x) == GateKind::kInput) {
             int idx = 0;
             for (int i = 0; i < nl.num_inputs(); ++i)
               if (nl.inputs()[static_cast<std::size_t>(i)] == x) idx = i;
             r = (m >> idx) & 1;
-          } else if (gate.kind == GateKind::kOutput) {
-            r = self(self, gate.fanins[0]);
+          } else if (nl.kind(x) == GateKind::kOutput) {
+            r = self(self, nl.fanin(x, 0));
           } else {
+            const auto fanins = nl.fanins(x);
             std::uint64_t in = 0;
-            for (int pin = 0; pin < gate.num_fanins(); ++pin)
-              if (self(self, gate.fanins[static_cast<std::size_t>(pin)]))
+            for (int pin = 0; pin < static_cast<int>(fanins.size()); ++pin)
+              if (self(self, fanins[static_cast<std::size_t>(pin)]))
                 in |= 1ull << pin;
             r = nl.cell_of(x).function.bit(in) ? 1 : 0;
           }
@@ -155,7 +155,7 @@ TEST(TimingProperties, ArrivalMonotoneAlongPaths) {
     const TimingAnalysis ta = analyze_timing(nl);
     for (GateId g = 0; g < nl.num_slots(); ++g) {
       if (!nl.alive(g)) continue;
-      for (GateId fi : nl.gate(g).fanins)
+      for (GateId fi : nl.fanins(g))
         EXPECT_GE(ta.arrival[g], ta.arrival[fi] - 1e-12) << name;
     }
     // Slack non-negative everywhere under the self-constraint.

@@ -33,7 +33,7 @@ TEST_F(RedundancyTest, RemovesTextbookRedundantBranch) {
   nl_.check_consistency();
   // The AND gate and even the OR gate should be gone (f == a).
   EXPECT_EQ(nl_.num_cells(), 0);
-  EXPECT_EQ(nl_.gate(nl_.outputs()[0]).fanins[0], a);
+  EXPECT_EQ(nl_.fanin(nl_.outputs()[0], 0), a);
 }
 
 TEST_F(RedundancyTest, IrredundantCircuitUntouched) {
@@ -62,7 +62,7 @@ TEST_F(RedundancyTest, ConstantPropagationSimplifiesGates) {
   (void)remove_redundancies(&nl_);
   EXPECT_TRUE(functionally_equivalent(before, nl_));
   // or2 and the constant are gone; and2 reads `a` directly.
-  EXPECT_EQ(nl_.gate(top).fanins[0], a);
+  EXPECT_EQ(nl_.fanin(top, 0), a);
   EXPECT_FALSE(nl_.alive(g));
   EXPECT_FALSE(nl_.alive(zero));
 }

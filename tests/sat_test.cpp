@@ -202,11 +202,11 @@ TEST_P(EngineAgreement, PodemVsSatVsExhaustive) {
   for (int t = 0; t < 60 && trials < 20; ++t) {
     const GateId target = signals[rng.below(signals.size())];
     if (nl.kind(target) != GateKind::kCell) continue;
-    if (nl.gate(target).fanouts.empty()) continue;
+    if (nl.fanouts(target).empty()) continue;
     // Mix of stem and branch sites.
     ReplacementSite site{target, std::nullopt};
     if (rng.flip(0.4)) {
-      const auto& fo = nl.gate(target).fanouts;
+      const auto fo = nl.fanouts(target);
       site.branch = fo[rng.below(fo.size())];
       if (nl.kind(site.branch->gate) == GateKind::kOutput) site.branch.reset();
     }

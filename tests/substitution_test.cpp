@@ -39,7 +39,7 @@ TEST_F(SubstTest, OS2MovesFanoutAndSweepsMffc) {
   nl_.check_consistency();
   EXPECT_FALSE(nl_.alive(g1));
   EXPECT_EQ(applied.removed_gates.size(), 1u);
-  EXPECT_EQ(nl_.gate(top).fanins[0], g3);
+  EXPECT_EQ(nl_.fanin(top, 0), g3);
   EXPECT_LT(applied.area_delta, 0.0);
   EXPECT_TRUE(functionally_equivalent(before, nl_));
 }
@@ -64,7 +64,7 @@ TEST_F(SubstTest, IS2RewiresSingleBranch) {
   const Netlist before = nl_;
   const AppliedSub applied = apply_substitution(nl_, sub);
   nl_.check_consistency();
-  EXPECT_EQ(nl_.gate(d).fanins[0], e);
+  EXPECT_EQ(nl_.fanin(d, 0), e);
   // a still feeds e; nothing was removed.
   EXPECT_TRUE(applied.removed_gates.empty());
   EXPECT_TRUE(functionally_equivalent(before, nl_));
