@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/fault_injection.hpp"
 
@@ -42,7 +44,18 @@ ReplacementFunction ReplacementFunction::two_input(GateId b, GateId c,
 }
 
 AtpgChecker::AtpgChecker(const Netlist& netlist, AtpgOptions options)
-    : netlist_(&netlist), options_(options) {}
+    : netlist_(&netlist), options_(options) {
+  if (options_.metrics != nullptr) {
+    m_checks_ = options_.metrics->counter(
+        "powder_proof_podem_checks_total", "PODEM permissibility checks run");
+    m_backtracks_ = options_.metrics->counter(
+        "powder_proof_podem_backtracks_total",
+        "PODEM backtracks spent across all checks");
+    h_check_ns_ = options_.metrics->histogram(
+        "powder_proof_podem_check_duration_ns",
+        "Wall time per PODEM permissibility check");
+  }
+}
 
 void AtpgChecker::setup_regions(const ReplacementSite& site,
                                 const ReplacementFunction& rep) {
@@ -312,6 +325,28 @@ std::pair<GateId, AtpgChecker::Val> AtpgChecker::choose_objective(
 AtpgResult AtpgChecker::check_replacement(const ReplacementSite& site,
                                           const ReplacementFunction& rep,
                                           TestVector* test) {
+  if (options_.trace == nullptr && m_checks_ == nullptr)
+    return check_replacement_impl(site, rep, test);
+  const std::uint64_t t0 = trace_now_ns();
+  const long bt_before = stats_.total_backtracks;
+  const AtpgResult r = check_replacement_impl(site, rep, test);
+  const std::uint64_t dur = trace_now_ns() - t0;
+  const long backtracks = stats_.total_backtracks - bt_before;
+  if (m_checks_ != nullptr) {
+    m_checks_->inc();
+    m_backtracks_->inc(backtracks);
+    h_check_ns_->observe(dur);
+  }
+  if (options_.trace != nullptr)
+    options_.trace->record_span("podem_check", "proof", t0, dur, "result",
+                                static_cast<long long>(r), "backtracks",
+                                backtracks);
+  return r;
+}
+
+AtpgResult AtpgChecker::check_replacement_impl(const ReplacementSite& site,
+                                               const ReplacementFunction& rep,
+                                               TestVector* test) {
   ++stats_.checks;
   if (inject_fault(FaultInjector::Site::kAtpgProof)) {
     ++stats_.aborted;

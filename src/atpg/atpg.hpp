@@ -25,6 +25,9 @@
 
 namespace powder {
 
+class TraceSession;
+class MetricsRegistry;
+
 enum class AtpgResult {
   kTestFound,   ///< a distinguishing vector exists — NOT permissible
   kUntestable,  ///< proved permissible
@@ -39,6 +42,11 @@ struct AtpgOptions {
   /// what is left in the global pool, actual use is charged back, and a dry
   /// pool or an expired deadline aborts the check immediately.
   ResourceBudget* budget = nullptr;
+  /// Optional observability sinks (borrowed). When set, each check emits a
+  /// "podem_check" span and feeds the proof-latency histogram; when null the
+  /// cost is a single branch per check.
+  TraceSession* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Where the replacement happens.
@@ -98,9 +106,19 @@ class AtpgChecker {
  private:
   enum class Val : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
 
+  AtpgResult check_replacement_impl(const ReplacementSite& site,
+                                    const ReplacementFunction& rep,
+                                    TestVector* test);
+
   const Netlist* netlist_;
   AtpgOptions options_;
   Stats stats_;
+
+  // Observability handles, resolved once at construction (null = disabled;
+  // the per-check cost is then a single branch).
+  class Counter* m_checks_ = nullptr;
+  class Counter* m_backtracks_ = nullptr;
+  class Histogram* h_check_ns_ = nullptr;
 
   // Per-check working state.
   std::vector<std::uint8_t> in_faulty_region_;

@@ -8,6 +8,8 @@
 #include "atpg/regions.hpp"
 #include "logic/cube.hpp"
 #include "sat/solver.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/fault_injection.hpp"
 
@@ -42,11 +44,44 @@ void encode_function(SatSolver* solver, const TruthTable& f,
 }  // namespace
 
 SatChecker::SatChecker(const Netlist& netlist, SatCheckerOptions options)
-    : netlist_(&netlist), options_(options) {}
+    : netlist_(&netlist), options_(options) {
+  if (options_.metrics != nullptr) {
+    m_checks_ = options_.metrics->counter(
+        "powder_proof_sat_checks_total", "SAT miter permissibility checks run");
+    m_conflicts_ = options_.metrics->counter(
+        "powder_proof_sat_conflicts_total",
+        "SAT conflicts spent across all checks");
+    h_check_ns_ = options_.metrics->histogram(
+        "powder_proof_sat_check_duration_ns",
+        "Wall time per SAT permissibility check");
+  }
+}
 
 AtpgResult SatChecker::check_replacement(const ReplacementSite& site,
                                          const ReplacementFunction& rep,
                                          TestVector* test) {
+  if (options_.trace == nullptr && m_checks_ == nullptr)
+    return check_replacement_impl(site, rep, test);
+  const std::uint64_t t0 = trace_now_ns();
+  const long conflicts_before = stats_.total_conflicts;
+  const AtpgResult r = check_replacement_impl(site, rep, test);
+  const std::uint64_t dur = trace_now_ns() - t0;
+  const long conflicts = stats_.total_conflicts - conflicts_before;
+  if (m_checks_ != nullptr) {
+    m_checks_->inc();
+    m_conflicts_->inc(conflicts);
+    h_check_ns_->observe(dur);
+  }
+  if (options_.trace != nullptr)
+    options_.trace->record_span("sat_check", "proof", t0, dur, "result",
+                                static_cast<long long>(r), "conflicts",
+                                conflicts);
+  return r;
+}
+
+AtpgResult SatChecker::check_replacement_impl(const ReplacementSite& site,
+                                              const ReplacementFunction& rep,
+                                              TestVector* test) {
   ++stats_.checks;
   if (inject_fault(FaultInjector::Site::kSatProof)) {
     ++stats_.aborted;

@@ -21,6 +21,9 @@ struct SatCheckerOptions {
   /// what is left in the global pool, actual use is charged back, and a dry
   /// pool or an expired deadline aborts the check immediately.
   ResourceBudget* budget = nullptr;
+  /// Optional observability sinks (borrowed); see AtpgOptions.
+  TraceSession* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 class SatChecker {
@@ -41,9 +44,18 @@ class SatChecker {
   const Stats& stats() const { return stats_; }
 
  private:
+  AtpgResult check_replacement_impl(const ReplacementSite& site,
+                                    const ReplacementFunction& rep,
+                                    TestVector* test);
+
   const Netlist* netlist_;
   SatCheckerOptions options_;
   Stats stats_;
+
+  // Observability handles, resolved once at construction (null = disabled).
+  class Counter* m_checks_ = nullptr;
+  class Counter* m_conflicts_ = nullptr;
+  class Histogram* h_check_ns_ = nullptr;
 };
 
 /// The engine used by PowderOptions to prove candidates.

@@ -1,6 +1,7 @@
 #include "flow/flow.hpp"
 
 #include "aig/bool_network.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace powder {
@@ -51,7 +52,12 @@ Netlist build_mapped_circuit(const SopNetwork& sop, const CellLibrary& library,
 FlowResult build_and_optimize(const SopNetwork& sop, const CellLibrary& library,
                               const FlowOptions& flow_options,
                               const PowderOptions& powder_options) {
-  FlowResult result{build_mapped_circuit(sop, library, flow_options), {}};
+  TraceSession* const trace = powder_options.trace.trace;
+  FlowResult result{[&] {
+                      TraceSpan span(trace, "build_mapped_circuit", "flow");
+                      return build_mapped_circuit(sop, library, flow_options);
+                    }(),
+                    {}};
   result.report = optimize(result.netlist, powder_options);
   return result;
 }

@@ -118,7 +118,11 @@ std::string PowderReport::to_json() const {
   append_field(os, "pin_slabs_recycled", diagnostics.pin_slabs_recycled, &df);
   append_field(os, "name_pool_bytes", diagnostics.name_pool_bytes, &df);
   append_field(os, "peak_rss_bytes", diagnostics.peak_rss_bytes, &df);
-  os << "}}";
+  os << "}";
+  // Snapshot of the attached MetricsRegistry; absent without a metrics sink
+  // so every pre-existing consumer sees an unchanged document.
+  if (!metrics_json.empty()) os << ",\"metrics\":" << metrics_json;
+  os << "}";
   return os.str();
 }
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace powder {
@@ -183,10 +184,13 @@ void CandidateFinder::for_sites(std::size_t n,
   const int shards = static_cast<int>(std::min<std::size_t>(
       n, static_cast<std::size_t>(pool_->parallelism()) * 8));
   pool_->for_shards(shards, [&](int shard, int num_shards) {
+    TraceSpan span(trace_, "harvest_shard", "harvest");
     const std::size_t lo =
         n * static_cast<std::size_t>(shard) / static_cast<std::size_t>(num_shards);
     const std::size_t hi = n * (static_cast<std::size_t>(shard) + 1) /
                            static_cast<std::size_t>(num_shards);
+    span.arg("shard", shard);
+    span.arg("sites", static_cast<long long>(hi - lo));
     for (std::size_t i = lo; i < hi; ++i) fn(i);
   });
 }

@@ -41,6 +41,8 @@
 
 namespace powder {
 
+class TraceSession;
+
 struct CandidateOptions {
   int local_pool_size = 64;     ///< structural-neighborhood sources/target
   int random_pool_size = 24;    ///< extra random sources/target
@@ -68,6 +70,11 @@ class CandidateFinder final : public NetlistObserver {
   /// Restarts the RNG stream (one reseed per optimization iteration keeps
   /// the harvest identical to a freshly constructed finder).
   void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Attaches a trace session (borrowed, may be null). Parallel harvest
+  /// passes then emit one "harvest_shard" span per worker shard, which is
+  /// what makes load imbalance across sites visible in Perfetto.
+  void set_trace(TraceSession* trace) { trace_ = trace; }
 
   /// Delta-bus subscription: accumulates membership changes (not for
   /// users; signature changes arrive via the simulator's drain).
@@ -100,6 +107,7 @@ class CandidateFinder final : public NetlistObserver {
   CandidateOptions options_;
   Rng rng_;
   ThreadPool* pool_;
+  TraceSession* trace_ = nullptr;
 
   std::vector<GateId> signal_gates_;  // live PIs + cells, ascending
   // Global equivalence index: hash of the value signature (and of its

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/fault_injection.hpp"
 
@@ -11,8 +13,27 @@ SubstJournal::SubstJournal(Netlist* netlist) : netlist_(netlist) {
   POWDER_CHECK(netlist_ != nullptr);
 }
 
+void SubstJournal::set_trace(TraceSession* trace, MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics != nullptr) {
+    m_commits_ = metrics->counter("powder_journal_commits_total",
+                                  "Substitutions applied through the journal");
+    m_rollbacks_ = metrics->counter(
+        "powder_journal_rollbacks_total",
+        "Commits undone through the journal's inverse deltas");
+  } else {
+    m_commits_ = nullptr;
+    m_rollbacks_ = nullptr;
+  }
+}
+
 const AppliedSub& SubstJournal::apply(const CandidateSub& sub) {
+  TraceSpan span(trace_, "journal_commit", "journal");
+  if (m_commits_ != nullptr) m_commits_->inc();
   AppliedSub applied = apply_substitution(*netlist_, sub);
+  span.arg("rewired_pins", static_cast<long long>(applied.rewired_pins.size()));
+  span.arg("removed_gates",
+           static_cast<long long>(applied.removed_gates.size()));
   deltas_.push_back(applied);
   // Fault injection: corrupt the *recorded* inverse only — the forward
   // application and the returned summary stay intact, so the damage shows
@@ -31,6 +52,9 @@ const AppliedSub& SubstJournal::apply(const CandidateSub& sub) {
 }
 
 const AppliedSub& SubstJournal::apply_resize(GateId gate, CellId new_cell) {
+  TraceSpan span(trace_, "journal_commit", "journal");
+  if (m_commits_ != nullptr) m_commits_->inc();
+  span.arg("resize", 1);
   POWDER_CHECK(netlist_->alive(gate));
   POWDER_CHECK(netlist_->kind(gate) == GateKind::kCell);
   AppliedSub applied;
@@ -82,9 +106,13 @@ std::vector<GateId> SubstJournal::undo(const AppliedSub& delta) {
 
 std::vector<GateId> SubstJournal::rollback_last() {
   POWDER_CHECK_MSG(!deltas_.empty(), "rollback on an empty journal");
+  TraceSpan span(trace_, "journal_rollback", "journal");
+  if (m_rollbacks_ != nullptr) m_rollbacks_->inc();
   const AppliedSub delta = std::move(deltas_.back());
   deltas_.pop_back();
-  return undo(delta);
+  std::vector<GateId> roots = undo(delta);
+  span.arg("changed_roots", static_cast<long long>(roots.size()));
+  return roots;
 }
 
 std::vector<GateId> SubstJournal::rollback_to(std::size_t mark) {

@@ -17,9 +17,18 @@
 
 namespace powder {
 
+class TraceSession;
+class MetricsRegistry;
+
 class SubstJournal {
  public:
   explicit SubstJournal(Netlist* netlist);
+
+  /// Attaches observability sinks (both borrowed, either may be null).
+  /// Commits and rollbacks then emit "journal_commit"/"journal_rollback"
+  /// spans and bump the journal counters; with null sinks the cost is one
+  /// branch per operation.
+  void set_trace(TraceSession* trace, MetricsRegistry* metrics);
 
   /// Applies `sub` and records its inverse delta. Throws CheckError —
   /// before any mutation — when the substitution is stale or invalid.
@@ -47,6 +56,10 @@ class SubstJournal {
  private:
   Netlist* netlist_;
   std::vector<AppliedSub> deltas_;
+
+  TraceSession* trace_ = nullptr;
+  class Counter* m_commits_ = nullptr;
+  class Counter* m_rollbacks_ = nullptr;
 
   std::vector<GateId> undo(const AppliedSub& delta);
 };

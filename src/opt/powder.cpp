@@ -15,6 +15,9 @@
 #include "bdd/netlist_bdd.hpp"
 #include "opt/journal.hpp"
 #include "power/power.hpp"
+#include "trace/audit.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
 #include "util/memstats.hpp"
@@ -85,6 +88,33 @@ struct ProofKey {
   bool operator<(const ProofKey& o) const { return v < o.v; }
 };
 
+const char* engine_name(ProofEngine e) {
+  switch (e) {
+    case ProofEngine::kPodem: return "podem";
+    case ProofEngine::kSat: return "sat";
+    case ProofEngine::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* verdict_name(AtpgResult r) {
+  switch (r) {
+    case AtpgResult::kTestFound: return "test_found";
+    case AtpgResult::kUntestable: return "untestable";
+    case AtpgResult::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* rep_kind_name(ReplacementFunction::Kind k) {
+  switch (k) {
+    case ReplacementFunction::Kind::kConstant: return "constant";
+    case ReplacementFunction::Kind::kSignal: return "signal";
+    case ReplacementFunction::Kind::kTwoInput: return "two_input";
+  }
+  return "?";
+}
+
 ProofKey make_key(const CandidateSub& cand) {
   long long tt = 0;
   if (cand.rep.kind == ReplacementFunction::Kind::kTwoInput)
@@ -119,8 +149,8 @@ class ProofPipeline {
  public:
   ProofPipeline(const Netlist& netlist, const AtpgOptions& atpg_options,
                 const SatCheckerOptions& sat_options, ProofEngine engine,
-                int num_workers)
-      : netlist_(&netlist), engine_(engine), queue_(256) {
+                int num_workers, TraceSession* trace = nullptr)
+      : netlist_(&netlist), engine_(engine), queue_(256), trace_(trace) {
     workers_.reserve(static_cast<std::size_t>(num_workers));
     for (int i = 0; i < num_workers; ++i)
       workers_.emplace_back([this, atpg_options, sat_options] {
@@ -204,8 +234,11 @@ class ProofPipeline {
         // A mutation bumps the version *before* it can take the lock, so a
         // current version here guarantees the netlist matches the job.
         if (job->version == version_.load(std::memory_order_relaxed)) {
+          TraceSpan span(trace_, "proof_job", "proof");
           verdict = prove_one(atpg, sat, engine_, job->cand);
           proved = true;
+          span.arg("target", static_cast<long long>(job->cand.target));
+          span.arg("verdict", static_cast<long long>(verdict));
         }
       }
       {
@@ -225,6 +258,7 @@ class ProofPipeline {
   const Netlist* netlist_;
   ProofEngine engine_;
   MpmcQueue<ProofJob> queue_;
+  TraceSession* trace_;
   std::vector<std::thread> workers_;
   bool shut_down_ = false;
 
@@ -325,12 +359,61 @@ PowderReport PowderOptimizer::run() {
   const auto t_start = std::chrono::steady_clock::now();
   PowderReport report;
 
+  TraceSession* const trace = options_.trace.trace;
+  AuditLog* const audit = options_.trace.audit;
+  TraceSpan run_span(trace, "optimize", "powder");
+
   int threads = options_.threads;
   if (threads <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw > 0 ? static_cast<int>(hw) : 1;
   }
   report.diagnostics.threads_used = threads;
+  run_span.arg("threads", threads);
+
+  // The registry is the primary store for the run's decision counters; with
+  // no user-supplied sink they land in a run-local registry instead, so the
+  // loop below has exactly one accounting path. The Diagnostics struct is
+  // filled from a delta snapshot at end of run (the compat shim that keeps
+  // --report-json keys stable), and deltas are against the counter values at
+  // entry so a registry shared across several runs stays monotonic without
+  // polluting any single run's report.
+  MetricsRegistry local_registry;
+  MetricsRegistry* const reg = options_.trace.metrics != nullptr
+                                   ? options_.trace.metrics
+                                   : &local_registry;
+  struct Meter {
+    Counter* c;
+    long long base;
+    long long delta() const { return c->value() - base; }
+  };
+  auto meter = [&](const char* name, const char* help) {
+    Counter* c = reg->counter(name, help);
+    return Meter{c, c->value()};
+  };
+  const Meter m_iterations =
+      meter("powder_outer_iterations_total", "Outer harvest iterations run");
+  const Meter m_harvested = meter("powder_candidates_harvested_total",
+                                  "Candidates returned by the harvests");
+  const Meter m_stale = meter("powder_rejected_stale_total",
+                              "Candidates dropped as structurally stale");
+  const Meter m_delay = meter("powder_rejected_delay_total",
+                              "Candidates rejected by the delay check");
+  const Meter m_presim = meter(
+      "powder_rejected_presim_total",
+      "Candidates refuted by the independent-pattern pre-simulation");
+  const Meter m_proof_rej = meter("powder_rejected_proof_total",
+                                  "Candidates refuted by the proof engines");
+  const Meter m_applied = meter("powder_substitutions_applied_total",
+                                "Substitutions committed to the netlist");
+  const Meter m_apply_fail = meter("powder_apply_failures_total",
+                                   "Applies rejected by the validity check");
+  const Meter m_guard_rb = meter("powder_guard_rollbacks_total",
+                                 "Commits undone by the signature guard");
+  const Meter m_final_rb = meter("powder_final_rollbacks_total",
+                                 "Commits undone by the end-of-run check");
+  const Meter m_inline = meter("powder_inline_proofs_total",
+                               "Proofs run inline on the commit thread");
 
   ResourceBudget budget;
   budget.set_deadline(options_.budget.deadline_seconds);
@@ -342,9 +425,11 @@ PowderReport PowderOptimizer::run() {
   // threads — they block on the queue, not on pool work.
   ThreadPool pool(threads - 1);
 
+  MetricsRegistry* const component_metrics = options_.trace.metrics;
   Simulator sim(*netlist_, options_.num_patterns, options_.pi_probs,
                 options_.seed);
   sim.set_thread_pool(&pool);
+  sim.set_trace(trace, component_metrics);
   PowerEstimator est(&sim);
   // Independent pattern set used as a cheap second opinion before the
   // expensive permissibility proof: a candidate that already fails on
@@ -353,9 +438,11 @@ PowderReport PowderOptimizer::run() {
   Simulator verify_sim(*netlist_, options_.num_patterns, options_.pi_probs,
                        options_.seed ^ 0x5EC0DD5EEDull);
   verify_sim.set_thread_pool(&pool);
+  verify_sim.set_trace(trace, component_metrics);
   // Incremental STA over the main netlist: stays coherent through the delta
   // bus and seeds the per-candidate scratch analyses of violates_delay.
   IncrementalTiming timing(*netlist_);
+  timing.set_trace(trace, component_metrics);
 
   const std::uint64_t deltas_before = netlist_->deltas_published();
   const std::uint64_t notifications_before =
@@ -392,20 +479,26 @@ PowderReport PowderOptimizer::run() {
 
   AtpgOptions atpg_options = options_.atpg;
   atpg_options.budget = &budget;
+  atpg_options.trace = trace;
+  atpg_options.metrics = component_metrics;
   SatCheckerOptions sat_options = options_.sat;
   sat_options.budget = &budget;
+  sat_options.trace = trace;
+  sat_options.metrics = component_metrics;
   AtpgChecker atpg(*netlist_, atpg_options);
   SatChecker sat(*netlist_, sat_options);
 
   // Speculative proof workers (threads - 1 of them); null in serial mode,
-  // which keeps the exact single-threaded code path.
+  // which keeps the exact single-threaded code path. The copied checker
+  // options carry the trace/metrics sinks into every worker's own engines.
   std::optional<ProofPipeline> pipeline;
   if (threads > 1)
     pipeline.emplace(*netlist_, atpg_options, sat_options,
-                     options_.proof_engine, threads - 1);
+                     options_.proof_engine, threads - 1, trace);
   ProofPipeline* pipe = pipeline.has_value() ? &*pipeline : nullptr;
 
   SubstJournal journal(netlist_);
+  journal.set_trace(trace, component_metrics);
   // Per-commit accounting, aligned with the journal, so an end-of-run
   // rollback can also undo the report's class statistics.
   struct CommitRecord {
@@ -441,19 +534,63 @@ PowderReport PowderOptimizer::run() {
   // stream identical to a freshly constructed finder.
   CandidateFinder finder(*netlist_, est, options_.candidates, options_.seed,
                          &pool);
+  finder.set_trace(trace);
+
+  // Decision audit: one NDJSON record per candidate the loop below settles.
+  long long audit_seq = 0;
+  int audit_iteration = 0;
+  auto audit_decision = [&](const CandidateSub& c, const char* decision,
+                            bool pg_c_known = false,
+                            const char* proof_engine = nullptr,
+                            const char* proof_verdict = nullptr,
+                            double proof_us = -1.0) {
+    if (audit == nullptr) return;
+    AuditRecord r;
+    r.seq = audit_seq++;
+    r.iteration = audit_iteration;
+    r.cls = subst_class_name(c.cls);
+    r.target = static_cast<long long>(c.target);
+    r.target_name = netlist_->gate_name(c.target);
+    if (c.branch.has_value()) {
+      r.branch_sink = static_cast<long long>(c.branch->gate);
+      r.branch_pin = c.branch->pin;
+    }
+    r.rep_kind = rep_kind_name(c.rep.kind);
+    if (c.rep.kind != ReplacementFunction::Kind::kConstant)
+      r.rep_b = static_cast<long long>(c.rep.b);
+    if (c.rep.kind == ReplacementFunction::Kind::kTwoInput)
+      r.rep_c = static_cast<long long>(c.rep.c);
+    r.pg_a = c.pg_a;
+    r.pg_b = c.pg_b;
+    r.pg_c = c.pg_c;
+    r.pg_c_known = pg_c_known;
+    r.proof_engine = proof_engine;
+    r.proof_verdict = proof_verdict;
+    r.proof_us = proof_us;
+    r.decision = decision;
+    audit->write(r);
+  };
 
   bool progress = true;
   bool stopped = false;
   for (int outer = 0;
        progress && !stopped && outer < options_.max_outer_iterations;
        ++outer) {
-    ++report.outer_iterations;
+    m_iterations.c->inc();
+    audit_iteration = outer + 1;
+    TraceSpan iter_span(trace, "iteration", "powder");
+    iter_span.arg("outer", outer + 1);
     progress = false;
     if (stop_requested()) break;
 
     finder.reseed(options_.seed + 17 * static_cast<std::uint64_t>(outer));
-    std::vector<CandidateSub> cands = finder.find();
-    report.candidates_harvested += static_cast<int>(cands.size());
+    std::vector<CandidateSub> cands;
+    {
+      TraceSpan harvest_span(trace, "harvest", "harvest");
+      cands = finder.find();
+      harvest_span.arg("candidates", static_cast<long long>(cands.size()));
+    }
+    m_harvested.c->inc(static_cast<long long>(cands.size()));
     if (outer >= 1) {
       report.diagnostics.candidate_gates_refreshed +=
           static_cast<long>(finder.last_refresh_count());
@@ -476,7 +613,8 @@ PowderReport PowderOptimizer::run() {
       std::vector<double> metric(cands.size(), 0.0);
       for (std::size_t i = 0; i < cands.size();) {
         if (!substitution_still_valid(*netlist_, cands[i])) {
-          ++report.rejected_stale;
+          m_stale.c->inc();
+          audit_decision(cands[i], "rejected_stale");
           cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
           continue;
         }
@@ -522,11 +660,19 @@ PowderReport PowderOptimizer::run() {
 
       CandidateSub chosen = cands[best];
       cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(best));
+      const bool pg_c_known = !area_mode;
 
       // ---- check_delay (§3.4) -------------------------------------------
-      if (violates_delay(chosen, report.delay_limit, timing,
-                         report.diagnostics)) {
-        ++report.rejected_by_delay;
+      bool delay_violated;
+      {
+        TraceSpan delay_span(trace, "delay_check", "sta");
+        delay_violated = violates_delay(chosen, report.delay_limit, timing,
+                                        report.diagnostics);
+        delay_span.arg("violated", delay_violated ? 1 : 0);
+      }
+      if (delay_violated) {
+        m_delay.c->inc();
+        audit_decision(chosen, "rejected_delay", pg_c_known);
         continue;
       }
 
@@ -537,6 +683,9 @@ PowderReport PowderOptimizer::run() {
       if (inject_fault(FaultInjector::Site::kStaleCandidate))
         forced = corrupt_candidate(*netlist_, verify_sim, &chosen);
       if (inject_fault(FaultInjector::Site::kAcceptProof)) forced = true;
+      const char* proof_engine = nullptr;
+      const char* proof_verdict = nullptr;
+      double proof_us = -1.0;
       if (!forced) {
         // Cheap pre-proof: simulate the replacement on the independent
         // pattern set; any output difference is a definite refutation.
@@ -553,17 +702,30 @@ PowderReport PowderOptimizer::run() {
             break;
           }
         if (refuted) {
-          ++report.rejected_by_atpg;
+          m_presim.c->inc();
+          audit_decision(chosen, "rejected_presim", pg_c_known);
           continue;
         }
         std::optional<AtpgResult> proof;
-        if (pipe != nullptr) proof = pipe->lookup(chosen);
-        if (!proof.has_value()) {
-          proof = prove_one(atpg, sat, options_.proof_engine, chosen);
-          ++report.diagnostics.inline_proofs;
+        if (pipe != nullptr) {
+          proof = pipe->lookup(chosen);
+          if (proof.has_value()) proof_engine = "speculative";
         }
+        if (!proof.has_value()) {
+          const bool timed = options_.trace.any();
+          const std::uint64_t t0 = timed ? trace_now_ns() : 0;
+          proof = prove_one(atpg, sat, options_.proof_engine, chosen);
+          if (timed)
+            proof_us =
+                static_cast<double>(trace_now_ns() - t0) / 1000.0;
+          proof_engine = engine_name(options_.proof_engine);
+          m_inline.c->inc();
+        }
+        proof_verdict = verdict_name(*proof);
         if (*proof != AtpgResult::kUntestable) {
-          ++report.rejected_by_atpg;
+          m_proof_rej.c->inc();
+          audit_decision(chosen, "rejected_proof", pg_c_known, proof_engine,
+                         proof_verdict, proof_us);
           continue;
         }
       }
@@ -578,7 +740,9 @@ PowderReport PowderOptimizer::run() {
       } catch (const CheckError&) {
         // Stale or invalid at the last moment: the apply validated before
         // mutating, so the netlist is untouched — skip the candidate.
-        ++report.diagnostics.apply_failures;
+        m_apply_fail.c->inc();
+        audit_decision(chosen, "apply_failed", pg_c_known, proof_engine,
+                       proof_verdict, proof_us);
         continue;
       }
       resync();
@@ -586,7 +750,9 @@ PowderReport PowderOptimizer::run() {
 
       // ---- guard: the PO signatures must be untouched -------------------
       if (options_.guard.signature_check && !po_signatures_ok()) {
-        ++report.diagnostics.guard_rollbacks;
+        m_guard_rb.c->inc();
+        audit_decision(chosen, "guard_rollback", pg_c_known, proof_engine,
+                       proof_verdict, proof_us);
         try {
           {
             MutationScope scope(pipe);
@@ -614,10 +780,13 @@ PowderReport PowderOptimizer::run() {
       commit_log.push_back(CommitRecord{chosen.cls,
                                         power_before - power_after,
                                         netlist_->total_area() - area_before});
-      ++report.substitutions_applied;
+      m_applied.c->inc();
+      audit_decision(chosen, "accepted", pg_c_known, proof_engine,
+                     proof_verdict, proof_us);
       ++performed;
       progress = true;
     }
+    iter_span.arg("applied", performed);
   }
 
   // Stop the proof workers before the end-of-run guard walk: from here on
@@ -628,6 +797,20 @@ PowderReport PowderOptimizer::run() {
     report.diagnostics.speculative_proof_hits = pipeline->speculative_hits();
     report.diagnostics.stale_proofs_dropped = pipeline->stale_dropped();
   }
+
+  // Registry -> report snapshot (the Diagnostics compat shim). Must happen
+  // before the end-of-run guard walk, which adjusts the struct totals
+  // directly — the registry counters stay monotonic.
+  report.outer_iterations = static_cast<int>(m_iterations.delta());
+  report.candidates_harvested = static_cast<int>(m_harvested.delta());
+  report.rejected_stale = static_cast<int>(m_stale.delta());
+  report.rejected_by_delay = static_cast<int>(m_delay.delta());
+  report.rejected_by_atpg =
+      static_cast<int>(m_presim.delta() + m_proof_rej.delta());
+  report.substitutions_applied = static_cast<int>(m_applied.delta());
+  report.diagnostics.apply_failures = static_cast<int>(m_apply_fail.delta());
+  report.diagnostics.guard_rollbacks = static_cast<int>(m_guard_rb.delta());
+  report.diagnostics.inline_proofs = m_inline.delta();
 
   // ---- end-of-run guard: never emit a miscompiled netlist ---------------
   // Walk the journal back until the state passes every enabled check. With
@@ -644,6 +827,7 @@ PowderReport PowderOptimizer::run() {
     };
     while (!state_good() && !journal.empty()) {
       ++report.diagnostics.final_check_rollbacks;
+      m_final_rb.c->inc();
       try {
         journal.rollback_last();
         resync();
@@ -685,6 +869,55 @@ PowderReport PowderOptimizer::run() {
   report.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+
+  // Publish the end-computed diagnostics into the registry too, so a
+  // metrics export stands on its own without the report JSON next to it.
+  if (options_.trace.metrics != nullptr) {
+    MetricsRegistry& r = *options_.trace.metrics;
+    auto pub = [&](const char* name, const char* help, long long v) {
+      r.counter(name, help)->inc(v);
+    };
+    pub("powder_proof_jobs_enqueued_total",
+        "Speculative proof jobs handed to workers",
+        report.diagnostics.proof_jobs_enqueued);
+    pub("powder_speculative_proof_hits_total",
+        "Chosen candidates served from the speculative proof cache",
+        report.diagnostics.speculative_proof_hits);
+    pub("powder_stale_proofs_dropped_total",
+        "Worker proof results invalidated by commits",
+        report.diagnostics.stale_proofs_dropped);
+    pub("powder_deltas_published_total",
+        "Netlist deltas published during the run",
+        report.diagnostics.deltas_published);
+    pub("powder_observer_notifications_total",
+        "Delta deliveries to netlist observers",
+        report.diagnostics.observer_notifications);
+    pub("powder_sta_incremental_visits_total",
+        "Gates the incremental STA re-evaluated",
+        report.diagnostics.sta_incremental_visits);
+    pub("powder_sta_full_equiv_visits_total",
+        "Gates a full STA would have re-evaluated",
+        report.diagnostics.sta_full_equiv_visits);
+    r.gauge("powder_power_initial", "Estimated power before optimization")
+        ->set(report.initial_power);
+    r.gauge("powder_power_final", "Estimated power after optimization")
+        ->set(report.final_power);
+    r.gauge("powder_area_final", "Total cell area after optimization")
+        ->set(report.final_area);
+    r.gauge("powder_delay_final", "Circuit delay after optimization")
+        ->set(report.final_delay);
+    r.gauge("powder_threads_used", "Resolved thread count of the run")
+        ->set(static_cast<double>(threads));
+    if (trace != nullptr) {
+      r.gauge("powder_trace_events_recorded",
+              "Events accepted into the trace rings so far")
+          ->set(static_cast<double>(trace->events_recorded()));
+      r.gauge("powder_trace_events_dropped",
+              "Events dropped on full trace rings so far")
+          ->set(static_cast<double>(trace->dropped()));
+    }
+    report.metrics_json = r.to_json();
+  }
   return report;
 }
 

@@ -32,6 +32,7 @@
 #include "opt/substitution.hpp"
 #include "timing/incremental_timing.hpp"
 #include "timing/timing.hpp"
+#include "trace/options.hpp"
 
 namespace powder {
 
@@ -99,6 +100,10 @@ struct PowderOptions {
   CandidateOptions candidates;
   GuardOptions guard;
   BudgetOptions budget;
+  /// Observability sinks (all borrowed, all optional): span trace, metrics
+  /// registry, decision audit log. With every sink null the instrumentation
+  /// in the pipeline reduces to one branch per probe site.
+  TraceOptions trace;
   bool check_invariants = false;  ///< netlist consistency after every apply
 
   class Builder;
@@ -164,6 +169,18 @@ class PowderOptions::Builder {
   }
   Builder& atpg(AtpgOptions a) { opts_.atpg = a; return *this; }
   Builder& sat(SatCheckerOptions s) { opts_.sat = s; return *this; }
+  Builder& trace(TraceSession* session) {
+    opts_.trace.trace = session;
+    return *this;
+  }
+  Builder& metrics(MetricsRegistry* registry) {
+    opts_.trace.metrics = registry;
+    return *this;
+  }
+  Builder& audit(AuditLog* log) {
+    opts_.trace.audit = log;
+    return *this;
+  }
 
   PowderOptions build() const { return opts_; }
 
@@ -229,6 +246,11 @@ struct PowderReport {
     long peak_rss_bytes = 0;       ///< VmHWM sampled at end of run (0=unknown)
   };
   Diagnostics diagnostics;
+
+  /// End-of-run snapshot of the attached MetricsRegistry as a JSON object
+  /// (empty when the run had no metrics sink). to_json() embeds it under
+  /// the "metrics" key, which is how --report-json picks the counters up.
+  std::string metrics_json;
 
   double power_reduction_percent() const {
     return initial_power > 0.0

@@ -16,8 +16,10 @@
 //
 // Everything exported here — Netlist and its BLIF/Verilog I/O, the cell
 // library, PowderOptions + Builder, PowderReport (+ Diagnostics/to_json),
-// and powder::optimize — is the supported surface; headers under src/ not
-// re-exported here are internal and may change without notice.
+// powder::optimize, and the observability plane (TraceSession/TraceSpan,
+// MetricsRegistry, AuditLog, wired in via PowderOptions::Builder's
+// .trace()/.metrics()/.audit()) — is the supported surface; headers under
+// src/ not re-exported here are internal and may change without notice.
 
 #include "io/blif.hpp"
 #include "io/verilog.hpp"
@@ -25,3 +27,6 @@
 #include "opt/powder.hpp"
 #include "power/power.hpp"
 #include "timing/timing.hpp"
+#include "trace/audit.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"

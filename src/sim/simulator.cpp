@@ -4,6 +4,8 @@
 #include <bit>
 
 #include "logic/cube.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace powder {
@@ -123,6 +125,23 @@ void Simulator::on_delta(const NetlistDelta& delta) {
   }
 }
 
+void Simulator::set_trace(TraceSession* trace, MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics != nullptr) {
+    m_resims_ = metrics->counter("powder_sim_resims_total",
+                                 "Resimulation passes (full or incremental)");
+    m_resim_gates_ = metrics->counter(
+        "powder_sim_resim_gates_total",
+        "Gates re-evaluated across all resimulation passes");
+    h_resim_ns_ = metrics->histogram("powder_sim_resim_duration_ns",
+                                     "Wall time per resimulation pass");
+  } else {
+    m_resims_ = nullptr;
+    m_resim_gates_ = nullptr;
+    h_resim_ns_ = nullptr;
+  }
+}
+
 Simulator::RefreshResult Simulator::refresh() {
   RefreshResult res;
   if (full_resim_) {
@@ -131,12 +150,25 @@ Simulator::RefreshResult Simulator::refresh() {
     return res;
   }
   if (dirty_roots_.empty()) return res;
+  const bool traced = trace_ != nullptr || m_resims_ != nullptr;
+  const std::uint64_t t0 = traced ? trace_now_ns() : 0;
   std::vector<GateId> roots;
   roots.swap(dirty_roots_);
   for (GateId g : roots) dirty_flag_[g] = 0;
   std::erase_if(roots, [&](GateId g) { return !netlist_->alive(g); });
   res.gates = resimulate_from(roots);
   record_refreshed(res.gates);
+  if (traced) {
+    const std::uint64_t dur = trace_now_ns() - t0;
+    if (m_resims_ != nullptr) {
+      m_resims_->inc();
+      m_resim_gates_->inc(static_cast<long long>(res.gates.size()));
+      h_resim_ns_->observe(dur);
+    }
+    if (trace_ != nullptr)
+      trace_->record_span("sim_resim_incremental", "sim", t0, dur, "gates",
+                          static_cast<long long>(res.gates.size()));
+  }
   return res;
 }
 
@@ -238,6 +270,8 @@ int Simulator::word_shards() const {
 }
 
 void Simulator::resimulate_all() {
+  const bool traced = trace_ != nullptr || m_resims_ != nullptr;
+  const std::uint64_t t0 = traced ? trace_now_ns() : 0;
   ensure_capacity();
   full_resim_ = false;
   for (GateId g : dirty_roots_) dirty_flag_[g] = 0;
@@ -269,6 +303,17 @@ void Simulator::resimulate_all() {
                         kMinWordsPerShard, eval_range);
   } else {
     eval_range(0, static_cast<std::size_t>(num_words_));
+  }
+  if (traced) {
+    const std::uint64_t dur = trace_now_ns() - t0;
+    if (m_resims_ != nullptr) {
+      m_resims_->inc();
+      m_resim_gates_->inc(static_cast<long long>(topo.size()));
+      h_resim_ns_->observe(dur);
+    }
+    if (trace_ != nullptr)
+      trace_->record_span("sim_resim_full", "sim", t0, dur, "gates",
+                          static_cast<long long>(topo.size()));
   }
 }
 

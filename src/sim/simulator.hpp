@@ -37,6 +37,9 @@
 
 namespace powder {
 
+class TraceSession;
+class MetricsRegistry;
+
 /// Word-level evaluator for library cells: a minimized SOP per cell,
 /// shared by all simulator instances over the same library.
 class CellEvaluator {
@@ -81,6 +84,11 @@ class Simulator final : public NetlistObserver {
   /// word ranges (nullptr restores serial execution). The pool is borrowed
   /// and must outlive the simulator's use of it.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Attaches observability sinks (both borrowed, either may be null).
+  /// Full and incremental resimulations then emit "sim_resim_full" /
+  /// "sim_resim_incremental" spans and feed the resim latency histogram.
+  void set_trace(TraceSession* trace, MetricsRegistry* metrics);
 
   /// Replaces the PI stimulus with exhaustive patterns (requires
   /// num_inputs() <= 16; pattern count becomes 2^n rounded up to 64).
@@ -191,6 +199,11 @@ class Simulator final : public NetlistObserver {
   std::vector<std::uint64_t> values_;       // slots * num_words_
   std::vector<std::uint64_t> pi_stimulus_;  // frozen PI words
   ThreadPool* pool_ = nullptr;
+
+  TraceSession* trace_ = nullptr;
+  class Counter* m_resims_ = nullptr;
+  class Counter* m_resim_gates_ = nullptr;
+  class Histogram* h_resim_ns_ = nullptr;
 
   mutable std::mutex scratch_mutex_;
   mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace powder {
@@ -134,8 +136,39 @@ double IncrementalTiming::recompute_required(GateId g, double target) const {
   return r;
 }
 
+void IncrementalTiming::set_trace(TraceSession* trace,
+                                  MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics != nullptr) {
+    m_resyncs_ = metrics->counter(
+        "powder_sta_resyncs_total",
+        "Incremental STA refreshes that re-propagated timing");
+    h_resync_ns_ = metrics->histogram("powder_sta_resync_duration_ns",
+                                      "Wall time per STA resync pass");
+  } else {
+    m_resyncs_ = nullptr;
+    h_resync_ns_ = nullptr;
+  }
+}
+
+void IncrementalTiming::record_resync(const char* name, std::uint64_t t0,
+                                      bool full, std::uint64_t visited) {
+  const std::uint64_t dur = trace_now_ns() - t0;
+  if (m_resyncs_ != nullptr) {
+    m_resyncs_->inc();
+    h_resync_ns_->observe(dur);
+  }
+  if (trace_ != nullptr)
+    trace_->record_span(name, "sta", t0, dur, "visited",
+                        static_cast<long long>(visited), "full",
+                        full ? 1 : 0);
+}
+
 void IncrementalTiming::refresh_arrival() {
   if (!arrival_full_ && pending_arrival_.empty()) return;
+  const bool was_full = arrival_full_;
+  const std::uint64_t t0 = tracing() ? trace_now_ns() : 0;
+  const std::uint64_t nv0 = nodes_visited_;
   const Netlist& nl = *netlist_;
   ensure_topo();
   arrival_.ensure(nl.num_slots());
@@ -182,6 +215,8 @@ void IncrementalTiming::refresh_arrival() {
   for (GateId o : nl.outputs())
     circuit_delay_ = std::max(circuit_delay_, arrival_[o]);
   full_equiv_visits_ += topo_.size();
+  if (tracing())
+    record_resync("sta_resync_arrival", t0, was_full, nodes_visited_ - nv0);
 }
 
 void IncrementalTiming::refresh_required() {
@@ -189,6 +224,9 @@ void IncrementalTiming::refresh_required() {
   const double target = constraint_ < 0.0 ? circuit_delay_ : constraint_;
   if (target != last_target_) required_full_ = true;
   if (!required_full_ && pending_required_.empty()) return;
+  const bool was_full = required_full_;
+  const std::uint64_t t0 = tracing() ? trace_now_ns() : 0;
+  const std::uint64_t nv0 = nodes_visited_;
   const Netlist& nl = *netlist_;
   ensure_topo();
 
@@ -241,6 +279,8 @@ void IncrementalTiming::refresh_required() {
   }
   last_target_ = target;
   full_equiv_visits_ += topo_.size();
+  if (tracing())
+    record_resync("sta_resync_required", t0, was_full, nodes_visited_ - nv0);
 }
 
 void IncrementalTiming::refresh() { refresh_required(); }

@@ -33,6 +33,9 @@
 
 namespace powder {
 
+class TraceSession;
+class MetricsRegistry;
+
 class IncrementalTiming final : public NetlistObserver {
  public:
   /// Attaches to `netlist`'s delta bus (the netlist must outlive this
@@ -51,6 +54,11 @@ class IncrementalTiming final : public NetlistObserver {
   IncrementalTiming& operator=(const IncrementalTiming&) = delete;
 
   void on_delta(const NetlistDelta& delta) override;
+
+  /// Attaches observability sinks (both borrowed, either may be null).
+  /// Refreshes that actually re-propagate then emit "sta_resync_arrival" /
+  /// "sta_resync_required" spans and feed the resync latency histogram.
+  void set_trace(TraceSession* trace, MetricsRegistry* metrics);
 
   double constraint() const { return constraint_; }
   void set_constraint(double constraint);
@@ -97,6 +105,14 @@ class IncrementalTiming final : public NetlistObserver {
 
   std::uint64_t nodes_visited_ = 0;
   std::uint64_t full_equiv_visits_ = 0;
+
+  TraceSession* trace_ = nullptr;
+  class Counter* m_resyncs_ = nullptr;
+  class Histogram* h_resync_ns_ = nullptr;
+
+  bool tracing() const { return trace_ != nullptr || m_resyncs_ != nullptr; }
+  void record_resync(const char* name, std::uint64_t t0, bool full,
+                     std::uint64_t visited);
 
   void seed_arrival(GateId g);
   void seed_required(GateId g);

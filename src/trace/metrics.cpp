@@ -1,0 +1,163 @@
+#include "trace/metrics.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace powder {
+
+MetricsRegistry::Entry* MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& help, Kind kind) {
+  POWDER_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    POWDER_CHECK_MSG(it->second.kind == kind,
+                     "metric '" << name
+                                << "' re-registered as a different kind");
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  switch (kind) {
+    case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return find_or_create(name, help, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  return find_or_create(name, help, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help) {
+  return find_or_create(name, help, Kind::kHistogram)->histogram.get();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+namespace {
+
+void append_double(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{";
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":";
+    switch (entry.kind) {
+      case Kind::kCounter: os << entry.counter->value(); break;
+      case Kind::kGauge: append_double(os, entry.gauge->value()); break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        os << "{\"count\":" << h.count() << ",\"sum_ns\":" << h.sum_ns()
+           << ",\"buckets\":[";
+        bool bf = true;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const long long n = h.bucket(i);
+          if (n == 0) continue;
+          if (!bf) os << ",";
+          bf = false;
+          if (i == Histogram::kNumBuckets - 1) {
+            os << "[null," << n << "]";  // +Inf bucket
+          } else {
+            os << "[" << Histogram::bucket_upper_bound_ns(i) << "," << n
+               << "]";
+          }
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help
+                               << "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge: {
+        os << "# TYPE " << name << " gauge\n";
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", entry.gauge->value());
+        os << name << " " << buf << "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        os << "# TYPE " << name << " histogram\n";
+        long long cumulative = 0;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const long long n = h.bucket(i);
+          cumulative += n;
+          // Keep the exposition compact: only emit a boundary when it holds
+          // observations, plus the mandatory +Inf bucket.
+          if (n == 0 && i != Histogram::kNumBuckets - 1) continue;
+          if (i == Histogram::kNumBuckets - 1) {
+            os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+          } else {
+            char buf[48];
+            std::snprintf(
+                buf, sizeof(buf), "%.9g",
+                static_cast<double>(Histogram::bucket_upper_bound_ns(i)) /
+                    1e9);
+            os << name << "_bucket{le=\"" << buf << "\"} " << cumulative
+               << "\n";
+          }
+        }
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      static_cast<double>(h.sum_ns()) / 1e9);
+        os << name << "_sum " << buf << "\n";
+        os << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+}  // namespace powder

@@ -1,0 +1,72 @@
+#pragma once
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The trace plane gives every thread its own ring: the owning thread is the
+// only producer, and the draining TraceSession (which serializes drains
+// under its own mutex) is the only consumer. With that contract the ring is
+// wait-free on both sides — one release store per push, one release store
+// per drain, no CAS, no locks — which is what keeps instrumentation cheap
+// enough to leave compiled into hot loops.
+//
+// A full ring rejects the push (try_push returns false) instead of blocking
+// or overwriting: dropping a trace event is always preferable to stalling
+// the optimizer. Callers count rejects themselves.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace powder {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (event dropped).
+  bool try_push(const T& item) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[head & mask_] = item;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: appends every available item to `out` and returns how
+  /// many were popped. Safe to run concurrently with try_push; concurrent
+  /// pop_all calls must be serialized by the caller.
+  std::size_t pop_all(std::vector<T>* out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (std::uint64_t i = tail; i != head; ++i)
+      out->push_back(slots_[i & mask_]);
+    tail_.store(head, std::memory_order_release);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+  /// Items currently readable (racy by nature; exact when quiescent).
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace powder

@@ -1,0 +1,19 @@
+#pragma once
+// Monotonic nanosecond clock for the trace/metrics plane. One inline
+// function so every span, histogram observation, and audit record agrees
+// on the time base (steady_clock — wall-clock adjustments never produce
+// negative span durations).
+
+#include <chrono>
+#include <cstdint>
+
+namespace powder {
+
+inline std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace powder

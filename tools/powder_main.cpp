@@ -25,9 +25,22 @@
 //   --report-json <path>    write the full report (incl. diagnostics) as JSON
 //   --paranoid              netlist invariant checks after every commit and
 //                           an end-of-run BDD equivalence guard
+// Observability options (optimize):
+//   --trace-out <path>      Chrome trace-event JSON of the run's spans
+//                           (load in ui.perfetto.dev or chrome://tracing)
+//   --metrics-out <path>    Prometheus text exposition of the run counters
+//   --audit-out <path>      NDJSON decision audit log, one line per
+//                           candidate considered
+// Global options:
+//   --quiet                 suppress progress output (results still print)
+//
+// Progress lines go to stderr; primary results (stats, check verdicts,
+// BLIF dumped to stdout) stay on stdout so pipelines keep working.
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -63,8 +76,41 @@ struct Args {
   double deadline = -1.0;
   int threads = 1;
   std::string report_json_path;
+  std::string trace_out_path;
+  std::string metrics_out_path;
+  std::string audit_out_path;
+  bool quiet = false;
   bool paranoid = false;
 };
+
+bool g_quiet = false;
+
+/// Progress/status output: stderr, suppressed by --quiet. Primary results
+/// (stats report, check verdict, BLIF on stdout) do not go through here.
+void progress(const char* fmt, ...) {
+  if (g_quiet) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+}
+
+/// Fails fast — before any expensive work — when an output path cannot be
+/// created or written. A file newly created by the probe is removed again,
+/// so a failing run does not leave empty artifacts around.
+void check_writable(const std::string& path, const char* flag) {
+  if (path.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const bool existed = fs::exists(path, ec);
+  {
+    // Append mode: probing must not truncate an existing file.
+    std::ofstream probe(path, std::ios::app);
+    POWDER_CHECK_MSG(probe.good(),
+                     flag << " path is not writable: " << path);
+  }
+  if (!existed) fs::remove(path, ec);
+}
 
 void usage() {
   std::fprintf(
@@ -76,7 +122,9 @@ void usage() {
       "               [--patterns N] [--seed N] [--probs p0,p1,...] "
       "[--resize] [--redundancy]\n"
       "               [--deadline SECONDS] [--threads N] "
-      "[--report-json FILE] [--paranoid]\n");
+      "[--report-json FILE] [--paranoid]\n"
+      "               [--trace-out FILE] [--metrics-out FILE] "
+      "[--audit-out FILE] [--quiet]\n");
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -154,6 +202,20 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.report_json_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.trace_out_path = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.metrics_out_path = v;
+    } else if (arg == "--audit-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.audit_out_path = v;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
     } else if (arg == "--paranoid") {
       a.paranoid = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -202,14 +264,41 @@ void print_stats(const Netlist& nl, const Args& a) {
 }
 
 int cmd_optimize(const Args& a) {
+  // Fail fast on every output path before reading/optimizing anything: a
+  // typo'd --trace-out must not surface after a minutes-long run.
+  check_writable(a.out_path, "-o");
+  check_writable(a.report_json_path, "--report-json");
+  check_writable(a.trace_out_path, "--trace-out");
+  check_writable(a.metrics_out_path, "--metrics-out");
+  check_writable(a.audit_out_path, "--audit-out");
+
   const CellLibrary lib = load_library(a);
   Netlist nl = read_blif(read_file(a.positional.at(0)), lib);
   const Netlist original = nl;
 
+  // Observability sinks, all optional. A metrics registry is also created
+  // for --report-json alone so the report gains its "metrics" field.
+  std::optional<TraceSession> trace;
+  if (!a.trace_out_path.empty()) trace.emplace();
+  std::optional<MetricsRegistry> metrics;
+  if (!a.metrics_out_path.empty() || !a.report_json_path.empty())
+    metrics.emplace();
+  std::ofstream audit_os;
+  std::optional<AuditLog> audit;
+  if (!a.audit_out_path.empty()) {
+    audit_os.open(a.audit_out_path);
+    POWDER_CHECK_MSG(audit_os.good(), "cannot write " << a.audit_out_path);
+    audit.emplace(&audit_os);
+  }
+  TraceSession* const trace_ptr = trace ? &*trace : nullptr;
+
   if (a.redundancy) {
+    TraceSpan span(trace_ptr, "redundancy_removal", "flow");
     const RedundancyRemovalReport rr = remove_redundancies(&nl);
-    std::printf("redundancy: %d pins tied, %d gates removed\n", rr.pins_tied,
-                rr.gates_removed);
+    span.arg("pins_tied", rr.pins_tied);
+    span.arg("gates_removed", rr.gates_removed);
+    progress("redundancy: %d pins tied, %d gates removed\n", rr.pins_tied,
+             rr.gates_removed);
   }
 
   const PowderOptions opt = PowderOptions::builder()
@@ -223,10 +312,13 @@ int cmd_optimize(const Args& a) {
                                 .threads(a.threads)
                                 .check_invariants(a.paranoid)
                                 .final_equivalence_check(a.paranoid)
+                                .trace(trace_ptr)
+                                .metrics(metrics ? &*metrics : nullptr)
+                                .audit(audit ? &*audit : nullptr)
                                 .build();
   const PowderReport r = optimize(nl, opt);
   const PowderReport::Diagnostics& d = r.diagnostics;
-  std::printf(
+  progress(
       "powder: power %.3f -> %.3f (-%.1f%%), area %.0f -> %.0f, "
       "delay %.2f -> %.2f, %d substitutions, %.1fs (%d thread%s)\n",
       r.initial_power, r.final_power, r.power_reduction_percent(),
@@ -237,18 +329,18 @@ int cmd_optimize(const Args& a) {
     std::ofstream out(a.report_json_path);
     POWDER_CHECK_MSG(out.good(), "cannot write " << a.report_json_path);
     out << r.to_json() << "\n";
-    std::printf("wrote %s\n", a.report_json_path.c_str());
+    progress("wrote %s\n", a.report_json_path.c_str());
   }
   if (d.deadline_hit)
-    std::printf("powder: wall-clock deadline hit; result is partial\n");
+    progress("powder: wall-clock deadline hit; result is partial\n");
   if (d.budget_exhausted)
-    std::printf("powder: proof-effort budget exhausted; result is partial\n");
+    progress("powder: proof-effort budget exhausted; result is partial\n");
   if (d.guard_rollbacks > 0 || d.final_check_rollbacks > 0 ||
       d.apply_failures > 0)
-    std::printf("powder: guard rolled back %d commit(s) (%d at end of run), "
-                "%d apply failure(s)\n",
-                d.guard_rollbacks + d.final_check_rollbacks,
-                d.final_check_rollbacks, d.apply_failures);
+    progress("powder: guard rolled back %d commit(s) (%d at end of run), "
+             "%d apply failure(s)\n",
+             d.guard_rollbacks + d.final_check_rollbacks,
+             d.final_check_rollbacks, d.apply_failures);
   if (d.guard_failed) {
     std::fprintf(stderr,
                  "INTERNAL ERROR: equivalence guard could not restore a "
@@ -257,22 +349,51 @@ int cmd_optimize(const Args& a) {
   }
 
   if (a.resize) {
+    TraceSpan span(trace_ptr, "resize", "flow");
     ResizeOptions ro;
     ro.pi_probs = a.probs;
     ro.delay_limit_factor = a.delay_limit < 0 ? -1.0 : a.delay_limit;
     const ResizeReport rr = resize_gates(&nl, ro);
-    std::printf("resize: %d down / %d up, power %.3f -> %.3f\n",
-                rr.downsized, rr.upsized, rr.initial_power, rr.final_power);
+    span.arg("downsized", rr.downsized);
+    span.arg("upsized", rr.upsized);
+    progress("resize: %d down / %d up, power %.3f -> %.3f\n", rr.downsized,
+             rr.upsized, rr.initial_power, rr.final_power);
   }
 
-  if (!functionally_equivalent(original, nl)) {
-    std::fprintf(stderr, "INTERNAL ERROR: equivalence check failed\n");
-    return 2;
+  {
+    TraceSpan span(trace_ptr, "final_equivalence_check", "flow");
+    if (!functionally_equivalent(original, nl)) {
+      std::fprintf(stderr, "INTERNAL ERROR: equivalence check failed\n");
+      return 2;
+    }
   }
   if (!a.out_path.empty()) {
     std::ofstream out(a.out_path);
     out << write_blif(nl);
-    std::printf("wrote %s\n", a.out_path.c_str());
+    progress("wrote %s\n", a.out_path.c_str());
+  }
+
+  if (trace) {
+    std::ofstream out(a.trace_out_path);
+    POWDER_CHECK_MSG(out.good(), "cannot write " << a.trace_out_path);
+    trace->write_chrome_json(out);
+    progress("wrote %s (%llu events, %llu dropped)\n",
+             a.trace_out_path.c_str(),
+             static_cast<unsigned long long>(trace->events_recorded()),
+             static_cast<unsigned long long>(trace->dropped()));
+  }
+  if (!a.metrics_out_path.empty()) {
+    std::ofstream out(a.metrics_out_path);
+    POWDER_CHECK_MSG(out.good(), "cannot write " << a.metrics_out_path);
+    metrics->write_prometheus(out);
+    progress("wrote %s (%zu instruments)\n", a.metrics_out_path.c_str(),
+             metrics->size());
+  }
+  if (audit) {
+    audit_os.flush();
+    POWDER_CHECK_MSG(audit_os.good(), "cannot write " << a.audit_out_path);
+    progress("wrote %s (%lld decisions)\n", a.audit_out_path.c_str(),
+             audit->records());
   }
   return 0;
 }
@@ -285,6 +406,7 @@ int cmd_stats(const Args& a) {
 }
 
 int cmd_gen(const Args& a) {
+  check_writable(a.out_path, "-o");
   const CellLibrary lib = load_library(a);
   const std::string& name = a.positional.at(0);
   if (!is_known_benchmark(name)) {
@@ -303,7 +425,7 @@ int cmd_gen(const Args& a) {
   } else {
     std::ofstream out(a.out_path);
     out << text;
-    std::printf("wrote %s (%d gates)\n", a.out_path.c_str(), nl.num_cells());
+    progress("wrote %s (%d gates)\n", a.out_path.c_str(), nl.num_cells());
   }
   return 0;
 }
@@ -323,6 +445,7 @@ int cmd_check(const Args& a) {
 }
 
 int cmd_cleanup(const Args& a) {
+  check_writable(a.out_path, "-o");
   const CellLibrary lib = load_library(a);
   Netlist nl = read_blif(read_file(a.positional.at(0)), lib);
   const Netlist original = nl;
@@ -337,7 +460,7 @@ int cmd_cleanup(const Args& a) {
   if (!a.out_path.empty()) {
     std::ofstream out(a.out_path);
     out << write_blif(nl);
-    std::printf("wrote %s\n", a.out_path.c_str());
+    progress("wrote %s\n", a.out_path.c_str());
   }
   return 0;
 }
@@ -354,6 +477,7 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
+    g_quiet = args->quiet;
     const auto need = [&](std::size_t n) {
       if (args->positional.size() < n) {
         usage();

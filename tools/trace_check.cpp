@@ -1,0 +1,39 @@
+// trace_check — validates a Chrome trace-event JSON file produced by
+// `powder optimize --trace-out` (or any tool emitting the same format).
+//
+//   trace_check <trace.json>
+//
+// Exit 0 and "ok: N events" when the document is structurally valid;
+// exit 1 with the first structural error otherwise. Backs the
+// `check-trace` CMake target's smoke test.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json>\n");
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  std::size_t num_events = 0;
+  std::string error;
+  if (!powder::validate_chrome_json(json, &num_events, &error)) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  std::printf("ok: %zu events\n", num_events);
+  return 0;
+}
