@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace powder {
@@ -15,13 +16,14 @@ namespace {
 
 /// Parse failure with position context. Every diagnostic names the 1-based
 /// source line (of the first physical line when continuations were joined)
-/// and, when useful, the offending token.
+/// and, when useful, the offending token. Thrown as a typed input Error so
+/// callers can distinguish bad files from engine failures.
 [[noreturn]] void blif_fail(int line, const std::string& msg,
                             std::string_view near = {}) {
   std::ostringstream os;
   os << "BLIF parse error at line " << line << ": " << msg;
   if (!near.empty()) os << " (near '" << near << "')";
-  throw CheckError(os.str());
+  throw Error::input(os.str());
 }
 
 }  // namespace
@@ -55,7 +57,9 @@ std::string write_blif(const Netlist& netlist) {
   return os.str();
 }
 
-Netlist read_blif(std::string_view text, const CellLibrary& library) {
+namespace {
+
+Netlist read_blif_impl(std::string_view text, const CellLibrary& library) {
   // Join continuation lines (trailing backslash) and strip comments,
   // remembering for each logical line the physical line it started on so
   // diagnostics can point back into the original file.
@@ -98,7 +102,11 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
   };
   std::vector<GateRec> gates;
   // Buffer aliases out_net -> in_net introduced by ".names a b / 1 1".
-  std::vector<std::pair<std::string, std::string>> aliases;
+  struct Alias {
+    std::string out, in;
+    int line;
+  };
+  std::vector<Alias> aliases;
 
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const int ln = lines[li].number;
@@ -169,7 +177,7 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
         gates.push_back(GateRec{cid, {}, nets[0], ln});
       } else if (nets.size() == 2 && body.size() == 1 &&
                  trim(body[0]) == "1 1") {
-        aliases.emplace_back(nets[1], nets[0]);
+        aliases.push_back(Alias{nets[1], nets[0], ln});
       } else {
         blif_fail(ln,
                   ".names logic is not supported in mapped BLIF "
@@ -194,10 +202,18 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
     net_driver.emplace(n, netlist.add_input(n));
 
   std::unordered_map<std::string, std::size_t> gate_of_net;
-  for (std::size_t i = 0; i < gates.size(); ++i)
-    gate_of_net.emplace(gates[i].out_net, i);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (net_driver.count(gates[i].out_net) != 0 ||
+        !gate_of_net.emplace(gates[i].out_net, i).second)
+      blif_fail(gates[i].line, "net is driven more than once",
+                gates[i].out_net);
+  }
   std::unordered_map<std::string, std::string> alias_of;
-  for (const auto& [out, in] : aliases) alias_of.emplace(out, in);
+  for (const Alias& a : aliases) {
+    if (gate_of_net.count(a.out) != 0 || net_driver.count(a.out) != 0 ||
+        !alias_of.emplace(a.out, a.in).second)
+      blif_fail(a.line, "net is driven more than once", a.out);
+  }
 
   // Recursive instantiation in dependency order. `ref_line` is the source
   // line that referenced `net`, so an undriven net is reported where it is
@@ -246,7 +262,25 @@ Netlist read_blif(std::string_view text, const CellLibrary& library) {
   return netlist;
 }
 
-SopNetwork read_pla(std::string_view text, std::string name) {
+}  // namespace
+
+Netlist read_blif(std::string_view text, const CellLibrary& library) {
+  try {
+    return read_blif_impl(text, library);
+  } catch (const Error&) {
+    throw;  // already typed (blif_fail)
+  } catch (const CheckError& e) {
+    // Internal invariant checks (duplicate gate labels, malformed nets)
+    // tripped by hostile input are input errors at this boundary.
+    throw Error::input(e.what());
+  } catch (const std::exception& e) {
+    throw Error::input(std::string("BLIF parse failure: ") + e.what());
+  }
+}
+
+namespace {
+
+SopNetwork read_pla_impl(std::string_view text, std::string name) {
   SopNetwork sop;
   sop.name = std::move(name);
   int ni = -1, no = -1;
@@ -258,9 +292,14 @@ SopNetwork read_pla(std::string_view text, std::string name) {
     const auto tok = split(raw);
     if (tok.empty()) continue;
     if (tok[0] == ".i") {
+      POWDER_CHECK_MSG(tok.size() >= 2, ".i without a count");
       ni = std::stoi(std::string(tok[1]));
+      POWDER_CHECK_MSG(ni > 0, "non-positive .i count");
     } else if (tok[0] == ".o") {
+      POWDER_CHECK_MSG(tok.size() >= 2, ".o without a count");
+      POWDER_CHECK_MSG(ni > 0, ".o before .i");
       no = std::stoi(std::string(tok[1]));
+      POWDER_CHECK_MSG(no > 0, "non-positive .o count");
       sop.outputs.assign(static_cast<std::size_t>(no), Cover(ni));
     } else if (tok[0] == ".ilb") {
       for (std::size_t i = 1; i < tok.size(); ++i)
@@ -300,6 +339,21 @@ SopNetwork read_pla(std::string_view text, std::string name) {
   while (static_cast<int>(sop.output_names.size()) < no)
     sop.output_names.push_back("y" + std::to_string(sop.output_names.size()));
   return sop;
+}
+
+}  // namespace
+
+SopNetwork read_pla(std::string_view text, std::string name) {
+  try {
+    return read_pla_impl(text, std::move(name));
+  } catch (const Error&) {
+    throw;
+  } catch (const CheckError& e) {
+    throw Error::input(e.what());
+  } catch (const std::exception& e) {
+    // std::stoi on a non-numeric .i/.o count, and friends.
+    throw Error::input(std::string("PLA parse failure: ") + e.what());
+  }
 }
 
 std::string write_pla(const SopNetwork& sop) {

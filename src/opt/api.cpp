@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "opt/powder.hpp"
+#include "util/error.hpp"
 
 namespace powder {
 
@@ -94,6 +95,14 @@ std::string PowderReport::to_json() const {
   append_field(os, "guard_failed", diagnostics.guard_failed, &df);
   append_field(os, "budget_exhausted", diagnostics.budget_exhausted, &df);
   append_field(os, "deadline_hit", diagnostics.deadline_hit, &df);
+  append_field(os, "degradation_events", diagnostics.degradation_events, &df);
+  append_field(os, "retries", diagnostics.retries, &df);
+  append_field(os, "watchdog_requeues", diagnostics.watchdog_requeues, &df);
+  append_field(os, "checkpoint_frames", diagnostics.checkpoint_frames, &df);
+  append_field(os, "resume_replayed", diagnostics.resume_replayed, &df);
+  append_field(os, "checkpoint_disabled", diagnostics.checkpoint_disabled,
+               &df);
+  append_field(os, "mem_limit_hit", diagnostics.mem_limit_hit, &df);
   append_field(os, "threads_used", diagnostics.threads_used, &df);
   append_field(os, "proof_jobs_enqueued", diagnostics.proof_jobs_enqueued,
                &df);
@@ -127,8 +136,14 @@ std::string PowderReport::to_json() const {
 }
 
 PowderReport optimize(Netlist& netlist, const PowderOptions& options) {
-  PowderOptimizer optimizer(&netlist, options);
-  return optimizer.run();
+  try {
+    PowderOptimizer optimizer(&netlist, options);
+    return optimizer.run();
+  } catch (const std::bad_alloc&) {
+    // The one failure the degradation ladder cannot absorb once it lands
+    // outside a guarded path; surface it typed instead of as bad_alloc.
+    throw Error::resource("out of memory during optimization");
+  }
 }
 
 }  // namespace powder

@@ -15,11 +15,14 @@
 #include "bdd/netlist_bdd.hpp"
 #include "opt/journal.hpp"
 #include "power/power.hpp"
+#include "session/checkpoint.hpp"
+#include "session/degradation.hpp"
 #include "trace/audit.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 #include "util/memstats.hpp"
 #include "util/fault_injection.hpp"
 #include "util/mpmc_queue.hpp"
@@ -79,6 +82,29 @@ AtpgResult prove_one(AtpgChecker& atpg, SatChecker& sat, ProofEngine engine,
     }
   }
   return AtpgResult::kAborted;
+}
+
+/// prove_one with transient-failure isolation: an engine that *throws*
+/// (rather than returning a verdict) is retried up to `max_retries` times
+/// with capped exponential backoff, then the candidate is treated as
+/// kAborted — a sound rejection, never an unproven acceptance. Shared by
+/// the commit thread and the proof workers; the chaos site kProofTransient
+/// exercises the retry path deterministically.
+AtpgResult prove_with_retry(AtpgChecker& atpg, SatChecker& sat,
+                            ProofEngine engine, const CandidateSub& cand,
+                            int max_retries, Counter* retries) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (inject_fault(FaultInjector::Site::kProofTransient))
+        throw Error::proof_engine("injected transient proof failure");
+      return prove_one(atpg, sat, engine, cand);
+    } catch (const CheckError&) {
+      if (attempt >= max_retries) return AtpgResult::kAborted;
+      if (retries != nullptr) retries->inc();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1LL << std::min(attempt, 3)));
+    }
+  }
 }
 
 /// Total order over a candidate's proof obligation (site + replacement):
@@ -149,8 +175,18 @@ class ProofPipeline {
  public:
   ProofPipeline(const Netlist& netlist, const AtpgOptions& atpg_options,
                 const SatCheckerOptions& sat_options, ProofEngine engine,
-                int num_workers, TraceSession* trace = nullptr)
-      : netlist_(&netlist), engine_(engine), queue_(256), trace_(trace) {
+                int num_workers, TraceSession* trace = nullptr,
+                int proof_retries = 0, double watchdog_seconds = -1.0,
+                Counter* retries_counter = nullptr,
+                Counter* watchdog_counter = nullptr)
+      : netlist_(&netlist),
+        engine_(engine),
+        queue_(256),
+        trace_(trace),
+        proof_retries_(proof_retries),
+        watchdog_seconds_(watchdog_seconds),
+        retries_counter_(retries_counter),
+        watchdog_counter_(watchdog_counter) {
     workers_.reserve(static_cast<std::size_t>(num_workers));
     for (int i = 0; i < num_workers; ++i)
       workers_.emplace_back([this, atpg_options, sat_options] {
@@ -186,11 +222,25 @@ class ProofPipeline {
   }
 
   /// Cached verdict for `cand` (waiting for a worker that is mid-proof on
-  /// it); nullopt when the pipeline never got to this candidate.
+  /// it); nullopt when the pipeline never got to this candidate. The wait
+  /// is bounded by the session watchdog: a worker that stalls past the
+  /// timeout is declared stuck and the obligation is requeued on the commit
+  /// thread (the straggler's late result is version-checked and dropped, so
+  /// a stuck worker costs latency, never correctness).
   std::optional<AtpgResult> lookup(const CandidateSub& cand) {
     const ProofKey key = make_key(cand);
     std::unique_lock<std::mutex> lock(results_mutex_);
-    results_cv_.wait(lock, [&] { return in_flight_.count(key) == 0; });
+    const auto not_in_flight = [&] { return in_flight_.count(key) == 0; };
+    if (watchdog_seconds_ > 0.0) {
+      if (!results_cv_.wait_for(
+              lock, std::chrono::duration<double>(watchdog_seconds_),
+              not_in_flight)) {
+        if (watchdog_counter_ != nullptr) watchdog_counter_->inc();
+        return std::nullopt;
+      }
+    } else {
+      results_cv_.wait(lock, not_in_flight);
+    }
     const auto it = results_.find(key);
     if (it == results_.end()) return std::nullopt;
     ++speculative_hits_;
@@ -227,6 +277,10 @@ class ProofPipeline {
     SatChecker sat(*netlist_, sat_options);
     while (std::optional<ProofJob> job = queue_.pop()) {
       const ProofKey key = make_key(job->cand);
+      // Injected stall (watchdog bait): the worker wedges *outside* the
+      // netlist lock, so only this job's consumers wait, never a commit.
+      if (inject_fault(FaultInjector::Site::kProofStall))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
       AtpgResult verdict{};
       bool proved = false;
       {
@@ -235,7 +289,8 @@ class ProofPipeline {
         // current version here guarantees the netlist matches the job.
         if (job->version == version_.load(std::memory_order_relaxed)) {
           TraceSpan span(trace_, "proof_job", "proof");
-          verdict = prove_one(atpg, sat, engine_, job->cand);
+          verdict = prove_with_retry(atpg, sat, engine_, job->cand,
+                                     proof_retries_, retries_counter_);
           proved = true;
           span.arg("target", static_cast<long long>(job->cand.target));
           span.arg("verdict", static_cast<long long>(verdict));
@@ -259,6 +314,10 @@ class ProofPipeline {
   ProofEngine engine_;
   MpmcQueue<ProofJob> queue_;
   TraceSession* trace_;
+  int proof_retries_ = 0;
+  double watchdog_seconds_ = -1.0;
+  Counter* retries_counter_ = nullptr;
+  Counter* watchdog_counter_ = nullptr;
   std::vector<std::thread> workers_;
   bool shut_down_ = false;
 
@@ -296,7 +355,16 @@ class MutationScope {
 PowderOptimizer::PowderOptimizer(Netlist* netlist, PowderOptions options)
     : netlist_(netlist), options_(std::move(options)) {
   POWDER_CHECK(netlist_ != nullptr);
-  validate_options();
+  // Malformed options are the caller's problem: surface them as the typed
+  // kInput category at the API boundary (Error derives from CheckError, so
+  // legacy catch sites keep working).
+  try {
+    validate_options();
+  } catch (const Error&) {
+    throw;
+  } catch (const CheckError& e) {
+    throw Error::input(e.what());
+  }
 }
 
 void PowderOptimizer::validate_options() const {
@@ -333,6 +401,19 @@ void PowderOptimizer::validate_options() const {
   POWDER_CHECK_MSG(o.threads >= 0,
                    "PowderOptions.threads must be non-negative, got "
                        << o.threads);
+  POWDER_CHECK_MSG(o.session.mem_limit_bytes >= 0,
+                   "PowderOptions.session.mem_limit_bytes must be "
+                   "non-negative, got " << o.session.mem_limit_bytes);
+  POWDER_CHECK_MSG(o.session.proof_retries >= 0,
+                   "PowderOptions.session.proof_retries must be "
+                   "non-negative, got " << o.session.proof_retries);
+  POWDER_CHECK_MSG(o.session.podem_only_fraction >= 0.0 &&
+                       o.session.podem_only_fraction <= 1.0 &&
+                       o.session.signature_only_fraction >= 0.0 &&
+                       o.session.signature_only_fraction <=
+                           o.session.podem_only_fraction,
+                   "PowderOptions.session degradation fractions must satisfy "
+                   "0 <= signature_only_fraction <= podem_only_fraction <= 1");
 }
 
 bool PowderOptimizer::violates_delay(const CandidateSub& sub, double limit,
@@ -414,11 +495,33 @@ PowderReport PowderOptimizer::run() {
                                  "Commits undone by the end-of-run check");
   const Meter m_inline = meter("powder_inline_proofs_total",
                                "Proofs run inline on the commit thread");
+  const Meter m_retries = meter("powder_proof_retries_total",
+                                "Transient proof failures retried");
+  const Meter m_watchdog = meter("powder_watchdog_requeues_total",
+                                 "Stuck proof jobs requeued inline");
+  const Meter m_degraded =
+      meter("powder_rejected_degraded_total",
+            "Candidates rejected unproven by the degradation ladder");
 
   ResourceBudget budget;
   budget.set_deadline(options_.budget.deadline_seconds);
   budget.set_atpg_backtrack_pool(options_.budget.atpg_backtrack_pool);
   budget.set_sat_conflict_pool(options_.budget.sat_conflict_pool);
+
+  // ---- session durability (DESIGN.md §10) --------------------------------
+  // Resume first (the WAL validates against the pristine netlist), then the
+  // new checkpoint — so `--resume F --checkpoint-out F` reads the old log
+  // completely before truncating the path for the new one.
+  SessionResume resume;
+  if (!options_.session.resume_from.empty())
+    resume.load(options_.session.resume_from, *netlist_, options_);
+  SessionRecorder recorder(reg, audit);
+  if (!options_.session.checkpoint_out.empty()) {
+    recorder.open(options_.session.checkpoint_out, *netlist_, options_);
+    recorder.set_after_frame_hook(options_.session.after_checkpoint_frame);
+  }
+  DegradationLadder ladder(options_.session, options_.budget.deadline_seconds,
+                           options_.proof_engine, reg, audit);
 
   // Shared pool for the data-parallel kernels (word-sharded simulation and
   // the three-pass candidate harvest). Proof workers are separate dedicated
@@ -494,7 +597,10 @@ PowderReport PowderOptimizer::run() {
   std::optional<ProofPipeline> pipeline;
   if (threads > 1)
     pipeline.emplace(*netlist_, atpg_options, sat_options,
-                     options_.proof_engine, threads - 1, trace);
+                     options_.proof_engine, threads - 1, trace,
+                     options_.session.proof_retries,
+                     options_.session.watchdog_seconds, m_retries.c,
+                     m_watchdog.c);
   ProofPipeline* pipe = pipeline.has_value() ? &*pipeline : nullptr;
 
   SubstJournal journal(netlist_);
@@ -517,16 +623,25 @@ PowderReport PowderOptimizer::run() {
     verify_sim.refresh();
   };
 
+  // The ladder replaces the old binary expired/exhausted stop: the same
+  // sensors now step down through kPodemOnly / kSignatureOnly before
+  // reaching kStop, and every step is published to the audit log/metrics.
   auto stop_requested = [&]() {
-    if (budget.expired()) {
-      report.diagnostics.deadline_hit = true;
-      return true;
+    if (ladder.evaluate(budget) != DegradationLevel::kStop) return false;
+    switch (ladder.stop_reason()) {
+      case StopReason::kDeadline:
+        report.diagnostics.deadline_hit = true;
+        break;
+      case StopReason::kProofBudget:
+        report.diagnostics.budget_exhausted = true;
+        break;
+      case StopReason::kMemLimit:
+        report.diagnostics.mem_limit_hit = true;
+        break;
+      case StopReason::kNone:
+        break;
     }
-    if (budget.proof_effort_exhausted()) {
-      report.diagnostics.budget_exhausted = true;
-      return true;
-    }
-    return false;
+    return true;
   };
 
   // Persistent across iterations: the signature index refreshes only the
@@ -652,8 +767,11 @@ PowderReport PowderOptimizer::run() {
       // Speculate on the rest of the shortlist: if the chosen candidate is
       // rejected (delay or proof), the netlist is unchanged and the next
       // selection will pick from these — their verdicts are then already
-      // cached. A commit invalidates the speculation wholesale.
-      if (pipe != nullptr) {
+      // cached. A commit invalidates the speculation wholesale. Pointless
+      // while the WAL oracle answers proofs (resume fast-forward) or the
+      // ladder has stepped off the full engine.
+      if (pipe != nullptr && !resume.active() &&
+          ladder.level() == DegradationLevel::kFullProof) {
         for (std::size_t k = 0; k < shortlist; ++k)
           if (order[k] != best) pipe->speculate(cands[order[k]]);
       }
@@ -707,19 +825,49 @@ PowderReport PowderOptimizer::run() {
           continue;
         }
         std::optional<AtpgResult> proof;
-        if (pipe != nullptr) {
-          proof = pipe->lookup(chosen);
-          if (proof.has_value()) proof_engine = "speculative";
-        }
-        if (!proof.has_value()) {
-          const bool timed = options_.trace.any();
-          const std::uint64_t t0 = timed ? trace_now_ns() : 0;
-          proof = prove_one(atpg, sat, options_.proof_engine, chosen);
-          if (timed)
-            proof_us =
-                static_cast<double>(trace_now_ns() - t0) / 1000.0;
-          proof_engine = engine_name(options_.proof_engine);
-          m_inline.c->inc();
+        if (resume.active()) {
+          // WAL fast-forward: the oracle replaces the proof engines. A
+          // candidate matching the next recorded commit was proved
+          // permissible by the original run; any other candidate that
+          // reaches this stage was rejected by it. Every cheaper stage
+          // (harvest, selection, staleness, delay, presim) is recomputed
+          // live, so once the cursor drains the run continues seamlessly —
+          // and bit-identically — on the real engines.
+          proof = resume.matches(chosen) ? AtpgResult::kUntestable
+                                         : AtpgResult::kTestFound;
+          proof_engine = "replay";
+        } else if (ladder.level() == DegradationLevel::kSignatureOnly) {
+          // Signature-reject-only rung: proof effort is no longer
+          // affordable, and an unproven candidate is never accepted — so
+          // everything that survives presim is rejected here while the run
+          // drains toward a clean stop with its committed gains intact.
+          m_degraded.c->inc();
+          audit_decision(chosen, "rejected_degraded", pg_c_known, "none",
+                         "skipped");
+          continue;
+        } else {
+          const ProofEngine engine =
+              ladder.level() == DegradationLevel::kPodemOnly
+                  ? ProofEngine::kPodem
+                  : options_.proof_engine;
+          // Speculative verdicts were proved with the configured engine;
+          // they stay usable only while the ladder has not changed it.
+          if (pipe != nullptr && engine == options_.proof_engine) {
+            proof = pipe->lookup(chosen);
+            if (proof.has_value()) proof_engine = "speculative";
+          }
+          if (!proof.has_value()) {
+            const bool timed = options_.trace.any();
+            const std::uint64_t t0 = timed ? trace_now_ns() : 0;
+            proof = prove_with_retry(atpg, sat, engine, chosen,
+                                     options_.session.proof_retries,
+                                     m_retries.c);
+            if (timed)
+              proof_us =
+                  static_cast<double>(trace_now_ns() - t0) / 1000.0;
+            proof_engine = engine_name(engine);
+            m_inline.c->inc();
+          }
         }
         proof_verdict = verdict_name(*proof);
         if (*proof != AtpgResult::kUntestable) {
@@ -733,6 +881,7 @@ PowderReport PowderOptimizer::run() {
       // ---- perform_substitution + power_estimate_update -----------------
       const double power_before = est.total_power();
       const double area_before = netlist_->total_area();
+      const bool replaying = resume.matches(chosen);
       AppliedSub applied;
       try {
         MutationScope scope(pipe);
@@ -740,6 +889,10 @@ PowderReport PowderOptimizer::run() {
       } catch (const CheckError&) {
         // Stale or invalid at the last moment: the apply validated before
         // mutating, so the netlist is untouched — skip the candidate.
+        if (replaying)
+          throw Error::input(
+              "resume diverged: a checkpointed substitution failed to "
+              "re-apply (wrong input netlist or tampered log?)");
         m_apply_fail.c->inc();
         audit_decision(chosen, "apply_failed", pg_c_known, proof_engine,
                        proof_verdict, proof_us);
@@ -750,6 +903,10 @@ PowderReport PowderOptimizer::run() {
 
       // ---- guard: the PO signatures must be untouched -------------------
       if (options_.guard.signature_check && !po_signatures_ok()) {
+        if (replaying)
+          throw Error::input(
+              "resume diverged: the signature guard rejected a commit the "
+              "checkpoint recorded as accepted");
         m_guard_rb.c->inc();
         audit_decision(chosen, "guard_rollback", pg_c_known, proof_engine,
                        proof_verdict, proof_us);
@@ -781,6 +938,21 @@ PowderReport PowderOptimizer::run() {
                                         power_before - power_after,
                                         netlist_->total_area() - area_before});
       m_applied.c->inc();
+      if (replaying) {
+        // Replay verification: the re-applied mutation must reproduce the
+        // recorded delta bit-for-bit before the cursor moves on.
+        if (!same_applied(resume.current().applied, applied))
+          throw Error::input(
+              "resume diverged: a replayed substitution produced a "
+              "different netlist delta than the checkpoint recorded");
+        resume.advance();
+      }
+      // Durable commit: the WAL frame is appended (and fsync'd) only after
+      // the signature guard accepted the commit, so a resume never replays
+      // a rolled-back substitution. A kill inside the frame write leaves a
+      // torn tail the reader drops — the commit then simply re-runs live
+      // on resume, with the same deterministic verdict.
+      recorder.record_commit(audit_iteration, performed, chosen, applied);
       audit_decision(chosen, "accepted", pg_c_known, proof_engine,
                      proof_verdict, proof_us);
       ++performed;
@@ -805,8 +977,8 @@ PowderReport PowderOptimizer::run() {
   report.candidates_harvested = static_cast<int>(m_harvested.delta());
   report.rejected_stale = static_cast<int>(m_stale.delta());
   report.rejected_by_delay = static_cast<int>(m_delay.delta());
-  report.rejected_by_atpg =
-      static_cast<int>(m_presim.delta() + m_proof_rej.delta());
+  report.rejected_by_atpg = static_cast<int>(
+      m_presim.delta() + m_proof_rej.delta() + m_degraded.delta());
   report.substitutions_applied = static_cast<int>(m_applied.delta());
   report.diagnostics.apply_failures = static_cast<int>(m_apply_fail.delta());
   report.diagnostics.guard_rollbacks = static_cast<int>(m_guard_rb.delta());
@@ -846,6 +1018,18 @@ PowderReport PowderOptimizer::run() {
     }
     report.diagnostics.guard_failed = !state_good();
   }
+
+  // Close the WAL with its end marker. Commits the end-of-run walk rolled
+  // back stay recorded — a resume re-applies them and its own walk rolls
+  // them back identically, so the final state still converges.
+  recorder.record_end();
+  report.diagnostics.degradation_events = ladder.transitions();
+  report.diagnostics.retries = m_retries.delta();
+  report.diagnostics.watchdog_requeues = m_watchdog.delta();
+  report.diagnostics.checkpoint_frames = recorder.frames();
+  report.diagnostics.resume_replayed = resume.replayed();
+  report.diagnostics.checkpoint_disabled = recorder.degraded();
+  if (ladder.mem_limit_hit()) report.diagnostics.mem_limit_hit = true;
 
   atpg_stats_ = atpg.stats();
   report.final_power = est.total_power();

@@ -30,6 +30,7 @@
 #include "atpg/sat_checker.hpp"
 #include "opt/candidates.hpp"
 #include "opt/substitution.hpp"
+#include "session/options.hpp"
 #include "timing/incremental_timing.hpp"
 #include "timing/timing.hpp"
 #include "trace/options.hpp"
@@ -100,6 +101,9 @@ struct PowderOptions {
   CandidateOptions candidates;
   GuardOptions guard;
   BudgetOptions budget;
+  /// Session durability + graceful degradation: WAL checkpointing, resume,
+  /// memory-pressure ladder, proof-job retry/watchdog (DESIGN.md §10).
+  SessionOptions session;
   /// Observability sinks (all borrowed, all optional): span trace, metrics
   /// registry, decision audit log. With every sink null the instrumentation
   /// in the pipeline reduces to one branch per probe site.
@@ -163,6 +167,30 @@ class PowderOptions::Builder {
     opts_.check_invariants = on;
     return *this;
   }
+  Builder& checkpoint_out(std::string path) {
+    opts_.session.checkpoint_out = std::move(path);
+    return *this;
+  }
+  Builder& resume_from(std::string path) {
+    opts_.session.resume_from = std::move(path);
+    return *this;
+  }
+  Builder& mem_limit_bytes(long long bytes) {
+    opts_.session.mem_limit_bytes = bytes;
+    return *this;
+  }
+  Builder& watchdog_seconds(double seconds) {
+    opts_.session.watchdog_seconds = seconds;
+    return *this;
+  }
+  Builder& proof_retries(int n) {
+    opts_.session.proof_retries = n;
+    return *this;
+  }
+  Builder& session(SessionOptions s) {
+    opts_.session = std::move(s);
+    return *this;
+  }
   Builder& candidates(CandidateOptions c) {
     opts_.candidates = c;
     return *this;
@@ -222,6 +250,15 @@ struct PowderReport {
     bool guard_failed = false;      ///< inequivalence persisted after rollback
     bool budget_exhausted = false;  ///< both proof pools drained
     bool deadline_hit = false;      ///< wall-clock deadline stopped the run
+
+    // Session durability & degradation accounting (DESIGN.md §10).
+    int degradation_events = 0;   ///< ladder step-downs published this run
+    long retries = 0;             ///< transient proof failures retried
+    long watchdog_requeues = 0;   ///< stuck proof jobs re-proved inline
+    long checkpoint_frames = 0;   ///< WAL commit frames durably written
+    long resume_replayed = 0;     ///< commits fast-forwarded from the WAL
+    bool checkpoint_disabled = false;  ///< checkpointing lost to an I/O error
+    bool mem_limit_hit = false;   ///< RSS crossed session.mem_limit_bytes
 
     int threads_used = 1;             ///< resolved thread count of the run
     long proof_jobs_enqueued = 0;     ///< speculative jobs handed to workers

@@ -97,4 +97,44 @@ void AuditLog::write(const AuditRecord& r) {
   records_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void AuditLog::write_event(const AuditEvent& e) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"event\":\"";
+  append_escaped(&line, e.event);
+  line += '"';
+  if (e.from != nullptr) {
+    line += ",\"from\":\"";
+    append_escaped(&line, e.from);
+    line += '"';
+  }
+  if (e.to != nullptr) {
+    line += ",\"to\":\"";
+    append_escaped(&line, e.to);
+    line += '"';
+  }
+  if (e.reason != nullptr) {
+    line += ",\"reason\":\"";
+    append_escaped(&line, e.reason);
+    line += '"';
+  }
+  if (e.detail != nullptr) {
+    line += ",\"detail\":\"";
+    append_escaped(&line, e.detail);
+    line += '"';
+  }
+  if (e.elapsed_seconds >= 0.0)
+    append_double(&line, "elapsed_s", e.elapsed_seconds);
+  if (e.value >= 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"value\":%lld", e.value);
+    line += buf;
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  events_.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace powder

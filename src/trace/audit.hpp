@@ -46,6 +46,20 @@ struct AuditRecord {
   const char* decision = "";
 };
 
+/// A run-level event line, distinct from per-candidate decision records:
+/// degradation-ladder transitions, checkpoint failures, watchdog firings.
+/// Events render as `{"event":...}` NDJSON lines interleaved with decision
+/// records but counted separately (records() stays a pure decision count).
+struct AuditEvent {
+  const char* event = "";       ///< "degradation" / "checkpoint_disabled" / …
+  const char* from = nullptr;   ///< ladder level stepped down from
+  const char* to = nullptr;     ///< ladder level stepped down to
+  const char* reason = nullptr; ///< "deadline" / "proof_budget" / "mem_limit" …
+  const char* detail = nullptr; ///< free-form context (error message, path)
+  double elapsed_seconds = -1.0;///< run wall time at the event; <0 = n/a
+  long long value = -1;         ///< free numeric slot (RSS bytes, frame); <0 = n/a
+};
+
 class AuditLog {
  public:
   /// Writes NDJSON lines to `os` (borrowed; must outlive the log).
@@ -54,15 +68,18 @@ class AuditLog {
   AuditLog& operator=(const AuditLog&) = delete;
 
   void write(const AuditRecord& record);
+  void write_event(const AuditEvent& event);
 
   long long records() const {
     return records_.load(std::memory_order_relaxed);
   }
+  long long events() const { return events_.load(std::memory_order_relaxed); }
 
  private:
   std::ostream* os_;
   std::mutex mutex_;
   std::atomic<long long> records_{0};
+  std::atomic<long long> events_{0};
 };
 
 }  // namespace powder

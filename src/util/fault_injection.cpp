@@ -12,33 +12,37 @@ void FaultInjector::install(FaultInjector* injector) { g_injector = injector; }
 
 void FaultInjector::arm(Site site, int skip, int count) {
   SiteState& s = sites_[static_cast<std::size_t>(site)];
-  s = SiteState{};
-  s.armed = true;
   s.skip = skip;
   s.count = count;
+  s.seen.store(0, std::memory_order_relaxed);
+  s.fired.store(0, std::memory_order_relaxed);
+  s.armed.store(true, std::memory_order_release);
 }
 
 void FaultInjector::disarm(Site site) {
-  sites_[static_cast<std::size_t>(site)].armed = false;
+  sites_[static_cast<std::size_t>(site)].armed.store(
+      false, std::memory_order_release);
 }
 
 bool FaultInjector::fire(Site site) {
   SiteState& s = sites_[static_cast<std::size_t>(site)];
-  const int occurrence = s.seen++;
-  if (!s.armed) return false;
+  const int occurrence = s.seen.fetch_add(1, std::memory_order_relaxed);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
   if (occurrence < s.skip ||
       occurrence >= static_cast<long>(s.skip) + s.count)
     return false;
-  ++s.fired;
+  s.fired.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 int FaultInjector::occurrences(Site site) const {
-  return sites_[static_cast<std::size_t>(site)].seen;
+  return sites_[static_cast<std::size_t>(site)].seen.load(
+      std::memory_order_relaxed);
 }
 
 int FaultInjector::fired(Site site) const {
-  return sites_[static_cast<std::size_t>(site)].fired;
+  return sites_[static_cast<std::size_t>(site)].fired.load(
+      std::memory_order_relaxed);
 }
 
 }  // namespace powder

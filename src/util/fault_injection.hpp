@@ -10,6 +10,7 @@
 // miscompiling.
 
 #include <array>
+#include <atomic>
 #include <limits>
 
 namespace powder {
@@ -22,6 +23,12 @@ class FaultInjector {
     kAcceptProof,     ///< optimizer skips pre-check + proof (bogus accept)
     kStaleCandidate,  ///< optimizer forces a corrupted candidate through
     kCorruptDelta,    ///< journal records a wrong inverse delta
+    kCheckpointWrite, ///< WAL frame write fails midway (short write / ENOSPC)
+    kCheckpointFsync, ///< fsync on the WAL descriptor reports failure
+    kOutputWrite,     ///< atomic artifact write fails before the rename
+    kAllocFail,       ///< scratch allocation on the checkpoint path fails
+    kProofTransient,  ///< proof engine throws a transient (retryable) error
+    kProofStall,      ///< proof worker stalls mid-job (watchdog bait)
     kCount_
   };
   static constexpr int kNumSites = static_cast<int>(Site::kCount_);
@@ -45,12 +52,16 @@ class FaultInjector {
   static void install(FaultInjector* injector);
 
  private:
+  // Occurrence counters are atomic: proof-engine sites (kAtpgProof,
+  // kProofTransient, kProofStall) fire concurrently from pipeline workers.
+  // Arming happens while the optimizer is quiescent, so skip/count stay
+  // plain.
   struct SiteState {
-    bool armed = false;
+    std::atomic<bool> armed{false};
     int skip = 0;
     int count = 0;
-    int seen = 0;
-    int fired = 0;
+    std::atomic<int> seen{0};
+    std::atomic<int> fired{0};
   };
   std::array<SiteState, kNumSites> sites_{};
 };

@@ -1,0 +1,108 @@
+#include "util/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+namespace powder {
+namespace {
+
+std::string tmp_name(const std::string& path) {
+#ifdef _WIN32
+  const long pid = 0;
+#else
+  const long pid = static_cast<long>(::getpid());
+#endif
+  return path + ".tmp." + std::to_string(pid);
+}
+
+/// Best-effort fsync of an already-written file by path. Returns false on
+/// a reported sync failure (treated as a durability failure by callers).
+bool sync_file(const std::string& path) {
+#ifdef _WIN32
+  (void)path;
+  return true;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#endif
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure here is not fatal: the data file is synced
+/// and the rename is atomic; only its persistence across power loss is at
+/// stake, which is beyond what the tests (SIGKILL, not power-cut) require.
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(tmp_name(path_)) {
+  os_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!os_.is_open())
+    throw Error::io("cannot create temp file '" + tmp_path_ + "' for '" +
+                    path_ + "'");
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_) return;
+  if (os_.is_open()) os_.close();
+  std::remove(tmp_path_.c_str());
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) return;
+  os_.flush();
+  const bool stream_ok = os_.good();
+  os_.close();
+  // Injected ENOSPC-style failure: the data never made it to disk whole.
+  const bool injected = inject_fault(FaultInjector::Site::kOutputWrite);
+  if (!stream_ok || injected || !sync_file(tmp_path_)) {
+    std::remove(tmp_path_.c_str());
+    throw Error::io("write to '" + path_ + "' failed" +
+                    (injected ? " (injected fault)" : "") +
+                    "; destination left untouched");
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp_path_.c_str());
+    throw Error::io("rename '" + tmp_path_ + "' -> '" + path_ +
+                    "' failed: " + std::strerror(err));
+  }
+  sync_parent_dir(path_);
+  committed_ = true;
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  AtomicFileWriter writer(path);
+  writer.stream().write(content.data(),
+                        static_cast<std::streamsize>(content.size()));
+  writer.commit();
+}
+
+}  // namespace powder

@@ -1,0 +1,54 @@
+#pragma once
+// Atomic, fault-injectable file output (DESIGN.md §10.4).
+//
+// Every artifact powder writes — optimized BLIF, --report-json, --trace-out,
+// --metrics-out, --audit-out, checkpoints — goes through this module so a
+// crash mid-write can never leave a truncated file shadowing a good one.
+// The protocol is the classic one: write to `<path>.tmp.<pid>` in the same
+// directory, flush + fsync, then rename(2) over the destination. Readers
+// either see the old complete file or the new complete file, never a torn
+// one.
+//
+// Failures throw powder::Error with category kIo; the destination is left
+// untouched and the temp file is removed. The chaos harness can force the
+// failure paths via FaultInjector::Site::kOutputWrite.
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace powder {
+
+/// One-shot atomic write: `content` replaces `path` all-or-nothing.
+/// Throws Error(kIo) on any failure (destination untouched).
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Streaming variant for writers that want an ostream (trace JSON, audit
+/// NDJSON, Prometheus text). The stream targets a temp file; nothing is
+/// visible at `path` until commit() renames it into place. A destructed,
+/// uncommitted writer removes the temp file — so a crash or an exception
+/// unwinding past it leaves no debris and the old artifact intact.
+class AtomicFileWriter {
+ public:
+  /// Opens the temp file; throws Error(kIo) if it cannot be created.
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::ostream& stream() { return os_; }
+  const std::string& path() const { return path_; }
+
+  /// Flush + fsync + rename into place. Throws Error(kIo) on failure
+  /// (temp file removed, destination untouched). Idempotent: a second
+  /// call is a no-op.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream os_;
+  bool committed_ = false;
+};
+
+}  // namespace powder

@@ -8,20 +8,40 @@
 
 namespace powder {
 
-std::uint64_t peak_rss_bytes() {
 #ifdef __linux__
+namespace {
+
+/// Reads one "VmXXX:  <kb> kB" field from /proc/self/status.
+std::uint64_t proc_status_kb(const char* key) {
   std::FILE* f = std::fopen("/proc/self/status", "r");
   if (f == nullptr) return 0;
   char line[256];
   std::uint64_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
   while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      std::sscanf(line + 6, "%" SCNu64, &kb);
+    if (std::strncmp(line, key, key_len) == 0) {
+      std::sscanf(line + key_len, "%" SCNu64, &kb);
       break;
     }
   }
   std::fclose(f);
-  return kb * 1024;
+  return kb;
+}
+
+}  // namespace
+#endif
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  return proc_status_kb("VmHWM:") * 1024;
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() {
+#ifdef __linux__
+  return proc_status_kb("VmRSS:") * 1024;
 #else
   return 0;
 #endif

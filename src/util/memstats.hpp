@@ -10,4 +10,8 @@ namespace powder {
 /// platforms without /proc.
 std::uint64_t peak_rss_bytes();
 
+/// Current resident set size in bytes (VmRSS); the degradation ladder's
+/// --mem-limit sensor. Returns 0 on platforms without /proc.
+std::uint64_t current_rss_bytes();
+
 }  // namespace powder

@@ -1,0 +1,109 @@
+// Malformed-input corpus: every file under tests/corpus/ must be rejected
+// by read_blif with a *typed* input error — never a crash, never a silent
+// partial netlist, and never a mis-categorized engine/resource error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/blif.hpp"
+#include "util/error.hpp"
+
+namespace powder {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open corpus file " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(POWDER_CORPUS_DIR)) {
+    if (entry.path().extension() == ".blif") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, EveryMalformedFileRaisesTypedInputError) {
+  const CellLibrary lib = CellLibrary::standard();
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 10u) << "corpus directory looks incomplete";
+  for (const auto& path : files) {
+    const std::string text = slurp(path);
+    bool threw = false;
+    try {
+      (void)read_blif(text, lib);
+    } catch (const Error& e) {
+      threw = true;
+      EXPECT_EQ(e.category(), ErrorCategory::kInput)
+          << path << ": wrong category, what() = " << e.what();
+      EXPECT_NE(std::string(e.what()).find("input error"), std::string::npos)
+          << path;
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << path << " threw an untyped exception: " << e.what();
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << path << " parsed without error";
+  }
+}
+
+// The typed error still satisfies every legacy catch site: Error IS-A
+// CheckError, so pre-taxonomy callers keep working unchanged.
+TEST(Corpus, TypedErrorsRemainCatchableAsCheckError) {
+  const CellLibrary lib = CellLibrary::standard();
+  EXPECT_THROW((void)read_blif(".gate\n", lib), CheckError);
+  EXPECT_THROW((void)read_blif(".gate\n", lib), Error);
+}
+
+// Diagnostics still carry position context through the typed wrapper.
+TEST(Corpus, DiagnosticsKeepLineContext) {
+  const CellLibrary lib = CellLibrary::standard();
+  try {
+    (void)read_blif(
+        ".model m\n.inputs a\n.outputs f\n.gate nosuchcell a=a O=f\n.end\n",
+        lib);
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("nosuchcell"), std::string::npos) << msg;
+  }
+}
+
+// A net driven both by a .gate and by an alias (or twice by gates) is a
+// hardening addition of the typed-error pass: previously the second driver
+// was silently ignored.
+TEST(Corpus, DoubleDriversAreRejected) {
+  const CellLibrary lib = CellLibrary::standard();
+  const char* twice_by_gates =
+      ".model m\n.inputs a b\n.outputs f\n"
+      ".gate and2 a=a b=b O=f\n.gate or2 a=a b=b O=f\n.end\n";
+  const char* gate_plus_alias =
+      ".model m\n.inputs a b\n.outputs f\n"
+      ".gate and2 a=a b=b O=f\n.names a f\n1 1\n.end\n";
+  for (const char* text : {twice_by_gates, gate_plus_alias}) {
+    try {
+      (void)read_blif(text, lib);
+      FAIL() << "double driver accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.category(), ErrorCategory::kInput);
+      EXPECT_NE(std::string(e.what()).find("driven more than once"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powder

@@ -31,11 +31,22 @@
 //   --metrics-out <path>    Prometheus text exposition of the run counters
 //   --audit-out <path>      NDJSON decision audit log, one line per
 //                           candidate considered
+// Recovery options (optimize, DESIGN.md §10):
+//   --checkpoint-out <path> durable WAL: every committed substitution is
+//                           fsync'd so a killed run can be resumed
+//   --resume <path>         replay a checkpoint WAL onto the (identical)
+//                           input netlist, then continue optimizing
+//   --mem-limit <MB>        degrade and finally stop cleanly when resident
+//                           memory crosses this limit
+//   --watchdog <seconds>    requeue a stuck speculative proof job after
+//                           this long (default 30)
 // Global options:
 //   --quiet                 suppress progress output (results still print)
 //
 // Progress lines go to stderr; primary results (stats, check verdicts,
 // BLIF dumped to stdout) stay on stdout so pipelines keep working.
+// All file artifacts are written atomically (temp + rename): a crashed or
+// failed run never leaves a truncated output behind.
 
 #include <cstdarg>
 #include <cstdio>
@@ -55,6 +66,8 @@
 #include "opt/resize.hpp"
 #include "powder.hpp"
 #include "power/glitch.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
 
 using namespace powder;
 
@@ -79,6 +92,10 @@ struct Args {
   std::string trace_out_path;
   std::string metrics_out_path;
   std::string audit_out_path;
+  std::string checkpoint_out_path;
+  std::string resume_path;
+  long long mem_limit_mb = 0;
+  double watchdog = -1.0;
   bool quiet = false;
   bool paranoid = false;
 };
@@ -124,7 +141,9 @@ void usage() {
       "               [--deadline SECONDS] [--threads N] "
       "[--report-json FILE] [--paranoid]\n"
       "               [--trace-out FILE] [--metrics-out FILE] "
-      "[--audit-out FILE] [--quiet]\n");
+      "[--audit-out FILE] [--quiet]\n"
+      "               [--checkpoint-out FILE] [--resume FILE] "
+      "[--mem-limit MB] [--watchdog SECONDS]\n");
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -214,6 +233,22 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.audit_out_path = v;
+    } else if (arg == "--checkpoint-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.checkpoint_out_path = v;
+    } else if (arg == "--resume") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.resume_path = v;
+    } else if (arg == "--mem-limit") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.mem_limit_mb = std::atoll(v);
+    } else if (arg == "--watchdog") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.watchdog = std::stod(v);
     } else if (arg == "--quiet") {
       a.quiet = true;
     } else if (arg == "--paranoid") {
@@ -230,7 +265,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  POWDER_CHECK_MSG(in.good(), "cannot open " << path);
+  if (!in.good()) throw Error::io("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -271,6 +306,7 @@ int cmd_optimize(const Args& a) {
   check_writable(a.trace_out_path, "--trace-out");
   check_writable(a.metrics_out_path, "--metrics-out");
   check_writable(a.audit_out_path, "--audit-out");
+  check_writable(a.checkpoint_out_path, "--checkpoint-out");
 
   const CellLibrary lib = load_library(a);
   Netlist nl = read_blif(read_file(a.positional.at(0)), lib);
@@ -283,12 +319,13 @@ int cmd_optimize(const Args& a) {
   std::optional<MetricsRegistry> metrics;
   if (!a.metrics_out_path.empty() || !a.report_json_path.empty())
     metrics.emplace();
-  std::ofstream audit_os;
+  // The audit log streams into an atomic writer: the destination path only
+  // appears (via rename) once the run ends and the log is complete.
+  std::optional<AtomicFileWriter> audit_w;
   std::optional<AuditLog> audit;
   if (!a.audit_out_path.empty()) {
-    audit_os.open(a.audit_out_path);
-    POWDER_CHECK_MSG(audit_os.good(), "cannot write " << a.audit_out_path);
-    audit.emplace(&audit_os);
+    audit_w.emplace(a.audit_out_path);
+    audit.emplace(&audit_w->stream());
   }
   TraceSession* const trace_ptr = trace ? &*trace : nullptr;
 
@@ -301,23 +338,51 @@ int cmd_optimize(const Args& a) {
              rr.gates_removed);
   }
 
-  const PowderOptions opt = PowderOptions::builder()
-                                .objective(a.objective)
-                                .proof_engine(a.engine)
-                                .patterns(a.patterns)
-                                .seed(a.seed)
-                                .pi_probs(a.probs)
-                                .delay_limit_factor(a.delay_limit)
-                                .deadline(a.deadline)
-                                .threads(a.threads)
-                                .check_invariants(a.paranoid)
-                                .final_equivalence_check(a.paranoid)
-                                .trace(trace_ptr)
-                                .metrics(metrics ? &*metrics : nullptr)
-                                .audit(audit ? &*audit : nullptr)
-                                .build();
+  auto builder = PowderOptions::builder()
+                     .objective(a.objective)
+                     .proof_engine(a.engine)
+                     .patterns(a.patterns)
+                     .seed(a.seed)
+                     .pi_probs(a.probs)
+                     .delay_limit_factor(a.delay_limit)
+                     .deadline(a.deadline)
+                     .threads(a.threads)
+                     .check_invariants(a.paranoid)
+                     .final_equivalence_check(a.paranoid)
+                     .trace(trace_ptr)
+                     .metrics(metrics ? &*metrics : nullptr)
+                     .audit(audit ? &*audit : nullptr)
+                     .checkpoint_out(a.checkpoint_out_path)
+                     .resume_from(a.resume_path)
+                     .mem_limit_bytes(a.mem_limit_mb * 1024 * 1024);
+  if (a.watchdog > 0) builder.watchdog_seconds(a.watchdog);
+  const PowderOptions opt = builder.build();
+  if (!a.resume_path.empty())
+    progress("powder: resuming from %s\n", a.resume_path.c_str());
   const PowderReport r = optimize(nl, opt);
   const PowderReport::Diagnostics& d = r.diagnostics;
+  if (d.resume_replayed > 0)
+    progress("powder: replayed %lld checkpointed substitution(s)\n",
+             static_cast<long long>(d.resume_replayed));
+  if (d.checkpoint_frames > 0)
+    progress("powder: checkpoint %s holds %lld commit frame(s)\n",
+             a.checkpoint_out_path.c_str(),
+             static_cast<long long>(d.checkpoint_frames));
+  if (d.checkpoint_disabled)
+    progress("powder: WARNING: checkpointing disabled after an I/O "
+             "failure; the run continued without durability\n");
+  if (d.degradation_events > 0)
+    progress("powder: degradation ladder stepped %d time(s); see the "
+             "audit log for the transition trail\n",
+             d.degradation_events);
+  if (d.mem_limit_hit)
+    progress("powder: memory limit reached; result is partial\n");
+  if (d.retries > 0 || d.watchdog_requeues > 0)
+    progress("powder: %lld transient proof retr%s, %lld watchdog "
+             "requeue(s)\n",
+             static_cast<long long>(d.retries),
+             d.retries == 1 ? "y" : "ies",
+             static_cast<long long>(d.watchdog_requeues));
   progress(
       "powder: power %.3f -> %.3f (-%.1f%%), area %.0f -> %.0f, "
       "delay %.2f -> %.2f, %d substitutions, %.1fs (%d thread%s)\n",
@@ -326,9 +391,7 @@ int cmd_optimize(const Args& a) {
       r.substitutions_applied, r.cpu_seconds, d.threads_used,
       d.threads_used == 1 ? "" : "s");
   if (!a.report_json_path.empty()) {
-    std::ofstream out(a.report_json_path);
-    POWDER_CHECK_MSG(out.good(), "cannot write " << a.report_json_path);
-    out << r.to_json() << "\n";
+    write_file_atomic(a.report_json_path, r.to_json() + "\n");
     progress("wrote %s\n", a.report_json_path.c_str());
   }
   if (d.deadline_hit)
@@ -368,30 +431,28 @@ int cmd_optimize(const Args& a) {
     }
   }
   if (!a.out_path.empty()) {
-    std::ofstream out(a.out_path);
-    out << write_blif(nl);
+    write_file_atomic(a.out_path, write_blif(nl));
     progress("wrote %s\n", a.out_path.c_str());
   }
 
   if (trace) {
-    std::ofstream out(a.trace_out_path);
-    POWDER_CHECK_MSG(out.good(), "cannot write " << a.trace_out_path);
-    trace->write_chrome_json(out);
+    AtomicFileWriter out(a.trace_out_path);
+    trace->write_chrome_json(out.stream());
+    out.commit();
     progress("wrote %s (%llu events, %llu dropped)\n",
              a.trace_out_path.c_str(),
              static_cast<unsigned long long>(trace->events_recorded()),
              static_cast<unsigned long long>(trace->dropped()));
   }
   if (!a.metrics_out_path.empty()) {
-    std::ofstream out(a.metrics_out_path);
-    POWDER_CHECK_MSG(out.good(), "cannot write " << a.metrics_out_path);
-    metrics->write_prometheus(out);
+    AtomicFileWriter out(a.metrics_out_path);
+    metrics->write_prometheus(out.stream());
+    out.commit();
     progress("wrote %s (%zu instruments)\n", a.metrics_out_path.c_str(),
              metrics->size());
   }
   if (audit) {
-    audit_os.flush();
-    POWDER_CHECK_MSG(audit_os.good(), "cannot write " << a.audit_out_path);
+    audit_w->commit();
     progress("wrote %s (%lld decisions)\n", a.audit_out_path.c_str(),
              audit->records());
   }
@@ -423,8 +484,7 @@ int cmd_gen(const Args& a) {
   if (a.out_path.empty()) {
     std::fputs(text.c_str(), stdout);
   } else {
-    std::ofstream out(a.out_path);
-    out << text;
+    write_file_atomic(a.out_path, text);
     progress("wrote %s (%d gates)\n", a.out_path.c_str(), nl.num_cells());
   }
   return 0;
@@ -458,8 +518,7 @@ int cmd_cleanup(const Args& a) {
     return 2;
   }
   if (!a.out_path.empty()) {
-    std::ofstream out(a.out_path);
-    out << write_blif(nl);
+    write_file_atomic(a.out_path, write_blif(nl));
     progress("wrote %s\n", a.out_path.c_str());
   }
   return 0;
@@ -506,6 +565,18 @@ int main(int argc, char** argv) {
     }
     usage();
     return 1;
+  } catch (const Error& e) {
+    // Typed failures map to distinct exit codes so scripts can react
+    // without parsing stderr: 3 = bad input, 4 = resource exhaustion,
+    // 5 = proof engine, 6 = I/O. what() already carries the category.
+    std::fprintf(stderr, "%s\n", e.what());
+    switch (e.category()) {
+      case ErrorCategory::kInput: return 3;
+      case ErrorCategory::kResource: return 4;
+      case ErrorCategory::kProofEngine: return 5;
+      case ErrorCategory::kIo: return 6;
+    }
+    return 2;
   } catch (const CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
