@@ -29,12 +29,12 @@ int main() {
   for (const std::string& name : suite) {
     Netlist nlp = initial_circuit(name, lib);
     PowderOptions po = bench_options(nlp.num_inputs());
-    po.proof_engine = ProofEngine::kPodem;
+    po.proof.engine = ProofEngine::kPodem;
     const PowderReport rp = optimize(nlp, po);
 
     Netlist nls = initial_circuit(name, lib);
     PowderOptions so = bench_options(nls.num_inputs());
-    so.proof_engine = ProofEngine::kSat;
+    so.proof.engine = ProofEngine::kSat;
     const PowderReport rs = optimize(nls, so);
 
     std::printf("%-10s | %9.1f %7d %7.1f | %9.1f %7d %7.1f\n", name.c_str(),

@@ -742,4 +742,46 @@ Aig make_benchmark(const std::string& name) {
   return aig;
 }
 
+Netlist make_scale_netlist(int num_gates, std::uint64_t seed) {
+  POWDER_CHECK_MSG(num_gates >= 10,
+                   "make_scale_netlist needs at least one 10-gate tile, got "
+                       << num_gates);
+  const std::shared_ptr<const CellLibrary> lib = CellLibrary::standard_shared();
+  Netlist nl(lib, "scale" + std::to_string(num_gates));
+  const std::vector<CellId>& two_in = lib->two_input_cells();
+  POWDER_CHECK(!two_in.empty());
+  Rng rng(seed);
+
+  const int tiles = num_gates / 10;
+  // Shared PI pool, stride 4: neighbouring tiles overlap on half their
+  // inputs, so windows cut mid-tile still see correlated boundary signals.
+  const int pool = std::min(4096, std::max(16, num_gates / 50));
+  std::vector<GateId> pis;
+  pis.reserve(static_cast<std::size_t>(pool));
+  for (int i = 0; i < pool; ++i)
+    pis.push_back(nl.add_input("pi" + std::to_string(i)));
+
+  for (int t = 0; t < tiles; ++t) {
+    const auto pi = [&](int j) { return pis[(4 * t + j) % pool]; };
+    const CellId g = two_in[rng.below(two_in.size())];
+    const std::string p = "t" + std::to_string(t) + "_";
+    // A balanced 8-input cone plus a duplicate of its first leaf: r1
+    // computes exactly a1, so r2's input is OS2-substitutable by a1 and r1
+    // becomes sweepable — one planted, provable gain per tile.
+    const GateId a1 = nl.add_gate(g, {pi(0), pi(1)}, p + "a1");
+    const GateId a2 = nl.add_gate(g, {pi(2), pi(3)}, p + "a2");
+    const GateId a3 = nl.add_gate(g, {pi(4), pi(5)}, p + "a3");
+    const GateId a4 = nl.add_gate(g, {pi(6), pi(7)}, p + "a4");
+    const GateId b1 = nl.add_gate(g, {a1, a2}, p + "b1");
+    const GateId b2 = nl.add_gate(g, {a3, a4}, p + "b2");
+    const GateId c1 = nl.add_gate(g, {b1, b2}, p + "c1");
+    const GateId r1 = nl.add_gate(g, {pi(0), pi(1)}, p + "r1");
+    const GateId r2 = nl.add_gate(g, {r1, pi(2)}, p + "r2");
+    const GateId c2 = nl.add_gate(g, {r2, b2}, p + "c2");
+    nl.add_output(p + "o1", c1);
+    nl.add_output(p + "o2", c2);
+  }
+  return nl;
+}
+
 }  // namespace powder

@@ -19,6 +19,7 @@
 
 #include "aig/aig.hpp"
 #include "flow/flow.hpp"
+#include "netlist/netlist.hpp"
 
 namespace powder {
 
@@ -77,5 +78,14 @@ SopNetwork make_random_pla(const std::string& name, int ninputs, int noutputs,
 /// Seeded random AIG with injected locally-reducible idioms.
 Aig make_random_logic(const std::string& name, int ninputs, int noutputs,
                       int nands, std::uint64_t seed);
+
+/// Large already-mapped netlist for scaling experiments (10^5-10^6 gates):
+/// `num_gates/10` independent 10-gate tiles over a shared primary-input
+/// pool, each containing a duplicated cone (an OS2 opportunity the window
+/// optimizer can collapse). The fanout-bounded tile structure keeps proof
+/// cones shallow, so runtime scales with per-candidate work, not depth.
+/// Built directly against CellLibrary::standard_shared() — no mapping pass,
+/// so even a 10^6-gate instance constructs in well under a second.
+Netlist make_scale_netlist(int num_gates, std::uint64_t seed = 1);
 
 }  // namespace powder

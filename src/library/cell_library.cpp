@@ -275,4 +275,13 @@ CellLibrary CellLibrary::standard() {
   return from_genlib(builtin_genlib_text());
 }
 
+std::shared_ptr<const CellLibrary> CellLibrary::standard_shared() {
+  // One process-wide instance: netlists that adopt it share ownership, so
+  // a helper can return a standard-library netlist by value without any
+  // lifetime ceremony (the CHANGES.md PR 6 dangling-library footgun).
+  static const std::shared_ptr<const CellLibrary> kShared =
+      std::make_shared<const CellLibrary>(standard());
+  return kShared;
+}
+
 }  // namespace powder

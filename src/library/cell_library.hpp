@@ -3,6 +3,7 @@
 // optimizer and mapper need (inverter, constants, the two-input gates that
 // OS3/IS3 substitutions may insert).
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,6 +24,11 @@ class CellLibrary {
   /// The built-in lib2-style library used by all experiments (see
   /// builtin_genlib_text() for the exact genlib source).
   static CellLibrary standard();
+
+  /// Process-wide shared instance of standard(). Netlists built against it
+  /// should adopt the handle (Netlist::adopt_library) so helpers can return
+  /// them by value without dangling the library.
+  static std::shared_ptr<const CellLibrary> standard_shared();
 
   /// genlib source of the standard library.
   static std::string_view builtin_genlib_text();

@@ -18,8 +18,23 @@ Netlist::Netlist(const CellLibrary* library, std::string name)
   POWDER_CHECK(library_ != nullptr);
 }
 
+Netlist::Netlist(std::shared_ptr<const CellLibrary> library, std::string name)
+    : library_(library.get()),
+      library_owner_(std::move(library)),
+      name_(std::move(name)) {
+  POWDER_CHECK(library_ != nullptr);
+}
+
+void Netlist::adopt_library(std::shared_ptr<const CellLibrary> library) {
+  POWDER_CHECK_MSG(library.get() == library_,
+                   "adopt_library: the shared handle must own the library "
+                   "this netlist was built against");
+  library_owner_ = std::move(library);
+}
+
 Netlist::Netlist(const Netlist& other)
     : library_(other.library_),
+      library_owner_(other.library_owner_),
       name_(other.name_),
       kind_(other.kind_),
       alive_(other.alive_),
@@ -39,6 +54,7 @@ Netlist::Netlist(const Netlist& other)
 Netlist& Netlist::operator=(const Netlist& other) {
   if (this == &other) return *this;
   library_ = other.library_;
+  library_owner_ = other.library_owner_;
   name_ = other.name_;
   kind_ = other.kind_;
   alive_ = other.alive_;
@@ -66,6 +82,7 @@ Netlist::Netlist(Netlist&& other) {
   POWDER_CHECK_MSG(other.observers_.empty(),
                    "moving a netlist that still has observers attached");
   library_ = other.library_;
+  library_owner_ = std::move(other.library_owner_);
   name_ = std::move(other.name_);
   kind_ = std::move(other.kind_);
   alive_ = std::move(other.alive_);
@@ -92,6 +109,7 @@ Netlist& Netlist::operator=(Netlist&& other) {
   POWDER_CHECK_MSG(other.observers_.empty(),
                    "moving a netlist that still has observers attached");
   library_ = other.library_;
+  library_owner_ = std::move(other.library_owner_);
   name_ = std::move(other.name_);
   kind_ = std::move(other.kind_);
   alive_ = std::move(other.alive_);
@@ -631,6 +649,7 @@ std::vector<GateId> Netlist::mffc(GateId g,
 
 Netlist Netlist::compacted(std::vector<GateId>* remap) const {
   Netlist out(library_, name_);
+  out.library_owner_ = library_owner_;
   out.reserve(kind_.size(), fanin_pins_.pool_bytes() / sizeof(GateId));
   std::vector<GateId> map(kind_.size(), kNullGate);
   // Inputs keep their order; cells follow in topological order; outputs

@@ -31,6 +31,7 @@
 // topo_order() calls between mutations are free.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -108,6 +109,13 @@ class Netlist {
  public:
   explicit Netlist(const CellLibrary* library, std::string name = "top");
 
+  /// Owning constructor: the netlist shares ownership of its library, so
+  /// the library can never dangle no matter how the netlist (or copies of
+  /// it) travel. Prefer this (with CellLibrary::standard_shared()) in any
+  /// helper that returns a Netlist by value.
+  explicit Netlist(std::shared_ptr<const CellLibrary> library,
+                   std::string name = "top");
+
   // Copying transfers structure only: the copy starts with no observers and
   // an empty delta log (observers are identities bound to one instance).
   // Copy-assignment keeps the destination's observers and notifies them
@@ -121,6 +129,19 @@ class Netlist {
   ~Netlist() = default;
 
   const CellLibrary& library() const { return *library_; }
+
+  /// Retrofits shared ownership of the library onto a netlist built with
+  /// the borrowing constructor (e.g. the result of map_aig). `library`
+  /// must be the same object the netlist already points at — adopting a
+  /// different library would silently re-interpret every CellId. The
+  /// ownership travels with copies and moves of the netlist.
+  void adopt_library(std::shared_ptr<const CellLibrary> library);
+
+  /// The shared owner handle; null when the netlist merely borrows.
+  const std::shared_ptr<const CellLibrary>& library_owner() const {
+    return library_owner_;
+  }
+
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
@@ -302,6 +323,10 @@ class Netlist {
 
  private:
   const CellLibrary* library_;
+  /// Optional shared ownership of *library_ (see adopt_library). Keeping
+  /// the raw pointer as the hot-path accessor leaves cell lookups free of
+  /// shared_ptr overhead.
+  std::shared_ptr<const CellLibrary> library_owner_;
   std::string name_;
 
   // Struct-of-arrays gate table: one entry per slot in each vector.

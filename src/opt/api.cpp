@@ -56,6 +56,9 @@ std::string PowderReport::to_json() const {
   os.precision(17);
   bool first = true;
   os << "{";
+  // First key by contract (DESIGN.md §11.4): consumers dispatch on the
+  // document version before touching anything else.
+  append_field(os, "schema_version", kReportSchemaVersion, &first);
   append_field(os, "initial_power", initial_power, &first);
   append_field(os, "final_power", final_power, &first);
   append_field(os, "initial_area", initial_area, &first);
@@ -127,6 +130,17 @@ std::string PowderReport::to_json() const {
   append_field(os, "pin_slabs_recycled", diagnostics.pin_slabs_recycled, &df);
   append_field(os, "name_pool_bytes", diagnostics.name_pool_bytes, &df);
   append_field(os, "peak_rss_bytes", diagnostics.peak_rss_bytes, &df);
+  os << ",\"windowing\":{";
+  bool wf = true;
+  append_field(os, "windows_built", diagnostics.windowing.windows_built, &wf);
+  append_field(os, "window_commits", diagnostics.windowing.window_commits,
+               &wf);
+  append_field(os, "boundary_conflicts",
+               diagnostics.windowing.boundary_conflicts, &wf);
+  append_field(os, "window_reruns", diagnostics.windowing.window_reruns, &wf);
+  append_field(os, "window_gates_total",
+               diagnostics.windowing.window_gates_total, &wf);
+  os << "}";
   os << "}";
   // Snapshot of the attached MetricsRegistry; absent without a metrics sink
   // so every pre-existing consumer sees an unchanged document.

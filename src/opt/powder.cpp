@@ -11,6 +11,7 @@
 #include <set>
 #include <shared_mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "bdd/netlist_bdd.hpp"
 #include "opt/journal.hpp"
@@ -27,6 +28,9 @@
 #include "util/fault_injection.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/thread_pool.hpp"
+#include "window/extract.hpp"
+#include "window/partition.hpp"
+#include "window/window_optimizer.hpp"
 
 namespace powder {
 
@@ -395,9 +399,9 @@ void PowderOptimizer::validate_options() const {
                        << o.max_outer_iterations);
   POWDER_CHECK_MSG(std::isfinite(o.min_gain),
                    "PowderOptions.min_gain must be finite");
-  POWDER_CHECK_MSG(o.atpg.backtrack_limit >= 0,
-                   "PowderOptions.atpg.backtrack_limit must be non-negative, "
-                   "got " << o.atpg.backtrack_limit);
+  POWDER_CHECK_MSG(o.proof.atpg.backtrack_limit >= 0,
+                   "PowderOptions.proof.atpg.backtrack_limit must be non-negative, "
+                   "got " << o.proof.atpg.backtrack_limit);
   POWDER_CHECK_MSG(o.threads >= 0,
                    "PowderOptions.threads must be non-negative, got "
                        << o.threads);
@@ -407,6 +411,15 @@ void PowderOptimizer::validate_options() const {
   POWDER_CHECK_MSG(o.session.proof_retries >= 0,
                    "PowderOptions.session.proof_retries must be "
                    "non-negative, got " << o.session.proof_retries);
+  POWDER_CHECK_MSG(o.window.max_gates >= 2,
+                   "PowderOptions.window.max_gates must be at least 2, got "
+                       << o.window.max_gates);
+  POWDER_CHECK_MSG(o.window.overlap >= 0 && o.window.overlap < o.window.max_gates,
+                   "PowderOptions.window.overlap must lie in [0, max_gates), "
+                   "got " << o.window.overlap);
+  POWDER_CHECK_MSG(o.window.rerun_limit >= 0,
+                   "PowderOptions.window.rerun_limit must be non-negative, "
+                   "got " << o.window.rerun_limit);
   POWDER_CHECK_MSG(o.session.podem_only_fraction >= 0.0 &&
                        o.session.podem_only_fraction <= 1.0 &&
                        o.session.signature_only_fraction >= 0.0 &&
@@ -451,6 +464,8 @@ PowderReport PowderOptimizer::run() {
   }
   report.diagnostics.threads_used = threads;
   run_span.arg("threads", threads);
+  const bool windowed = options_.window.mode == WindowMode::kWindowed;
+  run_span.arg("windowed", windowed ? 1 : 0);
 
   // The registry is the primary store for the run's decision counters; with
   // no user-supplied sink they land in a run-local registry instead, so the
@@ -502,6 +517,20 @@ PowderReport PowderOptimizer::run() {
   const Meter m_degraded =
       meter("powder_rejected_degraded_total",
             "Candidates rejected unproven by the degradation ladder");
+  const Meter m_windows = meter("powder_windows_built_total",
+                                "Windows extracted, including conflict reruns");
+  const Meter m_window_gates =
+      meter("powder_window_gates_total",
+            "Sum of gate counts over all extracted windows");
+  const Meter m_window_commits =
+      meter("powder_window_commits_total",
+            "Local window commits merged into the parent netlist");
+  const Meter m_window_conflicts =
+      meter("powder_window_boundary_conflicts_total",
+            "Windows skipped at merge because their support was touched");
+  const Meter m_window_reruns =
+      meter("powder_window_reruns_total",
+            "Serial window re-optimizations after boundary conflicts");
 
   ResourceBudget budget;
   budget.set_deadline(options_.budget.deadline_seconds);
@@ -521,7 +550,7 @@ PowderReport PowderOptimizer::run() {
     recorder.set_after_frame_hook(options_.session.after_checkpoint_frame);
   }
   DegradationLadder ladder(options_.session, options_.budget.deadline_seconds,
-                           options_.proof_engine, reg, audit);
+                           options_.proof.engine, reg, audit);
 
   // Shared pool for the data-parallel kernels (word-sharded simulation and
   // the three-pass candidate harvest). Proof workers are separate dedicated
@@ -580,11 +609,11 @@ PowderReport PowderOptimizer::run() {
     return true;
   };
 
-  AtpgOptions atpg_options = options_.atpg;
+  AtpgOptions atpg_options = options_.proof.atpg;
   atpg_options.budget = &budget;
   atpg_options.trace = trace;
   atpg_options.metrics = component_metrics;
-  SatCheckerOptions sat_options = options_.sat;
+  SatCheckerOptions sat_options = options_.proof.sat;
   sat_options.budget = &budget;
   sat_options.trace = trace;
   sat_options.metrics = component_metrics;
@@ -594,10 +623,12 @@ PowderReport PowderOptimizer::run() {
   // Speculative proof workers (threads - 1 of them); null in serial mode,
   // which keeps the exact single-threaded code path. The copied checker
   // options carry the trace/metrics sinks into every worker's own engines.
+  // Windowed mode spends its threads on the window fan-out instead, and its
+  // results must not depend on the thread count — no speculation there.
   std::optional<ProofPipeline> pipeline;
-  if (threads > 1)
+  if (threads > 1 && !windowed)
     pipeline.emplace(*netlist_, atpg_options, sat_options,
-                     options_.proof_engine, threads - 1, trace,
+                     options_.proof.engine, threads - 1, trace,
                      options_.session.proof_retries,
                      options_.session.watchdog_seconds, m_retries.c,
                      m_watchdog.c);
@@ -646,10 +677,14 @@ PowderReport PowderOptimizer::run() {
 
   // Persistent across iterations: the signature index refreshes only the
   // epoch-dirty gates on re-harvest. Reseeding per iteration keeps the RNG
-  // stream identical to a freshly constructed finder.
-  CandidateFinder finder(*netlist_, est, options_.candidates, options_.seed,
-                         &pool);
-  finder.set_trace(trace);
+  // stream identical to a freshly constructed finder. Windowed mode
+  // harvests inside each window's own finder, so the parent-level index
+  // (an O(N) build plus a delta-bus subscription) is skipped entirely.
+  std::optional<CandidateFinder> finder;
+  if (!windowed) {
+    finder.emplace(*netlist_, est, options_.candidates, options_.seed, &pool);
+    finder->set_trace(trace);
+  }
 
   // Decision audit: one NDJSON record per candidate the loop below settles.
   long long audit_seq = 0;
@@ -688,277 +723,575 @@ PowderReport PowderOptimizer::run() {
 
   bool progress = true;
   bool stopped = false;
-  for (int outer = 0;
-       progress && !stopped && outer < options_.max_outer_iterations;
-       ++outer) {
-    m_iterations.c->inc();
-    audit_iteration = outer + 1;
-    TraceSpan iter_span(trace, "iteration", "powder");
-    iter_span.arg("outer", outer + 1);
-    progress = false;
-    if (stop_requested()) break;
+  if (windowed) {
+    // ---- windowed mode (DESIGN.md §11) ----------------------------------
+    // Partition the parent along its topo order, optimize every window
+    // independently (thread fan-out happens here; each local run is a pure
+    // function of its extraction), then merge strictly serially in a
+    // deterministic order — results are bit-identical at any thread count.
+    int next_window_id = 0;
+    std::unordered_set<GateId> touched;
 
-    finder.reseed(options_.seed + 17 * static_cast<std::uint64_t>(outer));
-    std::vector<CandidateSub> cands;
-    {
-      TraceSpan harvest_span(trace, "harvest", "harvest");
-      cands = finder.find();
-      harvest_span.arg("candidates", static_cast<long long>(cands.size()));
-    }
-    m_harvested.c->inc(static_cast<long long>(cands.size()));
-    if (outer >= 1) {
-      report.diagnostics.candidate_gates_refreshed +=
-          static_cast<long>(finder.last_refresh_count());
-      report.diagnostics.candidate_index_size +=
-          static_cast<long>(finder.index_size());
-    }
+    // Per-window WAL oracle views for windowed resume: each local loop
+    // replays proof verdicts from the commits recorded under its window
+    // id, while the merge below still verifies against the global cursor.
+    auto window_records = [&](int id) {
+      std::vector<const WalCommit*> recs;
+      if (resume.loaded())
+        for (const WalCommit& c : resume.commits())
+          if (c.window == static_cast<std::uint32_t>(id)) recs.push_back(&c);
+      return recs;
+    };
 
-    int performed = 0;
-    while (performed < options_.repeat && !cands.empty()) {
-      if (stop_requested()) {
-        stopped = true;
-        break;
-      }
-      // ---- select_power_red_subst --------------------------------------
-      // Refresh validity and PG_A+PG_B of the surviving candidates (the
-      // netlist has changed since harvesting), preselect the best, then
-      // re-estimate PG_C for the shortlist only.
-      const bool area_mode = options_.objective == Objective::kArea;
-      std::vector<std::size_t> order;
-      std::vector<double> metric(cands.size(), 0.0);
-      for (std::size_t i = 0; i < cands.size();) {
-        if (!substitution_still_valid(*netlist_, cands[i])) {
-          m_stale.c->inc();
-          audit_decision(cands[i], "rejected_stale");
-          cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
-          continue;
-        }
-        cands[i].pg_a = compute_pg_a(*netlist_, est, cands[i]);
-        cands[i].pg_b = compute_pg_b(*netlist_, est, cands[i]);
-        metric[i] = area_mode ? compute_area_gain(*netlist_, cands[i])
-                              : cands[i].preselect_gain();
-        order.push_back(i);
-        ++i;
-      }
-      if (order.empty()) break;
-      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-        return metric[x] > metric[y];
-      });
-      const std::size_t shortlist =
-          std::min<std::size_t>(order.size(),
-                                static_cast<std::size_t>(options_.shortlist));
-      std::size_t best = cands.size();
-      double best_gain = options_.min_gain;
-      if (area_mode) {
-        // Area gain is exact — no shortlist re-estimation needed.
-        if (metric[order[0]] > best_gain) best = order[0];
-      } else {
-        for (std::size_t k = 0; k < shortlist; ++k) {
-          CandidateSub& cand = cands[order[k]];
-          cand.pg_c = compute_pg_c(*netlist_, est, cand);
-          if (cand.total_gain() > best_gain) {
-            best_gain = cand.total_gain();
-            best = order[k];
+    // Merges one optimized window into the parent. Returns false when the
+    // window must be re-run: a boundary conflict, or a mid-window failure
+    // (apply/delay/guard) that strands the commits building on it.
+    long long merged_total = 0;
+    auto merge_window = [&](WindowExtraction& ex, WindowResult& res,
+                            bool check_conflicts) -> bool {
+      // Fold the local decision counters serially — deterministic totals.
+      m_harvested.c->inc(res.stats.harvested);
+      m_stale.c->inc(res.stats.stale);
+      m_presim.c->inc(res.stats.presim_rejected);
+      m_proof_rej.c->inc(res.stats.proof_rejected);
+      m_guard_rb.c->inc(res.stats.guard_rollbacks);
+      m_inline.c->inc(res.stats.inline_proofs);
+      if (res.commits.empty()) return true;
+      if (check_conflicts) {
+        for (const GateId g : ex.support)
+          if (touched.count(g) != 0) {
+            m_window_conflicts.c->inc();
+            if (audit != nullptr) {
+              AuditEvent e;
+              e.event = "window_conflict";
+              e.reason = "boundary_overlap";
+              e.value = ex.id;
+              audit->write_event(e);
+            }
+            return false;
           }
+      }
+      auto mark = [&](GateId g) {
+        if (g != kNullGate) touched.insert(g);
+      };
+      std::vector<GateId>& to_parent = ex.to_parent;
+      auto map_gate = [&](GateId local, GateId* parent) {
+        if (local >= to_parent.size() || to_parent[local] == kNullGate)
+          return false;
+        *parent = to_parent[local];
+        return true;
+      };
+      for (const WindowCommit& wc : res.commits) {
+        CandidateSub cand = wc.cand;
+        bool mapped = map_gate(wc.cand.target, &cand.target);
+        if (mapped && wc.cand.branch.has_value())
+          mapped = map_gate(wc.cand.branch->gate, &cand.branch->gate);
+        if (mapped && wc.cand.rep.kind != ReplacementFunction::Kind::kConstant)
+          mapped = map_gate(wc.cand.rep.b, &cand.rep.b);
+        if (mapped && wc.cand.rep.kind == ReplacementFunction::Kind::kTwoInput)
+          mapped = map_gate(wc.cand.rep.c, &cand.rep.c);
+        if (!mapped) return false;  // an earlier commit of this window failed
+
+        // Delay check against the parent's real arrival times (the local
+        // loop has none). The rest of the window builds on this commit —
+        // drop it and let a re-run rediscover what still fits.
+        bool delay_violated;
+        {
+          TraceSpan delay_span(trace, "delay_check", "sta");
+          delay_violated = violates_delay(cand, report.delay_limit, timing,
+                                          report.diagnostics);
+          delay_span.arg("violated", delay_violated ? 1 : 0);
         }
+        if (delay_violated) {
+          m_delay.c->inc();
+          audit_decision(cand, "rejected_delay", true);
+          return false;
+        }
+
+        const double power_before = est.total_power();
+        const double area_before = netlist_->total_area();
+        const bool active = resume.active();
+        AppliedSub applied;
+        try {
+          applied = journal.apply(cand);
+        } catch (const CheckError&) {
+          if (active && resume.matches(cand))
+            throw Error::input(
+                "resume diverged: a checkpointed window substitution failed "
+                "to re-apply (wrong input netlist or tampered log?)");
+          m_apply_fail.c->inc();
+          audit_decision(cand, "apply_failed", true);
+          return false;
+        }
+        resync();
+        if (options_.check_invariants) netlist_->check_consistency();
+
+        if (options_.guard.signature_check && !po_signatures_ok()) {
+          if (active && resume.matches(cand))
+            throw Error::input(
+                "resume diverged: the signature guard rejected a window "
+                "commit the checkpoint recorded as accepted");
+          m_guard_rb.c->inc();
+          audit_decision(cand, "guard_rollback", true);
+          try {
+            journal.rollback_last();
+            resync();
+          } catch (const CheckError&) {
+            resync();
+            stopped = true;
+            return true;  // stopping — no re-run
+          }
+          return false;
+        }
+
+        const double power_after = est.total_power();
+        ClassStats& cls = report.by_class[static_cast<std::size_t>(cand.cls)];
+        ++cls.applied;
+        cls.power_delta += power_before - power_after;
+        cls.area_delta += netlist_->total_area() - area_before;
+        commit_log.push_back(CommitRecord{cand.cls, power_before - power_after,
+                                          netlist_->total_area() -
+                                              area_before});
+        m_applied.c->inc();
+        m_window_commits.c->inc();
+
+        // Extend the local->parent map with the inserted gate so later
+        // commits of this window that reference it keep mapping.
+        if (wc.applied.new_gate != kNullGate &&
+            applied.new_gate != kNullGate) {
+          if (wc.applied.new_gate >= to_parent.size())
+            to_parent.resize(wc.applied.new_gate + 1, kNullGate);
+          to_parent[wc.applied.new_gate] = applied.new_gate;
+        }
+
+        // Every parent-side edit endpoint joins the touched set; later
+        // windows whose support intersects it are conflict-skipped. The
+        // parent MFFC sweep can exceed the local one (it reaches cones the
+        // window clipped), so the endpoints come from the parent delta.
+        mark(cand.target);
+        for (const GateId g : applied.removed_gates) mark(g);
+        for (const auto& fl : applied.removed_fanins)
+          for (const GateId g : fl) mark(g);
+        for (const RewiredPin& p : applied.rewired_pins) {
+          mark(p.sink);
+          mark(p.old_driver);
+          mark(p.new_driver);
+        }
+        for (const ResizedCell& r : applied.resized_cells) mark(r.gate);
+        for (const GateId g : applied.changed_roots) mark(g);
+        if (applied.new_gate != kNullGate) {
+          mark(applied.new_gate);
+          for (const GateId g : netlist_->fanins(applied.new_gate)) mark(g);
+        }
+
+        if (active) {
+          // Merged commits drain the global cursor in lockstep: the merge
+          // order is deterministic, so record i of the WAL is exactly the
+          // i-th commit merged here.
+          const WalCommit& rec = resume.current();
+          if (rec.window != static_cast<std::uint32_t>(ex.id) ||
+              !same_candidate(rec.cand, cand) ||
+              !same_applied(rec.applied, applied))
+            throw Error::input(
+                "resume diverged: merged window commits no longer match the "
+                "checkpoint");
+          resume.advance();
+        }
+        recorder.record_commit(audit_iteration,
+                               static_cast<int>(merged_total), cand, applied,
+                               static_cast<std::uint32_t>(ex.id));
+        audit_decision(cand, "accepted", true, "window", "untestable");
+        ++merged_total;
+        progress = true;
       }
-      if (best == cands.size()) break;  // nothing left that helps
+      return true;
+    };
 
-      // Speculate on the rest of the shortlist: if the chosen candidate is
-      // rejected (delay or proof), the netlist is unchanged and the next
-      // selection will pick from these — their verdicts are then already
-      // cached. A commit invalidates the speculation wholesale. Pointless
-      // while the WAL oracle answers proofs (resume fast-forward) or the
-      // ladder has stepped off the full engine.
-      if (pipe != nullptr && !resume.active() &&
-          ladder.level() == DegradationLevel::kFullProof) {
-        for (std::size_t k = 0; k < shortlist; ++k)
-          if (order[k] != best) pipe->speculate(cands[order[k]]);
-      }
+    for (int outer = 0;
+         progress && !stopped && outer < options_.max_outer_iterations;
+         ++outer) {
+      m_iterations.c->inc();
+      audit_iteration = outer + 1;
+      TraceSpan iter_span(trace, "iteration", "powder");
+      iter_span.arg("outer", outer + 1);
+      progress = false;
+      if (stop_requested()) break;
+      const long long merged_before = merged_total;
 
-      CandidateSub chosen = cands[best];
-      cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(best));
-      const bool pg_c_known = !area_mode;
-
-      // ---- check_delay (§3.4) -------------------------------------------
-      bool delay_violated;
+      // Partition and extract serially from the current parent state.
+      std::vector<WindowExtraction> extractions;
       {
-        TraceSpan delay_span(trace, "delay_check", "sta");
-        delay_violated = violates_delay(chosen, report.delay_limit, timing,
-                                        report.diagnostics);
-        delay_span.arg("violated", delay_violated ? 1 : 0);
+        TraceSpan part_span(trace, "window_partition", "window");
+        const auto plans = partition_windows(*netlist_, options_.window);
+        extractions.reserve(plans.size());
+        for (const auto& plan : plans) {
+          extractions.push_back(
+              extract_window(*netlist_, est, plan, next_window_id++));
+          m_windows.c->inc();
+          m_window_gates.c->inc(
+              static_cast<long long>(extractions.back().gates.size()));
+        }
+        part_span.arg("windows", static_cast<long long>(extractions.size()));
       }
-      if (delay_violated) {
-        m_delay.c->inc();
-        audit_decision(chosen, "rejected_delay", pg_c_known);
-        continue;
-      }
+      if (extractions.empty()) break;
 
-      // ---- check_candidate: permissibility proof ------------------------
-      // Fault injection can force an unproven candidate through this
-      // pipeline; the post-commit guard below is what must catch it.
-      bool forced = false;
-      if (inject_fault(FaultInjector::Site::kStaleCandidate))
-        forced = corrupt_candidate(*netlist_, verify_sim, &chosen);
-      if (inject_fault(FaultInjector::Site::kAcceptProof)) forced = true;
-      const char* proof_engine = nullptr;
-      const char* proof_verdict = nullptr;
-      double proof_us = -1.0;
-      if (!forced) {
-        // Cheap pre-proof: simulate the replacement on the independent
-        // pattern set; any output difference is a definite refutation.
-        const std::vector<std::uint64_t> words =
-            replacement_words(verify_sim, chosen.rep);
-        const FanoutRef* branch =
-            chosen.branch.has_value() ? &*chosen.branch : nullptr;
-        const auto diff = verify_sim.output_diff_with_replacement(
-            chosen.target, branch, words);
-        bool refuted = false;
-        for (std::uint64_t w : diff)
-          if (w) {
-            refuted = true;
+      std::vector<std::vector<const WalCommit*>> oracles(extractions.size());
+      for (std::size_t i = 0; i < extractions.size(); ++i)
+        oracles[i] = window_records(extractions[i].id);
+      std::vector<WindowResult> results(extractions.size());
+      pool.for_shards(static_cast<int>(extractions.size()),
+                      [&](int shard, int) {
+                        WindowRunOptions wo;
+                        wo.base = &options_;
+                        wo.seed =
+                            window_seed(options_.seed, extractions[shard].id);
+                        wo.budget = &budget;
+                        wo.trace = trace;
+                        wo.replay = &oracles[shard];
+                        results[shard] =
+                            optimize_window(extractions[shard], wo);
+                      });
+
+      touched.clear();
+      std::vector<std::size_t> rerun_queue;
+      {
+        TraceSpan merge_span(trace, "window_merge", "window");
+        const auto order = window_merge_order(extractions.size(),
+                                              options_.window.order_seed);
+        for (const std::size_t idx : order) {
+          if (stopped || stop_requested()) {
+            stopped = true;
             break;
           }
-        if (refuted) {
-          m_presim.c->inc();
-          audit_decision(chosen, "rejected_presim", pg_c_known);
-          continue;
+          if (!merge_window(extractions[idx], results[idx],
+                            /*check_conflicts=*/true))
+            rerun_queue.push_back(idx);
         }
-        std::optional<AtpgResult> proof;
-        if (resume.active()) {
-          // WAL fast-forward: the oracle replaces the proof engines. A
-          // candidate matching the next recorded commit was proved
-          // permissible by the original run; any other candidate that
-          // reaches this stage was rejected by it. Every cheaper stage
-          // (harvest, selection, staleness, delay, presim) is recomputed
-          // live, so once the cursor drains the run continues seamlessly —
-          // and bit-identically — on the real engines.
-          proof = resume.matches(chosen) ? AtpgResult::kUntestable
-                                         : AtpgResult::kTestFound;
-          proof_engine = "replay";
-        } else if (ladder.level() == DegradationLevel::kSignatureOnly) {
-          // Signature-reject-only rung: proof effort is no longer
-          // affordable, and an unproven candidate is never accepted — so
-          // everything that survives presim is rejected here while the run
-          // drains toward a clean stop with its committed gains intact.
-          m_degraded.c->inc();
-          audit_decision(chosen, "rejected_degraded", pg_c_known, "none",
-                         "skipped");
-          continue;
-        } else {
-          const ProofEngine engine =
-              ladder.level() == DegradationLevel::kPodemOnly
-                  ? ProofEngine::kPodem
-                  : options_.proof_engine;
-          // Speculative verdicts were proved with the configured engine;
-          // they stay usable only while the ladder has not changed it.
-          if (pipe != nullptr && engine == options_.proof_engine) {
-            proof = pipe->lookup(chosen);
-            if (proof.has_value()) proof_engine = "speculative";
-          }
-          if (!proof.has_value()) {
-            const bool timed = options_.trace.any();
-            const std::uint64_t t0 = timed ? trace_now_ns() : 0;
-            proof = prove_with_retry(atpg, sat, engine, chosen,
-                                     options_.session.proof_retries,
-                                     m_retries.c);
-            if (timed)
-              proof_us =
-                  static_cast<double>(trace_now_ns() - t0) / 1000.0;
-            proof_engine = engine_name(engine);
-            m_inline.c->inc();
-          }
-        }
-        proof_verdict = verdict_name(*proof);
-        if (*proof != AtpgResult::kUntestable) {
-          m_proof_rej.c->inc();
-          audit_decision(chosen, "rejected_proof", pg_c_known, proof_engine,
-                         proof_verdict, proof_us);
-          continue;
-        }
+        merge_span.arg("merged", merged_total - merged_before);
+        merge_span.arg("conflicts",
+                       static_cast<long long>(rerun_queue.size()));
       }
 
-      // ---- perform_substitution + power_estimate_update -----------------
-      const double power_before = est.total_power();
-      const double area_before = netlist_->total_area();
-      const bool replaying = resume.matches(chosen);
-      AppliedSub applied;
-      try {
-        MutationScope scope(pipe);
-        applied = journal.apply(chosen);
-      } catch (const CheckError&) {
-        // Stale or invalid at the last moment: the apply validated before
-        // mutating, so the netlist is untouched — skip the candidate.
-        if (replaying)
-          throw Error::input(
-              "resume diverged: a checkpointed substitution failed to "
-              "re-apply (wrong input netlist or tampered log?)");
-        m_apply_fail.c->inc();
-        audit_decision(chosen, "apply_failed", pg_c_known, proof_engine,
-                       proof_verdict, proof_us);
-        continue;
-      }
-      resync();
-      if (options_.check_invariants) netlist_->check_consistency();
-
-      // ---- guard: the PO signatures must be untouched -------------------
-      if (options_.guard.signature_check && !po_signatures_ok()) {
-        if (replaying)
-          throw Error::input(
-              "resume diverged: the signature guard rejected a commit the "
-              "checkpoint recorded as accepted");
-        m_guard_rb.c->inc();
-        audit_decision(chosen, "guard_rollback", pg_c_known, proof_engine,
-                       proof_verdict, proof_us);
-        try {
-          {
-            MutationScope scope(pipe);
-            journal.rollback_last();
+      // Conflicted windows re-run serially against the now-mutated parent:
+      // re-extract the surviving gates, optimize inline, merge immediately
+      // (nothing intervenes, so no conflict check is needed).
+      for (int round = 0; round < options_.window.rerun_limit &&
+                          !rerun_queue.empty() && !stopped;
+           ++round) {
+        std::vector<std::size_t> next_queue;
+        for (const std::size_t idx : rerun_queue) {
+          if (stopped || stop_requested()) {
+            stopped = true;
+            break;
           }
-          resync();
-        } catch (const CheckError&) {
-          // Rollback itself failed (possible only with a corrupted
-          // journal); the deltas that did execute were published, so the
-          // same resync still yields trustworthy caches. Stop committing
-          // and let the final guard judge.
-          resync();
+          std::vector<std::uint8_t> member(netlist_->num_slots(), 0);
+          for (const GateId g : extractions[idx].gates)
+            if (netlist_->alive(g) && netlist_->kind(g) == GateKind::kCell)
+              member[g] = 1;
+          std::vector<GateId> alive_gates;
+          for (const GateId g : netlist_->topo_order())
+            if (member[g]) alive_gates.push_back(g);
+          if (alive_gates.empty()) continue;
+          m_window_reruns.c->inc();
+          WindowExtraction ex =
+              extract_window(*netlist_, est, alive_gates, next_window_id++);
+          m_windows.c->inc();
+          m_window_gates.c->inc(static_cast<long long>(ex.gates.size()));
+          if (audit != nullptr) {
+            AuditEvent e;
+            e.event = "window_rerun";
+            e.reason = "boundary_conflict";
+            e.value = ex.id;
+            audit->write_event(e);
+          }
+          WindowRunOptions wo;
+          wo.base = &options_;
+          wo.seed = window_seed(options_.seed, ex.id);
+          wo.budget = &budget;
+          wo.trace = trace;
+          const auto oracle = window_records(ex.id);
+          wo.replay = &oracle;
+          WindowResult res = optimize_window(ex, wo);
+          if (!merge_window(ex, res, /*check_conflicts=*/false))
+            next_queue.push_back(idx);
+        }
+        rerun_queue = std::move(next_queue);
+      }
+      iter_span.arg("applied", merged_total - merged_before);
+    }
+  } else {
+    for (int outer = 0;
+         progress && !stopped && outer < options_.max_outer_iterations;
+         ++outer) {
+      m_iterations.c->inc();
+      audit_iteration = outer + 1;
+      TraceSpan iter_span(trace, "iteration", "powder");
+      iter_span.arg("outer", outer + 1);
+      progress = false;
+      if (stop_requested()) break;
+
+      finder->reseed(options_.seed + 17 * static_cast<std::uint64_t>(outer));
+      std::vector<CandidateSub> cands;
+      {
+        TraceSpan harvest_span(trace, "harvest", "harvest");
+        cands = finder->find();
+        harvest_span.arg("candidates", static_cast<long long>(cands.size()));
+      }
+      m_harvested.c->inc(static_cast<long long>(cands.size()));
+      if (outer >= 1) {
+        report.diagnostics.candidate_gates_refreshed +=
+            static_cast<long>(finder->last_refresh_count());
+        report.diagnostics.candidate_index_size +=
+            static_cast<long>(finder->index_size());
+      }
+
+      int performed = 0;
+      while (performed < options_.repeat && !cands.empty()) {
+        if (stop_requested()) {
           stopped = true;
           break;
         }
-        continue;
-      }
+        // ---- select_power_red_subst --------------------------------------
+        // Refresh validity and PG_A+PG_B of the surviving candidates (the
+        // netlist has changed since harvesting), preselect the best, then
+        // re-estimate PG_C for the shortlist only.
+        const bool area_mode = options_.objective == Objective::kArea;
+        std::vector<std::size_t> order;
+        std::vector<double> metric(cands.size(), 0.0);
+        for (std::size_t i = 0; i < cands.size();) {
+          if (!substitution_still_valid(*netlist_, cands[i])) {
+            m_stale.c->inc();
+            audit_decision(cands[i], "rejected_stale");
+            cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
+            continue;
+          }
+          cands[i].pg_a = compute_pg_a(*netlist_, est, cands[i]);
+          cands[i].pg_b = compute_pg_b(*netlist_, est, cands[i]);
+          metric[i] = area_mode ? compute_area_gain(*netlist_, cands[i])
+                                : cands[i].preselect_gain();
+          order.push_back(i);
+          ++i;
+        }
+        if (order.empty()) break;
+        std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+          return metric[x] > metric[y];
+        });
+        const std::size_t shortlist =
+            std::min<std::size_t>(order.size(),
+                                  static_cast<std::size_t>(options_.shortlist));
+        std::size_t best = cands.size();
+        double best_gain = options_.min_gain;
+        if (area_mode) {
+          // Area gain is exact — no shortlist re-estimation needed.
+          if (metric[order[0]] > best_gain) best = order[0];
+        } else {
+          for (std::size_t k = 0; k < shortlist; ++k) {
+            CandidateSub& cand = cands[order[k]];
+            cand.pg_c = compute_pg_c(*netlist_, est, cand);
+            if (cand.total_gain() > best_gain) {
+              best_gain = cand.total_gain();
+              best = order[k];
+            }
+          }
+        }
+        if (best == cands.size()) break;  // nothing left that helps
 
-      const double power_after = est.total_power();
-      ClassStats& cls =
-          report.by_class[static_cast<std::size_t>(chosen.cls)];
-      ++cls.applied;
-      cls.power_delta += power_before - power_after;
-      cls.area_delta += netlist_->total_area() - area_before;
-      commit_log.push_back(CommitRecord{chosen.cls,
-                                        power_before - power_after,
-                                        netlist_->total_area() - area_before});
-      m_applied.c->inc();
-      if (replaying) {
-        // Replay verification: the re-applied mutation must reproduce the
-        // recorded delta bit-for-bit before the cursor moves on.
-        if (!same_applied(resume.current().applied, applied))
-          throw Error::input(
-              "resume diverged: a replayed substitution produced a "
-              "different netlist delta than the checkpoint recorded");
-        resume.advance();
+        // Speculate on the rest of the shortlist: if the chosen candidate is
+        // rejected (delay or proof), the netlist is unchanged and the next
+        // selection will pick from these — their verdicts are then already
+        // cached. A commit invalidates the speculation wholesale. Pointless
+        // while the WAL oracle answers proofs (resume fast-forward) or the
+        // ladder has stepped off the full engine.
+        if (pipe != nullptr && !resume.active() &&
+            ladder.level() == DegradationLevel::kFullProof) {
+          for (std::size_t k = 0; k < shortlist; ++k)
+            if (order[k] != best) pipe->speculate(cands[order[k]]);
+        }
+
+        CandidateSub chosen = cands[best];
+        cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(best));
+        const bool pg_c_known = !area_mode;
+
+        // ---- check_delay (§3.4) -------------------------------------------
+        bool delay_violated;
+        {
+          TraceSpan delay_span(trace, "delay_check", "sta");
+          delay_violated = violates_delay(chosen, report.delay_limit, timing,
+                                          report.diagnostics);
+          delay_span.arg("violated", delay_violated ? 1 : 0);
+        }
+        if (delay_violated) {
+          m_delay.c->inc();
+          audit_decision(chosen, "rejected_delay", pg_c_known);
+          continue;
+        }
+
+        // ---- check_candidate: permissibility proof ------------------------
+        // Fault injection can force an unproven candidate through this
+        // pipeline; the post-commit guard below is what must catch it.
+        bool forced = false;
+        if (inject_fault(FaultInjector::Site::kStaleCandidate))
+          forced = corrupt_candidate(*netlist_, verify_sim, &chosen);
+        if (inject_fault(FaultInjector::Site::kAcceptProof)) forced = true;
+        const char* proof_engine = nullptr;
+        const char* proof_verdict = nullptr;
+        double proof_us = -1.0;
+        if (!forced) {
+          // Cheap pre-proof: simulate the replacement on the independent
+          // pattern set; any output difference is a definite refutation.
+          const std::vector<std::uint64_t> words =
+              replacement_words(verify_sim, chosen.rep);
+          const FanoutRef* branch =
+              chosen.branch.has_value() ? &*chosen.branch : nullptr;
+          const auto diff = verify_sim.output_diff_with_replacement(
+              chosen.target, branch, words);
+          bool refuted = false;
+          for (std::uint64_t w : diff)
+            if (w) {
+              refuted = true;
+              break;
+            }
+          if (refuted) {
+            m_presim.c->inc();
+            audit_decision(chosen, "rejected_presim", pg_c_known);
+            continue;
+          }
+          std::optional<AtpgResult> proof;
+          if (resume.active()) {
+            // WAL fast-forward: the oracle replaces the proof engines. A
+            // candidate matching the next recorded commit was proved
+            // permissible by the original run; any other candidate that
+            // reaches this stage was rejected by it. Every cheaper stage
+            // (harvest, selection, staleness, delay, presim) is recomputed
+            // live, so once the cursor drains the run continues seamlessly —
+            // and bit-identically — on the real engines.
+            proof = resume.matches(chosen) ? AtpgResult::kUntestable
+                                           : AtpgResult::kTestFound;
+            proof_engine = "replay";
+          } else if (ladder.level() == DegradationLevel::kSignatureOnly) {
+            // Signature-reject-only rung: proof effort is no longer
+            // affordable, and an unproven candidate is never accepted — so
+            // everything that survives presim is rejected here while the run
+            // drains toward a clean stop with its committed gains intact.
+            m_degraded.c->inc();
+            audit_decision(chosen, "rejected_degraded", pg_c_known, "none",
+                           "skipped");
+            continue;
+          } else {
+            const ProofEngine engine =
+                ladder.level() == DegradationLevel::kPodemOnly
+                    ? ProofEngine::kPodem
+                    : options_.proof.engine;
+            // Speculative verdicts were proved with the configured engine;
+            // they stay usable only while the ladder has not changed it.
+            if (pipe != nullptr && engine == options_.proof.engine) {
+              proof = pipe->lookup(chosen);
+              if (proof.has_value()) proof_engine = "speculative";
+            }
+            if (!proof.has_value()) {
+              const bool timed = options_.trace.any();
+              const std::uint64_t t0 = timed ? trace_now_ns() : 0;
+              proof = prove_with_retry(atpg, sat, engine, chosen,
+                                       options_.session.proof_retries,
+                                       m_retries.c);
+              if (timed)
+                proof_us =
+                    static_cast<double>(trace_now_ns() - t0) / 1000.0;
+              proof_engine = engine_name(engine);
+              m_inline.c->inc();
+            }
+          }
+          proof_verdict = verdict_name(*proof);
+          if (*proof != AtpgResult::kUntestable) {
+            m_proof_rej.c->inc();
+            audit_decision(chosen, "rejected_proof", pg_c_known, proof_engine,
+                           proof_verdict, proof_us);
+            continue;
+          }
+        }
+
+        // ---- perform_substitution + power_estimate_update -----------------
+        const double power_before = est.total_power();
+        const double area_before = netlist_->total_area();
+        const bool replaying = resume.matches(chosen);
+        AppliedSub applied;
+        try {
+          MutationScope scope(pipe);
+          applied = journal.apply(chosen);
+        } catch (const CheckError&) {
+          // Stale or invalid at the last moment: the apply validated before
+          // mutating, so the netlist is untouched — skip the candidate.
+          if (replaying)
+            throw Error::input(
+                "resume diverged: a checkpointed substitution failed to "
+                "re-apply (wrong input netlist or tampered log?)");
+          m_apply_fail.c->inc();
+          audit_decision(chosen, "apply_failed", pg_c_known, proof_engine,
+                         proof_verdict, proof_us);
+          continue;
+        }
+        resync();
+        if (options_.check_invariants) netlist_->check_consistency();
+
+        // ---- guard: the PO signatures must be untouched -------------------
+        if (options_.guard.signature_check && !po_signatures_ok()) {
+          if (replaying)
+            throw Error::input(
+                "resume diverged: the signature guard rejected a commit the "
+                "checkpoint recorded as accepted");
+          m_guard_rb.c->inc();
+          audit_decision(chosen, "guard_rollback", pg_c_known, proof_engine,
+                         proof_verdict, proof_us);
+          try {
+            {
+              MutationScope scope(pipe);
+              journal.rollback_last();
+            }
+            resync();
+          } catch (const CheckError&) {
+            // Rollback itself failed (possible only with a corrupted
+            // journal); the deltas that did execute were published, so the
+            // same resync still yields trustworthy caches. Stop committing
+            // and let the final guard judge.
+            resync();
+            stopped = true;
+            break;
+          }
+          continue;
+        }
+
+        const double power_after = est.total_power();
+        ClassStats& cls =
+            report.by_class[static_cast<std::size_t>(chosen.cls)];
+        ++cls.applied;
+        cls.power_delta += power_before - power_after;
+        cls.area_delta += netlist_->total_area() - area_before;
+        commit_log.push_back(CommitRecord{chosen.cls,
+                                          power_before - power_after,
+                                          netlist_->total_area() - area_before});
+        m_applied.c->inc();
+        if (replaying) {
+          // Replay verification: the re-applied mutation must reproduce the
+          // recorded delta bit-for-bit before the cursor moves on.
+          if (!same_applied(resume.current().applied, applied))
+            throw Error::input(
+                "resume diverged: a replayed substitution produced a "
+                "different netlist delta than the checkpoint recorded");
+          resume.advance();
+        }
+        // Durable commit: the WAL frame is appended (and fsync'd) only after
+        // the signature guard accepted the commit, so a resume never replays
+        // a rolled-back substitution. A kill inside the frame write leaves a
+        // torn tail the reader drops — the commit then simply re-runs live
+        // on resume, with the same deterministic verdict.
+        recorder.record_commit(audit_iteration, performed, chosen, applied);
+        audit_decision(chosen, "accepted", pg_c_known, proof_engine,
+                       proof_verdict, proof_us);
+        ++performed;
+        progress = true;
       }
-      // Durable commit: the WAL frame is appended (and fsync'd) only after
-      // the signature guard accepted the commit, so a resume never replays
-      // a rolled-back substitution. A kill inside the frame write leaves a
-      // torn tail the reader drops — the commit then simply re-runs live
-      // on resume, with the same deterministic verdict.
-      recorder.record_commit(audit_iteration, performed, chosen, applied);
-      audit_decision(chosen, "accepted", pg_c_known, proof_engine,
-                     proof_verdict, proof_us);
-      ++performed;
-      progress = true;
+      iter_span.arg("applied", performed);
     }
-    iter_span.arg("applied", performed);
   }
 
   // Stop the proof workers before the end-of-run guard walk: from here on
@@ -983,6 +1316,16 @@ PowderReport PowderOptimizer::run() {
   report.diagnostics.apply_failures = static_cast<int>(m_apply_fail.delta());
   report.diagnostics.guard_rollbacks = static_cast<int>(m_guard_rb.delta());
   report.diagnostics.inline_proofs = m_inline.delta();
+  report.diagnostics.windowing.windows_built =
+      static_cast<long>(m_windows.delta());
+  report.diagnostics.windowing.window_gates_total =
+      static_cast<long>(m_window_gates.delta());
+  report.diagnostics.windowing.window_commits =
+      static_cast<long>(m_window_commits.delta());
+  report.diagnostics.windowing.boundary_conflicts =
+      static_cast<long>(m_window_conflicts.delta());
+  report.diagnostics.windowing.window_reruns =
+      static_cast<long>(m_window_reruns.delta());
 
   // ---- end-of-run guard: never emit a miscompiled netlist ---------------
   // Walk the journal back until the state passes every enabled check. With

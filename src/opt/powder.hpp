@@ -25,6 +25,7 @@
 #include <array>
 #include <chrono>
 #include <string>
+#include <utility>
 
 #include "atpg/atpg.hpp"
 #include "atpg/sat_checker.hpp"
@@ -34,6 +35,7 @@
 #include "timing/incremental_timing.hpp"
 #include "timing/timing.hpp"
 #include "trace/options.hpp"
+#include "window/options.hpp"
 
 namespace powder {
 
@@ -53,6 +55,17 @@ enum class Objective {
 struct GuardOptions {
   bool signature_check = true;
   bool final_equivalence_check = false;  ///< exact but needs global BDDs
+};
+
+/// Permissibility-proof configuration: which engine settles candidates
+/// (see ProofEngine) and the per-call limits of the two engines. Grouped
+/// so a caller can hand a complete proof policy around as one value; the
+/// Builder's `.proof_engine()/.atpg()/.sat()` methods remain thin adapters
+/// onto this struct.
+struct ProofOptions {
+  ProofEngine engine = ProofEngine::kHybrid;
+  AtpgOptions atpg;
+  SatCheckerOptions sat;
 };
 
 /// Resource limits for one run. Exhaustion degrades the run (skip
@@ -87,17 +100,19 @@ struct PowderOptions {
   int shortlist = 12;
 
   int max_outer_iterations = 64;
-  /// Which engine proves candidate permissibility (see ProofEngine).
-  ProofEngine proof_engine = ProofEngine::kHybrid;
 
-  /// Total threads for the harvest/proof pipeline. 1 = the serial
-  /// algorithm; 0 = one per hardware thread. The final netlist is
-  /// bit-identical at any thread count (with unlimited proof pools and no
-  /// deadline — finite budgets drain in a timing-dependent order).
+  /// Total threads for the harvest/proof pipeline (global mode) or the
+  /// window fan-out (windowed mode). 1 = the serial algorithm; 0 = one per
+  /// hardware thread. The final netlist is bit-identical at any thread
+  /// count (with unlimited proof pools and no deadline — finite budgets
+  /// drain in a timing-dependent order).
   int threads = 1;
 
-  AtpgOptions atpg;
-  SatCheckerOptions sat;
+  /// Permissibility-proof policy: engine choice + per-call engine limits.
+  ProofOptions proof;
+  /// Windowed partition/optimize/merge execution (DESIGN.md §11). The
+  /// default mode is the classic global loop.
+  WindowOptions window;
   CandidateOptions candidates;
   GuardOptions guard;
   BudgetOptions budget;
@@ -138,8 +153,31 @@ class PowderOptions::Builder {
     opts_.max_outer_iterations = n;
     return *this;
   }
-  Builder& proof_engine(ProofEngine e) { opts_.proof_engine = e; return *this; }
+  // Source-compat adapter: the flat proof knobs now live in the nested
+  // ProofOptions group; existing callers keep compiling unchanged.
+  Builder& proof_engine(ProofEngine e) {
+    opts_.proof.engine = e;
+    return *this;
+  }
   Builder& threads(int n) { opts_.threads = n; return *this; }
+  Builder& proof(ProofOptions p) { opts_.proof = std::move(p); return *this; }
+  Builder& window(WindowOptions w) { opts_.window = w; return *this; }
+  Builder& windowed(bool on) {
+    opts_.window.mode = on ? WindowMode::kWindowed : WindowMode::kGlobal;
+    return *this;
+  }
+  Builder& window_size(int gates) {
+    opts_.window.max_gates = gates;
+    return *this;
+  }
+  Builder& window_overlap(int gates) {
+    opts_.window.overlap = gates;
+    return *this;
+  }
+  Builder& window_order_seed(std::uint64_t seed) {
+    opts_.window.order_seed = seed;
+    return *this;
+  }
   Builder& deadline(double seconds) {
     opts_.budget.deadline_seconds = seconds;
     return *this;
@@ -195,8 +233,8 @@ class PowderOptions::Builder {
     opts_.candidates = c;
     return *this;
   }
-  Builder& atpg(AtpgOptions a) { opts_.atpg = a; return *this; }
-  Builder& sat(SatCheckerOptions s) { opts_.sat = s; return *this; }
+  Builder& atpg(AtpgOptions a) { opts_.proof.atpg = a; return *this; }
+  Builder& sat(SatCheckerOptions s) { opts_.proof.sat = s; return *this; }
   Builder& trace(TraceSession* session) {
     opts_.trace.trace = session;
     return *this;
@@ -217,6 +255,15 @@ class PowderOptions::Builder {
 };
 
 inline PowderOptions::Builder PowderOptions::builder() { return Builder{}; }
+
+/// Version of the JSON document PowderReport::to_json emits (the
+/// `"schema_version"` top-level key). The stability contract lives in
+/// DESIGN.md §11.4: within one version, existing keys never change type or
+/// meaning and are never removed; adding keys bumps nothing, removing or
+/// redefining them bumps this number. Version 1 is the pre-versioned PR 5
+/// layout; version 2 adds `schema_version` itself and the
+/// `diagnostics.windowing` sub-object.
+inline constexpr int kReportSchemaVersion = 2;
 
 struct ClassStats {
   int applied = 0;
@@ -281,6 +328,18 @@ struct PowderReport {
     long pin_slabs_recycled = 0;   ///< slab reuses served by the freelists
     long name_pool_bytes = 0;      ///< bytes held by the interned-name pool
     long peak_rss_bytes = 0;       ///< VmHWM sampled at end of run (0=unknown)
+
+    /// Windowed-mode accounting (DESIGN.md §11); all zero in global mode.
+    /// Versioned with the report schema: fields are only ever added within
+    /// a schema version, never removed or redefined.
+    struct Windowing {
+      long windows_built = 0;       ///< extractions, incl. conflict re-runs
+      long window_commits = 0;      ///< local commits merged into the parent
+      long boundary_conflicts = 0;  ///< windows skipped at merge (overlap)
+      long window_reruns = 0;       ///< serial re-optimizations after conflicts
+      long window_gates_total = 0;  ///< sum of extracted window gate counts
+    };
+    Windowing windowing;
   };
   Diagnostics diagnostics;
 

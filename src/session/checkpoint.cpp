@@ -75,7 +75,7 @@ std::uint64_t options_fingerprint(const PowderOptions& o) {
   h.f64(o.min_gain);
   h.i64(o.shortlist);
   h.i64(o.max_outer_iterations);
-  h.u64(static_cast<std::uint64_t>(o.proof_engine));
+  h.u64(static_cast<std::uint64_t>(o.proof.engine));
   h.i64(o.candidates.local_pool_size);
   h.i64(o.candidates.random_pool_size);
   h.i64(o.candidates.enable_three_subs ? 1 : 0);
@@ -85,8 +85,15 @@ std::uint64_t options_fingerprint(const PowderOptions& o) {
   h.i64(o.candidates.allow_constants ? 1 : 0);
   h.i64(o.guard.signature_check ? 1 : 0);
   h.i64(o.guard.final_equivalence_check ? 1 : 0);
-  h.i64(o.atpg.backtrack_limit);
-  h.i64(o.sat.conflict_budget);
+  h.i64(o.proof.atpg.backtrack_limit);
+  h.i64(o.proof.sat.conflict_budget);
+  // Window knobs steer which candidates are even considered (partition
+  // shape, merge order, re-run policy), so a resume must not change them.
+  h.u64(static_cast<std::uint64_t>(o.window.mode));
+  h.i64(o.window.max_gates);
+  h.i64(o.window.overlap);
+  h.u64(o.window.order_seed);
+  h.i64(o.window.rerun_limit);
   return h.digest();
 }
 
@@ -119,7 +126,8 @@ void SessionRecorder::open(const std::string& path, const Netlist& netlist,
 
 void SessionRecorder::record_commit(int outer, int performed,
                                     const CandidateSub& cand,
-                                    const AppliedSub& applied) {
+                                    const AppliedSub& applied,
+                                    std::uint32_t window) {
   if (!enabled()) return;
   std::string payload;
   try {
@@ -127,6 +135,7 @@ void SessionRecorder::record_commit(int outer, int performed,
     WalCommit commit;
     commit.outer = static_cast<std::uint32_t>(outer);
     commit.performed = static_cast<std::uint32_t>(performed);
+    commit.window = window;
     commit.cand = cand;
     commit.applied = applied;
     payload = encode_commit(commit);

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "session/wal.hpp"
 
@@ -58,8 +59,11 @@ class SessionRecorder {
   const std::string& error() const { return error_; }
 
   /// Appends one commit frame (fsync'd). No-op when disabled; never throws.
+  /// `window` is the id of the window the commit was merged from, or
+  /// kGlobalWindow for the global optimizer loop.
   void record_commit(int outer, int performed, const CandidateSub& cand,
-                     const AppliedSub& applied);
+                     const AppliedSub& applied,
+                     std::uint32_t window = kGlobalWindow);
 
   /// Appends the kEnd frame and closes the log.
   void record_end();
@@ -107,6 +111,11 @@ class SessionResume {
 
   const WalCommit& current() const { return contents_.commits[cursor_]; }
   void advance() { ++cursor_; }
+
+  /// Full recorded commit sequence, for window-scoped replay: the windowed
+  /// loop builds per-window oracle views from this while the merge path
+  /// still verifies against the global cursor above.
+  const std::vector<WalCommit>& commits() const { return contents_.commits; }
 
   long long replayed() const { return static_cast<long long>(cursor_); }
   long long total() const {

@@ -277,6 +277,7 @@ std::string encode_commit(const WalCommit& commit) {
   std::string b;
   put_u32(&b, commit.outer);
   put_u32(&b, commit.performed);
+  put_u32(&b, commit.window);
   put_candidate(&b, commit.cand);
   put_applied(&b, commit.applied);
   return b;
@@ -286,6 +287,7 @@ bool decode_commit(std::string_view payload, WalCommit* out) {
   Cursor c(payload);
   out->outer = c.u32();
   out->performed = c.u32();
+  out->window = c.u32();
   if (!get_candidate(&c, &out->cand)) return false;
   if (!get_applied(&c, &out->applied)) return false;
   return c.exhausted();

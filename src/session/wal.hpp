@@ -34,7 +34,13 @@
 namespace powder {
 
 inline constexpr std::uint32_t kWalMagic = 0x50574652u;  // "PWFR"
-inline constexpr std::uint32_t kWalVersion = 1;
+/// Version 2 added the per-commit window id (window-scoped runs record which
+/// window produced each commit so --resume can replay them window-by-window).
+inline constexpr std::uint32_t kWalVersion = 2;
+
+/// WalCommit::window value for commits made by the global (non-windowed)
+/// optimizer loop.
+inline constexpr std::uint32_t kGlobalWindow = 0xFFFFFFFFu;
 
 enum class WalFrameType : std::uint8_t {
   kHeader = 1,
@@ -55,6 +61,7 @@ struct WalHeader {
 struct WalCommit {
   std::uint32_t outer = 0;      ///< 1-based outer iteration of the commit
   std::uint32_t performed = 0;  ///< commit ordinal within that iteration
+  std::uint32_t window = kGlobalWindow;  ///< window id, kGlobalWindow if none
   CandidateSub cand;            ///< pg_* gains are not round-tripped
   AppliedSub applied;
 };

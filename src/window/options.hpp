@@ -1,0 +1,46 @@
+#pragma once
+// Windowed-optimization configuration (DESIGN.md §11).
+//
+// In windowed mode the optimizer no longer runs one global
+// harvest→proof→commit loop: the netlist is carved into overlapping
+// windows of bounded gate count (seeded from the cached topological
+// order), each window is optimized against a boundary-pinned local
+// extraction — local signatures, local proof cones clipped at the window
+// inputs — and the resulting commits are merged back serially through the
+// delta bus with boundary-overlap conflict detection. Per-candidate cost
+// then scales with the window size, not the netlist size.
+
+#include <cstdint>
+
+namespace powder {
+
+enum class WindowMode : std::uint8_t {
+  kGlobal,    ///< the classic whole-netlist loop (default)
+  kWindowed,  ///< partition / locally optimize / merge (DESIGN.md §11)
+};
+
+struct WindowOptions {
+  WindowMode mode = WindowMode::kGlobal;
+
+  /// Maximum live cell gates per window. Proof engines, signatures and
+  /// candidate indices in a window run are all sized by this bound.
+  int max_gates = 512;
+
+  /// Trailing gates each window shares with its successor. Overlap widens
+  /// the local optimization horizon at the seams; commits landing in a
+  /// shared region surface as boundary conflicts and trigger a serial
+  /// re-run of the later window.
+  int overlap = 64;
+
+  /// Seed for the deterministic shuffle of the merge order. 0 keeps the
+  /// natural (topological) window order. Any fixed value yields a
+  /// reproducible run; results are bit-identical across thread counts
+  /// either way.
+  std::uint64_t order_seed = 0;
+
+  /// How many serial re-run rounds conflicted windows get before their
+  /// remaining substitutions are abandoned for this outer iteration.
+  int rerun_limit = 1;
+};
+
+}  // namespace powder

@@ -1,0 +1,55 @@
+#include "window/partition.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace powder {
+
+std::vector<std::vector<GateId>> partition_windows(
+    const Netlist& netlist, const WindowOptions& options) {
+  std::vector<GateId> cells;
+  for (const GateId g : netlist.topo_order())
+    if (netlist.kind(g) == GateKind::kCell) cells.push_back(g);
+
+  const std::size_t max_gates =
+      static_cast<std::size_t>(std::max(1, options.max_gates));
+  const std::size_t overlap = std::min(
+      static_cast<std::size_t>(std::max(0, options.overlap)), max_gates - 1);
+  const std::size_t stride = max_gates - overlap;
+
+  std::vector<std::vector<GateId>> windows;
+  for (std::size_t start = 0; start < cells.size(); start += stride) {
+    const std::size_t end = std::min(cells.size(), start + max_gates);
+    windows.emplace_back(cells.begin() + static_cast<std::ptrdiff_t>(start),
+                         cells.begin() + static_cast<std::ptrdiff_t>(end));
+    if (end == cells.size()) break;  // the last window absorbed the tail
+  }
+  return windows;
+}
+
+std::vector<std::size_t> window_merge_order(std::size_t num_windows,
+                                            std::uint64_t order_seed) {
+  std::vector<std::size_t> order(num_windows);
+  for (std::size_t i = 0; i < num_windows; ++i) order[i] = i;
+  if (order_seed == 0 || num_windows < 2) return order;
+  Rng rng(order_seed);
+  for (std::size_t i = num_windows - 1; i > 0; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(order[i], order[j]);
+  }
+  return order;
+}
+
+std::uint64_t window_seed(std::uint64_t run_seed, std::uint64_t window_id) {
+  std::uint64_t x = run_seed + 0x9E3779B97F4A7C15ull * (window_id + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace powder

@@ -1,0 +1,39 @@
+#pragma once
+// Window partitioner (DESIGN.md §11.1): carves the live cell gates of a
+// netlist, in cached topological order, into overlapping windows of bounded
+// size. Consecutive windows share `overlap` trailing gates, so commits that
+// land in a shared region are detected at merge time as boundary conflicts.
+//
+// The partition is a pure function of (netlist structure, options): no RNG,
+// no thread count, no wall clock — the foundation of the windowed mode's
+// bit-identical-across-thread-counts guarantee.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "window/options.hpp"
+
+namespace powder {
+
+/// Splits the live kCell gates of `netlist` (topological order) into
+/// windows of at most `options.max_gates` gates where each window after the
+/// first starts `options.max_gates - options.overlap` gates into its
+/// predecessor. Every live cell gate is covered by at least one window; the
+/// last window may be smaller than max_gates. Returns an empty vector for a
+/// netlist with no cell gates.
+std::vector<std::vector<GateId>> partition_windows(const Netlist& netlist,
+                                                   const WindowOptions& options);
+
+/// The order in which windows are merged back into the parent. order_seed
+/// == 0 keeps the natural (topological) order; any other value applies a
+/// Fisher-Yates shuffle seeded with it. Deterministic for a fixed seed.
+std::vector<std::size_t> window_merge_order(std::size_t num_windows,
+                                            std::uint64_t order_seed);
+
+/// Deterministic per-window seed derivation (splitmix64-style): mixes the
+/// run seed with the window's globally unique id so every window owns an
+/// independent RNG/pattern stream at any thread count.
+std::uint64_t window_seed(std::uint64_t run_seed, std::uint64_t window_id);
+
+}  // namespace powder

@@ -54,7 +54,7 @@ TEST(FaultInjection, AtpgAbortsEscalateToSat) {
     ScopedFaultInjector inj;
     inj->arm(Site::kAtpgProof);
     PowderOptions opt = paranoid_options();
-    opt.proof_engine = ProofEngine::kHybrid;
+    opt.proof.engine = ProofEngine::kHybrid;
     const PowderReport report = PowderOptimizer(&nl, opt).run();
     EXPECT_GT(inj->fired(Site::kAtpgProof), 0) << name;
     EXPECT_GT(report.substitutions_applied, 0)

@@ -119,7 +119,7 @@ TEST_P(PipelineFuzz, FullPipelinePreservesFunctions) {
   opt.max_outer_iterations = 4;
   opt.seed = static_cast<std::uint64_t>(GetParam()) + 7;
   opt.objective = rng.flip(0.3) ? Objective::kArea : Objective::kPower;
-  opt.proof_engine = rng.flip(0.5) ? ProofEngine::kSat : ProofEngine::kHybrid;
+  opt.proof.engine = rng.flip(0.5) ? ProofEngine::kSat : ProofEngine::kHybrid;
   opt.delay_limit_factor = rng.flip(0.5) ? 1.0 : -1.0;
   opt.check_invariants = true;
   const PowderReport r = PowderOptimizer(&nl, opt).run();

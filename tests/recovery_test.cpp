@@ -39,10 +39,12 @@ std::string temp_path(const char* stem) {
 }
 
 Netlist make_input(const char* bench = "duke2") {
-  // Netlists keep a pointer to their library; never-destroyed so the
-  // returned netlist (and copies of it) outlive this helper.
-  static const CellLibrary* kLib = new CellLibrary(CellLibrary::standard());
-  return map_aig(make_benchmark(bench), *kLib);
+  // The netlist shares ownership of the library, so it (and copies of it)
+  // can outlive this helper without any leaked sentinel.
+  const auto lib = CellLibrary::standard_shared();
+  Netlist nl = map_aig(make_benchmark(bench), *lib);
+  nl.adopt_library(lib);
+  return nl;
 }
 
 /// The deterministic configuration every identity test runs under. The

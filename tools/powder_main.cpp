@@ -3,6 +3,8 @@
 //   powder optimize <in.blif> -o <out.blif> [options]   run POWDER
 //   powder stats    <in.blif> [options]                 report metrics
 //   powder gen      <circuit> -o <out.blif> [options]   emit a benchmark
+//                   (<circuit> may be scale<N> for the synthetic N-gate
+//                    windowed-mode workload, e.g. scale100000)
 //   powder check    <a.blif> <b.blif> [options]         equivalence check
 //   powder cleanup  <in.blif> -o <out.blif> [options]   redundancy removal
 //
@@ -22,6 +24,14 @@
 //                           a partial result when it expires
 //   --threads <n>           harvest/proof pipeline threads (default 1;
 //                           0 = one per hardware thread)
+//   --windowed              partition the netlist into overlapping windows
+//                           and optimize them independently (DESIGN.md §11;
+//                           the scalable mode for 10^5+ gate netlists)
+//   --window-size <n>       gates per window (default 512)
+//   --window-overlap <n>    gates shared between neighbouring windows
+//                           (default 64)
+//   --window-order-seed <n> shuffle seed for the merge order (0 = natural
+//                           topological order)
 //   --report-json <path>    write the full report (incl. diagnostics) as JSON
 //   --paranoid              netlist invariant checks after every commit and
 //                           an end-of-run BDD equivalence guard
@@ -88,6 +98,10 @@ struct Args {
   bool redundancy = false;
   double deadline = -1.0;
   int threads = 1;
+  bool windowed = false;
+  int window_size = 512;
+  int window_overlap = 64;
+  std::uint64_t window_order_seed = 0;
   std::string report_json_path;
   std::string trace_out_path;
   std::string metrics_out_path;
@@ -140,6 +154,8 @@ void usage() {
       "[--resize] [--redundancy]\n"
       "               [--deadline SECONDS] [--threads N] "
       "[--report-json FILE] [--paranoid]\n"
+      "               [--windowed] [--window-size N] [--window-overlap N] "
+      "[--window-order-seed N]\n"
       "               [--trace-out FILE] [--metrics-out FILE] "
       "[--audit-out FILE] [--quiet]\n"
       "               [--checkpoint-out FILE] [--resume FILE] "
@@ -217,6 +233,20 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.threads = std::atoi(v);
+    } else if (arg == "--windowed") {
+      a.windowed = true;
+    } else if (arg == "--window-size") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.window_size = std::atoi(v);
+    } else if (arg == "--window-overlap") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.window_overlap = std::atoi(v);
+    } else if (arg == "--window-order-seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.window_order_seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--report-json") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -347,6 +377,10 @@ int cmd_optimize(const Args& a) {
                      .delay_limit_factor(a.delay_limit)
                      .deadline(a.deadline)
                      .threads(a.threads)
+                     .windowed(a.windowed)
+                     .window_size(a.window_size)
+                     .window_overlap(a.window_overlap)
+                     .window_order_seed(a.window_order_seed)
                      .check_invariants(a.paranoid)
                      .final_equivalence_check(a.paranoid)
                      .trace(trace_ptr)
@@ -361,6 +395,11 @@ int cmd_optimize(const Args& a) {
     progress("powder: resuming from %s\n", a.resume_path.c_str());
   const PowderReport r = optimize(nl, opt);
   const PowderReport::Diagnostics& d = r.diagnostics;
+  if (a.windowed)
+    progress("powder: %ld window(s), %ld window commit(s), "
+             "%ld boundary conflict(s), %ld rerun(s)\n",
+             d.windowing.windows_built, d.windowing.window_commits,
+             d.windowing.boundary_conflicts, d.windowing.window_reruns);
   if (d.resume_replayed > 0)
     progress("powder: replayed %lld checkpointed substitution(s)\n",
              static_cast<long long>(d.resume_replayed));
@@ -466,12 +505,41 @@ int cmd_stats(const Args& a) {
   return 0;
 }
 
+// "scaleN" names (e.g. scale100000) generate the synthetic N-gate
+// netlist used by the windowed-mode scaling bench; returns -1 otherwise.
+int parse_scale_gates(const std::string& name) {
+  if (name.rfind("scale", 0) != 0 || name.size() <= 5) return -1;
+  int gates = 0;
+  for (std::size_t i = 5; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    if (gates > 100'000'000) return -1;
+    gates = gates * 10 + (name[i] - '0');
+  }
+  return gates;
+}
+
 int cmd_gen(const Args& a) {
   check_writable(a.out_path, "-o");
-  const CellLibrary lib = load_library(a);
   const std::string& name = a.positional.at(0);
+  const int scale_gates = parse_scale_gates(name);
+  if (scale_gates >= 0) {
+    if (scale_gates < 10)
+      throw Error::input("scale<N> needs N >= 10 (one 10-gate tile), got " +
+                         std::to_string(scale_gates));
+    const Netlist nl = make_scale_netlist(scale_gates, a.seed);
+    const std::string text = write_blif(nl);
+    if (a.out_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      write_file_atomic(a.out_path, text);
+      progress("wrote %s (%d gates)\n", a.out_path.c_str(), nl.num_cells());
+    }
+    return 0;
+  }
+  const CellLibrary lib = load_library(a);
   if (!is_known_benchmark(name)) {
-    std::fprintf(stderr, "unknown benchmark '%s'; known:", name.c_str());
+    std::fprintf(stderr, "unknown benchmark '%s' (or scale<N>); known:",
+                 name.c_str());
     for (const auto& n : table1_suite())
       std::fprintf(stderr, " %s", n.c_str());
     std::fprintf(stderr, "\n");

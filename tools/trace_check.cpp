@@ -4,8 +4,12 @@
 //   trace_check <trace.json>
 //
 // Exit 0 and "ok: N events" when the document is structurally valid;
-// exit 1 with the first structural error otherwise. Backs the
-// `check-trace` CMake target's smoke test.
+// exit 1 with the first structural error otherwise. Traces from windowed
+// runs are additionally checked for per-window span structure: every
+// "window" span must carry its window id and nest inside an "iteration"
+// span, and window spans on one thread may not partially overlap.
+// Global-mode traces (zero window spans) pass that check trivially.
+// Backs the `check-trace` CMake target's smoke test.
 
 #include <cstdio>
 #include <fstream>
@@ -34,6 +38,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace_check: %s: %s\n", argv[1], error.c_str());
     return 1;
   }
-  std::printf("ok: %zu events\n", num_events);
+  std::size_t num_windows = 0;
+  if (!powder::validate_window_nesting(json, &num_windows, &error)) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (num_windows > 0)
+    std::printf("ok: %zu events, %zu window spans\n", num_events,
+                num_windows);
+  else
+    std::printf("ok: %zu events\n", num_events);
   return 0;
 }
