@@ -43,6 +43,16 @@ ReplacementFunction ReplacementFunction::two_input(GateId b, GateId c,
   return r;
 }
 
+ReplacementFunction ReplacementFunction::cell(std::vector<GateId> divisors,
+                                              TruthTable fn) {
+  POWDER_CHECK(fn.num_vars() == static_cast<int>(divisors.size()));
+  ReplacementFunction r;
+  r.kind = Kind::kCell;
+  r.divisors = std::move(divisors);
+  r.two_input_fn = std::move(fn);
+  return r;
+}
+
 AtpgChecker::AtpgChecker(const Netlist& netlist, AtpgOptions options)
     : netlist_(&netlist), options_(options) {
   if (options_.metrics != nullptr) {
@@ -124,6 +134,29 @@ AtpgChecker::Val AtpgChecker::rep_value(const ReplacementFunction& rep) const {
         }
       }
       if (seen0 && seen1) return Val::kX;
+      return seen1 ? Val::k1 : Val::k0;
+    }
+    case ReplacementFunction::Kind::kCell: {
+      // Same X-completion enumeration as kTwoInput, over k divisors.
+      const int k = static_cast<int>(rep.divisors.size());
+      std::uint64_t base = 0;
+      std::vector<int> x_pos;
+      for (int v = 0; v < k; ++v) {
+        const Val dv = gval_[rep.divisors[static_cast<std::size_t>(v)]];
+        if (dv == Val::k1)
+          base |= 1ull << v;
+        else if (dv == Val::kX)
+          x_pos.push_back(v);
+      }
+      bool seen0 = false, seen1 = false;
+      const std::uint64_t combos = 1ull << x_pos.size();
+      for (std::uint64_t m = 0; m < combos; ++m) {
+        std::uint64_t idx = base;
+        for (std::size_t i = 0; i < x_pos.size(); ++i)
+          if ((m >> i) & 1) idx |= 1ull << x_pos[i];
+        (rep.two_input_fn.bit(idx) ? seen1 : seen0) = true;
+        if (seen0 && seen1) return Val::kX;
+      }
       return seen1 ? Val::k1 : Val::k0;
     }
   }
@@ -271,13 +304,10 @@ std::pair<GateId, AtpgChecker::Val> AtpgChecker::choose_objective(
   }
   if (rv == Val::kX && rep.kind != ReplacementFunction::Kind::kConstant) {
     const Val want = good == Val::k1 ? Val::k0 : Val::k1;
-    if (gval_[rep.b] == Val::kX) {
-      const GateId pi = backtrace_to_pi(rep.b, want, &pi_value);
-      if (pi != kNullGate) return {pi, pi_value};
-    }
-    if (rep.kind == ReplacementFunction::Kind::kTwoInput &&
-        gval_[rep.c] == Val::kX) {
-      const GateId pi = backtrace_to_pi(rep.c, want, &pi_value);
+    for (int i = 0; i < rep.num_sources(); ++i) {
+      const GateId src = rep.source(i);
+      if (gval_[src] != Val::kX) continue;
+      const GateId pi = backtrace_to_pi(src, want, &pi_value);
       if (pi != kNullGate) return {pi, pi_value};
     }
   }

@@ -58,21 +58,48 @@ struct ReplacementSite {
 };
 
 /// What the signal is replaced by.
+///
+/// kCell is the general form of the transform IR: an ordered divisor set
+/// (the fanins of a new library gate, in pin order) plus the cell's
+/// function. kSignal and kTwoInput predate it and are kept as compact
+/// special cases; the `num_sources`/`source` accessors present all kinds
+/// uniformly as an ordered divisor list.
 struct ReplacementFunction {
-  enum class Kind { kConstant, kSignal, kTwoInput };
+  enum class Kind { kConstant, kSignal, kTwoInput, kCell };
   Kind kind = Kind::kSignal;
   bool constant_value = false;     // kConstant
   GateId b = kNullGate;            // kSignal / kTwoInput
   bool invert_b = false;
   GateId c = kNullGate;            // kTwoInput
   bool invert_c = false;
-  TruthTable two_input_fn;         // kTwoInput: function over (b, c)
+  TruthTable two_input_fn;         // kTwoInput/kCell: function over divisors
+  std::vector<GateId> divisors;    // kCell: ordered fanins of the new gate
 
   static ReplacementFunction constant(bool v);
   static ReplacementFunction signal(GateId b, bool invert = false);
   static ReplacementFunction two_input(GateId b, GateId c, TruthTable fn,
                                        bool invert_b = false,
                                        bool invert_c = false);
+  static ReplacementFunction cell(std::vector<GateId> divisors, TruthTable fn);
+
+  /// Uniform view of the ordered divisor set, independent of kind.
+  int num_sources() const {
+    switch (kind) {
+      case Kind::kConstant: return 0;
+      case Kind::kSignal: return 1;
+      case Kind::kTwoInput: return 2;
+      case Kind::kCell: return static_cast<int>(divisors.size());
+    }
+    return 0;
+  }
+  GateId source(int i) const {
+    if (kind == Kind::kCell) return divisors[static_cast<std::size_t>(i)];
+    return i == 0 ? b : c;
+  }
+  GateId& source_ref(int i) {
+    if (kind == Kind::kCell) return divisors[static_cast<std::size_t>(i)];
+    return i == 0 ? b : c;
+  }
 };
 
 /// A found distinguishing vector: value per primary input (by PI position).

@@ -17,13 +17,9 @@ FaultRegions compute_fault_regions(const Netlist& netlist,
   r.in_faulty[fault_entry] = 1;
   for (GateId g : netlist.tfo(fault_entry)) r.in_faulty[g] = 1;
 
-  if (rep.kind != ReplacementFunction::Kind::kConstant) {
-    POWDER_CHECK_MSG(!r.in_faulty[rep.b],
+  for (int i = 0; i < rep.num_sources(); ++i)
+    POWDER_CHECK_MSG(!r.in_faulty[rep.source(i)],
                      "replacement source inside the faulty region");
-    if (rep.kind == ReplacementFunction::Kind::kTwoInput)
-      POWDER_CHECK_MSG(!r.in_faulty[rep.c],
-                       "replacement source inside the faulty region");
-  }
 
   std::vector<GateId> stack;
   auto mark = [&](GateId g) {
@@ -35,10 +31,7 @@ FaultRegions compute_fault_regions(const Netlist& netlist,
   for (GateId g = 0; g < n; ++g)
     if (r.in_faulty[g]) mark(g);
   mark(site.stem);
-  if (rep.kind != ReplacementFunction::Kind::kConstant) {
-    mark(rep.b);
-    if (rep.kind == ReplacementFunction::Kind::kTwoInput) mark(rep.c);
-  }
+  for (int i = 0; i < rep.num_sources(); ++i) mark(rep.source(i));
   while (!stack.empty()) {
     const GateId g = stack.back();
     stack.pop_back();

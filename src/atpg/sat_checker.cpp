@@ -131,6 +131,14 @@ AtpgResult SatChecker::check_replacement_impl(const ReplacementSite& site,
       encode_function(&solver, rep.two_input_fn, {b, c}, rep_lit);
       break;
     }
+    case ReplacementFunction::Kind::kCell: {
+      rep_lit = sat_lit(solver.new_var(), false);
+      std::vector<SatLit> divs;
+      divs.reserve(rep.divisors.size());
+      for (const GateId d : rep.divisors) divs.push_back(good.at(d));
+      encode_function(&solver, rep.two_input_fn, divs, rep_lit);
+      break;
+    }
   }
 
   // Gate semantics.

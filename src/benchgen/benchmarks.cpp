@@ -761,23 +761,27 @@ Netlist make_scale_netlist(int num_gates, std::uint64_t seed) {
   for (int i = 0; i < pool; ++i)
     pis.push_back(nl.add_input("pi" + std::to_string(i)));
 
+  const CellId and2 = lib->find("and2");
   for (int t = 0; t < tiles; ++t) {
     const auto pi = [&](int j) { return pis[(4 * t + j) % pool]; };
     const CellId g = two_in[rng.below(two_in.size())];
     const std::string p = "t" + std::to_string(t) + "_";
-    // A balanced 8-input cone plus a duplicate of its first leaf: r1
-    // computes exactly a1, so r2's input is OS2-substitutable by a1 and r1
-    // becomes sweepable — one planted, provable gain per tile.
+    // Ten gates per tile with two planted, provable gains: r1 computes
+    // exactly a1, so r2's input is OS2-substitutable by a1 and r1 becomes
+    // sweepable (a pair-class win); k2 = and2(and2(pi4,pi5), pi6) computes
+    // exactly and3(pi4,pi5,pi6) with a single-fanout intermediate, a cone
+    // only a k-input resubstitution (OSK, k=3) can collapse — no pair
+    // class can express a 3-input function of primary inputs.
     const GateId a1 = nl.add_gate(g, {pi(0), pi(1)}, p + "a1");
     const GateId a2 = nl.add_gate(g, {pi(2), pi(3)}, p + "a2");
-    const GateId a3 = nl.add_gate(g, {pi(4), pi(5)}, p + "a3");
-    const GateId a4 = nl.add_gate(g, {pi(6), pi(7)}, p + "a4");
+    const GateId a3 = nl.add_gate(g, {pi(6), pi(7)}, p + "a3");
     const GateId b1 = nl.add_gate(g, {a1, a2}, p + "b1");
-    const GateId b2 = nl.add_gate(g, {a3, a4}, p + "b2");
-    const GateId c1 = nl.add_gate(g, {b1, b2}, p + "c1");
+    const GateId k1 = nl.add_gate(and2, {pi(4), pi(5)}, p + "k1");
+    const GateId k2 = nl.add_gate(and2, {k1, pi(6)}, p + "k2");
+    const GateId c1 = nl.add_gate(g, {b1, k2}, p + "c1");
     const GateId r1 = nl.add_gate(g, {pi(0), pi(1)}, p + "r1");
     const GateId r2 = nl.add_gate(g, {r1, pi(2)}, p + "r2");
-    const GateId c2 = nl.add_gate(g, {r2, b2}, p + "c2");
+    const GateId c2 = nl.add_gate(g, {r2, a3}, p + "c2");
     nl.add_output(p + "o1", c1);
     nl.add_output(p + "o2", c2);
   }

@@ -46,6 +46,10 @@ void CellLibrary::index_cell(CellId id) {
     if (c.function.is_constant(true) && better(id, const1_)) const1_ = id;
   }
   if (c.num_inputs() == 2) two_input_.push_back(id);
+  const int arity = c.num_inputs();
+  if (arity >= static_cast<int>(by_arity_.size()))
+    by_arity_.resize(static_cast<std::size_t>(arity) + 1);
+  by_arity_[static_cast<std::size_t>(arity)].push_back(id);
 }
 
 CellId CellLibrary::find(std::string_view name) const {

@@ -51,6 +51,16 @@ class CellLibrary {
   /// All two-input cells, used to enumerate OS3/IS3 insertions.
   const std::vector<CellId>& two_input_cells() const { return two_input_; }
 
+  /// All cells with exactly `arity` inputs, in library order; used to
+  /// enumerate k-input resubstitution insertions (OSK/ISK). Returns an
+  /// empty list for arities the library does not stock.
+  const std::vector<CellId>& cells_with_arity(int arity) const {
+    static const std::vector<CellId> kEmpty;
+    if (arity < 0 || arity >= static_cast<int>(by_arity_.size()))
+      return kEmpty;
+    return by_arity_[static_cast<std::size_t>(arity)];
+  }
+
   /// Smallest-area cell implementing exactly `f` (same variable order);
   /// kInvalidCell when no cell matches.
   CellId find_exact(const TruthTable& f) const;
@@ -73,6 +83,7 @@ class CellLibrary {
   CellId const0_ = kInvalidCell;
   CellId const1_ = kInvalidCell;
   std::vector<CellId> two_input_;
+  std::vector<std::vector<CellId>> by_arity_;  // by_arity_[k] = k-input cells
 
   void index_cell(CellId id);
 };

@@ -11,7 +11,8 @@ namespace powder {
 
 namespace {
 
-const char* kClassNames[4] = {"OS2", "IS2", "OS3", "IS3"};
+const char* kClassNames[kNumResubClasses] = {"OS2", "IS2",  "OS3",    "IS3",
+                                             "OSK", "ISK", "FUNCRED"};
 
 /// JSON has no inf/nan; the delay limit is +inf when timing is off.
 void append_number(std::ostringstream& os, double v) {
@@ -141,6 +142,24 @@ std::string PowderReport::to_json() const {
   append_field(os, "window_gates_total",
                diagnostics.windowing.window_gates_total, &wf);
   os << "}";
+  os << ",\"resub\":{";
+  bool rf = true;
+  append_field(os, "funcred_merges", diagnostics.resub.funcred_merges, &rf);
+  append_field(os, "harvest_truncated", diagnostics.resub.harvest_truncated,
+               &rf);
+  os << ",\"by_class\":{";
+  for (std::size_t i = 0; i < diagnostics.resub.by_class.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << kClassNames[i] << "\":{";
+    bool cf = true;
+    append_field(os, "harvested", diagnostics.resub.by_class[i].harvested,
+                 &cf);
+    append_field(os, "proved", diagnostics.resub.by_class[i].proved, &cf);
+    append_field(os, "applied", diagnostics.resub.by_class[i].applied, &cf);
+    append_field(os, "gain", diagnostics.resub.by_class[i].gain, &cf);
+    os << "}";
+  }
+  os << "}}";
   os << "}";
   // Snapshot of the attached MetricsRegistry; absent without a metrics sink
   // so every pre-existing consumer sees an unchanged document.

@@ -3,6 +3,7 @@
 #include <span>
 
 #include <algorithm>
+#include <functional>
 
 #include "trace/trace.hpp"
 #include "util/check.hpp"
@@ -339,12 +340,12 @@ void CandidateFinder::match_site(GateId target, const FanoutRef* branch,
   }
 
   // --- 3-signal substitutions (new 2-input library gate) -----------------
-  if (!options_.enable_three_subs) return;
+  if (!options_.resub.enable_three_subs) return;
   const auto& cells = netlist_->library().two_input_cells();
   int made = 0;
-  const int b_limit =
-      std::min<int>(options_.three_sub_b_pool, static_cast<int>(pool.size()));
-  for (int bi = 0; bi < b_limit && made < options_.max_three_per_target;
+  const int b_limit = std::min<int>(options_.resub.three_sub_b_pool,
+                                    static_cast<int>(pool.size()));
+  for (int bi = 0; bi < b_limit && made < options_.resub.max_three_per_target;
        ++bi) {
     const GateId b = pool[static_cast<std::size_t>(bi)];
     const auto sig_b = sim_->value(b);
@@ -376,10 +377,92 @@ void CandidateFinder::match_site(GateId target, const FanoutRef* branch,
         cand.rep = ReplacementFunction::two_input(b, c, f);
         cand.new_cell = cell_id;
         finish(std::move(cand));
-        if (++made >= options_.max_three_per_target) break;
+        if (++made >= options_.resub.max_three_per_target) break;
       }
-      if (made >= options_.max_three_per_target) break;
+      if (made >= options_.resub.max_three_per_target) break;
     }
+  }
+
+  // --- k-signal substitutions (new k-input library gate, k >= 3) ----------
+  // Same signature-agreement filter as the pair classes, over ordered
+  // divisor tuples from the (deterministic) pool. Every operand is drawn
+  // from the ksub_b_pool prefix — unlike the 3-sub pass, letting the inner
+  // operands range over the whole pool would cost pool^(k-1) tuples per
+  // site, which is unaffordable at k >= 3 — with a per-site cap on top.
+  // Word evaluation reuses the k-ary minterm expansion of
+  // replacement_words.
+  for (int k = 3; k <= options_.resub.max_divisors; ++k) {
+    const auto& kcells = netlist_->library().cells_with_arity(k);
+    if (kcells.empty()) continue;
+    int kmade = 0;
+    const int kb_limit = std::min<int>(options_.resub.ksub_b_pool,
+                                       static_cast<int>(pool.size()));
+    std::vector<GateId> divisors(static_cast<std::size_t>(k));
+    std::vector<std::span<const std::uint64_t>> sigs(
+        static_cast<std::size_t>(k));
+    // Ordered combinations: divisor i+1 is drawn after divisor i in pool
+    // order (cell pins are not symmetric in general, so every cell's own
+    // function is evaluated against the tuple as-is; permutations of the
+    // same tuple are reached via other tuples drawn later).
+    std::vector<int> idx(static_cast<std::size_t>(k));
+    auto eval_ok = [&](const TruthTable& f) {
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t r = 0;
+        const std::uint64_t minterms = 1ull << k;
+        for (std::uint64_t m = 0; m < minterms; ++m) {
+          if (!f.bit(m)) continue;
+          std::uint64_t term = ~0ull;
+          for (int v = 0; v < k; ++v) {
+            const std::uint64_t dv =
+                sigs[static_cast<std::size_t>(v)][static_cast<std::size_t>(w)];
+            term &= ((m >> v) & 1) ? dv : ~dv;
+          }
+          r |= term;
+        }
+        if ((r ^ sig_a[static_cast<std::size_t>(w)]) &
+            obs[static_cast<std::size_t>(w)])
+          return false;
+      }
+      return true;
+    };
+    // Depth-first enumeration of index tuples over the kb_limit prefix with
+    // all indices pairwise distinct, in lexicographic order — deterministic
+    // for any thread count: the pool itself is thread-invariant.
+    std::function<void(int)> enumerate = [&](int depth) {
+      if (kmade >= options_.resub.max_k_per_target) return;
+      if (depth == k) {
+        for (CellId cell_id : kcells) {
+          const Cell& cell = netlist_->library().cell(cell_id);
+          const TruthTable& f = cell.function;
+          bool degenerate = false;
+          for (int v = 0; v < k; ++v)
+            if (!f.depends_on(v)) degenerate = true;
+          if (degenerate) continue;
+          if (!eval_ok(f)) continue;
+          CandidateSub cand = make_base();
+          cand.cls = branch == nullptr ? SubstClass::kOSK : SubstClass::kISK;
+          cand.rep = ReplacementFunction::cell(divisors, f);
+          cand.new_cell = cell_id;
+          finish(std::move(cand));
+          if (++kmade >= options_.resub.max_k_per_target) return;
+        }
+        return;
+      }
+      for (int i = 0; i < kb_limit; ++i) {
+        bool used = false;
+        for (int d = 0; d < depth; ++d)
+          if (idx[static_cast<std::size_t>(d)] == i) used = true;
+        if (used) continue;
+        idx[static_cast<std::size_t>(depth)] = i;
+        divisors[static_cast<std::size_t>(depth)] =
+            pool[static_cast<std::size_t>(i)];
+        sigs[static_cast<std::size_t>(depth)] =
+            sim_->value(pool[static_cast<std::size_t>(i)]);
+        enumerate(depth + 1);
+        if (kmade >= options_.resub.max_k_per_target) return;
+      }
+    };
+    if (static_cast<int>(pool.size()) >= k) enumerate(0);
   }
 }
 
@@ -437,8 +520,12 @@ std::vector<CandidateSub> CandidateFinder::find() {
             [](const CandidateSub& x, const CandidateSub& y) {
               return x.preselect_gain() > y.preselect_gain();
             });
-  if (static_cast<int>(out.size()) > options_.max_candidates)
+  last_truncated_ = 0;
+  if (static_cast<int>(out.size()) > options_.max_candidates) {
+    last_truncated_ =
+        out.size() - static_cast<std::size_t>(options_.max_candidates);
     out.resize(static_cast<std::size_t>(options_.max_candidates));
+  }
   return out;
 }
 

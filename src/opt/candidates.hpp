@@ -43,14 +43,30 @@ namespace powder {
 
 class TraceSession;
 
-struct CandidateOptions {
-  int local_pool_size = 64;     ///< structural-neighborhood sources/target
-  int random_pool_size = 24;    ///< extra random sources/target
+/// Knobs of the generalized resubstitution framework: how far beyond the
+/// paper's pair classes the harvest reaches, and whether the
+/// functional-reduction pre-pass runs before the greedy loop.
+struct ResubOptions {
   bool enable_three_subs = true;
   int three_sub_b_pool = 20;    ///< first operands tried for OS3/IS3
   int max_three_per_target = 6;
+  /// Maximum divisor-set size harvested. 2 = the paper's classes only;
+  /// k >= 3 additionally harvests OSK/ISK candidates (new k-input gates)
+  /// up to min(max_divisors, largest library arity) divisors.
+  int max_divisors = 2;
+  int ksub_b_pool = 10;         ///< divisor pool prefix for OSK/ISK tuples
+  int max_k_per_target = 4;     ///< OSK/ISK candidates kept per site
+  /// Run the functional-reduction pre-pass (signature-grouped equivalence
+  /// merging) before the greedy loop.
+  bool funcred = false;
+};
+
+struct CandidateOptions {
+  int local_pool_size = 64;     ///< structural-neighborhood sources/target
+  int random_pool_size = 24;    ///< extra random sources/target
   int max_candidates = 800;     ///< global cap, best preselect gain first
   bool allow_constants = true;  ///< replace unobservable signals by constants
+  ResubOptions resub;           ///< generalized-resubstitution knobs
 };
 
 class CandidateFinder final : public NetlistObserver {
@@ -85,6 +101,9 @@ class CandidateFinder final : public NetlistObserver {
   std::size_t last_refresh_count() const { return last_refresh_count_; }
   bool last_refresh_full() const { return last_refresh_full_; }
   std::size_t index_size() const { return signal_gates_.size(); }
+  /// Candidates dropped by the max_candidates cap in the last find().
+  /// Non-zero means the harvest was NOT full coverage of the netlist.
+  std::size_t last_truncated() const { return last_truncated_; }
 
  private:
   /// One harvesting site: a stem (no branch) or a single fanout branch.
@@ -126,6 +145,7 @@ class CandidateFinder final : public NetlistObserver {
   std::vector<std::uint8_t> pending_flag_;
   std::size_t last_refresh_count_ = 0;
   bool last_refresh_full_ = true;
+  std::size_t last_truncated_ = 0;
 
   void rebuild_index();
   void refresh_index();

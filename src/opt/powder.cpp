@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "bdd/netlist_bdd.hpp"
+#include "opt/funcred.hpp"
 #include "opt/journal.hpp"
 #include "power/power.hpp"
 #include "session/checkpoint.hpp"
@@ -141,6 +142,7 @@ const char* rep_kind_name(ReplacementFunction::Kind k) {
     case ReplacementFunction::Kind::kConstant: return "constant";
     case ReplacementFunction::Kind::kSignal: return "signal";
     case ReplacementFunction::Kind::kTwoInput: return "two_input";
+    case ReplacementFunction::Kind::kCell: return "cell";
   }
   return "?";
 }
@@ -150,6 +152,23 @@ ProofKey make_key(const CandidateSub& cand) {
   if (cand.rep.kind == ReplacementFunction::Kind::kTwoInput)
     for (int m = 0; m < 4; ++m)
       if (cand.rep.two_input_fn.bit(m)) tt |= 1ll << m;
+  if (cand.rep.kind == ReplacementFunction::Kind::kCell) {
+    // Fold the ordered divisor set and the k-var function into one FNV
+    // digest; b/c stay kNullGate for kCell, so the digest disambiguates.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t x) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (x >> (8 * i)) & 0xFF;
+        h *= 1099511628211ull;
+      }
+    };
+    for (const GateId d : cand.rep.divisors) mix(d);
+    const std::uint64_t minterms = cand.rep.two_input_fn.num_vars() > 0
+        ? cand.rep.two_input_fn.num_minterms_capacity() : 0;
+    for (std::uint64_t m = 0; m < minterms; ++m)
+      mix(cand.rep.two_input_fn.bit(m) ? 1 : 0);
+    tt = static_cast<long long>(h);
+  }
   ProofKey k;
   k.v = {static_cast<long long>(cand.cls),
          static_cast<long long>(cand.target),
@@ -427,6 +446,16 @@ void PowderOptimizer::validate_options() const {
                            o.session.podem_only_fraction,
                    "PowderOptions.session degradation fractions must satisfy "
                    "0 <= signature_only_fraction <= podem_only_fraction <= 1");
+  POWDER_CHECK_MSG(o.candidates.resub.max_divisors >= 2,
+                   "PowderOptions.candidates.resub.max_divisors must be at "
+                   "least 2 (the paper's pair classes), got "
+                       << o.candidates.resub.max_divisors);
+  POWDER_CHECK_MSG(o.candidates.resub.ksub_b_pool > 0,
+                   "PowderOptions.candidates.resub.ksub_b_pool must be "
+                   "positive, got " << o.candidates.resub.ksub_b_pool);
+  POWDER_CHECK_MSG(o.candidates.resub.max_k_per_target > 0,
+                   "PowderOptions.candidates.resub.max_k_per_target must be "
+                   "positive, got " << o.candidates.resub.max_k_per_target);
 }
 
 bool PowderOptimizer::violates_delay(const CandidateSub& sub, double limit,
@@ -531,6 +560,26 @@ PowderReport PowderOptimizer::run() {
   const Meter m_window_reruns =
       meter("powder_window_reruns_total",
             "Serial window re-optimizations after boundary conflicts");
+  const Meter m_truncated =
+      meter("powder_harvest_truncated_total",
+            "Candidates dropped because a harvest hit max_candidates");
+  const Meter m_funcred =
+      meter("powder_funcred_merges_total",
+            "Signals merged away by the functional-reduction pre-pass");
+  // Per-class harvest/proof accounting behind diagnostics.resub. Names are
+  // derived from the class table so the registry export and the report's
+  // by_class array can never disagree on the class set.
+  std::array<Meter, kNumResubClasses> m_cls_harvested{};
+  std::array<Meter, kNumResubClasses> m_cls_proved{};
+  for (int i = 0; i < kNumResubClasses; ++i) {
+    const std::string cls = resub_class_name(static_cast<ResubClass>(i));
+    m_cls_harvested[static_cast<std::size_t>(i)] =
+        meter(("powder_resub_harvested_" + cls + "_total").c_str(),
+              "Candidates harvested for one resubstitution class");
+    m_cls_proved[static_cast<std::size_t>(i)] =
+        meter(("powder_resub_proved_" + cls + "_total").c_str(),
+              "Candidates proved permissible for one resubstitution class");
+  }
 
   ResourceBudget budget;
   budget.set_deadline(options_.budget.deadline_seconds);
@@ -706,10 +755,16 @@ PowderReport PowderOptimizer::run() {
       r.branch_pin = c.branch->pin;
     }
     r.rep_kind = rep_kind_name(c.rep.kind);
-    if (c.rep.kind != ReplacementFunction::Kind::kConstant)
-      r.rep_b = static_cast<long long>(c.rep.b);
-    if (c.rep.kind == ReplacementFunction::Kind::kTwoInput)
-      r.rep_c = static_cast<long long>(c.rep.c);
+    if (c.rep.kind == ReplacementFunction::Kind::kCell) {
+      r.rep_divisors.reserve(c.rep.divisors.size());
+      for (const GateId d : c.rep.divisors)
+        r.rep_divisors.push_back(static_cast<long long>(d));
+    } else {
+      if (c.rep.kind != ReplacementFunction::Kind::kConstant)
+        r.rep_b = static_cast<long long>(c.rep.b);
+      if (c.rep.kind == ReplacementFunction::Kind::kTwoInput)
+        r.rep_c = static_cast<long long>(c.rep.c);
+    }
     r.pg_a = c.pg_a;
     r.pg_b = c.pg_b;
     r.pg_c = c.pg_c;
@@ -723,6 +778,80 @@ PowderReport PowderOptimizer::run() {
 
   bool progress = true;
   bool stopped = false;
+
+  // ---- functional-reduction pre-pass (DESIGN.md §12) ---------------------
+  // Runs on the whole netlist before either main loop — including windowed
+  // mode, where merging equivalent stems globally is both sound (each merge
+  // carries its own permissibility proof and guard check) and more
+  // effective than any per-window sweep could be (equivalent signals
+  // rarely land in the same window). Merges are journaled and recorded as
+  // kPrepass WAL frames, so crash/resume replays them in lockstep before
+  // touching the commit cursor.
+  if (options_.candidates.resub.funcred) {
+    TraceSpan fr_span(trace, "funcred", "powder");
+    double fr_power = est.total_power();
+    double fr_area = netlist_->total_area();
+    FuncredHooks hooks;
+    hooks.prove = [&](const CandidateSub& cand) {
+      // Resume oracle: a recorded merge was proved by the original run; an
+      // unrecorded pair reaching this stage was rejected by it (the pass is
+      // deterministic, so the nomination order replays identically).
+      if (resume.prepass_active()) return resume.prepass_matches(cand);
+      const AtpgResult verdict =
+          prove_with_retry(atpg, sat, options_.proof.engine, cand,
+                           options_.session.proof_retries, m_retries.c);
+      m_inline.c->inc();
+      if (verdict != AtpgResult::kUntestable) {
+        m_proof_rej.c->inc();
+        audit_decision(cand, "rejected_proof", false,
+                       engine_name(options_.proof.engine),
+                       verdict_name(verdict));
+        return false;
+      }
+      return true;
+    };
+    hooks.resync = resync;
+    if (options_.guard.signature_check) hooks.guard_ok = po_signatures_ok;
+    hooks.on_commit = [&](const FuncredCommit& c) {
+      if (resume.prepass_active()) {
+        if (!same_applied(resume.prepass_current().applied, c.applied))
+          throw Error::input(
+              "resume diverged: a replayed pre-pass merge produced a "
+              "different netlist delta than the checkpoint recorded");
+        resume.prepass_advance();
+      }
+      recorder.record_prepass(c.round, c.ordinal, c.cand, c.applied);
+      const double p = est.total_power();
+      const double a = netlist_->total_area();
+      ClassStats& cls =
+          report.by_class[static_cast<std::size_t>(ResubClass::kFuncRed)];
+      ++cls.applied;
+      cls.power_delta += fr_power - p;
+      cls.area_delta += a - fr_area;
+      commit_log.push_back(CommitRecord{ResubClass::kFuncRed, fr_power - p,
+                                        a - fr_area});
+      m_applied.c->inc();
+      audit_decision(c.cand, "accepted", false, "funcred", "untestable");
+      fr_power = p;
+      fr_area = a;
+    };
+    const FuncredStats fr =
+        functional_reduction(*netlist_, sim, journal, hooks, nullptr);
+    if (resume.prepass_active())
+      throw Error::input(
+          "resume diverged: the checkpoint records more pre-pass merges "
+          "than the pre-pass replayed");
+    m_funcred.c->inc(fr.merged);
+    m_guard_rb.c->inc(fr.guard_rollbacks);
+    constexpr auto kFr = static_cast<std::size_t>(ResubClass::kFuncRed);
+    m_cls_harvested[kFr].c->inc(fr.pairs_tested);
+    m_cls_proved[kFr].c->inc(fr.pairs_tested - fr.proof_rejected);
+    if (options_.check_invariants) netlist_->check_consistency();
+    fr_span.arg("merged", fr.merged);
+    fr_span.arg("rounds", fr.rounds);
+    fr_span.arg("pairs", fr.pairs_tested);
+  }
+
   if (windowed) {
     // ---- windowed mode (DESIGN.md §11) ----------------------------------
     // Partition the parent along its topo order, optimize every window
@@ -756,6 +885,12 @@ PowderReport PowderOptimizer::run() {
       m_proof_rej.c->inc(res.stats.proof_rejected);
       m_guard_rb.c->inc(res.stats.guard_rollbacks);
       m_inline.c->inc(res.stats.inline_proofs);
+      m_truncated.c->inc(res.stats.truncated);
+      for (int i = 0; i < kNumResubClasses; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        m_cls_harvested[k].c->inc(res.stats.harvested_by_class[k]);
+        m_cls_proved[k].c->inc(res.stats.proved_by_class[k]);
+      }
       if (res.commits.empty()) return true;
       if (check_conflicts) {
         for (const GateId g : ex.support)
@@ -786,10 +921,8 @@ PowderReport PowderOptimizer::run() {
         bool mapped = map_gate(wc.cand.target, &cand.target);
         if (mapped && wc.cand.branch.has_value())
           mapped = map_gate(wc.cand.branch->gate, &cand.branch->gate);
-        if (mapped && wc.cand.rep.kind != ReplacementFunction::Kind::kConstant)
-          mapped = map_gate(wc.cand.rep.b, &cand.rep.b);
-        if (mapped && wc.cand.rep.kind == ReplacementFunction::Kind::kTwoInput)
-          mapped = map_gate(wc.cand.rep.c, &cand.rep.c);
+        for (int i = 0; mapped && i < wc.cand.rep.num_sources(); ++i)
+          mapped = map_gate(wc.cand.rep.source(i), &cand.rep.source_ref(i));
         if (!mapped) return false;  // an earlier commit of this window failed
 
         // Delay check against the parent's real arrival times (the local
@@ -1038,6 +1171,9 @@ PowderReport PowderOptimizer::run() {
         harvest_span.arg("candidates", static_cast<long long>(cands.size()));
       }
       m_harvested.c->inc(static_cast<long long>(cands.size()));
+      for (const CandidateSub& c : cands)
+        m_cls_harvested[static_cast<std::size_t>(c.cls)].c->inc();
+      m_truncated.c->inc(static_cast<long long>(finder->last_truncated()));
       if (outer >= 1) {
         report.diagnostics.candidate_gates_refreshed +=
             static_cast<long>(finder->last_refresh_count());
@@ -1208,6 +1344,7 @@ PowderReport PowderOptimizer::run() {
                            proof_verdict, proof_us);
             continue;
           }
+          m_cls_proved[static_cast<std::size_t>(chosen.cls)].c->inc();
         }
 
         // ---- perform_substitution + power_estimate_update -----------------
@@ -1361,6 +1498,21 @@ PowderReport PowderOptimizer::run() {
     }
     report.diagnostics.guard_failed = !state_good();
   }
+
+  // Resub diagnostics snapshot — after the guard walk, so the applied/gain
+  // columns reflect the commits that actually survived into the output.
+  for (int i = 0; i < kNumResubClasses; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    auto& pc = report.diagnostics.resub.by_class[k];
+    pc.harvested = static_cast<long>(m_cls_harvested[k].delta());
+    pc.proved = static_cast<long>(m_cls_proved[k].delta());
+    pc.applied = report.by_class[k].applied;
+    pc.gain = report.by_class[k].power_delta;
+  }
+  report.diagnostics.resub.funcred_merges =
+      static_cast<long>(m_funcred.delta());
+  report.diagnostics.resub.harvest_truncated =
+      static_cast<long>(m_truncated.delta());
 
   // Close the WAL with its end marker. Commits the end-of-run walk rolled
   // back stay recorded — a resume re-applies them and its own walk rolls

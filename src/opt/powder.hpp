@@ -233,6 +233,20 @@ class PowderOptions::Builder {
     opts_.candidates = c;
     return *this;
   }
+  Builder& resub(ResubOptions r) {
+    opts_.candidates.resub = r;
+    return *this;
+  }
+  /// Enables/disables the functional-reduction pre-pass.
+  Builder& funcred(bool on) {
+    opts_.candidates.resub.funcred = on;
+    return *this;
+  }
+  /// Largest divisor-set size the harvest proposes (2 = pair classes only).
+  Builder& max_divisors(int k) {
+    opts_.candidates.resub.max_divisors = k;
+    return *this;
+  }
   Builder& atpg(AtpgOptions a) { opts_.proof.atpg = a; return *this; }
   Builder& sat(SatCheckerOptions s) { opts_.proof.sat = s; return *this; }
   Builder& trace(TraceSession* session) {
@@ -262,8 +276,12 @@ inline PowderOptions::Builder PowderOptions::builder() { return Builder{}; }
 /// meaning and are never removed; adding keys bumps nothing, removing or
 /// redefining them bumps this number. Version 1 is the pre-versioned PR 5
 /// layout; version 2 adds `schema_version` itself and the
-/// `diagnostics.windowing` sub-object.
-inline constexpr int kReportSchemaVersion = 2;
+/// `diagnostics.windowing` sub-object. Version 3 redefines `by_class` from
+/// the four paper classes to the seven resubstitution classes (OSK / ISK /
+/// FUNCRED appended) — consumers iterating the old fixed four-key object
+/// must re-read the contract, hence the bump — and adds
+/// `diagnostics.resub`.
+inline constexpr int kReportSchemaVersion = 3;
 
 struct ClassStats {
   int applied = 0;
@@ -285,7 +303,7 @@ struct PowderReport {
   int outer_iterations = 0;
   double cpu_seconds = 0.0;
 
-  std::array<ClassStats, 4> by_class;  ///< indexed by SubstClass
+  std::array<ClassStats, kNumResubClasses> by_class;  ///< indexed by ResubClass
 
   /// Robustness and threading accounting, separated from the core result so
   /// consumers comparing runs (e.g. the determinism test) can ignore the
@@ -340,6 +358,23 @@ struct PowderReport {
       long window_gates_total = 0;  ///< sum of extracted window gate counts
     };
     Windowing windowing;
+
+    /// Per-class accept/reject economics of the generalized resubstitution
+    /// framework, mirrored from the MetricsRegistry counters. Indexed by
+    /// ResubClass; `gain` is the measured power delta of the class's
+    /// applied transforms (same value as by_class[i].power_delta).
+    struct Resub {
+      struct PerClass {
+        long harvested = 0;  ///< candidates the finder proposed
+        long proved = 0;     ///< candidates proved permissible
+        long applied = 0;    ///< candidates committed and kept
+        double gain = 0.0;   ///< measured power reduction of the class
+      };
+      std::array<PerClass, kNumResubClasses> by_class;
+      long funcred_merges = 0;     ///< pre-pass equivalence merges kept
+      long harvest_truncated = 0;  ///< candidates dropped by max_candidates
+    };
+    Resub resub;
   };
   Diagnostics diagnostics;
 

@@ -43,6 +43,30 @@ std::vector<std::uint64_t> replacement_words(const Simulator& sim,
       }
       break;
     }
+    case ReplacementFunction::Kind::kCell: {
+      // k-ary word evaluation: OR together one AND-term per onset minterm.
+      const int k = static_cast<int>(rep.divisors.size());
+      std::vector<std::span<const std::uint64_t>> vals;
+      vals.reserve(static_cast<std::size_t>(k));
+      for (const GateId d : rep.divisors) vals.push_back(sim.value(d));
+      const TruthTable& f = rep.two_input_fn;
+      const std::uint64_t minterms = 1ull << k;
+      for (int w = 0; w < W; ++w) {
+        std::uint64_t r = 0;
+        for (std::uint64_t m = 0; m < minterms; ++m) {
+          if (!f.bit(m)) continue;
+          std::uint64_t term = ~0ull;
+          for (int v = 0; v < k; ++v) {
+            const std::uint64_t dv =
+                vals[static_cast<std::size_t>(v)][static_cast<std::size_t>(w)];
+            term &= ((m >> v) & 1) ? dv : ~dv;
+          }
+          r |= term;
+        }
+        out[static_cast<std::size_t>(w)] = r;
+      }
+      break;
+    }
   }
   return out;
 }
@@ -64,14 +88,19 @@ namespace {
 /// `a` to an inverter of `a`), the target stays alive and nothing dies.
 bool removes_dominated_region(const Netlist& netlist,
                               const CandidateSub& sub) {
-  if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
-    if (sub.rep.b == sub.target) return false;
-    if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput &&
-        sub.rep.c == sub.target)
-      return false;
-  }
+  for (int i = 0; i < sub.rep.num_sources(); ++i)
+    if (sub.rep.source(i) == sub.target) return false;
   if (!sub.branch.has_value()) return true;
   return netlist.num_fanouts(sub.target) == 1;
+}
+
+/// The replacement's divisor set, for MFFC keep-alive computations.
+std::vector<GateId> replacement_sources(const CandidateSub& sub) {
+  std::vector<GateId> keep_alive;
+  keep_alive.reserve(static_cast<std::size_t>(sub.rep.num_sources()));
+  for (int i = 0; i < sub.rep.num_sources(); ++i)
+    keep_alive.push_back(sub.rep.source(i));
+  return keep_alive;
 }
 
 }  // namespace
@@ -92,13 +121,8 @@ double compute_pg_a(const Netlist& netlist, const PowerEstimator& est,
   // Dominated-region removal (Eq. 3): the MFFC of the target dies — except
   // for gates the replacement itself keeps alive (its sources may sit
   // inside the cone).
-  std::vector<GateId> keep_alive;
-  if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
-    keep_alive.push_back(sub.rep.b);
-    if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput)
-      keep_alive.push_back(sub.rep.c);
-  }
-  const std::vector<GateId> cone = netlist.mffc(sub.target, keep_alive);
+  const std::vector<GateId> cone =
+      netlist.mffc(sub.target, replacement_sources(sub));
   std::vector<std::uint8_t> in_cone(netlist.num_slots(), 0);
   for (GateId g : cone) in_cone[g] = 1;
 
@@ -139,14 +163,16 @@ double compute_pg_b(const Netlist& netlist, const PowerEstimator& est,
       const Cell& inv = lib.cell(lib.inverter());
       return -(inv.pins[0].input_cap * eb + moved_cap * eb);
     }
-    case ReplacementFunction::Kind::kTwoInput: {
+    case ReplacementFunction::Kind::kTwoInput:
+    case ReplacementFunction::Kind::kCell: {
       const Cell& cell = lib.cell(sub.new_cell);
-      const double eb = est.activity(sub.rep.b);
-      const double ec = est.activity(sub.rep.c);
       const double e_new =
           words_activity(replacement_words(est.simulator(), sub.rep));
-      return -(cell.pins[0].input_cap * eb + cell.pins[1].input_cap * ec +
-               moved_cap * e_new);
+      double cost = moved_cap * e_new;
+      for (int i = 0; i < sub.rep.num_sources(); ++i)
+        cost += cell.pins[static_cast<std::size_t>(i)].input_cap *
+                est.activity(sub.rep.source(i));
+      return -cost;
     }
   }
   POWDER_CHECK(false);
@@ -165,19 +191,14 @@ double compute_area_gain(const Netlist& netlist, const CandidateSub& sub) {
       if (sub.rep.invert_b) gain -= lib.cell(lib.inverter()).area;
       break;
     case ReplacementFunction::Kind::kTwoInput:
+    case ReplacementFunction::Kind::kCell:
       gain -= lib.cell(sub.new_cell).area;
       break;
   }
   // Removed cone (only when the whole dominated region dies).
   if (netlist.kind(sub.target) == GateKind::kCell &&
       removes_dominated_region(netlist, sub)) {
-    std::vector<GateId> keep_alive;
-    if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
-      keep_alive.push_back(sub.rep.b);
-      if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput)
-        keep_alive.push_back(sub.rep.c);
-    }
-    for (GateId g : netlist.mffc(sub.target, keep_alive))
+    for (GateId g : netlist.mffc(sub.target, replacement_sources(sub)))
       gain += netlist.cell_of(g).area;
   }
   return gain;

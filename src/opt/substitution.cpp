@@ -6,15 +6,20 @@
 
 namespace powder {
 
-const char* subst_class_name(SubstClass c) {
+const char* resub_class_name(ResubClass c) {
   switch (c) {
-    case SubstClass::kOS2: return "OS2";
-    case SubstClass::kIS2: return "IS2";
-    case SubstClass::kOS3: return "OS3";
-    case SubstClass::kIS3: return "IS3";
+    case ResubClass::kOS2: return "OS2";
+    case ResubClass::kIS2: return "IS2";
+    case ResubClass::kOS3: return "OS3";
+    case ResubClass::kIS3: return "IS3";
+    case ResubClass::kOSK: return "OSK";
+    case ResubClass::kISK: return "ISK";
+    case ResubClass::kFuncRed: return "FUNCRED";
   }
   return "?";
 }
+
+const char* subst_class_name(SubstClass c) { return resub_class_name(c); }
 
 namespace {
 
@@ -51,6 +56,13 @@ GateId build_replacement_driver(Netlist& netlist, const CandidateSub& sub,
       applied->area_delta += lib.cell(sub.new_cell).area;
       return g;
     }
+    case ReplacementFunction::Kind::kCell: {
+      POWDER_CHECK(sub.new_cell != kInvalidCell);
+      const GateId g = netlist.add_gate(sub.new_cell, sub.rep.divisors);
+      applied->new_gate = g;
+      applied->area_delta += lib.cell(sub.new_cell).area;
+      return g;
+    }
   }
   POWDER_CHECK(false);
 }
@@ -81,24 +93,18 @@ bool substitution_still_valid(const Netlist& netlist,
     if (s == entry) return false;
     return !netlist.in_tfo(entry, s);
   };
-  if (sub.rep.kind != ReplacementFunction::Kind::kConstant) {
-    if (!source_ok(sub.rep.b)) return false;
-    if (sub.rep.kind == ReplacementFunction::Kind::kTwoInput &&
-        !source_ok(sub.rep.c))
-      return false;
+  for (int i = 0; i < sub.rep.num_sources(); ++i) {
+    const GateId s = sub.rep.source(i);
+    if (!source_ok(s)) return false;
     // For a stem substitution the sources must also differ from the stem
     // itself (replacing a by a is a no-op).
-    if (!sub.branch.has_value() &&
-        (sub.rep.b == sub.target ||
-         (sub.rep.kind == ReplacementFunction::Kind::kTwoInput &&
-          sub.rep.c == sub.target)))
-      return false;
-    // Rewiring a branch of a back to a itself is a no-op too.
-    if (sub.branch.has_value() &&
-        sub.rep.kind == ReplacementFunction::Kind::kSignal &&
-        sub.rep.b == sub.target && !sub.rep.invert_b)
-      return false;
+    if (!sub.branch.has_value() && s == sub.target) return false;
   }
+  // Rewiring a branch of a back to a itself is a no-op too.
+  if (sub.branch.has_value() &&
+      sub.rep.kind == ReplacementFunction::Kind::kSignal &&
+      sub.rep.b == sub.target && !sub.rep.invert_b)
+    return false;
   return true;
 }
 
@@ -124,6 +130,10 @@ AppliedSub apply_substitution(Netlist& netlist, const CandidateSub& sub) {
       case ReplacementFunction::Kind::kTwoInput:
         POWDER_CHECK(sub.new_cell != kInvalidCell);
         POWDER_CHECK(!sub.rep.invert_b && !sub.rep.invert_c);
+        break;
+      case ReplacementFunction::Kind::kCell:
+        POWDER_CHECK(sub.new_cell != kInvalidCell);
+        POWDER_CHECK(!sub.rep.divisors.empty());
         break;
     }
   }

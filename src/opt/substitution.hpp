@@ -1,12 +1,14 @@
 #pragma once
-// Candidate substitutions (paper Definitions 1 and 2) and their application
-// to the netlist.
+// Application of resubstitution transforms (paper Definitions 1 and 2,
+// generalized by the transform IR in opt/transform.hpp) to the netlist.
 //
 //   OS2(a,b):     replace stem a by existing signal b (optionally inverted,
 //                 which inserts a library inverter).
 //   IS2(a,b):     replace one fanout branch of a by b (optionally inverted).
 //   OS3(a,b,c):   replace stem a by a NEW 2-input library gate g(b,c).
 //   IS3(a,b,c):   replace one branch of a by a new 2-input gate g(b,c).
+//   OSK/ISK:      stem/branch replaced by a new k-input gate (k >= 3).
+//   FUNCRED:      stem merged into an equivalent existing signal.
 //   OS2 by constant: special case used for unobservable stems.
 
 #include <optional>
@@ -14,31 +16,9 @@
 
 #include "atpg/atpg.hpp"
 #include "netlist/netlist.hpp"
+#include "opt/transform.hpp"
 
 namespace powder {
-
-enum class SubstClass : std::uint8_t { kOS2, kIS2, kOS3, kIS3 };
-
-const char* subst_class_name(SubstClass c);
-
-struct CandidateSub {
-  SubstClass cls = SubstClass::kOS2;
-  GateId target = kNullGate;            ///< substituted stem signal
-  std::optional<FanoutRef> branch;      ///< set for IS2/IS3
-  ReplacementFunction rep;              ///< what replaces the signal
-  CellId new_cell = kInvalidCell;       ///< 2-input cell for OS3/IS3
-  // Pin order note: `new_cell` is instantiated with fanins {rep.b, rep.c}.
-
-  // Pre-selection gains (paper §3.3/§3.5), refreshed before every use.
-  double pg_a = 0.0;  ///< >= 0, removed capacitance
-  double pg_b = 0.0;  ///< <= 0, added load on the substituting signal(s)
-  double pg_c = 0.0;  ///< TFO re-estimation; filled for the shortlist only
-
-  double preselect_gain() const { return pg_a + pg_b; }
-  double total_gain() const { return pg_a + pg_b + pg_c; }
-
-  ReplacementSite site() const { return ReplacementSite{target, branch}; }
-};
 
 /// One rewired input pin, with enough context to rewire it back.
 struct RewiredPin {

@@ -65,6 +65,12 @@ class SessionRecorder {
                      const AppliedSub& applied,
                      std::uint32_t window = kGlobalWindow);
 
+  /// Appends one functional-reduction pre-pass frame (fsync'd). Same
+  /// degradation contract as record_commit; `round`/`ordinal` identify the
+  /// merge's position in the pre-pass's deterministic sequence.
+  void record_prepass(int round, int ordinal, const CandidateSub& cand,
+                      const AppliedSub& applied);
+
   /// Appends the kEnd frame and closes the log.
   void record_end();
 
@@ -112,6 +118,24 @@ class SessionResume {
   const WalCommit& current() const { return contents_.commits[cursor_]; }
   void advance() { ++cursor_; }
 
+  /// Pre-pass replay cursor: the functional-reduction merges recorded
+  /// before the greedy loop, fast-forwarded in lockstep ahead of the
+  /// commit cursor above.
+  bool prepass_active() const {
+    return prepass_cursor_ < contents_.prepass.size();
+  }
+  bool prepass_matches(const CandidateSub& cand) const {
+    return prepass_active() &&
+           same_candidate(contents_.prepass[prepass_cursor_].cand, cand);
+  }
+  const WalCommit& prepass_current() const {
+    return contents_.prepass[prepass_cursor_];
+  }
+  void prepass_advance() { ++prepass_cursor_; }
+  long long prepass_total() const {
+    return static_cast<long long>(contents_.prepass.size());
+  }
+
   /// Full recorded commit sequence, for window-scoped replay: the windowed
   /// loop builds per-window oracle views from this while the merge path
   /// still verifies against the global cursor above.
@@ -127,6 +151,7 @@ class SessionResume {
  private:
   WalContents contents_;
   std::size_t cursor_ = 0;
+  std::size_t prepass_cursor_ = 0;
   bool loaded_ = false;
 };
 

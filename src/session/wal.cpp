@@ -163,6 +163,7 @@ void put_candidate(std::string* b, const CandidateSub& s) {
   put_u32(b, static_cast<std::uint32_t>(s.rep.c));
   put_u8(b, s.rep.invert_c ? 1 : 0);
   put_truth_table(b, s.rep.two_input_fn);
+  put_gate_vec(b, s.rep.divisors);
   put_u32(b, static_cast<std::uint32_t>(s.new_cell));
 }
 
@@ -184,6 +185,7 @@ bool get_candidate(Cursor* c, CandidateSub* s) {
   s->rep.c = static_cast<GateId>(c->u32());
   s->rep.invert_c = c->u8() != 0;
   if (!get_truth_table(c, &s->rep.two_input_fn)) return false;
+  if (!get_gate_vec(c, &s->rep.divisors)) return false;
   s->new_cell = static_cast<CellId>(c->u32());
   s->pg_a = s->pg_b = s->pg_c = 0.0;
   return c->ok();
@@ -389,6 +391,16 @@ WalContents parse_wal(std::string_view bytes) {
         out.commits.push_back(std::move(c));
         break;
       }
+      case WalFrameType::kPrepass: {
+        WalCommit c;
+        if (!decode_commit(payload, &c)) {
+          out.status = WalReadStatus::kCorrupt;
+          out.error = "undecodable prepass frame";
+          return out;
+        }
+        out.prepass.push_back(std::move(c));
+        break;
+      }
       case WalFrameType::kEnd:
         out.ended = true;
         break;
@@ -499,7 +511,8 @@ bool same_candidate(const CandidateSub& a, const CandidateSub& b) {
          a.rep.constant_value == b.rep.constant_value && a.rep.b == b.rep.b &&
          a.rep.invert_b == b.rep.invert_b && a.rep.c == b.rep.c &&
          a.rep.invert_c == b.rep.invert_c &&
-         a.rep.two_input_fn == b.rep.two_input_fn && a.new_cell == b.new_cell;
+         a.rep.two_input_fn == b.rep.two_input_fn &&
+         a.rep.divisors == b.rep.divisors && a.new_cell == b.new_cell;
 }
 
 bool same_applied(const AppliedSub& a, const AppliedSub& b) {

@@ -36,7 +36,10 @@ namespace powder {
 inline constexpr std::uint32_t kWalMagic = 0x50574652u;  // "PWFR"
 /// Version 2 added the per-commit window id (window-scoped runs record which
 /// window produced each commit so --resume can replay them window-by-window).
-inline constexpr std::uint32_t kWalVersion = 2;
+/// Version 3 added the kCell replacement kind (ordered divisor set of a
+/// k-input gate) to the candidate codec and the kPrepass frame recording
+/// functional-reduction merges made before the greedy loop.
+inline constexpr std::uint32_t kWalVersion = 3;
 
 /// WalCommit::window value for commits made by the global (non-windowed)
 /// optimizer loop.
@@ -46,6 +49,10 @@ enum class WalFrameType : std::uint8_t {
   kHeader = 1,
   kCommit = 2,
   kEnd = 3,
+  /// A functional-reduction merge committed by the pre-pass, before any
+  /// kCommit frame. Payload is the WalCommit codec (outer = pre-pass round,
+  /// performed = merge ordinal within the round).
+  kPrepass = 4,
 };
 
 struct WalHeader {
@@ -86,6 +93,7 @@ const char* wal_read_status_name(WalReadStatus s);
 struct WalContents {
   bool has_header = false;
   WalHeader header;
+  std::vector<WalCommit> prepass;  ///< functional-reduction merges, in order
   std::vector<WalCommit> commits;
   bool ended = false;  ///< a kEnd frame closed the log
   WalReadStatus status = WalReadStatus::kClean;

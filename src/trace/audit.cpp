@@ -72,6 +72,15 @@ void AuditLog::write(const AuditRecord& r) {
     std::snprintf(buf, sizeof(buf), ",\"c\":%lld", r.rep_c);
     line += buf;
   }
+  if (!r.rep_divisors.empty()) {
+    line += ",\"divisors\":[";
+    for (std::size_t i = 0; i < r.rep_divisors.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), i == 0 ? "%lld" : ",%lld",
+                    r.rep_divisors[i]);
+      line += buf;
+    }
+    line += ']';
+  }
   line += '}';
   append_double(&line, "pg_a", r.pg_a);
   append_double(&line, "pg_b", r.pg_b);

@@ -17,20 +17,24 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace powder {
 
 struct AuditRecord {
   long long seq = 0;           ///< 0-based record index within the run
   int iteration = 0;           ///< outer-loop iteration (1-based)
-  const char* cls = "";        ///< OS2 / IS2 / OS3 / IS3
+  const char* cls = "";        ///< OS2 / IS2 / OS3 / IS3 / OSK / ISK / FUNCRED
   long long target = -1;       ///< substituted stem gate id
   std::string_view target_name{};
   long long branch_sink = -1;  ///< IS2/IS3 branch sink gate id, else -1
   int branch_pin = -1;
-  const char* rep_kind = "";   ///< constant / signal / two_input
+  const char* rep_kind = "";   ///< constant / signal / two_input / cell
   long long rep_b = -1;        ///< substituting signal(s); -1 = n/a
   long long rep_c = -1;
+  /// kCell replacements: the ordered divisor set (emitted as
+  /// `"divisors":[...]` inside the rep object; empty = n/a).
+  std::vector<long long> rep_divisors;
   double pg_a = 0.0;
   double pg_b = 0.0;
   double pg_c = 0.0;

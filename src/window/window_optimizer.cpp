@@ -112,12 +112,8 @@ WindowResult optimize_window(WindowExtraction& ex,
     if (!map_gate(c.target, &out->target)) return false;
     if (c.branch.has_value() && !map_gate(c.branch->gate, &out->branch->gate))
       return false;
-    if (c.rep.kind != ReplacementFunction::Kind::kConstant &&
-        !map_gate(c.rep.b, &out->rep.b))
-      return false;
-    if (c.rep.kind == ReplacementFunction::Kind::kTwoInput &&
-        !map_gate(c.rep.c, &out->rep.c))
-      return false;
+    for (int i = 0; i < c.rep.num_sources(); ++i)
+      if (!map_gate(c.rep.source(i), &out->rep.source_ref(i))) return false;
     return true;
   };
 
@@ -126,6 +122,9 @@ WindowResult optimize_window(WindowExtraction& ex,
     finder.reseed(wo.seed + 17 * static_cast<std::uint64_t>(round));
     std::vector<CandidateSub> cands = finder.find();
     result.stats.harvested += static_cast<long>(cands.size());
+    result.stats.truncated += static_cast<long>(finder.last_truncated());
+    for (const CandidateSub& c : cands)
+      ++result.stats.harvested_by_class[static_cast<std::size_t>(c.cls)];
 
     int performed = 0;
     bool progress = false;
@@ -219,6 +218,7 @@ WindowResult optimize_window(WindowExtraction& ex,
       } else {
         ++result.stats.replayed;
       }
+      ++result.stats.proved_by_class[static_cast<std::size_t>(chosen.cls)];
 
       AppliedSub applied;
       try {

@@ -23,6 +23,7 @@
 // Each accepted commit is returned in local GateIds; the merge layer maps
 // them onto the parent via WindowExtraction::to_parent.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -50,7 +51,11 @@ struct WindowLocalStats {
   long proof_rejected = 0;
   long guard_rollbacks = 0;
   long inline_proofs = 0;
-  long replayed = 0;  ///< proofs answered by the WAL oracle
+  long replayed = 0;   ///< proofs answered by the WAL oracle
+  long truncated = 0;  ///< candidates dropped by the max_candidates cap
+  /// Per-resubstitution-class harvest/proof counts (diagnostics.resub).
+  std::array<long, kNumResubClasses> harvested_by_class{};
+  std::array<long, kNumResubClasses> proved_by_class{};
 };
 
 struct WindowResult {

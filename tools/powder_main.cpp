@@ -99,6 +99,8 @@ struct Args {
   double deadline = -1.0;
   int threads = 1;
   bool windowed = false;
+  bool funcred = false;
+  int max_divisors = -1;  ///< -1 = keep the default (pair classes)
   int window_size = 512;
   int window_overlap = 64;
   std::uint64_t window_order_seed = 0;
@@ -156,6 +158,7 @@ void usage() {
       "[--report-json FILE] [--paranoid]\n"
       "               [--windowed] [--window-size N] [--window-overlap N] "
       "[--window-order-seed N]\n"
+      "               [--funcred] [--max-divisors K]\n"
       "               [--trace-out FILE] [--metrics-out FILE] "
       "[--audit-out FILE] [--quiet]\n"
       "               [--checkpoint-out FILE] [--resume FILE] "
@@ -235,6 +238,12 @@ std::optional<Args> parse_args(int argc, char** argv) {
       a.threads = std::atoi(v);
     } else if (arg == "--windowed") {
       a.windowed = true;
+    } else if (arg == "--funcred") {
+      a.funcred = true;
+    } else if (arg == "--max-divisors") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.max_divisors = std::atoi(v);
     } else if (arg == "--window-size") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -381,6 +390,7 @@ int cmd_optimize(const Args& a) {
                      .window_size(a.window_size)
                      .window_overlap(a.window_overlap)
                      .window_order_seed(a.window_order_seed)
+                     .funcred(a.funcred)
                      .check_invariants(a.paranoid)
                      .final_equivalence_check(a.paranoid)
                      .trace(trace_ptr)
@@ -390,6 +400,7 @@ int cmd_optimize(const Args& a) {
                      .resume_from(a.resume_path)
                      .mem_limit_bytes(a.mem_limit_mb * 1024 * 1024);
   if (a.watchdog > 0) builder.watchdog_seconds(a.watchdog);
+  if (a.max_divisors >= 0) builder.max_divisors(a.max_divisors);
   const PowderOptions opt = builder.build();
   if (!a.resume_path.empty())
     progress("powder: resuming from %s\n", a.resume_path.c_str());
@@ -400,6 +411,14 @@ int cmd_optimize(const Args& a) {
              "%ld boundary conflict(s), %ld rerun(s)\n",
              d.windowing.windows_built, d.windowing.window_commits,
              d.windowing.boundary_conflicts, d.windowing.window_reruns);
+  if (a.funcred)
+    progress("powder: functional reduction merged %ld equivalent "
+             "signal(s)\n",
+             d.resub.funcred_merges);
+  if (d.resub.harvest_truncated > 0)
+    progress("powder: WARNING: %ld candidate(s) dropped because a harvest "
+             "hit max_candidates; raise the cap to consider them\n",
+             d.resub.harvest_truncated);
   if (d.resume_replayed > 0)
     progress("powder: replayed %lld checkpointed substitution(s)\n",
              static_cast<long long>(d.resume_replayed));
