@@ -32,7 +32,7 @@ int main() {
   for (const std::string& name : suite) {
     Netlist nl = initial_circuit(name, lib);
     GlitchOptions gopt;
-    gopt.pi_probs = input_probs(nl.num_inputs());
+    gopt.stimulus.prob = input_probs(nl.num_inputs());
     const GlitchEstimate before = estimate_glitch_power(nl, gopt);
 
     PowderOptions opt = bench_options(nl.num_inputs());

@@ -1,0 +1,93 @@
+// Sequential circuits through POWDER (DESIGN.md §13): read a `.latch`-bearing
+// BLIF, look at the reset-state signal probabilities, optimize across the
+// latch boundary (latch outputs are pseudo-PIs, latch inputs pseudo-POs, so
+// every substitution proof stays purely combinational), and write valid
+// sequential BLIF back out — optionally under the glitch-aware timed model.
+//
+//   $ ./sequential_latch in.blif out.blif [--timed]
+//   $ ./sequential_latch                  (demo mode: built-in 2-latch FSM)
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/blif.hpp"
+#include "powder.hpp"
+#include "power/power.hpp"
+
+using namespace powder;
+
+namespace {
+
+// A tiny 2-latch state machine: one resettable latch (init 0), one
+// uninitialized (init defaults to 3 = unknown, treated as 0.5).
+const char* kDemo =
+    ".model seq_demo\n"
+    ".inputs a b\n"
+    ".outputs f\n"
+    ".gate nand2 a=a b=q0 O=n1\n"
+    ".gate nand2 a=n1 b=b O=d0\n"
+    ".gate xor2 a=q0 b=q1 O=d1\n"
+    ".gate nand2 a=q1 b=n1 O=f\n"
+    ".latch d0 q0 0\n"
+    ".latch d1 q1\n"
+    ".end\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CellLibrary lib = CellLibrary::standard();
+
+  std::string blif_text = kDemo;
+  std::string out_path = "seq_demo_optimized.blif";
+  bool timed = false;
+  if (argc >= 3) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::printf("cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    blif_text = ss.str();
+    out_path = argv[2];
+  } else {
+    std::printf("demo mode: built-in 2-latch circuit\n");
+  }
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--timed") timed = true;
+
+  Netlist nl = read_blif(blif_text, lib);
+  std::printf("input: %d gates, %d latches, %d primary inputs\n",
+              nl.num_cells(), nl.num_latches(),
+              nl.num_inputs() - nl.num_latches());
+
+  // Reset-state probabilities: a damped fixed-point iteration seeded from
+  // each latch's init value. The latch output's steady-state probability
+  // converges onto its next-state driver's.
+  const std::vector<double> probs = sequential_signal_probs(nl, {});
+  for (const Latch& l : nl.latches())
+    std::printf("latch %.*s (init %d): steady-state P(1) = %.4f\n",
+                static_cast<int>(nl.gate_name(l.output).size()),
+                nl.gate_name(l.output).data(), l.init, probs[l.output]);
+
+  // optimize() expands user pi_probs over the latch pseudo-PIs itself; the
+  // builder only needs probabilities for the true primary inputs (none
+  // given here, so every primary input defaults to 0.5).
+  const PowderOptions opt =
+      PowderOptions::builder()
+          .power_model(timed ? PowerModelKind::kTimed
+                             : PowerModelKind::kZeroDelay)
+          .build();
+  const PowderReport r = optimize(nl, opt);
+  std::printf("model %s: power %.3f -> %.3f (-%.1f%%), %d substitutions\n",
+              r.diagnostics.power_model.kind.c_str(), r.initial_power,
+              r.final_power, r.power_reduction_percent(),
+              r.substitutions_applied);
+
+  std::ofstream(out_path) << write_blif(nl);
+  std::printf("output: %s (%d gates, %d latches preserved)\n",
+              out_path.c_str(), nl.num_cells(), nl.num_latches());
+  return 0;
+}

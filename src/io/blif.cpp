@@ -29,12 +29,25 @@ namespace {
 }  // namespace
 
 std::string write_blif(const Netlist& netlist) {
+  // Latch pseudo gates are sequential bookkeeping, not interface nets: the
+  // Q pseudo-PIs stay out of .inputs and the D pseudo-POs out of .outputs;
+  // both reappear as .latch lines instead.
+  std::vector<std::uint8_t> latch_gate(netlist.num_slots(), 0);
+  for (const Latch& l : netlist.latches()) {
+    latch_gate[l.input] = 1;
+    latch_gate[l.output] = 1;
+  }
   std::ostringstream os;
   os << ".model " << netlist.name() << "\n.inputs";
-  for (GateId g : netlist.inputs()) os << ' ' << netlist.gate_name(g);
+  for (GateId g : netlist.inputs())
+    if (!latch_gate[g]) os << ' ' << netlist.gate_name(g);
   os << "\n.outputs";
-  for (GateId g : netlist.outputs()) os << ' ' << netlist.gate_name(g);
+  for (GateId g : netlist.outputs())
+    if (!latch_gate[g]) os << ' ' << netlist.gate_name(g);
   os << '\n';
+  for (const Latch& l : netlist.latches())
+    os << ".latch " << netlist.gate_name(netlist.fanin(l.input, 0)) << ' '
+       << netlist.gate_name(l.output) << ' ' << l.init << '\n';
   for (GateId g : netlist.topo_order()) {
     if (netlist.kind(g) != GateKind::kCell) continue;
     const Cell& cell = netlist.cell_of(g);
@@ -46,8 +59,10 @@ std::string write_blif(const Netlist& netlist) {
     os << " O=" << netlist.gate_name(g) << '\n';
   }
   // Output connections: each PO is an alias of its driver. BLIF expresses
-  // this with a buffer .names when the net names differ.
+  // this with a buffer .names when the net names differ. Latch pseudo-POs
+  // never surface as nets, so they need no alias.
   for (GateId o : netlist.outputs()) {
+    if (latch_gate[o]) continue;
     const GateId driver = netlist.fanin(o, 0);
     if (netlist.gate_name(o) != netlist.gate_name(driver))
       os << ".names " << netlist.gate_name(driver) << ' '
@@ -107,6 +122,13 @@ Netlist read_blif_impl(std::string_view text, const CellLibrary& library) {
     int line;
   };
   std::vector<Alias> aliases;
+  // Sequential elements: .latch <input> <output> [<type> <control>] [<init>].
+  struct LatchRec {
+    std::string in_net, out_net;
+    int init;
+    int line;
+  };
+  std::vector<LatchRec> latch_recs;
 
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const int ln = lines[li].number;
@@ -184,6 +206,33 @@ Netlist read_blif_impl(std::string_view text, const CellLibrary& library) {
                   "(only constants and '1 1' buffers)",
                   lines[li].text);
       }
+    } else if (tok[0] == ".latch") {
+      // .latch <input> <output> [<type> <control>] [<init-val>]; the clock
+      // is single and implicit here, so a type/control pair is validated
+      // and dropped. Missing init defaults to 3 (unknown), per SIS.
+      if (tok.size() < 3 || tok.size() > 6)
+        blif_fail(ln, ".latch needs an input and an output net",
+                  lines[li].text);
+      LatchRec rec;
+      rec.in_net = std::string(tok[1]);
+      rec.out_net = std::string(tok[2]);
+      rec.init = 3;
+      rec.line = ln;
+      std::size_t next = 3;
+      if (tok.size() >= 5) {
+        const std::string_view type = tok[3];
+        if (type != "fe" && type != "re" && type != "ah" && type != "al" &&
+            type != "as")
+          blif_fail(ln, ".latch type must be fe, re, ah, al or as", tok[3]);
+        next = 5;  // tok[4] is the control net
+      }
+      if (tok.size() > next) {
+        const std::string_view iv = tok[next];
+        if (iv.size() != 1 || iv[0] < '0' || iv[0] > '3')
+          blif_fail(ln, ".latch init value must be 0, 1, 2 or 3", iv);
+        rec.init = iv[0] - '0';
+      }
+      latch_recs.push_back(std::move(rec));
     } else if (tok[0] == ".end" || tok[0] == ".exdc") {
       break;
     } else {
@@ -195,11 +244,22 @@ Netlist read_blif_impl(std::string_view text, const CellLibrary& library) {
   // Pre-size the SoA columns and pin arena: one slot per PI/PO/gate and a
   // pin-count estimate of 4 per instance (arena slabs round up internally).
   netlist.reserve(
-      input_names.size() + output_names.size() + gates.size(),
+      input_names.size() + output_names.size() + gates.size() +
+          2 * latch_recs.size(),
       4 * gates.size());
   std::unordered_map<std::string, GateId> net_driver;
   for (const std::string& n : input_names)
     net_driver.emplace(n, netlist.add_input(n));
+
+  // Latch outputs drive their Q nets as pseudo primary inputs.
+  std::vector<GateId> latch_q(latch_recs.size(), kNullGate);
+  for (std::size_t i = 0; i < latch_recs.size(); ++i) {
+    const LatchRec& lr = latch_recs[i];
+    if (net_driver.count(lr.out_net) != 0)
+      blif_fail(lr.line, "net is driven more than once", lr.out_net);
+    latch_q[i] = netlist.add_input(lr.out_net);
+    net_driver.emplace(lr.out_net, latch_q[i]);
+  }
 
   std::unordered_map<std::string, std::size_t> gate_of_net;
   for (std::size_t i = 0; i < gates.size(); ++i) {
@@ -258,6 +318,19 @@ Netlist read_blif_impl(std::string_view text, const CellLibrary& library) {
     const std::string po_name =
         netlist.gate_name(driver) == out ? out + "_po" : out;
     netlist.add_output(po_name, driver);
+  }
+  // Latch inputs sample their D nets through pseudo primary outputs. All D
+  // cones are instantiated first so the synthetic pseudo-PO names can be
+  // checked against every net the netlist will actually contain.
+  std::vector<GateId> latch_d(latch_recs.size(), kNullGate);
+  for (std::size_t i = 0; i < latch_recs.size(); ++i)
+    latch_d[i] =
+        instantiate(instantiate, latch_recs[i].in_net, latch_recs[i].line);
+  for (std::size_t i = 0; i < latch_recs.size(); ++i) {
+    std::string li_name = latch_recs[i].out_net + "_li";
+    while (netlist.names().contains(li_name)) li_name += "_";
+    const GateId po = netlist.add_output(li_name, latch_d[i]);
+    netlist.add_latch(po, latch_q[i], latch_recs[i].init);
   }
   return netlist;
 }

@@ -48,6 +48,7 @@ Netlist::Netlist(const Netlist& other)
       names_(other.names_),
       inputs_(other.inputs_),
       outputs_(other.outputs_),
+      latches_(other.latches_),
       generation_(other.generation_),
       name_counter_(other.name_counter_) {}
 
@@ -68,6 +69,7 @@ Netlist& Netlist::operator=(const Netlist& other) {
   names_ = other.names_;
   inputs_ = other.inputs_;
   outputs_ = other.outputs_;
+  latches_ = other.latches_;
   generation_ = other.generation_;
   name_counter_ = other.name_counter_;
   delta_log_.clear();
@@ -96,6 +98,7 @@ Netlist::Netlist(Netlist&& other) {
   names_ = std::move(other.names_);
   inputs_ = std::move(other.inputs_);
   outputs_ = std::move(other.outputs_);
+  latches_ = std::move(other.latches_);
   generation_ = other.generation_;
   name_counter_ = other.name_counter_;
   delta_log_ = std::move(other.delta_log_);
@@ -123,6 +126,7 @@ Netlist& Netlist::operator=(Netlist&& other) {
   names_ = std::move(other.names_);
   inputs_ = std::move(other.inputs_);
   outputs_ = std::move(other.outputs_);
+  latches_ = std::move(other.latches_);
   generation_ = other.generation_;
   name_counter_ = other.name_counter_;
   delta_log_.clear();
@@ -315,6 +319,33 @@ GateId Netlist::add_gate(CellId cell, const std::vector<GateId>& fanins,
   d.fanins.assign(fanins.data(), fanins.size());
   publish(std::move(d));
   return id;
+}
+
+void Netlist::add_latch(GateId input, GateId output, int init) {
+  POWDER_CHECK(input < kind_.size() && alive_[input] != 0);
+  POWDER_CHECK_MSG(kind_[input] == GateKind::kOutput,
+                   "latch input must be a pseudo-PO gate");
+  POWDER_CHECK(output < kind_.size() && alive_[output] != 0);
+  POWDER_CHECK_MSG(kind_[output] == GateKind::kInput,
+                   "latch output must be a pseudo-PI gate");
+  POWDER_CHECK_MSG(init >= 0 && init <= 3,
+                   "latch init state must be 0, 1, 2 or 3");
+  for (const Latch& l : latches_)
+    POWDER_CHECK_MSG(l.input != input && l.output != output,
+                     "gate already bound to a latch");
+  latches_.push_back(Latch{input, output, init});
+}
+
+bool Netlist::is_latch_output(GateId id) const {
+  for (const Latch& l : latches_)
+    if (l.output == id) return true;
+  return false;
+}
+
+bool Netlist::is_latch_input(GateId id) const {
+  for (const Latch& l : latches_)
+    if (l.input == id) return true;
+  return false;
 }
 
 void Netlist::connect(GateId driver, GateId sink, int pin) {
@@ -669,6 +700,8 @@ Netlist Netlist::compacted(std::vector<GateId>* remap) const {
     map[g] = out.add_output(std::string(gate_name(g)), map[fanin(g, 0)],
                             po_load_[g]);
   }
+  for (const Latch& l : latches_)
+    out.add_latch(map[l.input], map[l.output], l.init);
   if (remap != nullptr) *remap = std::move(map);
   return out;
 }
@@ -712,6 +745,20 @@ void Netlist::check_consistency() const {
                            fanin(br.gate, br.pin) == g,
                        "dangling fanout edge from " << gate_name(g));
     }
+  }
+  for (std::size_t i = 0; i < latches_.size(); ++i) {
+    const Latch& l = latches_[i];
+    POWDER_CHECK_MSG(l.input < kind_.size() && alive_[l.input] != 0 &&
+                         kind_[l.input] == GateKind::kOutput,
+                     "latch " << i << " input is not a live pseudo-PO");
+    POWDER_CHECK_MSG(l.output < kind_.size() && alive_[l.output] != 0 &&
+                         kind_[l.output] == GateKind::kInput,
+                     "latch " << i << " output is not a live pseudo-PI");
+    POWDER_CHECK(l.init >= 0 && l.init <= 3);
+    for (std::size_t j = i + 1; j < latches_.size(); ++j)
+      POWDER_CHECK_MSG(latches_[j].input != l.input &&
+                           latches_[j].output != l.output,
+                       "duplicate latch binding");
   }
   (void)compute_topo();  // throws on cycles, bypassing the cache
 }

@@ -62,6 +62,20 @@ struct FanoutRef {
   bool operator==(const FanoutRef&) const = default;
 };
 
+/// One sequential element, represented combinationally: the latch's data
+/// input D is sampled by a pseudo primary output (the kOutput gate `input`)
+/// and its state output Q driven by a pseudo primary input (the kInput gate
+/// `output`). Cutting the circuit at latch boundaries this way keeps every
+/// combinational analysis — simulation, STA, ATPG/SAT permissibility proofs,
+/// the PO signature guard — sound without change: Q is a free input, D a
+/// protected output. `init` is the BLIF reset state (0, 1, 2 = don't care,
+/// 3 = unknown) and seeds the sequential probability fixed point.
+struct Latch {
+  GateId input = kNullGate;   ///< kOutput gate sampling the D signal
+  GateId output = kNullGate;  ///< kInput gate driving the Q signal
+  int init = 2;               ///< reset state: 0, 1, 2 = don't care, 3 = unknown
+};
+
 /// Delta taxonomy: the six mutation shapes the netlist can publish. Every
 /// public mutator maps onto a sequence of these (see DESIGN.md §6 for the
 /// exact mapping and the replay semantics of each kind).
@@ -190,6 +204,13 @@ class Netlist {
   /// which must all be alive.
   void revive_gate(GateId gate, const std::vector<GateId>& fanins);
 
+  /// Binds an existing pseudo-PO (`input`, the D sample point) and
+  /// pseudo-PI (`output`, the Q signal) into a latch record. Publishes no
+  /// delta: the combinational structure is unchanged, only the sequential
+  /// interpretation is recorded (call during construction, like the BLIF
+  /// reader does, before analyses subscribe).
+  void add_latch(GateId input, GateId output, int init = 2);
+
   // ---- access --------------------------------------------------------------
   std::size_t num_slots() const { return kind_.size(); }
   GateKind kind(GateId id) const { return kind_[id]; }
@@ -237,6 +258,16 @@ class Netlist {
   const std::vector<GateId>& outputs() const { return outputs_; }
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
   int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  /// Sequential elements. `inputs()`/`outputs()` include the latch pseudo
+  /// gates; these records tell them apart from the real PIs/POs.
+  const std::vector<Latch>& latches() const { return latches_; }
+  int num_latches() const { return static_cast<int>(latches_.size()); }
+  /// True when `id` is the Q pseudo-PI of some latch (linear scan; latch
+  /// counts are tiny next to gate counts).
+  bool is_latch_output(GateId id) const;
+  /// True when `id` is the D pseudo-PO of some latch.
+  bool is_latch_input(GateId id) const;
 
   /// Number of live kCell gates.
   int num_cells() const;
@@ -343,6 +374,7 @@ class Netlist {
 
   std::vector<GateId> inputs_;
   std::vector<GateId> outputs_;
+  std::vector<Latch> latches_;
   std::uint64_t generation_ = 0;
   std::uint64_t name_counter_ = 0;
 

@@ -160,6 +160,15 @@ std::string PowderReport::to_json() const {
     os << "}";
   }
   os << "}}";
+  os << ",\"power_model\":{";
+  bool pf = false;
+  os << "\"kind\":\"" << diagnostics.power_model.kind << "\"";
+  append_field(os, "vector_pairs", diagnostics.power_model.vector_pairs, &pf);
+  append_field(os, "timed_resims", diagnostics.power_model.timed_resims, &pf);
+  append_field(os, "event_overflows", diagnostics.power_model.event_overflows,
+               &pf);
+  append_field(os, "glitch_share", diagnostics.power_model.glitch_share, &pf);
+  os << "}";
   os << "}";
   // Snapshot of the attached MetricsRegistry; absent without a metrics sink
   // so every pre-existing consumer sees an unchanged document.

@@ -31,7 +31,7 @@ bool all_zero(std::span<const std::uint64_t> mask) {
 }  // namespace
 
 CandidateFinder::CandidateFinder(const Netlist& netlist,
-                                 const PowerEstimator& estimator,
+                                 const PowerModel& estimator,
                                  CandidateOptions options, std::uint64_t seed,
                                  ThreadPool* pool)
     : netlist_(&netlist),

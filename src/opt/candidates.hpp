@@ -71,7 +71,7 @@ struct CandidateOptions {
 
 class CandidateFinder final : public NetlistObserver {
  public:
-  CandidateFinder(const Netlist& netlist, const PowerEstimator& estimator,
+  CandidateFinder(const Netlist& netlist, const PowerModel& estimator,
                   CandidateOptions options = {}, std::uint64_t seed = 1,
                   ThreadPool* pool = nullptr);
   ~CandidateFinder() override;
@@ -121,7 +121,7 @@ class CandidateFinder final : public NetlistObserver {
   };
 
   const Netlist* netlist_;
-  const PowerEstimator* estimator_;
+  const PowerModel* estimator_;
   const Simulator* sim_;
   CandidateOptions options_;
   Rng rng_;

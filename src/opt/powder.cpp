@@ -396,12 +396,15 @@ void PowderOptimizer::validate_options() const {
                    "PowderOptions.num_patterns must be positive, got "
                        << o.num_patterns);
   if (!o.pi_probs.empty()) {
+    // Latch outputs are pseudo-PIs whose probabilities come from the
+    // reset-state fixed point, not from the user: the user supplies one
+    // entry per *primary* input only.
+    const int primary = netlist_->num_inputs() - netlist_->num_latches();
     POWDER_CHECK_MSG(
-        static_cast<int>(o.pi_probs.size()) == netlist_->num_inputs(),
+        static_cast<int>(o.pi_probs.size()) == primary,
         "PowderOptions.pi_probs has " << o.pi_probs.size()
                                       << " entries but the netlist has "
-                                      << netlist_->num_inputs()
-                                      << " primary inputs");
+                                      << primary << " primary inputs");
     for (std::size_t i = 0; i < o.pi_probs.size(); ++i)
       POWDER_CHECK_MSG(std::isfinite(o.pi_probs[i]) && o.pi_probs[i] >= 0.0 &&
                            o.pi_probs[i] <= 1.0,
@@ -456,6 +459,13 @@ void PowderOptimizer::validate_options() const {
   POWDER_CHECK_MSG(o.candidates.resub.max_k_per_target > 0,
                    "PowderOptions.candidates.resub.max_k_per_target must be "
                    "positive, got " << o.candidates.resub.max_k_per_target);
+  POWDER_CHECK_MSG(o.glitch.num_vector_pairs > 0,
+                   "PowderOptions.glitch.num_vector_pairs must be positive, "
+                   "got " << o.glitch.num_vector_pairs);
+  POWDER_CHECK_MSG(o.glitch.max_events_per_pair >= 0,
+                   "PowderOptions.glitch.max_events_per_pair must be "
+                   "non-negative (0 = automatic), got "
+                       << o.glitch.max_events_per_pair);
 }
 
 bool PowderOptimizer::violates_delay(const CandidateSub& sub, double limit,
@@ -607,16 +617,34 @@ PowderReport PowderOptimizer::run() {
   ThreadPool pool(threads - 1);
 
   MetricsRegistry* const component_metrics = options_.trace.metrics;
-  Simulator sim(*netlist_, options_.num_patterns, options_.pi_probs,
-                options_.seed);
+  // Sequential circuits: latch outputs are pseudo-PIs whose stimulus
+  // probability comes from the reset-state fixed point, spliced in between
+  // the user's primary-input probabilities. Combinational netlists pass
+  // options_.pi_probs through untouched (bit-identical legacy path).
+  const std::vector<double> sim_probs =
+      expand_pi_probs(*netlist_, options_.pi_probs);
+  Simulator sim(*netlist_, options_.num_patterns, sim_probs, options_.seed);
   sim.set_thread_pool(&pool);
   sim.set_trace(trace, component_metrics);
   PowerEstimator est(&sim);
+  // The model the greedy loop optimizes against: the zero-delay estimator
+  // itself, or the event-driven TimedPowerModel layered over it when
+  // --power-model=timed. All PG arithmetic below goes through `model`.
+  std::optional<TimedPowerModel> timed_model;
+  if (options_.power_model == PowerModelKind::kTimed) {
+    GlitchOptions gopt = options_.glitch;
+    if (gopt.stimulus.prob.empty() && !sim_probs.empty())
+      gopt.stimulus.prob = sim_probs;
+    timed_model.emplace(&est, std::move(gopt));
+  }
+  PowerModel& model = timed_model.has_value()
+                          ? static_cast<PowerModel&>(*timed_model)
+                          : static_cast<PowerModel&>(est);
   // Independent pattern set used as a cheap second opinion before the
   // expensive permissibility proof: a candidate that already fails on
   // fresh patterns is rejected without running PODEM/SAT at all. The same
   // simulator backs the post-commit signature guard below.
-  Simulator verify_sim(*netlist_, options_.num_patterns, options_.pi_probs,
+  Simulator verify_sim(*netlist_, options_.num_patterns, sim_probs,
                        options_.seed ^ 0x5EC0DD5EEDull);
   verify_sim.set_thread_pool(&pool);
   verify_sim.set_trace(trace, component_metrics);
@@ -629,7 +657,7 @@ PowderReport PowderOptimizer::run() {
   const std::uint64_t notifications_before =
       netlist_->observer_notifications();
 
-  report.initial_power = est.total_power();
+  report.initial_power = model.total_power();
   report.initial_area = netlist_->total_area();
   report.initial_delay = timing.circuit_delay();
   report.delay_limit = options_.delay_limit_factor < 0.0
@@ -699,7 +727,8 @@ PowderReport PowderOptimizer::run() {
   // actually executed, so draining them brings every cache in line with
   // whatever state the netlist is in.
   auto resync = [&]() {
-    est.refresh();
+    model.refresh();  // refreshes the base estimator first, then (timed
+                      // model only) re-runs the event-driven estimate
     verify_sim.refresh();
   };
 
@@ -731,7 +760,8 @@ PowderReport PowderOptimizer::run() {
   // (an O(N) build plus a delta-bus subscription) is skipped entirely.
   std::optional<CandidateFinder> finder;
   if (!windowed) {
-    finder.emplace(*netlist_, est, options_.candidates, options_.seed, &pool);
+    finder.emplace(*netlist_, model, options_.candidates, options_.seed,
+                   &pool);
     finder->set_trace(trace);
   }
 
@@ -789,7 +819,7 @@ PowderReport PowderOptimizer::run() {
   // touching the commit cursor.
   if (options_.candidates.resub.funcred) {
     TraceSpan fr_span(trace, "funcred", "powder");
-    double fr_power = est.total_power();
+    double fr_power = model.total_power();
     double fr_area = netlist_->total_area();
     FuncredHooks hooks;
     hooks.prove = [&](const CandidateSub& cand) {
@@ -821,7 +851,7 @@ PowderReport PowderOptimizer::run() {
         resume.prepass_advance();
       }
       recorder.record_prepass(c.round, c.ordinal, c.cand, c.applied);
-      const double p = est.total_power();
+      const double p = model.total_power();
       const double a = netlist_->total_area();
       ClassStats& cls =
           report.by_class[static_cast<std::size_t>(ResubClass::kFuncRed)];
@@ -941,7 +971,7 @@ PowderReport PowderOptimizer::run() {
           return false;
         }
 
-        const double power_before = est.total_power();
+        const double power_before = model.total_power();
         const double area_before = netlist_->total_area();
         const bool active = resume.active();
         AppliedSub applied;
@@ -977,7 +1007,7 @@ PowderReport PowderOptimizer::run() {
           return false;
         }
 
-        const double power_after = est.total_power();
+        const double power_after = model.total_power();
         ClassStats& cls = report.by_class[static_cast<std::size_t>(cand.cls)];
         ++cls.applied;
         cls.power_delta += power_before - power_after;
@@ -1059,7 +1089,7 @@ PowderReport PowderOptimizer::run() {
         extractions.reserve(plans.size());
         for (const auto& plan : plans) {
           extractions.push_back(
-              extract_window(*netlist_, est, plan, next_window_id++));
+              extract_window(*netlist_, model, plan, next_window_id++));
           m_windows.c->inc();
           m_window_gates.c->inc(
               static_cast<long long>(extractions.back().gates.size()));
@@ -1127,7 +1157,7 @@ PowderReport PowderOptimizer::run() {
           if (alive_gates.empty()) continue;
           m_window_reruns.c->inc();
           WindowExtraction ex =
-              extract_window(*netlist_, est, alive_gates, next_window_id++);
+              extract_window(*netlist_, model, alive_gates, next_window_id++);
           m_windows.c->inc();
           m_window_gates.c->inc(static_cast<long long>(ex.gates.size()));
           if (audit != nullptr) {
@@ -1201,8 +1231,8 @@ PowderReport PowderOptimizer::run() {
             cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
             continue;
           }
-          cands[i].pg_a = compute_pg_a(*netlist_, est, cands[i]);
-          cands[i].pg_b = compute_pg_b(*netlist_, est, cands[i]);
+          cands[i].pg_a = compute_pg_a(*netlist_, model, cands[i]);
+          cands[i].pg_b = compute_pg_b(*netlist_, model, cands[i]);
           metric[i] = area_mode ? compute_area_gain(*netlist_, cands[i])
                                 : cands[i].preselect_gain();
           order.push_back(i);
@@ -1223,7 +1253,7 @@ PowderReport PowderOptimizer::run() {
         } else {
           for (std::size_t k = 0; k < shortlist; ++k) {
             CandidateSub& cand = cands[order[k]];
-            cand.pg_c = compute_pg_c(*netlist_, est, cand);
+            cand.pg_c = compute_pg_c(*netlist_, model, cand);
             if (cand.total_gain() > best_gain) {
               best_gain = cand.total_gain();
               best = order[k];
@@ -1348,7 +1378,7 @@ PowderReport PowderOptimizer::run() {
         }
 
         // ---- perform_substitution + power_estimate_update -----------------
-        const double power_before = est.total_power();
+        const double power_before = model.total_power();
         const double area_before = netlist_->total_area();
         const bool replaying = resume.matches(chosen);
         AppliedSub applied;
@@ -1397,7 +1427,7 @@ PowderReport PowderOptimizer::run() {
           continue;
         }
 
-        const double power_after = est.total_power();
+        const double power_after = model.total_power();
         ClassStats& cls =
             report.by_class[static_cast<std::size_t>(chosen.cls)];
         ++cls.applied;
@@ -1527,8 +1557,18 @@ PowderReport PowderOptimizer::run() {
   if (ladder.mem_limit_hit()) report.diagnostics.mem_limit_hit = true;
 
   atpg_stats_ = atpg.stats();
-  report.final_power = est.total_power();
+  report.final_power = model.total_power();
   report.final_area = netlist_->total_area();
+  report.diagnostics.power_model.kind = power_model_name(model.kind());
+  if (timed_model.has_value()) {
+    report.diagnostics.power_model.vector_pairs =
+        timed_model->glitch_options().num_vector_pairs;
+    report.diagnostics.power_model.timed_resims = timed_model->resim_count();
+    report.diagnostics.power_model.event_overflows =
+        timed_model->event_overflows();
+    report.diagnostics.power_model.glitch_share =
+        timed_model->estimate().glitch_share();
+  }
   report.final_delay = timing.circuit_delay();
   report.diagnostics.sta_incremental_visits +=
       static_cast<long>(timing.nodes_visited());

@@ -108,6 +108,16 @@ struct PowderOptions {
   /// drain in a timing-dependent order).
   int threads = 1;
 
+  /// Which power model the greedy loop optimizes (DESIGN.md §13). The
+  /// default zero-delay model reproduces the paper bit-identically; the
+  /// timed model makes PG and the reported power glitch-inclusive.
+  PowerModelKind power_model = PowerModelKind::kZeroDelay;
+  /// Event-driven engine knobs used when power_model == kTimed (vector
+  /// pairs, event budget, stimulus, seed). The stimulus is normally
+  /// derived from pi_probs; set it explicitly for temporally correlated
+  /// inputs.
+  GlitchOptions glitch;
+
   /// Permissibility-proof policy: engine choice + per-call engine limits.
   ProofOptions proof;
   /// Windowed partition/optimize/merge execution (DESIGN.md §11). The
@@ -142,6 +152,22 @@ class PowderOptions::Builder {
     return *this;
   }
   Builder& seed(std::uint64_t s) { opts_.seed = s; return *this; }
+  Builder& power_model(PowerModelKind k) {
+    opts_.power_model = k;
+    return *this;
+  }
+  Builder& glitch(GlitchOptions g) {
+    opts_.glitch = std::move(g);
+    return *this;
+  }
+  Builder& glitch_vector_pairs(int n) {
+    opts_.glitch.num_vector_pairs = n;
+    return *this;
+  }
+  Builder& glitch_event_cap(long n) {
+    opts_.glitch.max_events_per_pair = n;
+    return *this;
+  }
   Builder& repeat(int n) { opts_.repeat = n; return *this; }
   Builder& delay_limit_factor(double f) {
     opts_.delay_limit_factor = f;
@@ -280,8 +306,12 @@ inline PowderOptions::Builder PowderOptions::builder() { return Builder{}; }
 /// the four paper classes to the seven resubstitution classes (OSK / ISK /
 /// FUNCRED appended) — consumers iterating the old fixed four-key object
 /// must re-read the contract, hence the bump — and adds
-/// `diagnostics.resub`.
-inline constexpr int kReportSchemaVersion = 3;
+/// `diagnostics.resub`. Version 4 makes `initial_power`/`final_power`
+/// model-relative — under `--power-model=timed` they are glitch-inclusive
+/// totals, a redefinition of meaning for those runs — and adds the
+/// `diagnostics.power_model` sub-object naming the model that produced
+/// them.
+inline constexpr int kReportSchemaVersion = 4;
 
 struct ClassStats {
   int applied = 0;
@@ -375,6 +405,18 @@ struct PowderReport {
       long harvest_truncated = 0;  ///< candidates dropped by max_candidates
     };
     Resub resub;
+
+    /// Power-model accounting (schema version 4). `kind` is the
+    /// power_model_name() spelling; the remaining fields are zero for the
+    /// zero-delay model.
+    struct PowerModelDiag {
+      std::string kind = "zero-delay";
+      int vector_pairs = 0;       ///< event-sim sample size per estimate
+      long timed_resims = 0;      ///< full event-driven recomputations
+      long event_overflows = 0;   ///< pairs truncated by the event budget
+      double glitch_share = 0.0;  ///< final (timed - zero-delay) / timed
+    };
+    PowerModelDiag power_model;
   };
   Diagnostics diagnostics;
 

@@ -105,7 +105,7 @@ std::vector<GateId> replacement_sources(const CandidateSub& sub) {
 
 }  // namespace
 
-double compute_pg_a(const Netlist& netlist, const PowerEstimator& est,
+double compute_pg_a(const Netlist& netlist, const PowerModel& est,
                     const CandidateSub& sub) {
   if (netlist.kind(sub.target) != GateKind::kCell ||
       !removes_dominated_region(netlist, sub)) {
@@ -143,7 +143,7 @@ double compute_pg_a(const Netlist& netlist, const PowerEstimator& est,
   return gain;
 }
 
-double compute_pg_b(const Netlist& netlist, const PowerEstimator& est,
+double compute_pg_b(const Netlist& netlist, const PowerModel& est,
                     const CandidateSub& sub) {
   const CellLibrary& lib = netlist.library();
   // Load that moves onto the substituting signal.
@@ -204,8 +204,12 @@ double compute_area_gain(const Netlist& netlist, const CandidateSub& sub) {
   return gain;
 }
 
-double compute_pg_c(const Netlist& netlist, const PowerEstimator& est,
-                    const CandidateSub& sub) {
+namespace {
+
+/// Zero-delay PG_C: non-destructive trial re-simulation of the TFO region
+/// (paper §3.5) against the estimator's cached activities.
+double zero_delay_pg_c(const Netlist& netlist, const PowerModel& est,
+                       const CandidateSub& sub) {
   const std::vector<std::uint64_t> rep_words =
       replacement_words(est.simulator(), sub.rep);
   const FanoutRef* branch =
@@ -219,6 +223,35 @@ double compute_pg_c(const Netlist& netlist, const PowerEstimator& est,
     gain += netlist.signal_cap(g) * (est.activity(g) - new_e);
   }
   return gain;
+}
+
+/// Timed PG_C: apply the substitution to a scratch copy (the same pattern
+/// as the optimizer's trial STA), re-run the event-driven estimate, and
+/// book the exact glitch-inclusive delta minus the PG_A + PG_B
+/// already carried by `sub` — so pg_a + pg_b + pg_c is the measured
+/// timed power saving.
+double timed_pg_c(const Netlist& netlist, const TimedPowerModel& est,
+                  const CandidateSub& sub) {
+  Netlist scratch = netlist;  // copies drop observers: mutations stay local
+  try {
+    (void)apply_substitution(scratch, sub);
+  } catch (const CheckError&) {
+    // Structurally inapplicable on the scratch copy (stale candidate);
+    // report a hopeless gain so the loop discards it.
+    return -est.total_power();
+  }
+  const GlitchEstimate after =
+      estimate_glitch_power(scratch, est.glitch_options());
+  return (est.total_power() - after.timed_power) - sub.pg_a - sub.pg_b;
+}
+
+}  // namespace
+
+double compute_pg_c(const Netlist& netlist, const PowerModel& est,
+                    const CandidateSub& sub) {
+  if (est.kind() == PowerModelKind::kTimed)
+    return timed_pg_c(netlist, static_cast<const TimedPowerModel&>(est), sub);
+  return zero_delay_pg_c(netlist, est, sub);
 }
 
 }  // namespace powder

@@ -43,10 +43,31 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
   const std::vector<GateId>& topo = netlist.topo_order();
   const std::size_t slots = netlist.num_slots();
 
-  std::vector<double> pi_probs = options.pi_probs;
+  // Resolve the stimulus spec: empty = independent 0.5; probabilities
+  // without toggle densities = temporally independent chains.
+  std::vector<double> pi_probs = options.stimulus.prob;
   if (pi_probs.empty())
     pi_probs.assign(static_cast<std::size_t>(netlist.num_inputs()), 0.5);
-  POWDER_CHECK(static_cast<int>(pi_probs.size()) == netlist.num_inputs());
+  POWDER_CHECK_MSG(static_cast<int>(pi_probs.size()) == netlist.num_inputs(),
+                   "glitch stimulus size does not match the input count");
+  std::vector<double> pi_toggle = options.stimulus.toggle;
+  if (pi_toggle.empty()) {
+    pi_toggle.resize(pi_probs.size());
+    for (std::size_t i = 0; i < pi_probs.size(); ++i)
+      pi_toggle[i] = 2.0 * pi_probs[i] * (1.0 - pi_probs[i]);
+  }
+  POWDER_CHECK_MSG(pi_toggle.size() == pi_probs.size(),
+                   "glitch stimulus toggle size does not match its probs");
+  // Per-input chain transition probabilities P(1->0) and P(0->1).
+  std::vector<double> fall(pi_probs.size(), 0.0), rise(pi_probs.size(), 0.0);
+  for (std::size_t i = 0; i < pi_probs.size(); ++i) {
+    const double p = pi_probs[i], d = pi_toggle[i];
+    POWDER_CHECK_MSG(d >= 0.0 &&
+                         d <= 2.0 * std::min(p, 1.0 - p) + 1e-12,
+                     "glitch stimulus toggle density out of range");
+    fall[i] = p > 0.0 ? std::min(1.0, d / (2.0 * p)) : 0.0;
+    rise[i] = p < 1.0 ? std::min(1.0, d / (2.0 * (1.0 - p))) : 0.0;
+  }
 
   // Per-gate propagation delay (fixed load during the analysis).
   std::vector<double> delay(slots, 0.0);
@@ -55,6 +76,12 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
 
   std::vector<double> zero_transitions(slots, 0.0);
   std::vector<double> timed_transitions(slots, 0.0);
+  std::vector<double> ones(slots, 0.0);
+
+  const long event_budget =
+      options.max_events_per_pair > 0
+          ? options.max_events_per_pair
+          : 1000 * static_cast<long>(topo.size()) + 10000;
 
   Rng rng(options.seed);
   std::vector<std::uint8_t> val(slots, 0);
@@ -63,10 +90,13 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
 
   for (int pair = 0; pair < options.num_vector_pairs; ++pair) {
     for (int i = 0; i < netlist.num_inputs(); ++i) {
-      v1[static_cast<std::size_t>(i)] =
-          rng.flip(pi_probs[static_cast<std::size_t>(i)]);
-      v2[static_cast<std::size_t>(i)] =
-          rng.flip(pi_probs[static_cast<std::size_t>(i)]);
+      const std::size_t si = static_cast<std::size_t>(i);
+      v1[si] = rng.flip(pi_probs[si]);
+      // One Markov-chain step from v1: toggle with the state-conditional
+      // transition probability (reduces to an independent redraw when the
+      // stimulus is the independent model).
+      const bool toggles = rng.flip(v1[si] ? fall[si] : rise[si]);
+      v2[si] = toggles ? !v1[si] : v1[si];
     }
     settle(netlist, topo, v1, &val);
     std::vector<std::uint8_t> initial = val;
@@ -91,11 +121,10 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
     // Events sharing a timestamp are applied as one batch and the affected
     // gates re-evaluated once — simultaneous input changes must not be
     // serialized into phantom glitches.
-    int guard = 0;
-    const int guard_limit =
-        1000 * static_cast<int>(topo.size()) + 10000;  // glitch storms cap
+    long steps = 0;
     std::vector<GateId> dirty_sinks;
-    while (!queue.empty() && guard++ < guard_limit) {
+    while (!queue.empty() && steps < event_budget) {
+      ++steps;
       const double now = queue.top().time;
       dirty_sinks.clear();
       while (!queue.empty() && queue.top().time == now) {
@@ -128,16 +157,23 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
         queue.push(Event{now + delay[s], s, newval});
       }
     }
+    out.total_events += steps;
+    if (!queue.empty()) ++out.event_overflows;  // budget ran out mid-storm
 
-    for (GateId g = 0; g < slots; ++g)
-      if (netlist.alive(g) && val[g] != initial[g])
-        zero_transitions[g] += 1.0;
+    for (GateId g = 0; g < slots; ++g) {
+      if (!netlist.alive(g)) continue;
+      if (val[g] != initial[g]) zero_transitions[g] += 1.0;
+      if (val[g]) ones[g] += 1.0;
+    }
   }
 
   out.timed_activity.assign(slots, 0.0);
+  out.settled_prob.assign(slots, 0.0);
   const double n = static_cast<double>(options.num_vector_pairs);
   for (GateId g = 0; g < slots; ++g) {
-    if (!netlist.alive(g) || netlist.kind(g) == GateKind::kOutput) continue;
+    if (!netlist.alive(g)) continue;
+    out.settled_prob[g] = ones[g] / n;
+    if (netlist.kind(g) == GateKind::kOutput) continue;
     const double cap = netlist.signal_cap(g);
     out.zero_delay_power += cap * zero_transitions[g] / n;
     out.timed_power += cap * timed_transitions[g] / n;

@@ -8,10 +8,17 @@
 // count): random input-vector pairs are applied and every output
 // transition of every signal is counted, not just the net final change.
 // Comparing against the zero-delay count isolates the glitch share.
+//
+// The input stimulus is the same TemporalInputModel every other estimator
+// consumes: vector pairs are one step of the per-input Markov chains, so a
+// chain with toggle density d produces correlated (v1, v2) pairs instead
+// of two independent draws. TemporalInputModel::independent(probs) (or an
+// empty model: all inputs at 0.5) recovers the uncorrelated sampling.
 
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "power/temporal.hpp"
 
 namespace powder {
 
@@ -24,6 +31,13 @@ struct GlitchEstimate {
   double timed_power = 0.0;
   /// Per-gate average transitions per vector pair (indexed by GateId).
   std::vector<double> timed_activity;
+  /// Per-gate observed P(final value = 1) across the sampled pairs.
+  std::vector<double> settled_prob;
+  /// Vector pairs whose event budget ran out: their transition counts are
+  /// truncated, so a non-zero value means the estimate is a lower bound.
+  long event_overflows = 0;
+  /// Events processed across all pairs (diagnostic for budget tuning).
+  long total_events = 0;
 
   double glitch_share() const {
     return timed_power > 0.0
@@ -34,7 +48,15 @@ struct GlitchEstimate {
 
 struct GlitchOptions {
   int num_vector_pairs = 256;
-  std::vector<double> pi_probs;  ///< empty = all 0.5
+  /// Input stimulus, shared with estimate_temporal_activity: stationary
+  /// probability and toggle density per primary input. Empty = all inputs
+  /// independent at 0.5. A model with probabilities but an empty toggle
+  /// vector is completed to the temporally independent chain d = 2p(1-p).
+  TemporalInputModel stimulus;
+  /// Event budget per vector pair; 0 = auto-scale (1000 * live gates +
+  /// 10000, the old hardwired glitch-storm cap). Exhausted budgets are no
+  /// longer silent: they increment GlitchEstimate::event_overflows.
+  long max_events_per_pair = 0;
   std::uint64_t seed = 0x611DC4ull;
 };
 

@@ -2,6 +2,9 @@
 
 #include <span>
 
+#include <algorithm>
+#include <cmath>
+
 #include "bdd/netlist_bdd.hpp"
 #include "util/check.hpp"
 
@@ -104,6 +107,73 @@ double switched_capacitance(const Netlist& netlist,
     total += netlist.signal_cap(g) * 2.0 * p * (1.0 - p);
   }
   return total;
+}
+
+std::vector<double> sequential_signal_probs(
+    const Netlist& netlist, const std::vector<double>& primary_pi_probs,
+    int max_iterations, double damping, double tolerance) {
+  // Position of each input gate inside inputs(), and which positions are
+  // latch Q pseudo-PIs (paired with their D sample gate).
+  const std::vector<GateId>& ins = netlist.inputs();
+  std::vector<double> pi(ins.size(), 0.5);
+  std::vector<std::size_t> latch_pos(netlist.latches().size(), 0);
+  std::vector<std::uint8_t> is_latch(ins.size(), 0);
+  for (std::size_t li = 0; li < netlist.latches().size(); ++li) {
+    const Latch& l = netlist.latches()[li];
+    for (std::size_t i = 0; i < ins.size(); ++i)
+      if (ins[i] == l.output) {
+        latch_pos[li] = i;
+        is_latch[i] = 1;
+      }
+    const int init = l.init;
+    pi[latch_pos[li]] = init == 0 ? 0.0 : init == 1 ? 1.0 : 0.5;
+  }
+  std::size_t next_primary = 0;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (is_latch[i]) continue;
+    if (next_primary < primary_pi_probs.size())
+      pi[i] = primary_pi_probs[next_primary];
+    ++next_primary;
+  }
+  POWDER_CHECK_MSG(primary_pi_probs.empty() ||
+                       primary_pi_probs.size() == next_primary,
+                   "pi_probs must cover the non-latch primary inputs");
+
+  std::vector<double> p = propagate_signal_probs(netlist, pi);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double worst = 0.0;
+    for (std::size_t li = 0; li < netlist.latches().size(); ++li) {
+      const Latch& l = netlist.latches()[li];
+      const double target = p[l.input];  // PO gate mirrors its D driver
+      const double cur = pi[latch_pos[li]];
+      const double next = cur + damping * (target - cur);
+      worst = std::max(worst, std::abs(next - cur));
+      pi[latch_pos[li]] = next;
+    }
+    p = propagate_signal_probs(netlist, pi);
+    if (worst < tolerance) break;
+  }
+  return p;
+}
+
+std::vector<double> expand_pi_probs(const Netlist& netlist,
+                                    const std::vector<double>& user_probs) {
+  if (netlist.num_latches() == 0) return user_probs;
+  const std::vector<double> p =
+      sequential_signal_probs(netlist, user_probs);
+  std::vector<double> full;
+  full.reserve(netlist.inputs().size());
+  std::size_t next_primary = 0;
+  for (const GateId g : netlist.inputs()) {
+    if (netlist.is_latch_output(g)) {
+      full.push_back(p[g]);
+    } else if (next_primary < user_probs.size()) {
+      full.push_back(user_probs[next_primary++]);
+    } else {
+      full.push_back(0.5);
+    }
+  }
+  return full;
 }
 
 }  // namespace powder

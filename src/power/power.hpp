@@ -16,24 +16,28 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "power/model.hpp"
 #include "sim/simulator.hpp"
 #include "util/gate_map.hpp"
 
 namespace powder {
 
-/// Simulation-backed estimator with incremental update. The estimator
-/// rides the netlist delta bus through its simulator: after any sequence
-/// of mutations, one `refresh()` re-simulates the dirty region and
-/// re-derives the cached probabilities/activities of exactly the gates
-/// whose value vectors were recomputed (paper: power_estimate_update).
-class PowerEstimator {
+/// Simulation-backed zero-delay estimator with incremental update — the
+/// default PowerModel implementation. The estimator rides the netlist
+/// delta bus through its simulator: after any sequence of mutations, one
+/// `refresh()` re-simulates the dirty region and re-derives the cached
+/// probabilities/activities of exactly the gates whose value vectors were
+/// recomputed (paper: power_estimate_update).
+class PowerEstimator : public PowerModel {
  public:
   /// Borrows `simulator` (which must outlive the estimator) and computes
   /// the initial estimate from its current values.
   explicit PowerEstimator(Simulator* simulator);
 
-  const Simulator& simulator() const { return *sim_; }
-  Simulator& simulator() { return *sim_; }
+  PowerModelKind kind() const override { return PowerModelKind::kZeroDelay; }
+
+  const Simulator& simulator() const override { return *sim_; }
+  Simulator& simulator() override { return *sim_; }
 
   /// Recomputes everything from the simulator's current values.
   void estimate_all();
@@ -41,18 +45,18 @@ class PowerEstimator {
   /// Brings the simulator and the cached activities up to date with every
   /// netlist delta observed since the last refresh. Cheap no-op when the
   /// netlist is unchanged.
-  void refresh();
+  void refresh() override;
 
   /// Cached activity E(s) of the signal driven by `g`.
-  double activity(GateId g) const { return activity_[g]; }
+  double activity(GateId g) const override { return activity_[g]; }
   /// Cached signal probability p(s).
-  double probability(GateId g) const { return prob_[g]; }
+  double probability(GateId g) const override { return prob_[g]; }
 
   /// C(s) * E(s) for one signal, with C taken live from the netlist.
-  double signal_power(GateId g) const;
+  double signal_power(GateId g) const override;
 
   /// sum_i C(i)*E(i) over all live signals.
-  double total_power() const;
+  double total_power() const override;
 
  private:
   Simulator* sim_;
@@ -75,5 +79,24 @@ std::vector<double> exact_signal_probs(const Netlist& netlist,
 /// sum_i C(i)*E(i) from a probability vector (any of the above sources).
 double switched_capacitance(const Netlist& netlist,
                             const std::vector<double>& probs);
+
+/// Reset-state-aware signal probabilities for sequential netlists: latch Q
+/// probabilities start from the reset state (0 -> 0.0, 1 -> 1.0,
+/// don't-care/unknown -> 0.5) and are damped toward their D probabilities
+/// through repeated independence propagation until the fixed point
+/// converges (or `max_iterations` runs out). `primary_pi_probs` covers the
+/// *non-latch* PIs in inputs() order (empty = all 0.5). Deterministic:
+/// same netlist + same probs -> bit-identical result.
+std::vector<double> sequential_signal_probs(
+    const Netlist& netlist, const std::vector<double>& primary_pi_probs,
+    int max_iterations = 64, double damping = 0.5, double tolerance = 1e-9);
+
+/// Expands user-facing PI probabilities (sized to the non-latch PIs, or
+/// empty for all 0.5) into a full inputs()-sized stimulus: latch Q entries
+/// take their sequential fixed-point probabilities. Combinational netlists
+/// pass through unchanged (an empty vector stays empty), keeping the
+/// default path bit-identical.
+std::vector<double> expand_pi_probs(const Netlist& netlist,
+                                    const std::vector<double>& user_probs);
 
 }  // namespace powder

@@ -57,6 +57,12 @@ std::uint64_t netlist_fingerprint(const Netlist& netlist) {
   for (const GateId g : netlist.inputs()) h.u64(g);
   h.u64(0x0D17);
   for (const GateId g : netlist.outputs()) h.u64(g);
+  h.u64(0x1A7C);
+  for (const Latch& l : netlist.latches()) {
+    h.u64(l.input);
+    h.u64(l.output);
+    h.i64(l.init);
+  }
   return h.digest();
 }
 
@@ -98,6 +104,15 @@ std::uint64_t options_fingerprint(const PowderOptions& o) {
   h.i64(o.window.overlap);
   h.u64(o.window.order_seed);
   h.i64(o.window.rerun_limit);
+  // The power model defines the objective landscape (activities, PG_C), so
+  // a resume under a different model would replay foreign decisions.
+  h.u64(static_cast<std::uint64_t>(o.power_model));
+  h.i64(o.glitch.num_vector_pairs);
+  h.i64(o.glitch.max_events_per_pair);
+  h.u64(o.glitch.seed);
+  h.u64(o.glitch.stimulus.prob.size());
+  for (const double p : o.glitch.stimulus.prob) h.f64(p);
+  for (const double d : o.glitch.stimulus.toggle) h.f64(d);
   return h.digest();
 }
 

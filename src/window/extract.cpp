@@ -8,7 +8,7 @@
 namespace powder {
 
 WindowExtraction extract_window(const Netlist& parent,
-                                const PowerEstimator& estimator,
+                                const PowerModel& estimator,
                                 std::vector<GateId> gates, int id) {
   WindowExtraction ex(&parent.library());
   if (parent.library_owner() != nullptr)

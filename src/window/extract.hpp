@@ -53,7 +53,7 @@ struct WindowExtraction {
 /// order — the partitioner's output). `estimator` supplies boundary input
 /// probabilities and must be coherent with the parent's current state.
 WindowExtraction extract_window(const Netlist& parent,
-                                const PowerEstimator& estimator,
+                                const PowerModel& estimator,
                                 std::vector<GateId> gates, int id);
 
 }  // namespace powder

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <optional>
 
 #include "atpg/sat_checker.hpp"
 #include "opt/journal.hpp"
@@ -52,6 +53,18 @@ WindowResult optimize_window(WindowExtraction& ex,
   // Local twins of the global loop's analyses, all sized by the window.
   Simulator sim(nl, base.num_patterns, ex.input_probs, wo.seed);
   PowerEstimator est(&sim);
+  // The window inherits the parent's power model: under the timed model
+  // the local boundary inputs switch with the probabilities sampled from
+  // the parent (their arrival-time profile is approximated as t = 0).
+  std::optional<TimedPowerModel> timed;
+  if (base.power_model == PowerModelKind::kTimed) {
+    GlitchOptions gopt = base.glitch;
+    gopt.stimulus.prob = ex.input_probs;
+    gopt.stimulus.toggle.clear();
+    timed.emplace(&est, std::move(gopt));
+  }
+  PowerModel& model = timed.has_value() ? static_cast<PowerModel&>(*timed)
+                                        : static_cast<PowerModel&>(est);
   Simulator verify_sim(nl, base.num_patterns, ex.input_probs,
                        wo.seed ^ 0x5EC0DD5EEDull);
 
@@ -84,10 +97,10 @@ WindowResult optimize_window(WindowExtraction& ex,
   SatChecker sat(nl, sat_options);
 
   SubstJournal journal(&nl);
-  CandidateFinder finder(nl, est, base.candidates, wo.seed, nullptr);
+  CandidateFinder finder(nl, model, base.candidates, wo.seed, nullptr);
 
   auto resync = [&]() {
-    est.refresh();
+    model.refresh();
     verify_sim.refresh();
   };
 
@@ -145,8 +158,8 @@ WindowResult optimize_window(WindowExtraction& ex,
           cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(i));
           continue;
         }
-        cands[i].pg_a = compute_pg_a(nl, est, cands[i]);
-        cands[i].pg_b = compute_pg_b(nl, est, cands[i]);
+        cands[i].pg_a = compute_pg_a(nl, model, cands[i]);
+        cands[i].pg_b = compute_pg_b(nl, model, cands[i]);
         metric[i] = area_mode ? compute_area_gain(nl, cands[i])
                               : cands[i].preselect_gain();
         order.push_back(i);
@@ -166,7 +179,7 @@ WindowResult optimize_window(WindowExtraction& ex,
       } else {
         for (std::size_t k = 0; k < shortlist; ++k) {
           CandidateSub& cand = cands[order[k]];
-          cand.pg_c = compute_pg_c(nl, est, cand);
+          cand.pg_c = compute_pg_c(nl, model, cand);
           if (cand.total_gain() > best_gain) {
             best_gain = cand.total_gain();
             best = order[k];

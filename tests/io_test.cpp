@@ -135,8 +135,16 @@ TEST(Blif, ErrorsCarryLineAndToken) {
   }
   {
     // Unsupported construct.
-    const std::string msg = blif_error(".model m\n.latch a b\n.end\n");
+    const std::string msg = blif_error(".model m\n.subckt sub a=a\n.end\n");
     EXPECT_TRUE(contains(msg, "line 2")) << msg;
+    EXPECT_TRUE(contains(msg, ".subckt")) << msg;
+  }
+  {
+    // Malformed .latch: the init state must be 0-3.
+    const std::string msg = blif_error(
+        ".model m\n.inputs a\n.outputs f\n.latch a q 7\n.names q f\n1 1\n"
+        ".end\n");
+    EXPECT_TRUE(contains(msg, "line 4")) << msg;
     EXPECT_TRUE(contains(msg, ".latch")) << msg;
   }
 }

@@ -15,6 +15,12 @@
 //   --delay-limit <factor>  delay constraint as factor of the initial
 //                           delay (e.g. 1.0); unconstrained if omitted
 //   --objective power|area  greedy objective (default power)
+//   --power-model zero-delay|timed
+//                           power model the greedy loop optimizes
+//                           (default zero-delay: the paper's 2p(1-p)
+//                           estimate; timed: event-driven, glitch-aware)
+//   --glitch-pairs <n>      vector pairs per timed estimate (default 256)
+//   --glitch-event-cap <n>  event budget per vector pair (0 = automatic)
 //   --engine podem|sat|hybrid  permissibility proof engine
 //   --patterns <n>          simulation patterns (default 2048)
 //   --seed <n>              RNG seed
@@ -91,6 +97,9 @@ struct Args {
   std::vector<double> probs;
   double delay_limit = -1.0;
   Objective objective = Objective::kPower;
+  PowerModelKind power_model = PowerModelKind::kZeroDelay;
+  int glitch_pairs = -1;        ///< -1 = keep the default
+  long glitch_event_cap = -1;   ///< -1 = keep the default (0 = automatic)
   ProofEngine engine = ProofEngine::kHybrid;
   int patterns = 2048;
   std::uint64_t seed = 1;
@@ -152,6 +161,8 @@ void usage() {
       "[-o out.blif] [--lib f.genlib]\n"
       "               [--delay-limit F] [--objective power|area] "
       "[--engine podem|sat|hybrid]\n"
+      "               [--power-model zero-delay|timed] [--glitch-pairs N] "
+      "[--glitch-event-cap N]\n"
       "               [--patterns N] [--seed N] [--probs p0,p1,...] "
       "[--resize] [--redundancy]\n"
       "               [--deadline SECONDS] [--threads N] "
@@ -199,6 +210,23 @@ std::optional<Args> parse_args(int argc, char** argv) {
         a.objective = Objective::kPower;
       else
         return std::nullopt;
+    } else if (arg == "--power-model") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      if (std::strcmp(v, "zero-delay") == 0)
+        a.power_model = PowerModelKind::kZeroDelay;
+      else if (std::strcmp(v, "timed") == 0)
+        a.power_model = PowerModelKind::kTimed;
+      else
+        return std::nullopt;
+    } else if (arg == "--glitch-pairs") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.glitch_pairs = std::atoi(v);
+    } else if (arg == "--glitch-event-cap") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.glitch_event_cap = std::atol(v);
     } else if (arg == "--engine") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -316,19 +344,21 @@ CellLibrary load_library(const Args& a) {
 }
 
 void print_stats(const Netlist& nl, const Args& a) {
-  std::vector<double> probs = a.probs;
-  if (probs.empty())
-    probs.assign(static_cast<std::size_t>(nl.num_inputs()), 0.5);
+  // Latch outputs are pseudo-PIs: the user's --probs cover the primary
+  // inputs only, the reset-state fixed point fills in the rest.
+  const std::vector<double> probs = expand_pi_probs(nl, a.probs);
   Simulator sim(nl, a.patterns, probs, a.seed);
   PowerEstimator est(&sim);
   const TimingAnalysis ta = analyze_timing(nl);
   GlitchOptions gopt;
-  gopt.pi_probs = probs;
+  gopt.stimulus.prob = probs;
   gopt.num_vector_pairs = 128;
   const GlitchEstimate ge = estimate_glitch_power(nl, gopt);
   std::printf("circuit:          %s\n", nl.name().c_str());
   std::printf("inputs/outputs:   %d / %d\n", nl.num_inputs(),
               nl.num_outputs());
+  if (nl.num_latches() > 0)
+    std::printf("latches:          %d\n", nl.num_latches());
   std::printf("gates:            %d\n", nl.num_cells());
   std::printf("area:             %.0f\n", nl.total_area());
   std::printf("delay:            %.3f\n", ta.circuit_delay);
@@ -379,6 +409,7 @@ int cmd_optimize(const Args& a) {
 
   auto builder = PowderOptions::builder()
                      .objective(a.objective)
+                     .power_model(a.power_model)
                      .proof_engine(a.engine)
                      .patterns(a.patterns)
                      .seed(a.seed)
@@ -401,6 +432,8 @@ int cmd_optimize(const Args& a) {
                      .mem_limit_bytes(a.mem_limit_mb * 1024 * 1024);
   if (a.watchdog > 0) builder.watchdog_seconds(a.watchdog);
   if (a.max_divisors >= 0) builder.max_divisors(a.max_divisors);
+  if (a.glitch_pairs >= 0) builder.glitch_vector_pairs(a.glitch_pairs);
+  if (a.glitch_event_cap >= 0) builder.glitch_event_cap(a.glitch_event_cap);
   const PowderOptions opt = builder.build();
   if (!a.resume_path.empty())
     progress("powder: resuming from %s\n", a.resume_path.c_str());
@@ -411,6 +444,11 @@ int cmd_optimize(const Args& a) {
              "%ld boundary conflict(s), %ld rerun(s)\n",
              d.windowing.windows_built, d.windowing.window_commits,
              d.windowing.boundary_conflicts, d.windowing.window_reruns);
+  if (a.power_model == PowerModelKind::kTimed)
+    progress("powder: timed power model: %ld event re-sim(s), "
+             "%ld overflow(s), final glitch share %.1f%%\n",
+             d.power_model.timed_resims, d.power_model.event_overflows,
+             100.0 * d.power_model.glitch_share);
   if (a.funcred)
     progress("powder: functional reduction merged %ld equivalent "
              "signal(s)\n",
