@@ -16,11 +16,13 @@
 #include "bdd/netlist_bdd.hpp"
 #include "opt/funcred.hpp"
 #include "opt/journal.hpp"
+#include "power/attribution.hpp"
 #include "power/power.hpp"
 #include "session/checkpoint.hpp"
 #include "session/degradation.hpp"
 #include "trace/audit.hpp"
 #include "trace/metrics.hpp"
+#include "trace/progress.hpp"
 #include "trace/trace.hpp"
 #include "util/budget.hpp"
 #include "util/check.hpp"
@@ -494,6 +496,12 @@ PowderReport PowderOptimizer::run() {
 
   TraceSession* const trace = options_.trace.trace;
   AuditLog* const audit = options_.trace.audit;
+  ProgressStream* const prog = options_.trace.progress;
+  PowerAttribution* const attr = options_.trace.attribution;
+  // The attribution ledger indexes classes without depending on the
+  // optimizer headers; the two class sets must stay in lockstep.
+  static_assert(kAttributionClasses == kNumResubClasses,
+                "PowerAttribution class table out of sync with ResubClass");
   TraceSpan run_span(trace, "optimize", "powder");
 
   int threads = options_.threads;
@@ -610,6 +618,7 @@ PowderReport PowderOptimizer::run() {
   }
   DegradationLadder ladder(options_.session, options_.budget.deadline_seconds,
                            options_.proof.engine, reg, audit);
+  ladder.set_progress(prog);
 
   // Shared pool for the data-parallel kernels (word-sharded simulation and
   // the three-pass candidate harvest). Proof workers are separate dedicated
@@ -664,6 +673,19 @@ PowderReport PowderOptimizer::run() {
                            ? std::numeric_limits<double>::infinity()
                            : report.initial_delay *
                                  options_.delay_limit_factor;
+
+  // Attribution binds here — after the model's first full estimate, before
+  // any mutation — so its "before" sweep reproduces initial_power exactly.
+  if (attr != nullptr) attr->begin_run(netlist_, &model);
+  if (prog != nullptr) {
+    long live_cells = 0;
+    for (GateId g = 0; g < netlist_->num_slots(); ++g)
+      if (netlist_->alive(g) && netlist_->kind(g) == GateKind::kCell)
+        ++live_cells;
+    prog->run_start(netlist_->name(), live_cells, netlist_->num_inputs(),
+                    netlist_->num_outputs(), threads, windowed,
+                    power_model_name(model.kind()));
+  }
 
   // Pristine copy for the end-of-run miter (the strong guard level).
   std::optional<Netlist> pristine;
@@ -766,8 +788,11 @@ PowderReport PowderOptimizer::run() {
   }
 
   // Decision audit: one NDJSON record per candidate the loop below settles.
+  // `audit_window` is -1 except while merging one window's commits, so a
+  // consumer can separate window-local decisions from global ones.
   long long audit_seq = 0;
   int audit_iteration = 0;
+  int audit_window = -1;
   auto audit_decision = [&](const CandidateSub& c, const char* decision,
                             bool pg_c_known = false,
                             const char* proof_engine = nullptr,
@@ -777,6 +802,8 @@ PowderReport PowderOptimizer::run() {
     AuditRecord r;
     r.seq = audit_seq++;
     r.iteration = audit_iteration;
+    r.window = audit_window;
+    r.epoch = netlist_->epoch();
     r.cls = subst_class_name(c.cls);
     r.target = static_cast<long long>(c.target);
     r.target_name = netlist_->gate_name(c.target);
@@ -806,6 +833,29 @@ PowderReport PowderOptimizer::run() {
     audit->write(r);
   };
 
+  // Progress tick: called at iteration boundaries and after commits. The
+  // null-sink path is one branch; with a sink attached, checkpoint frames
+  // are published as they land and heartbeats are rate-limited inside the
+  // stream (first tick always emits, so every run has >= 1 heartbeat).
+  long long prog_ckpt_frames = 0;
+  auto progress_tick = [&]() {
+    if (prog == nullptr) return;
+    if (recorder.frames() > prog_ckpt_frames) {
+      prog_ckpt_frames = recorder.frames();
+      prog->checkpoint(prog_ckpt_frames);
+    }
+    if (!prog->heartbeat_due()) return;
+    ProgressStream::Stats s;
+    s.iteration = audit_iteration;
+    s.max_iterations = options_.max_outer_iterations;
+    s.power = model.total_power();
+    s.applied = m_applied.delta();
+    s.harvested = m_harvested.delta();
+    s.proofs = m_inline.delta();
+    prog->heartbeat(s);
+  };
+  progress_tick();
+
   bool progress = true;
   bool stopped = false;
 
@@ -819,6 +869,7 @@ PowderReport PowderOptimizer::run() {
   // touching the commit cursor.
   if (options_.candidates.resub.funcred) {
     TraceSpan fr_span(trace, "funcred", "powder");
+    if (prog != nullptr) prog->phase(0, "funcred");
     double fr_power = model.total_power();
     double fr_area = netlist_->total_area();
     FuncredHooks hooks;
@@ -860,8 +911,15 @@ PowderReport PowderOptimizer::run() {
       cls.area_delta += a - fr_area;
       commit_log.push_back(CommitRecord{ResubClass::kFuncRed, fr_power - p,
                                         a - fr_area});
+      if (attr != nullptr)
+        attr->record_commit(static_cast<int>(ResubClass::kFuncRed), -1,
+                            fr_power - p);
       m_applied.c->inc();
       audit_decision(c.cand, "accepted", false, "funcred", "untestable");
+      if (prog != nullptr)
+        prog->commit(0, subst_class_name(ResubClass::kFuncRed), -1,
+                     fr_power - p, p);
+      progress_tick();
       fr_power = p;
       fr_area = a;
     };
@@ -908,6 +966,14 @@ PowderReport PowderOptimizer::run() {
     long long merged_total = 0;
     auto merge_window = [&](WindowExtraction& ex, WindowResult& res,
                             bool check_conflicts) -> bool {
+      // Decisions taken while merging this window carry its id in the
+      // audit stream; restored on every exit path.
+      struct WindowIdScope {
+        int* slot;
+        int saved;
+        WindowIdScope(int* s, int v) : slot(s), saved(*s) { *slot = v; }
+        ~WindowIdScope() { *slot = saved; }
+      } audit_window_scope(&audit_window, ex.id);
       // Fold the local decision counters serially — deterministic totals.
       m_harvested.c->inc(res.stats.harvested);
       m_stale.c->inc(res.stats.stale);
@@ -1015,6 +1081,12 @@ PowderReport PowderOptimizer::run() {
         commit_log.push_back(CommitRecord{cand.cls, power_before - power_after,
                                           netlist_->total_area() -
                                               area_before});
+        if (attr != nullptr)
+          attr->record_commit(static_cast<int>(cand.cls), ex.id,
+                              power_before - power_after);
+        if (prog != nullptr)
+          prog->commit(audit_iteration, subst_class_name(cand.cls), ex.id,
+                       power_before - power_after, power_after);
         m_applied.c->inc();
         m_window_commits.c->inc();
 
@@ -1079,12 +1151,15 @@ PowderReport PowderOptimizer::run() {
       iter_span.arg("outer", outer + 1);
       progress = false;
       if (stop_requested()) break;
+      progress_tick();
       const long long merged_before = merged_total;
 
       // Partition and extract serially from the current parent state.
       std::vector<WindowExtraction> extractions;
       {
         TraceSpan part_span(trace, "window_partition", "window");
+        if (prog != nullptr)
+          prog->phase(audit_iteration, "window_partition");
         const auto plans = partition_windows(*netlist_, options_.window);
         extractions.reserve(plans.size());
         for (const auto& plan : plans) {
@@ -1093,6 +1168,10 @@ PowderReport PowderOptimizer::run() {
           m_windows.c->inc();
           m_window_gates.c->inc(
               static_cast<long long>(extractions.back().gates.size()));
+          if (prog != nullptr)
+            prog->window_event(
+                audit_iteration, extractions.back().id, "extracted",
+                static_cast<long long>(extractions.back().gates.size()));
         }
         part_span.arg("windows", static_cast<long long>(extractions.size()));
       }
@@ -1119,6 +1198,9 @@ PowderReport PowderOptimizer::run() {
       std::vector<std::size_t> rerun_queue;
       {
         TraceSpan merge_span(trace, "window_merge", "window");
+        if (prog != nullptr)
+          prog->phase(audit_iteration, "window_merge",
+                      static_cast<long long>(extractions.size()), "windows");
         const auto order = window_merge_order(extractions.size(),
                                               options_.window.order_seed);
         for (const std::size_t idx : order) {
@@ -1127,8 +1209,17 @@ PowderReport PowderOptimizer::run() {
             break;
           }
           if (!merge_window(extractions[idx], results[idx],
-                            /*check_conflicts=*/true))
+                            /*check_conflicts=*/true)) {
             rerun_queue.push_back(idx);
+            if (prog != nullptr)
+              prog->window_event(audit_iteration, extractions[idx].id,
+                                 "conflict");
+          } else if (prog != nullptr) {
+            prog->window_event(
+                audit_iteration, extractions[idx].id, "merged", -1,
+                static_cast<long long>(results[idx].commits.size()));
+          }
+          progress_tick();
         }
         merge_span.arg("merged", merged_total - merged_before);
         merge_span.arg("conflicts",
@@ -1174,9 +1265,13 @@ PowderReport PowderOptimizer::run() {
           wo.trace = trace;
           const auto oracle = window_records(ex.id);
           wo.replay = &oracle;
+          if (prog != nullptr)
+            prog->window_event(audit_iteration, ex.id, "rerun",
+                               static_cast<long long>(ex.gates.size()));
           WindowResult res = optimize_window(ex, wo);
           if (!merge_window(ex, res, /*check_conflicts=*/false))
             next_queue.push_back(idx);
+          progress_tick();
         }
         rerun_queue = std::move(next_queue);
       }
@@ -1192,14 +1287,19 @@ PowderReport PowderOptimizer::run() {
       iter_span.arg("outer", outer + 1);
       progress = false;
       if (stop_requested()) break;
+      progress_tick();
 
       finder->reseed(options_.seed + 17 * static_cast<std::uint64_t>(outer));
       std::vector<CandidateSub> cands;
       {
         TraceSpan harvest_span(trace, "harvest", "harvest");
+        if (prog != nullptr) prog->phase(audit_iteration, "harvest");
         cands = finder->find();
         harvest_span.arg("candidates", static_cast<long long>(cands.size()));
       }
+      if (prog != nullptr)
+        prog->phase(audit_iteration, "proof",
+                    static_cast<long long>(cands.size()), "candidates");
       m_harvested.c->inc(static_cast<long long>(cands.size()));
       for (const CandidateSub& c : cands)
         m_cls_harvested[static_cast<std::size_t>(c.cls)].c->inc();
@@ -1436,6 +1536,12 @@ PowderReport PowderOptimizer::run() {
         commit_log.push_back(CommitRecord{chosen.cls,
                                           power_before - power_after,
                                           netlist_->total_area() - area_before});
+        if (attr != nullptr)
+          attr->record_commit(static_cast<int>(chosen.cls), -1,
+                              power_before - power_after);
+        if (prog != nullptr)
+          prog->commit(audit_iteration, subst_class_name(chosen.cls), -1,
+                       power_before - power_after, power_after);
         m_applied.c->inc();
         if (replaying) {
           // Replay verification: the re-applied mutation must reproduce the
@@ -1456,7 +1562,10 @@ PowderReport PowderOptimizer::run() {
                        proof_verdict, proof_us);
         ++performed;
         progress = true;
+        progress_tick();
       }
+      if (prog != nullptr)
+        prog->phase(audit_iteration, "commit", performed, "applied");
       iter_span.arg("applied", performed);
     }
   }
@@ -1500,6 +1609,7 @@ PowderReport PowderOptimizer::run() {
   // a corrupted journal can leave `guard_failed` set — reported, never
   // silent.
   if (options_.guard.signature_check || pristine.has_value()) {
+    if (prog != nullptr) prog->phase(audit_iteration, "final_guard");
     auto state_good = [&]() {
       if (options_.guard.signature_check && !po_signatures_ok()) return false;
       if (pristine.has_value() &&
@@ -1524,6 +1634,9 @@ PowderReport PowderOptimizer::run() {
         cls.area_delta -= rec.area_delta;
         --report.substitutions_applied;
         commit_log.pop_back();
+        // The attribution ledger pops in lockstep (same entry, same
+        // double), keeping its per-class gains bitwise equal to by_class.
+        if (attr != nullptr) attr->record_rollback();
       }
     }
     report.diagnostics.guard_failed = !state_good();
@@ -1558,6 +1671,9 @@ PowderReport PowderOptimizer::run() {
 
   atpg_stats_ = atpg.stats();
   report.final_power = model.total_power();
+  // The "after" sweep happens against exactly the state final_power was
+  // read from, so the attribution sum reconciles bitwise here too.
+  if (attr != nullptr) attr->end_run();
   report.final_area = netlist_->total_area();
   report.diagnostics.power_model.kind = power_model_name(model.kind());
   if (timed_model.has_value()) {
@@ -1637,6 +1753,9 @@ PowderReport PowderOptimizer::run() {
     }
     report.metrics_json = r.to_json();
   }
+  if (prog != nullptr)
+    prog->run_end(report.final_power, report.substitutions_applied,
+                  report.outer_iterations);
   return report;
 }
 

@@ -287,6 +287,14 @@ class PowderOptions::Builder {
     opts_.trace.audit = log;
     return *this;
   }
+  Builder& progress(ProgressStream* stream) {
+    opts_.trace.progress = stream;
+    return *this;
+  }
+  Builder& attribution(PowerAttribution* sink) {
+    opts_.trace.attribution = sink;
+    return *this;
+  }
 
   PowderOptions build() const { return opts_; }
 
@@ -310,8 +318,13 @@ inline PowderOptions::Builder PowderOptions::builder() { return Builder{}; }
 /// model-relative — under `--power-model=timed` they are glitch-inclusive
 /// totals, a redefinition of meaning for those runs — and adds the
 /// `diagnostics.power_model` sub-object naming the model that produced
-/// them.
-inline constexpr int kReportSchemaVersion = 4;
+/// them. Version 5 extends the histogram objects inside `metrics` with
+/// derived `p50`/`p90`/`p99` quantile keys (bucket upper bounds in ns,
+/// null when the observation falls in the +Inf catch-all) — strictly
+/// additive per key, but the histogram *object shape* is part of the
+/// wire contract for consumers that iterate its members, so the version
+/// records the change; nothing outside `metrics` moved.
+inline constexpr int kReportSchemaVersion = 5;
 
 struct ClassStats {
   int applied = 0;

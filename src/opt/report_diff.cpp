@@ -1,0 +1,356 @@
+#include "opt/report_diff.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace powder {
+
+namespace {
+
+void append_number(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+/// Percentage change candidate-vs-base; NaN (rendered null) when the base
+/// is zero and no meaningful percentage exists.
+double delta_percent(double base, double cand) {
+  if (base == 0.0)
+    return cand == 0.0 ? 0.0 : std::numeric_limits<double>::quiet_NaN();
+  return 100.0 * (cand - base) / std::fabs(base);
+}
+
+struct Metric {
+  bool present = false;
+  double base = 0.0;
+  double cand = 0.0;
+};
+
+Metric read_metric(const JsonValue& base, const JsonValue& cand,
+                   const char* key) {
+  Metric m;
+  const JsonValue* b = base.find_number(key);
+  const JsonValue* c = cand.find_number(key);
+  if (b != nullptr && c != nullptr) {
+    m.present = true;
+    m.base = b->as_number();
+    m.cand = c->as_number();
+  }
+  return m;
+}
+
+/// One metric section: {"base":..,"candidate":..,"delta_percent":..,
+/// "regressed":..}. "Higher is worse" semantics for all three metrics the
+/// verdict gates on (power, area, runtime).
+bool emit_metric(std::ostringstream& os, const char* name, const Metric& m,
+                 double threshold_percent, bool enabled) {
+  os << ",\"" << name << "\":{";
+  if (!m.present) {
+    os << "\"present\":false}";
+    return false;
+  }
+  const double dp = delta_percent(m.base, m.cand);
+  const bool regressed =
+      enabled && std::isfinite(dp) && dp > threshold_percent;
+  os << "\"base\":";
+  append_number(os, m.base);
+  os << ",\"candidate\":";
+  append_number(os, m.cand);
+  os << ",\"delta_percent\":";
+  append_number(os, dp);
+  os << ",\"threshold_percent\":";
+  append_number(os, threshold_percent);
+  os << ",\"checked\":" << (enabled ? "true" : "false");
+  os << ",\"regressed\":" << (regressed ? "true" : "false") << "}";
+  return regressed;
+}
+
+/// Decision histogram over an audit NDJSON capture: counts the `decision`
+/// field of record lines; event lines (no decision) are counted as events.
+void audit_histogram(const std::string& text,
+                     std::map<std::string, long long>* decisions,
+                     long long* events, long long* bad_lines) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    std::string err;
+    const auto doc = json_parse(line, &err);
+    if (doc == nullptr || !doc->is_object()) {
+      ++*bad_lines;
+      continue;
+    }
+    const JsonValue* decision = doc->find_string("decision");
+    if (decision != nullptr) {
+      ++(*decisions)[decision->as_string()];
+    } else {
+      ++*events;
+    }
+  }
+}
+
+void emit_audit_section(std::ostringstream& os, const std::string& base,
+                        const std::string& cand) {
+  std::map<std::string, long long> base_hist, cand_hist;
+  long long base_events = 0, cand_events = 0;
+  long long base_bad = 0, cand_bad = 0;
+  audit_histogram(base, &base_hist, &base_events, &base_bad);
+  audit_histogram(cand, &cand_hist, &cand_events, &cand_bad);
+  std::map<std::string, std::pair<long long, long long>> merged;
+  for (const auto& [k, v] : base_hist) merged[k].first = v;
+  for (const auto& [k, v] : cand_hist) merged[k].second = v;
+  os << ",\"audit\":{\"decisions\":{";
+  bool first = true;
+  for (const auto& [k, v] : merged) {
+    if (!first) os << ",";
+    first = false;
+    os << json_quote(k) << ":{\"base\":" << v.first
+       << ",\"candidate\":" << v.second << ",\"delta\":"
+       << (v.second - v.first) << "}";
+  }
+  os << "},\"events\":{\"base\":" << base_events << ",\"candidate\":"
+     << cand_events << "},\"unparseable_lines\":{\"base\":" << base_bad
+     << ",\"candidate\":" << cand_bad << "}}";
+}
+
+bool emit_attribution_section(std::ostringstream& os, const std::string& base,
+                              const std::string& cand, std::string* error) {
+  std::string err;
+  const auto base_doc = json_parse(base, &err);
+  if (base_doc == nullptr) {
+    *error = "base attribution: " + err;
+    return false;
+  }
+  const auto cand_doc = json_parse(cand, &err);
+  if (cand_doc == nullptr) {
+    *error = "candidate attribution: " + err;
+    return false;
+  }
+  const JsonValue* bc = base_doc->find_object("by_class");
+  const JsonValue* cc = cand_doc->find_object("by_class");
+  os << ",\"attribution\":{\"by_class\":{";
+  bool first = true;
+  if (bc != nullptr && cc != nullptr) {
+    for (const auto& [name, entry] : bc->members()) {
+      const JsonValue* bg = entry.find_number("gain");
+      const JsonValue* cand_entry = cc->find_object(name);
+      const JsonValue* cg =
+          cand_entry != nullptr ? cand_entry->find_number("gain") : nullptr;
+      if (bg == nullptr || cg == nullptr) continue;
+      if (!first) os << ",";
+      first = false;
+      os << json_quote(name) << ":{\"gain_base\":";
+      append_number(os, bg->as_number());
+      os << ",\"gain_candidate\":";
+      append_number(os, cg->as_number());
+      os << ",\"gain_delta\":";
+      append_number(os, cg->as_number() - bg->as_number());
+      os << "}";
+    }
+  }
+  os << "}}";
+  return true;
+}
+
+void flatten_json(const JsonValue& v, const std::string& path, int* budget,
+                  bool* truncated, std::ostringstream& os, bool* first) {
+  if (*budget <= 0) {
+    *truncated = true;
+    return;
+  }
+  switch (v.kind()) {
+    case JsonValue::Kind::kObject:
+      for (const auto& [k, child] : v.members())
+        flatten_json(child, path.empty() ? k : path + "." + k, budget,
+                     truncated, os, first);
+      break;
+    case JsonValue::Kind::kArray: {
+      int i = 0;
+      for (const JsonValue& child : v.items())
+        flatten_json(child, path + "[" + std::to_string(i++) + "]", budget,
+                     truncated, os, first);
+      break;
+    }
+    case JsonValue::Kind::kNumber:
+    case JsonValue::Kind::kBool:
+    case JsonValue::Kind::kString:
+    case JsonValue::Kind::kNull: {
+      if (!*first) os << ",";
+      *first = false;
+      --*budget;
+      os << json_quote(path) << ":";
+      if (v.is_number()) {
+        append_number(os, v.as_number());
+      } else if (v.is_bool()) {
+        os << (v.as_bool() ? "true" : "false");
+      } else if (v.is_string()) {
+        os << json_quote(v.as_string());
+      } else {
+        os << "null";
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+DiffResult diff_reports(const std::string& base_json,
+                        const std::string& cand_json,
+                        const DiffThresholds& thresholds,
+                        const std::string& base_audit,
+                        const std::string& cand_audit,
+                        const std::string& base_attribution,
+                        const std::string& cand_attribution) {
+  DiffResult out;
+  std::string err;
+  const auto base = json_parse(base_json, &err);
+  if (base == nullptr || !base->is_object()) {
+    out.error = "base report: " + (err.empty() ? "not an object" : err);
+    return out;
+  }
+  const auto cand = json_parse(cand_json, &err);
+  if (cand == nullptr || !cand->is_object()) {
+    out.error = "candidate report: " + (err.empty() ? "not an object" : err);
+    return out;
+  }
+
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"schema_version\":" << kDiffSchemaVersion;
+  const JsonValue* bv = base->find_number("schema_version");
+  const JsonValue* cv = cand->find_number("schema_version");
+  os << ",\"base_report_version\":";
+  append_number(os, bv != nullptr ? bv->as_number()
+                                  : std::numeric_limits<double>::quiet_NaN());
+  os << ",\"candidate_report_version\":";
+  append_number(os, cv != nullptr ? cv->as_number()
+                                  : std::numeric_limits<double>::quiet_NaN());
+
+  bool regressed = false;
+  regressed |= emit_metric(os, "power",
+                           read_metric(*base, *cand, "final_power"),
+                           thresholds.power_percent, true);
+  regressed |= emit_metric(os, "area",
+                           read_metric(*base, *cand, "final_area"),
+                           thresholds.area_percent, true);
+  regressed |= emit_metric(os, "runtime",
+                           read_metric(*base, *cand, "cpu_seconds"),
+                           thresholds.runtime_percent,
+                           thresholds.check_runtime);
+
+  const Metric subs = read_metric(*base, *cand, "substitutions_applied");
+  os << ",\"substitutions\":{";
+  if (subs.present) {
+    os << "\"base\":" << static_cast<long long>(subs.base)
+       << ",\"candidate\":" << static_cast<long long>(subs.cand)
+       << ",\"delta\":"
+       << static_cast<long long>(subs.cand) -
+              static_cast<long long>(subs.base);
+  } else {
+    os << "\"present\":false";
+  }
+  os << "}";
+
+  // Per-class applied/gain comparison over the union of class tags, base
+  // document order first (our writers emit a fixed class order, so this is
+  // deterministic).
+  os << ",\"by_class\":{";
+  {
+    const JsonValue* bc = base->find_object("by_class");
+    const JsonValue* cc = cand->find_object("by_class");
+    bool first = true;
+    if (bc != nullptr && cc != nullptr) {
+      for (const auto& [name, entry] : bc->members()) {
+        const JsonValue* cand_entry = cc->find_object(name);
+        if (cand_entry == nullptr) continue;
+        const JsonValue* ba = entry.find_number("applied");
+        const JsonValue* ca = cand_entry->find_number("applied");
+        const JsonValue* bp = entry.find_number("power_delta");
+        const JsonValue* cp = cand_entry->find_number("power_delta");
+        if (ba == nullptr || ca == nullptr || bp == nullptr || cp == nullptr)
+          continue;
+        if (!first) os << ",";
+        first = false;
+        os << json_quote(name) << ":{\"applied_base\":"
+           << static_cast<long long>(ba->as_number())
+           << ",\"applied_candidate\":"
+           << static_cast<long long>(ca->as_number()) << ",\"gain_base\":";
+        append_number(os, bp->as_number());
+        os << ",\"gain_candidate\":";
+        append_number(os, cp->as_number());
+        os << ",\"gain_delta\":";
+        append_number(os, cp->as_number() - bp->as_number());
+        os << "}";
+      }
+    }
+    os << "}";
+  }
+
+  if (!base_audit.empty() || !cand_audit.empty())
+    emit_audit_section(os, base_audit, cand_audit);
+  if (!base_attribution.empty() && !cand_attribution.empty()) {
+    if (!emit_attribution_section(os, base_attribution, cand_attribution,
+                                  &out.error))
+      return out;
+  }
+
+  os << ",\"regressed\":" << (regressed ? "true" : "false");
+  os << ",\"verdict\":" << (regressed ? "\"regression\"" : "\"ok\"");
+  os << "}";
+
+  out.ok = true;
+  out.regressed = regressed;
+  out.verdict_json = os.str();
+  return out;
+}
+
+std::string fold_bench_trajectory(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"schema_version\":" << kTrajectorySchemaVersion
+     << ",\"benches\":{";
+  std::ostringstream errors;
+  bool first_file = true;
+  bool first_error = true;
+  for (const auto& [name, text] : files) {
+    std::string err;
+    const auto doc = json_parse(text, &err);
+    if (doc == nullptr) {
+      if (!first_error) errors << ",";
+      first_error = false;
+      errors << "{\"file\":" << json_quote(name) << ",\"error\":"
+             << json_quote(err) << "}";
+      continue;
+    }
+    if (!first_file) os << ",";
+    first_file = false;
+    os << json_quote(name) << ":{";
+    // Cap the flattened leaf count per file so one oversized artifact
+    // (e.g. a full benchmark dump) cannot bloat the trajectory.
+    int budget = 512;
+    bool truncated = false;
+    bool first_leaf = true;
+    flatten_json(*doc, "", &budget, &truncated, os, &first_leaf);
+    if (truncated) {
+      if (!first_leaf) os << ",";
+      os << "\"_truncated\":true";
+    }
+    os << "}";
+  }
+  os << "},\"errors\":[" << errors.str() << "]}";
+  return os.str();
+}
+
+}  // namespace powder

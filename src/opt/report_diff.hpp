@@ -1,0 +1,67 @@
+// Run comparison: the verdict engine behind `powder diff` and the
+// BENCH_*.json trajectory aggregator behind `powder trajectory`.
+//
+// `diff_reports` consumes two --report-json documents (and optionally the
+// matching audit logs and attribution dumps), compares power / area /
+// runtime / per-class economics against configurable thresholds, and
+// produces a machine-readable verdict document plus a boolean regression
+// flag the CLI maps to its exit code. It lives in the library (not the
+// tool) so tests can drive it without spawning processes.
+#ifndef POWDER_OPT_REPORT_DIFF_HPP
+#define POWDER_OPT_REPORT_DIFF_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace powder {
+
+/// Document version of the `powder diff` verdict JSON (DESIGN.md §11.4
+/// stability rules apply).
+inline constexpr int kDiffSchemaVersion = 1;
+
+/// Document version of BENCH_trajectory.json.
+inline constexpr int kTrajectorySchemaVersion = 1;
+
+struct DiffThresholds {
+  /// Candidate regresses when its final power exceeds the baseline's by
+  /// more than this percentage.
+  double power_percent = 0.5;
+  /// Same, for final area.
+  double area_percent = 2.0;
+  /// Same, for cpu_seconds — but runtime is noisy, so it only counts when
+  /// check_runtime is set (the CLI sets it when --runtime-threshold is
+  /// passed explicitly).
+  double runtime_percent = 50.0;
+  bool check_runtime = false;
+};
+
+struct DiffResult {
+  bool ok = false;         ///< inputs parsed; verdict_json is valid
+  bool regressed = false;  ///< any enabled threshold tripped
+  std::string error;       ///< set when !ok
+  std::string verdict_json;
+};
+
+/// Compares two report documents. `*_audit` / `*_attribution` may be empty
+/// strings (sections are omitted from the verdict); when provided they add
+/// an audit decision histogram and a per-class attribution-gain comparison.
+DiffResult diff_reports(const std::string& base_json,
+                        const std::string& cand_json,
+                        const DiffThresholds& thresholds,
+                        const std::string& base_audit = {},
+                        const std::string& cand_audit = {},
+                        const std::string& base_attribution = {},
+                        const std::string& cand_attribution = {});
+
+/// Folds the BENCH_*.json family into one trajectory document: every
+/// numeric/boolean/string leaf of every file, flattened to dotted paths,
+/// in input order. Unparseable files land in an "errors" array instead of
+/// failing the fold (bench artifacts appear incrementally during a ctest
+/// pass). `files` is (name, raw JSON text).
+std::string fold_bench_trajectory(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+}  // namespace powder
+
+#endif  // POWDER_OPT_REPORT_DIFF_HPP

@@ -176,8 +176,11 @@ GlitchEstimate estimate_glitch_power(const Netlist& netlist,
     if (netlist.kind(g) == GateKind::kOutput) continue;
     const double cap = netlist.signal_cap(g);
     out.zero_delay_power += cap * zero_transitions[g] / n;
-    out.timed_power += cap * timed_transitions[g] / n;
+    // Round the per-gate activity first and accumulate cap * activity, so
+    // that `timed_power` equals the sum of per-gate `signal_power(g)` terms
+    // bitwise — the attribution plane reconciles against exactly that sum.
     out.timed_activity[g] = timed_transitions[g] / n;
+    out.timed_power += cap * out.timed_activity[g];
   }
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include "trace/audit.hpp"
 #include "trace/metrics.hpp"
+#include "trace/progress.hpp"
 #include "util/memstats.hpp"
 
 namespace powder {
@@ -126,6 +127,9 @@ void DegradationLadder::step_to(DegradationLevel to, StopReason stop,
     e.value = value > 0 ? value : -1;
     audit_->write_event(e);
   }
+  if (progress_ != nullptr)
+    progress_->degradation(degradation_level_name(from),
+                           degradation_level_name(to), reason);
 }
 
 }  // namespace powder

@@ -27,6 +27,7 @@ class MetricsRegistry;
 class AuditLog;
 class Counter;
 class Gauge;
+class ProgressStream;
 
 enum class DegradationLevel : int {
   kFullProof = 0,
@@ -59,6 +60,10 @@ class DegradationLadder {
   int transitions() const { return transitions_; }
   bool mem_limit_hit() const { return mem_limit_hit_; }
 
+  /// Optional live progress sink: every step-down is also published as a
+  /// `degradation` event on the stream (null = off).
+  void set_progress(ProgressStream* progress) { progress_ = progress; }
+
   /// Pure ladder policy, separated for unit testing: what level do these
   /// sensor readings demand? (Monotonicity is applied by evaluate().)
   struct Sensors {
@@ -85,6 +90,7 @@ class DegradationLadder {
   ProofEngine engine_;
   MetricsRegistry* metrics_;
   AuditLog* audit_;
+  ProgressStream* progress_ = nullptr;
   Counter* transitions_counter_ = nullptr;
   Gauge* level_gauge_ = nullptr;
 

@@ -45,8 +45,10 @@ void AuditLog::write(const AuditRecord& r) {
   std::string line;
   line.reserve(256);
   char buf[96];
-  std::snprintf(buf, sizeof(buf), "{\"seq\":%lld,\"iter\":%d,\"cls\":\"",
-                r.seq, r.iteration);
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%lld,\"iter\":%d,\"window\":%d,\"epoch\":%llu,"
+                "\"cls\":\"",
+                r.seq, r.iteration, r.window, r.epoch);
   line += buf;
   append_escaped(&line, r.cls);
   std::snprintf(buf, sizeof(buf), "\",\"target\":%lld", r.target);

@@ -24,6 +24,10 @@ namespace powder {
 struct AuditRecord {
   long long seq = 0;           ///< 0-based record index within the run
   int iteration = 0;           ///< outer-loop iteration (1-based)
+  int window = -1;             ///< window id for windowed merges; -1 = global
+  /// Netlist journal epoch at decision time: joins a decision line to the
+  /// delta-bus generation (and WAL frames) it was taken against.
+  unsigned long long epoch = 0;
   const char* cls = "";        ///< OS2 / IS2 / OS3 / IS3 / OSK / ISK / FUNCRED
   long long target = -1;       ///< substituted stem gate id
   std::string_view target_name{};

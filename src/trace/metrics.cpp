@@ -80,8 +80,14 @@ std::string MetricsRegistry::to_json() const {
       case Kind::kGauge: append_double(os, entry.gauge->value()); break;
       case Kind::kHistogram: {
         const Histogram& h = *entry.histogram;
-        os << "{\"count\":" << h.count() << ",\"sum_ns\":" << h.sum_ns()
-           << ",\"buckets\":[";
+        os << "{\"count\":" << h.count() << ",\"sum_ns\":" << h.sum_ns();
+        os << ",\"p50\":";
+        append_double(os, h.percentile_ns(0.50));
+        os << ",\"p90\":";
+        append_double(os, h.percentile_ns(0.90));
+        os << ",\"p99\":";
+        append_double(os, h.percentile_ns(0.99));
+        os << ",\"buckets\":[";
         bool bf = true;
         for (int i = 0; i < Histogram::kNumBuckets; ++i) {
           const long long n = h.bucket(i);
@@ -148,6 +154,20 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
                       static_cast<double>(h.sum_ns()) / 1e9);
         os << name << "_sum " << buf << "\n";
         os << name << "_count " << h.count() << "\n";
+        // Derived quantiles (bucket upper bounds, seconds), exposed as
+        // labelled series the way summary metrics are — cheap to read for
+        // dashboards that do not want to run histogram_quantile().
+        static constexpr struct { const char* label; double q; } kQuantiles[] =
+            {{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}};
+        for (const auto& [label, q] : kQuantiles) {
+          const double ns = h.percentile_ns(q);
+          if (std::isinf(ns)) {
+            os << name << "{quantile=\"" << label << "\"} +Inf\n";
+          } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", ns / 1e9);
+            os << name << "{quantile=\"" << label << "\"} " << buf << "\n";
+          }
+        }
         break;
       }
     }

@@ -12,7 +12,9 @@
 // "metrics" field) and Prometheus text exposition (--metrics-out).
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -78,6 +80,30 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Quantile estimate in ns from the log2 buckets: walks the cumulative
+  /// counts to the bucket holding the ceil(q*count)-th observation and
+  /// returns its inclusive upper bound (so the estimate never understates
+  /// the true quantile by more than one bucket). Returns 0 on an empty
+  /// histogram and +Inf when the target lands in the catch-all bucket.
+  double percentile_ns(double q) const {
+    const long long total = count();
+    if (total <= 0) return 0.0;
+    long long target =
+        static_cast<long long>(std::ceil(q * static_cast<double>(total)));
+    if (target < 1) target = 1;
+    if (target > total) target = total;
+    long long cumulative = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      cumulative += bucket(i);
+      if (cumulative >= target) {
+        if (i == kNumBuckets - 1)
+          return std::numeric_limits<double>::infinity();
+        return static_cast<double>(bucket_upper_bound_ns(i));
+      }
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+
  private:
   std::atomic<long long> buckets_[kNumBuckets] = {};
   std::atomic<long long> sum_ns_{0};
@@ -99,8 +125,10 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name, const std::string& help = {});
 
   /// One flat JSON object, instruments in name order: counters and gauges
-  /// as numbers, histograms as {"count","sum_ns","buckets":[[le_ns,n],...]}
-  /// with only non-empty buckets listed.
+  /// as numbers, histograms as {"count","sum_ns","p50","p90","p99",
+  /// "buckets":[[le_ns,n],...]} with only non-empty buckets listed.
+  /// Percentiles are bucket upper bounds in ns (null when the observation
+  /// falls in the +Inf catch-all bucket).
   std::string to_json() const;
 
   /// Prometheus text exposition format (histogram `le` labels in seconds,

@@ -13,6 +13,8 @@ namespace powder {
 class TraceSession;
 class MetricsRegistry;
 class AuditLog;
+class ProgressStream;
+class PowerAttribution;
 
 struct TraceOptions {
   /// Span/event collector exported as Chrome trace-event JSON (Perfetto).
@@ -23,9 +25,14 @@ struct TraceOptions {
   MetricsRegistry* metrics = nullptr;
   /// NDJSON decision log: one record per candidate considered.
   AuditLog* audit = nullptr;
+  /// Live NDJSON event stream (heartbeats, phases, windows, commits).
+  ProgressStream* progress = nullptr;
+  /// Per-gate power heatmap + per-class applied-gain ledger.
+  PowerAttribution* attribution = nullptr;
 
   bool any() const {
-    return trace != nullptr || metrics != nullptr || audit != nullptr;
+    return trace != nullptr || metrics != nullptr || audit != nullptr ||
+           progress != nullptr || attribution != nullptr;
   }
 };
 

@@ -1,0 +1,334 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace powder {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* error;
+
+  bool fail(const char* msg) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s at byte %zu", msg, pos);
+    *error = buf;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!consume_literal("true")) return false;
+        *out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        *out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return false;
+        *out = JsonValue::make_null();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text.substr(pos, n) != lit) return fail("bad literal");
+    pos += n;
+    return true;
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos;
+    if (!at_end() && peek() == '-') ++pos;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    const std::string num(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end == num.c_str() || *end != '\0') {
+      pos = start;
+      return fail("bad number");
+    }
+    *out = JsonValue::make_number(v);
+    return true;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) return fail("bad \\u escape");
+      const char c = text[pos++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (peek() != '"') return fail("expected string");
+    ++pos;
+    out->clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      c = text[pos++];
+      switch (c) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          // Our own writers never emit non-BMP escapes; decode the BMP code
+          // point as UTF-8 and pass surrogates through as-is.
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++pos;  // consume '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      *out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      items.push_back(std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      const char c = text[pos++];
+      if (c == ']') break;
+      if (c != ',') {
+        --pos;
+        return fail("expected ',' or ']'");
+      }
+    }
+    *out = JsonValue::make_array(std::move(items));
+    return true;
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++pos;  // consume '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      *out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (at_end() || text[pos++] != ':') return fail("expected ':'");
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      const char c = text[pos++];
+      if (c == '}') break;
+      if (c != ',') {
+        --pos;
+        return fail("expected ',' or '}'");
+      }
+    }
+    *out = JsonValue::make_object(std::move(members));
+    return true;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const JsonValue* hit = nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) hit = &v;
+  }
+  return hit;
+}
+
+const JsonValue* JsonValue::find_number(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number() && std::isfinite(v->as_number()))
+             ? v
+             : nullptr;
+}
+
+const JsonValue* JsonValue::find_string(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::find_array(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_array()) ? v : nullptr;
+}
+
+const JsonValue* JsonValue::find_object(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_object()) ? v : nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.items_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> v) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.members_ = std::move(v);
+  return j;
+}
+
+std::unique_ptr<JsonValue> json_parse(std::string_view text,
+                                      std::string* error) {
+  error->clear();
+  Parser p{text, 0, error};
+  auto root = std::make_unique<JsonValue>();
+  if (!p.parse_value(root.get(), 0)) return nullptr;
+  p.skip_ws();
+  if (!p.at_end()) {
+    p.fail("trailing garbage");
+    return nullptr;
+  }
+  return root;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace powder

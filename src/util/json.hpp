@@ -1,0 +1,82 @@
+// Minimal JSON DOM used by the observability tool surface: `powder diff`,
+// the BENCH trajectory aggregator, and the trace_check validators all parse
+// documents this codebase itself emitted, so the parser favours strictness
+// and determinism over speed. Object member order is preserved (our writers
+// are order-stable by contract, DESIGN.md §11.4) and duplicate keys keep the
+// last value, matching how a streaming consumer would see them.
+#ifndef POWDER_UTIL_JSON_HPP
+#define POWDER_UTIL_JSON_HPP
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace powder {
+
+/// One parsed JSON value. Null/bool/number/string are stored inline;
+/// arrays and objects own their children.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Looks up an object member; nullptr when absent or not an object.
+  /// Duplicate keys resolve to the last occurrence.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience: member that must be a finite number / string / array /
+  /// object. Returns nullptr when the member is missing or the wrong kind.
+  const JsonValue* find_number(std::string_view key) const;
+  const JsonValue* find_string(std::string_view key) const;
+  const JsonValue* find_array(std::string_view key) const;
+  const JsonValue* find_object(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as a single JSON document. On success returns the root and
+/// clears `*error`; on failure returns nullptr and fills `*error` with a
+/// one-line message carrying the byte offset. Trailing whitespace is allowed,
+/// trailing garbage is not. Nesting is capped (64 levels) so hostile inputs
+/// cannot blow the stack.
+std::unique_ptr<JsonValue> json_parse(std::string_view text,
+                                      std::string* error);
+
+/// Serializes a string with JSON escaping (quotes included).
+std::string json_quote(std::string_view s);
+
+}  // namespace powder
+
+#endif  // POWDER_UTIL_JSON_HPP

@@ -1,0 +1,490 @@
+// Tests for the introspection plane (DESIGN.md §14): power attribution's
+// exact reconciliation invariants, the live progress stream's wire
+// contract and deterministic event skeleton, the `powder diff` verdict
+// engine, the BENCH trajectory fold, the audit log's window/epoch fields,
+// and the purity guarantee — attaching every sink must not change one bit
+// of the optimization result.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchmarks.hpp"
+#include "io/blif.hpp"
+#include "mapper/mapper.hpp"
+#include "opt/report_diff.hpp"
+#include "powder.hpp"
+#include "power/attribution.hpp"
+#include "trace/audit.hpp"
+#include "trace/progress.hpp"
+#include "util/json.hpp"
+
+namespace powder {
+namespace {
+
+#ifndef POWDER_GOLDEN_DIR
+#define POWDER_GOLDEN_DIR "tests/golden"
+#endif
+
+bool regen() { return std::getenv("POWDER_REGEN_GOLDEN") != nullptr; }
+
+std::string golden_path(const std::string& file) {
+  return std::string(POWDER_GOLDEN_DIR) + "/" + file;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// The Netlist keeps a pointer to its library: helpers returning a Netlist
+// by value must hand it shared ownership.
+Netlist make_input(const char* bench = "comp") {
+  const auto lib = CellLibrary::standard_shared();
+  Netlist nl = map_aig(make_benchmark(bench), *lib);
+  nl.adopt_library(lib);
+  return nl;
+}
+
+PowderOptions::Builder base_options() {
+  return PowderOptions::builder()
+      .patterns(512)
+      .repeat(8)
+      .max_outer_iterations(4)
+      .seed(42);
+}
+
+struct RunResult {
+  std::string blif;
+  PowderReport report;
+};
+
+RunResult run(const Netlist& input, PowderOptions::Builder builder) {
+  Netlist nl = input;
+  RunResult rr;
+  rr.report = optimize(nl, builder.build());
+  rr.blif = write_blif(nl);
+  return rr;
+}
+
+// ---------------------------------------------------------------------------
+// PowerAttribution: exact reconciliation
+
+/// The hard invariant from the header: both snapshot sums equal
+/// total_power() bitwise, the endpoints equal the report's power numbers
+/// bitwise, and the per-class ledger equals the report's per-class
+/// economics bitwise.
+void expect_reconciled(const PowerAttribution& attr, const PowderReport& r) {
+  ASSERT_TRUE(attr.before().taken);
+  ASSERT_TRUE(attr.after().taken);
+  EXPECT_EQ(attr.before().sum, attr.before().total_power);
+  EXPECT_EQ(attr.after().sum, attr.after().total_power);
+  EXPECT_EQ(attr.before().total_power, r.initial_power);
+  EXPECT_EQ(attr.after().total_power, r.final_power);
+  for (std::size_t i = 0; i < r.by_class.size(); ++i) {
+    EXPECT_EQ(attr.class_gain(static_cast<int>(i)),
+              r.by_class[i].power_delta)
+        << "class " << i;
+    EXPECT_EQ(attr.class_applied(static_cast<int>(i)), r.by_class[i].applied)
+        << "class " << i;
+  }
+  std::string error;
+  EXPECT_TRUE(validate_attribution_json(attr.to_json(), &error)) << error;
+}
+
+TEST(Attribution, ReconcilesBitwiseZeroDelaySerialAndThreaded) {
+  const Netlist input = make_input();
+  PowerAttribution serial;
+  const RunResult a =
+      run(input, base_options().attribution(&serial).threads(1));
+  EXPECT_GT(a.report.substitutions_applied, 0);
+  expect_reconciled(serial, a.report);
+  EXPECT_GT(serial.deltas_observed(), 0);
+
+  // Threaded runs are bit-identical to serial ones, and the attribution
+  // document — fed from the same commits over the same netlist — must be
+  // byte-identical too.
+  PowerAttribution threaded;
+  const RunResult b =
+      run(input, base_options().attribution(&threaded).threads(8));
+  EXPECT_EQ(a.blif, b.blif);
+  expect_reconciled(threaded, b.report);
+  EXPECT_EQ(serial.to_json(), threaded.to_json());
+}
+
+TEST(Attribution, ReconcilesBitwiseTimedModel) {
+  const Netlist input = make_input();
+  PowerAttribution serial;
+  const RunResult a = run(input, base_options()
+                                     .power_model(PowerModelKind::kTimed)
+                                     .glitch_vector_pairs(64)
+                                     .attribution(&serial)
+                                     .threads(1));
+  expect_reconciled(serial, a.report);
+  EXPECT_NE(serial.to_json().find("\"model\":\"timed\""), std::string::npos);
+
+  PowerAttribution threaded;
+  const RunResult b = run(input, base_options()
+                                     .power_model(PowerModelKind::kTimed)
+                                     .glitch_vector_pairs(64)
+                                     .attribution(&threaded)
+                                     .threads(8));
+  EXPECT_EQ(a.blif, b.blif);
+  expect_reconciled(threaded, b.report);
+  EXPECT_EQ(serial.to_json(), threaded.to_json());
+}
+
+TEST(Attribution, WindowedRunsLedgerPerWindow) {
+  const Netlist input = make_input("duke2");
+  PowerAttribution attr;
+  const RunResult rr = run(input, base_options()
+                                      .windowed(true)
+                                      .window_size(40)
+                                      .window_overlap(8)
+                                      .attribution(&attr));
+  ASSERT_GT(rr.report.diagnostics.windowing.windows_built, 1);
+  EXPECT_GT(rr.report.substitutions_applied, 0);
+  expect_reconciled(attr, rr.report);
+
+  // The by_window ledger must name real window ids (>= 0) and its commit
+  // counts must sum to the total recorded.
+  std::string error;
+  const auto doc = json_parse(attr.to_json(), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  const JsonValue* by_window = doc->find_array("by_window");
+  ASSERT_NE(by_window, nullptr);
+  long long commits = 0;
+  bool saw_real_window = false;
+  for (const JsonValue& w : by_window->items()) {
+    const JsonValue* id = w.find_number("window");
+    ASSERT_NE(id, nullptr);
+    if (id->as_number() >= 0) saw_real_window = true;
+    commits += static_cast<long long>(w.find_number("commits")->as_number());
+  }
+  EXPECT_TRUE(saw_real_window);
+  EXPECT_EQ(commits, attr.commits_recorded());
+}
+
+TEST(Attribution, ValidatorRejectsTamperedDocument) {
+  const Netlist input = make_input();
+  PowerAttribution attr;
+  run(input, base_options().attribution(&attr));
+  const std::string good = attr.to_json();
+  std::string error;
+  ASSERT_TRUE(validate_attribution_json(good, &error)) << error;
+
+  // Corrupting one contribution sum must break the exact reconciliation.
+  std::string bad = good;
+  const std::string key = "\"contribution_sum_before\":";
+  const std::size_t pos = bad.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  bad.insert(pos + key.size(), "9");
+  EXPECT_FALSE(validate_attribution_json(bad, &error));
+
+  // And a wrong schema version must be rejected outright.
+  std::string wrong_version = good;
+  const std::size_t vpos = wrong_version.find("\"schema_version\":1");
+  ASSERT_NE(vpos, std::string::npos);
+  wrong_version.replace(vpos, 18, "\"schema_version\":9");
+  EXPECT_FALSE(validate_attribution_json(wrong_version, &error));
+}
+
+// ---------------------------------------------------------------------------
+// ProgressStream: wire contract
+
+TEST(Progress, StreamSatisfiesContractAndCoversPhases) {
+  const Netlist input = make_input();
+  std::ostringstream os;
+  ProgressStream prog(&os);
+  const RunResult rr = run(input, base_options().progress(&prog));
+  EXPECT_GT(rr.report.substitutions_applied, 0);
+
+  const std::string text = os.str();
+  const ProgressValidation v = validate_progress_stream(text);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_GE(v.heartbeats, 1);
+  EXPECT_EQ(v.lines, prog.events_written());
+  for (const char* needle :
+       {"\"phase\":\"harvest\"", "\"phase\":\"proof\"",
+        "\"phase\":\"commit\"", "\"event\":\"run_start\"",
+        "\"event\":\"commit\"", "\"event\":\"run_end\""})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST(Progress, WindowedRunEmitsEveryWindow) {
+  const Netlist input = make_input("duke2");
+  std::ostringstream os;
+  ProgressStream prog(&os);
+  const RunResult rr = run(input, base_options()
+                                      .windowed(true)
+                                      .window_size(40)
+                                      .window_overlap(8)
+                                      .progress(&prog));
+  const long windows_built = rr.report.diagnostics.windowing.windows_built;
+  ASSERT_GT(windows_built, 1);
+
+  const std::string text = os.str();
+  const ProgressValidation v = validate_progress_stream(text);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_GT(v.windows, 0);
+
+  // Every built window must appear in the stream's window events.
+  std::set<long long> seen;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const auto doc = json_parse(line, &error);
+    ASSERT_NE(doc, nullptr) << error;
+    const JsonValue* event = doc->find_string("event");
+    ASSERT_NE(event, nullptr);
+    if (event->as_string() != "window") continue;
+    seen.insert(
+        static_cast<long long>(doc->find_number("window")->as_number()));
+  }
+  EXPECT_EQ(static_cast<long>(seen.size()), windows_built);
+}
+
+/// Strips the stream down to its deterministic skeleton: heartbeats out
+/// (wall-clock gated), seq/t_ms out (timing), floats out (pinned
+/// elsewhere by the layout-parity goldens) — what remains is the exact
+/// ordered event/argument sequence of the run.
+std::string canonical_progress(const std::string& text) {
+  std::ostringstream out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const auto doc = json_parse(line, &error);
+    if (doc == nullptr) { out << "PARSE_ERROR " << error << "\n"; continue; }
+    const std::string event = doc->find_string("event")->as_string();
+    if (event == "heartbeat") continue;
+    out << event;
+    for (const auto& [key, value] : doc->members()) {
+      if (key == "v" || key == "seq" || key == "t_ms" || key == "event")
+        continue;
+      if (value.is_number()) {
+        const double d = value.as_number();
+        if (d != static_cast<long long>(d)) continue;  // float: drop
+        out << ' ' << key << '=' << static_cast<long long>(d);
+      } else if (value.is_string()) {
+        out << ' ' << key << '=' << value.as_string();
+      } else if (value.is_bool()) {
+        out << ' ' << key << '=' << (value.as_bool() ? "true" : "false");
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(Progress, GoldenEventSequence) {
+  const Netlist input = make_input();
+  std::ostringstream os;
+  ProgressStream prog(&os);
+  run(input, base_options().progress(&prog));
+  const std::string got = canonical_progress(os.str());
+  if (regen()) {
+    std::ofstream w(golden_path("comp_progress.golden"), std::ios::binary);
+    ASSERT_TRUE(w.good());
+    w << got;
+    GTEST_SKIP() << "golden regenerated";
+  }
+  const std::string want = read_file(golden_path("comp_progress.golden"));
+  ASSERT_FALSE(want.empty()) << "missing golden comp_progress.golden "
+                                "(run with POWDER_REGEN_GOLDEN=1)";
+  EXPECT_EQ(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// powder diff
+
+TEST(Diff, SelfCompareOfARealReportIsClean) {
+  const Netlist input = make_input();
+  const RunResult rr = run(input, base_options());
+  const std::string report = rr.report.to_json();
+  const DiffResult d = diff_reports(report, report, DiffThresholds{});
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_FALSE(d.regressed);
+  EXPECT_NE(d.verdict_json.find("\"verdict\":\"ok\""), std::string::npos);
+  // Real reports carry per-class sections; the verdict must fold them in.
+  EXPECT_NE(d.verdict_json.find("\"by_class\":{\"OS2\""), std::string::npos);
+}
+
+TEST(Diff, VerdictGoldenOnInjectedPowerRegression) {
+  const std::string base =
+      "{\"schema_version\":5,\"final_power\":10,\"final_area\":100,"
+      "\"cpu_seconds\":2,\"substitutions_applied\":4,"
+      "\"by_class\":{\"OS2\":{\"applied\":3,\"power_delta\":1.5}}}";
+  const std::string cand =
+      "{\"schema_version\":5,\"final_power\":12,\"final_area\":100,"
+      "\"cpu_seconds\":3,\"substitutions_applied\":4,"
+      "\"by_class\":{\"OS2\":{\"applied\":3,\"power_delta\":1.5}}}";
+  const DiffResult d = diff_reports(base, cand, DiffThresholds{});
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_TRUE(d.regressed);
+  EXPECT_EQ(
+      d.verdict_json,
+      "{\"schema_version\":1,\"base_report_version\":5,"
+      "\"candidate_report_version\":5,"
+      "\"power\":{\"base\":10,\"candidate\":12,\"delta_percent\":20,"
+      "\"threshold_percent\":0.5,\"checked\":true,\"regressed\":true},"
+      "\"area\":{\"base\":100,\"candidate\":100,\"delta_percent\":0,"
+      "\"threshold_percent\":2,\"checked\":true,\"regressed\":false},"
+      "\"runtime\":{\"base\":2,\"candidate\":3,\"delta_percent\":50,"
+      "\"threshold_percent\":50,\"checked\":false,\"regressed\":false},"
+      "\"substitutions\":{\"base\":4,\"candidate\":4,\"delta\":0},"
+      "\"by_class\":{\"OS2\":{\"applied_base\":3,\"applied_candidate\":3,"
+      "\"gain_base\":1.5,\"gain_candidate\":1.5,\"gain_delta\":0}},"
+      "\"regressed\":true,\"verdict\":\"regression\"}");
+}
+
+TEST(Diff, RuntimeOnlyGatesWhenEnabled) {
+  const std::string base =
+      "{\"schema_version\":5,\"final_power\":10,\"final_area\":100,"
+      "\"cpu_seconds\":1,\"substitutions_applied\":4}";
+  const std::string cand =
+      "{\"schema_version\":5,\"final_power\":10,\"final_area\":100,"
+      "\"cpu_seconds\":10,\"substitutions_applied\":4}";
+  // 10x slower, but runtime checking is off by default.
+  DiffThresholds thresholds;
+  const DiffResult off = diff_reports(base, cand, thresholds);
+  ASSERT_TRUE(off.ok) << off.error;
+  EXPECT_FALSE(off.regressed);
+  thresholds.check_runtime = true;
+  const DiffResult on = diff_reports(base, cand, thresholds);
+  ASSERT_TRUE(on.ok) << on.error;
+  EXPECT_TRUE(on.regressed);
+}
+
+TEST(Diff, FoldsAuditAndAttributionSections) {
+  const Netlist input = make_input();
+  std::ostringstream audit_os;
+  AuditLog audit(&audit_os);
+  PowerAttribution attr;
+  const RunResult rr =
+      run(input, base_options().audit(&audit).attribution(&attr));
+  const std::string report = rr.report.to_json();
+  const std::string audit_text = audit_os.str();
+  const std::string attr_text = attr.to_json();
+  const DiffResult d =
+      diff_reports(report, report, DiffThresholds{}, audit_text, audit_text,
+                   attr_text, attr_text);
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_FALSE(d.regressed);
+  EXPECT_NE(d.verdict_json.find("\"audit\":{\"decisions\":{\"accepted\""),
+            std::string::npos);
+  EXPECT_NE(d.verdict_json.find("\"attribution\":{\"by_class\""),
+            std::string::npos);
+  EXPECT_NE(d.verdict_json.find("\"unparseable_lines\":{\"base\":0"),
+            std::string::npos);
+}
+
+TEST(Diff, RejectsUnparseableInput) {
+  const DiffResult d = diff_reports("not json", "{}", DiffThresholds{});
+  EXPECT_FALSE(d.ok);
+  EXPECT_NE(d.error.find("base report"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory fold
+
+TEST(Trajectory, FoldsLeavesAndIsolatesBrokenFiles) {
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"BENCH_alpha.json",
+       "{\"suite\":\"quick\",\"overhead\":{\"percent\":1.25},"
+       "\"ok\":true,\"runs\":[3,4]}"},
+      {"BENCH_broken.json", "not json"},
+  };
+  EXPECT_EQ(fold_bench_trajectory(files),
+            "{\"schema_version\":1,\"benches\":{"
+            "\"BENCH_alpha.json\":{\"suite\":\"quick\","
+            "\"overhead.percent\":1.25,\"ok\":true,"
+            "\"runs[0]\":3,\"runs[1]\":4}},"
+            "\"errors\":[{\"file\":\"BENCH_broken.json\","
+            "\"error\":\"bad literal at byte 0\"}]}");
+}
+
+// ---------------------------------------------------------------------------
+// Audit log: window / epoch fields
+
+TEST(Audit, EveryLineCarriesWindowAndEpoch) {
+  const Netlist input = make_input("duke2");
+  std::ostringstream os;
+  AuditLog audit(&os);
+  const RunResult rr = run(input, base_options()
+                                      .windowed(true)
+                                      .window_size(40)
+                                      .window_overlap(8)
+                                      .audit(&audit));
+  EXPECT_GT(rr.report.substitutions_applied, 0);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  long long records = 0;
+  bool saw_window = false;
+  unsigned long long last_epoch = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const auto doc = json_parse(line, &error);
+    ASSERT_NE(doc, nullptr) << error << "\nline: " << line;
+    // Typed events (degradation etc.) have their own shape; decision
+    // records must all carry the window id and journal epoch.
+    if (doc->find_string("decision") == nullptr) continue;
+    ++records;
+    const JsonValue* window = doc->find_number("window");
+    const JsonValue* epoch = doc->find_number("epoch");
+    ASSERT_NE(window, nullptr) << line;
+    ASSERT_NE(epoch, nullptr) << line;
+    if (window->as_number() >= 0) saw_window = true;
+    // Serial run: the log is chronological and the netlist epoch only
+    // ever advances.
+    const auto e = static_cast<unsigned long long>(epoch->as_number());
+    EXPECT_GE(e, last_epoch);
+    last_epoch = e;
+  }
+  EXPECT_EQ(records, audit.records());
+  EXPECT_TRUE(saw_window) << "windowed run produced no window-scoped "
+                             "audit records";
+}
+
+// ---------------------------------------------------------------------------
+// Purity: sinks change nothing
+
+TEST(Purity, AttachingEverySinkLeavesTheResultBitIdentical) {
+  const Netlist input = make_input();
+  const RunResult plain = run(input, base_options());
+
+  std::ostringstream prog_os, audit_os;
+  ProgressStream prog(&prog_os);
+  AuditLog audit(&audit_os);
+  PowerAttribution attr;
+  const RunResult observed = run(input, base_options()
+                                            .progress(&prog)
+                                            .audit(&audit)
+                                            .attribution(&attr));
+
+  EXPECT_EQ(plain.blif, observed.blif);
+  EXPECT_EQ(plain.report.final_power, observed.report.final_power);
+  EXPECT_EQ(plain.report.initial_power, observed.report.initial_power);
+  EXPECT_EQ(plain.report.substitutions_applied,
+            observed.report.substitutions_applied);
+  for (std::size_t i = 0; i < plain.report.by_class.size(); ++i) {
+    EXPECT_EQ(plain.report.by_class[i].applied,
+              observed.report.by_class[i].applied);
+    EXPECT_EQ(plain.report.by_class[i].power_delta,
+              observed.report.by_class[i].power_delta);
+  }
+}
+
+}  // namespace
+}  // namespace powder

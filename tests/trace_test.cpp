@@ -241,6 +241,11 @@ TEST(Metrics, PrometheusGolden) {
   // instead of hand-picking a value whose decimal expansion is stable.
   char sum_buf[48];
   std::snprintf(sum_buf, sizeof(sum_buf), "%.17g", 2047 / 1e9);
+  // Derived quantiles (ceil(q*count)'th observation's bucket upper bound):
+  // p50 -> 2nd of 3 -> the 1023ns bucket; p90/p99 -> 3rd -> 2047ns.
+  char p50_buf[48], p9x_buf[48];
+  std::snprintf(p50_buf, sizeof(p50_buf), "%.17g", 1023 / 1e9);
+  std::snprintf(p9x_buf, sizeof(p9x_buf), "%.17g", 2047 / 1e9);
   const std::string expected = std::string() +
       "# TYPE powder_latency_ns histogram\n"  // map order: latency first
       "powder_latency_ns_bucket{le=\"0\"} 1\n"
@@ -249,6 +254,9 @@ TEST(Metrics, PrometheusGolden) {
       "powder_latency_ns_bucket{le=\"+Inf\"} 3\n"
       "powder_latency_ns_sum " + sum_buf + "\n"
       "powder_latency_ns_count 3\n"
+      "powder_latency_ns{quantile=\"0.5\"} " + p50_buf + "\n"
+      "powder_latency_ns{quantile=\"0.9\"} " + p9x_buf + "\n"
+      "powder_latency_ns{quantile=\"0.99\"} " + p9x_buf + "\n"
       "# TYPE powder_level gauge\n"
       "powder_level 2.5\n"
       "# HELP powder_widgets_total Widgets processed\n"
@@ -267,7 +275,8 @@ TEST(Metrics, JsonExportShape) {
   reg.histogram("h_ns")->observe(5);
   EXPECT_EQ(reg.to_json(),
             "{\"a_total\":2,\"b\":1.5,"
-            "\"h_ns\":{\"count\":1,\"sum_ns\":5,\"buckets\":[[7,1]]}}");
+            "\"h_ns\":{\"count\":1,\"sum_ns\":5,"
+            "\"p50\":7,\"p90\":7,\"p99\":7,\"buckets\":[[7,1]]}}");
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,10 @@
 //                    windowed-mode workload, e.g. scale100000)
 //   powder check    <a.blif> <b.blif> [options]         equivalence check
 //   powder cleanup  <in.blif> -o <out.blif> [options]   redundancy removal
+//   powder diff     <base.json> <cand.json> [options]   compare two
+//                   --report-json files; exit 1 on regression
+//   powder trajectory [--dir d] [-o out.json]           fold BENCH_*.json
+//                   artifacts into one BENCH_trajectory.json
 //
 // Common options:
 //   --lib <file.genlib>     cell library (default: built-in powder-lib2)
@@ -47,6 +51,25 @@
 //   --metrics-out <path>    Prometheus text exposition of the run counters
 //   --audit-out <path>      NDJSON decision audit log, one line per
 //                           candidate considered
+//   --progress              live NDJSON progress events on stderr
+//   --progress-out <path>   live NDJSON progress events to a file; the file
+//                           is written incrementally (tail -f friendly),
+//                           NOT atomically like the other artifacts
+//   --attribution-out <path> per-gate power attribution JSON: top-K gates
+//                           before/after, per-cell and per-class ledgers
+//   --attribution-top <k>   gates in the attribution top list (default 16)
+// Diff options:
+//   --power-threshold <pct>   fail if candidate power worsens by more than
+//                             this percent (default 0.5)
+//   --area-threshold <pct>    same for area (default 2.0)
+//   --runtime-threshold <pct> also gate on cpu_seconds (off by default:
+//                             runtime is noisy)
+//   --base-audit / --cand-audit <path>   add audit decision histograms
+//   --base-attribution / --cand-attribution <path>  add per-class gains
+//   -o <path>               write the verdict JSON (default: stdout)
+// Trajectory options:
+//   --dir <path>            directory to scan for BENCH_*.json (default .)
+//   -o <path>               output (default BENCH_trajectory.json in --dir)
 // Recovery options (optimize, DESIGN.md §10):
 //   --checkpoint-out <path> durable WAL: every committed substitution is
 //                           fsync'd so a killed run can be resumed
@@ -64,6 +87,7 @@
 // All file artifacts are written atomically (temp + rename): a crashed or
 // failed run never leaves a truncated output behind.
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -73,15 +97,20 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bdd/netlist_bdd.hpp"
 #include "util/check.hpp"
 #include "benchgen/benchmarks.hpp"
 #include "mapper/mapper.hpp"
 #include "opt/redundancy.hpp"
+#include "opt/report_diff.hpp"
 #include "opt/resize.hpp"
 #include "powder.hpp"
+#include "power/attribution.hpp"
 #include "power/glitch.hpp"
+#include "trace/progress.hpp"
 #include "util/error.hpp"
 #include "util/fsio.hpp"
 
@@ -123,6 +152,18 @@ struct Args {
   double watchdog = -1.0;
   bool quiet = false;
   bool paranoid = false;
+  bool progress_stderr = false;
+  std::string progress_out_path;
+  std::string attribution_out_path;
+  int attribution_top = 16;
+  // powder diff
+  DiffThresholds diff_thresholds;
+  std::string base_audit_path;
+  std::string cand_audit_path;
+  std::string base_attribution_path;
+  std::string cand_attribution_path;
+  // powder trajectory
+  std::string trajectory_dir = ".";
 };
 
 bool g_quiet = false;
@@ -157,8 +198,8 @@ void check_writable(const std::string& path, const char* flag) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: powder <optimize|stats|gen|check|cleanup> <files...> "
-      "[-o out.blif] [--lib f.genlib]\n"
+      "usage: powder <optimize|stats|gen|check|cleanup|diff|trajectory> "
+      "<files...> [-o out.blif] [--lib f.genlib]\n"
       "               [--delay-limit F] [--objective power|area] "
       "[--engine podem|sat|hybrid]\n"
       "               [--power-model zero-delay|timed] [--glitch-pairs N] "
@@ -172,8 +213,17 @@ void usage() {
       "               [--funcred] [--max-divisors K]\n"
       "               [--trace-out FILE] [--metrics-out FILE] "
       "[--audit-out FILE] [--quiet]\n"
+      "               [--progress] [--progress-out FILE] "
+      "[--attribution-out FILE] [--attribution-top K]\n"
       "               [--checkpoint-out FILE] [--resume FILE] "
-      "[--mem-limit MB] [--watchdog SECONDS]\n");
+      "[--mem-limit MB] [--watchdog SECONDS]\n"
+      "       powder diff <base.json> <cand.json> [--power-threshold PCT] "
+      "[--area-threshold PCT]\n"
+      "               [--runtime-threshold PCT] [--base-audit FILE] "
+      "[--cand-audit FILE]\n"
+      "               [--base-attribution FILE] [--cand-attribution FILE] "
+      "[-o verdict.json]\n"
+      "       powder trajectory [--dir DIR] [-o out.json]\n");
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -300,6 +350,53 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.audit_out_path = v;
+    } else if (arg == "--progress") {
+      a.progress_stderr = true;
+    } else if (arg == "--progress-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.progress_out_path = v;
+    } else if (arg == "--attribution-out") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.attribution_out_path = v;
+    } else if (arg == "--attribution-top") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.attribution_top = std::atoi(v);
+    } else if (arg == "--power-threshold") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.diff_thresholds.power_percent = std::stod(v);
+    } else if (arg == "--area-threshold") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.diff_thresholds.area_percent = std::stod(v);
+    } else if (arg == "--runtime-threshold") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.diff_thresholds.runtime_percent = std::stod(v);
+      a.diff_thresholds.check_runtime = true;
+    } else if (arg == "--base-audit") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.base_audit_path = v;
+    } else if (arg == "--cand-audit") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.cand_audit_path = v;
+    } else if (arg == "--base-attribution") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.base_attribution_path = v;
+    } else if (arg == "--cand-attribution") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.cand_attribution_path = v;
+    } else if (arg == "--dir") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.trajectory_dir = v;
     } else if (arg == "--checkpoint-out") {
       const char* v = next();
       if (!v) return std::nullopt;
@@ -376,6 +473,8 @@ int cmd_optimize(const Args& a) {
   check_writable(a.metrics_out_path, "--metrics-out");
   check_writable(a.audit_out_path, "--audit-out");
   check_writable(a.checkpoint_out_path, "--checkpoint-out");
+  check_writable(a.progress_out_path, "--progress-out");
+  check_writable(a.attribution_out_path, "--attribution-out");
 
   const CellLibrary lib = load_library(a);
   Netlist nl = read_blif(read_file(a.positional.at(0)), lib);
@@ -396,6 +495,20 @@ int cmd_optimize(const Args& a) {
     audit_w.emplace(a.audit_out_path);
     audit.emplace(&audit_w->stream());
   }
+  // The progress stream is the one artifact written live (no temp+rename):
+  // its whole point is being tail -f'able while the run is in flight.
+  std::optional<std::ofstream> progress_file;
+  std::optional<ProgressStream> prog;
+  if (!a.progress_out_path.empty()) {
+    progress_file.emplace(a.progress_out_path, std::ios::trunc);
+    POWDER_CHECK_MSG(progress_file->good(), "--progress-out path is not "
+                     "writable: " << a.progress_out_path);
+    prog.emplace(&*progress_file);
+  } else if (a.progress_stderr) {
+    prog.emplace(&std::cerr);
+  }
+  std::optional<PowerAttribution> attr;
+  if (!a.attribution_out_path.empty()) attr.emplace(a.attribution_top);
   TraceSession* const trace_ptr = trace ? &*trace : nullptr;
 
   if (a.redundancy) {
@@ -427,6 +540,8 @@ int cmd_optimize(const Args& a) {
                      .trace(trace_ptr)
                      .metrics(metrics ? &*metrics : nullptr)
                      .audit(audit ? &*audit : nullptr)
+                     .progress(prog ? &*prog : nullptr)
+                     .attribution(attr ? &*attr : nullptr)
                      .checkpoint_out(a.checkpoint_out_path)
                      .resume_from(a.resume_path)
                      .mem_limit_bytes(a.mem_limit_mb * 1024 * 1024);
@@ -552,6 +667,70 @@ int cmd_optimize(const Args& a) {
     progress("wrote %s (%lld decisions)\n", a.audit_out_path.c_str(),
              audit->records());
   }
+  if (attr) {
+    write_file_atomic(a.attribution_out_path, attr->to_json() + "\n");
+    progress("wrote %s (%lld commits, %lld deltas observed)\n",
+             a.attribution_out_path.c_str(), attr->commits_recorded(),
+             attr->deltas_observed());
+  }
+  if (prog && !a.progress_out_path.empty())
+    progress("wrote %s (%lld events, %lld heartbeats)\n",
+             a.progress_out_path.c_str(), prog->events_written(),
+             prog->heartbeats_written());
+  return 0;
+}
+
+/// `powder diff base.json cand.json`: structured regression verdict.
+/// Exit codes: 0 = ok, 1 = regression, 3 = unreadable/invalid inputs.
+int cmd_diff(const Args& a) {
+  check_writable(a.out_path, "-o");
+  const std::string base = read_file(a.positional.at(0));
+  const std::string cand = read_file(a.positional.at(1));
+  const auto side_file = [&](const std::string& path) {
+    return path.empty() ? std::string() : read_file(path);
+  };
+  const DiffResult r = diff_reports(
+      base, cand, a.diff_thresholds, side_file(a.base_audit_path),
+      side_file(a.cand_audit_path), side_file(a.base_attribution_path),
+      side_file(a.cand_attribution_path));
+  if (!r.ok) throw Error::input("diff: " + r.error);
+  if (a.out_path.empty()) {
+    std::printf("%s\n", r.verdict_json.c_str());
+  } else {
+    write_file_atomic(a.out_path, r.verdict_json + "\n");
+    progress("wrote %s\n", a.out_path.c_str());
+  }
+  progress("powder diff: %s\n", r.regressed ? "REGRESSION" : "ok");
+  return r.regressed ? 1 : 0;
+}
+
+/// `powder trajectory`: folds every BENCH_*.json in --dir into one
+/// BENCH_trajectory.json perf-trajectory document.
+int cmd_trajectory(const Args& a) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, std::string>> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(a.trajectory_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || name.size() < 5 ||
+        name.substr(name.size() - 5) != ".json")
+      continue;
+    if (name == "BENCH_trajectory.json") continue;  // don't fold ourselves
+    files.emplace_back(name, read_file(entry.path().string()));
+  }
+  if (ec)
+    throw Error::input("trajectory: cannot scan " + a.trajectory_dir + ": " +
+                       ec.message());
+  // Directory iteration order is filesystem-dependent; sort for determinism.
+  std::sort(files.begin(), files.end());
+  const std::string out_path =
+      a.out_path.empty()
+          ? (fs::path(a.trajectory_dir) / "BENCH_trajectory.json").string()
+          : a.out_path;
+  check_writable(out_path, "-o");
+  write_file_atomic(out_path, fold_bench_trajectory(files) + "\n");
+  progress("wrote %s (%zu bench file(s))\n", out_path.c_str(), files.size());
   return 0;
 }
 
@@ -687,6 +866,13 @@ int main(int argc, char** argv) {
     if (args->command == "cleanup") {
       need(1);
       return cmd_cleanup(*args);
+    }
+    if (args->command == "diff") {
+      need(2);
+      return cmd_diff(*args);
+    }
+    if (args->command == "trajectory") {
+      return cmd_trajectory(*args);
     }
     usage();
     return 1;
